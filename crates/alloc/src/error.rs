@@ -1,0 +1,50 @@
+//! Allocator errors.
+
+use cheriot_core::TrapCause;
+use core::fmt;
+
+/// Why an allocator operation failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocError {
+    /// No chunk large enough, even after revocation and quarantine drain.
+    OutOfMemory,
+    /// The calling compartment's allocation quota is exhausted (quotas are
+    /// enforced by the RTOS allocator service).
+    QuotaExceeded,
+    /// The requested size cannot be served at all (zero or beyond the heap).
+    BadSize {
+        /// The rejected request size.
+        requested: u32,
+    },
+    /// `free` was passed something that is not a valid, in-use allocation:
+    /// untagged, mid-object, double-free, or a forged region.
+    InvalidFree,
+    /// The heap's internal invariants are violated (should never happen;
+    /// kept as an error rather than a panic because a real allocator
+    /// compartment must fail safe).
+    HeapCorruption,
+    /// A metered memory access faulted — the allocator's own capability was
+    /// insufficient, indicating mis-configuration.
+    Trap(TrapCause),
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory => write!(f, "out of heap memory"),
+            AllocError::QuotaExceeded => write!(f, "allocation quota exceeded"),
+            AllocError::BadSize { requested } => write!(f, "unservable size {requested}"),
+            AllocError::InvalidFree => write!(f, "invalid free"),
+            AllocError::HeapCorruption => write!(f, "heap metadata corruption"),
+            AllocError::Trap(t) => write!(f, "allocator trapped: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+impl From<TrapCause> for AllocError {
+    fn from(t: TrapCause) -> AllocError {
+        AllocError::Trap(t)
+    }
+}

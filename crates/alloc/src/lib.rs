@@ -1,0 +1,45 @@
+//! # cheriot-alloc — the CHERIoT shared heap allocator
+//!
+//! The allocator of paper §5.1: a dlmalloc-style boundary-tag heap whose
+//! `free` is the anchor of *deterministic temporal safety*. Freeing an
+//! object paints its revocation bits and zeroes it — from that instant the
+//! hardware load filter guarantees no capability to it can enter a register
+//! — and quarantines the chunk until a revocation sweep (software loop or
+//! the background hardware revoker) has invalidated every stale capability
+//! still in memory. Only then can the memory be reallocated, so allocations
+//! can never temporally alias.
+//!
+//! The allocator runs as natively-modelled compartment code: all of its
+//! metadata traffic is charged through [`cheriot_core::Meter`] at the
+//! simulated core's rates (see DESIGN.md §3).
+//!
+//! ## Example
+//!
+//! ```
+//! use cheriot_alloc::{HeapAllocator, TemporalPolicy, RevokerKind};
+//! use cheriot_core::{Machine, MachineConfig, CoreModel};
+//! use cheriot_cap::Permissions;
+//!
+//! let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+//! let mut heap = HeapAllocator::new(&mut m, TemporalPolicy::Quarantine(RevokerKind::Hardware));
+//!
+//! let obj = heap.malloc(&mut m, 64)?;
+//! assert_eq!(obj.length(), 64);
+//! assert!(!obj.perms().contains(Permissions::SL)); // heap caps can't hold stack caps
+//!
+//! heap.free(&mut m, obj)?;
+//! // The object's revocation bits are painted: any stale copy loaded from
+//! // memory now arrives untagged.
+//! assert!(m.bitmap.is_revoked(obj.base()));
+//! # Ok::<(), cheriot_alloc::AllocError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod heap;
+mod quarantine;
+
+pub use error::AllocError;
+pub use heap::{AllocStats, HeapAllocator, RevokerKind, TemporalPolicy, HDR, MIN_CHUNK};
+pub use quarantine::QuarantineSet;

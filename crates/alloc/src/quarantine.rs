@@ -1,0 +1,154 @@
+//! Epoch-keyed quarantine lists (paper §5.1).
+//!
+//! Freed chunks wait here until a complete revocation sweep has provably
+//! covered them. Lists are keyed by the revocation epoch at which they were
+//! opened; the epoch is odd while a sweep is in progress, so a list opened
+//! at epoch `E` is safe once the current epoch reaches `E + 2 + (E & 1)`:
+//! chunks painted while a sweep is *running* (odd `E`) may have been missed
+//! by that sweep and must wait for the next one. Under this protocol the
+//! allocator never holds more than three lists at once.
+
+use std::collections::VecDeque;
+
+#[derive(Clone, Debug)]
+struct List {
+    open_epoch: u32,
+    chunks: Vec<(u32, u32)>, // (chunk address, chunk size)
+    bytes: u32,
+}
+
+/// The set of quarantine lists, oldest first.
+#[derive(Clone, Debug, Default)]
+pub struct QuarantineSet {
+    lists: VecDeque<List>,
+    bytes: u32,
+    /// Most lists ever held simultaneously (the paper bounds this at 3).
+    pub max_lists_observed: usize,
+}
+
+impl QuarantineSet {
+    /// An empty quarantine.
+    pub fn new() -> QuarantineSet {
+        QuarantineSet::default()
+    }
+
+    /// Is nothing quarantined?
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// Total quarantined bytes.
+    pub fn bytes(&self) -> u32 {
+        self.bytes
+    }
+
+    /// Number of lists currently held.
+    pub fn list_count(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Quarantines a chunk under the current `epoch`, opening a new list if
+    /// the epoch advanced since the last `free` (paper §5.1).
+    pub fn push(&mut self, epoch: u32, chunk: u32, size: u32) {
+        let need_new = self
+            .lists
+            .back()
+            .map(|l| l.open_epoch != epoch)
+            .unwrap_or(true);
+        if need_new {
+            self.lists.push_back(List {
+                open_epoch: epoch,
+                chunks: Vec::new(),
+                bytes: 0,
+            });
+            self.max_lists_observed = self.max_lists_observed.max(self.lists.len());
+        }
+        let list = self.lists.back_mut().expect("just ensured");
+        list.chunks.push((chunk, size));
+        list.bytes += size;
+        self.bytes += size;
+    }
+
+    /// Epoch distance a list opened at `open_epoch` must age before its
+    /// chunks are provably swept.
+    fn required_age(open_epoch: u32) -> u32 {
+        2 + (open_epoch & 1)
+    }
+
+    /// Pops the oldest list if a completed sweep covers it.
+    pub fn pop_ready(&mut self, current_epoch: u32) -> Option<Vec<(u32, u32)>> {
+        let front = self.lists.front()?;
+        if current_epoch.wrapping_sub(front.open_epoch) < Self::required_age(front.open_epoch) {
+            return None;
+        }
+        let list = self.lists.pop_front().expect("front exists");
+        self.bytes -= list.bytes;
+        Some(list.chunks)
+    }
+
+    /// Iterates over all quarantined chunks (test support).
+    pub fn chunks(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.lists.iter().flat_map(|l| l.chunks.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lists_split_by_epoch() {
+        let mut q = QuarantineSet::new();
+        q.push(0, 0x100, 32);
+        q.push(0, 0x200, 32);
+        q.push(2, 0x300, 32);
+        assert_eq!(q.list_count(), 2);
+        assert_eq!(q.bytes(), 96);
+    }
+
+    #[test]
+    fn even_epoch_list_ready_after_one_sweep() {
+        let mut q = QuarantineSet::new();
+        q.push(0, 0x100, 32);
+        assert!(q.pop_ready(0).is_none());
+        assert!(q.pop_ready(1).is_none(), "sweep still running");
+        let ready = q.pop_ready(2).expect("one full sweep passed");
+        assert_eq!(ready, vec![(0x100, 32)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn odd_epoch_list_needs_the_next_sweep() {
+        let mut q = QuarantineSet::new();
+        // Freed while a sweep was running: that sweep may have missed it.
+        q.push(1, 0x100, 32);
+        assert!(q.pop_ready(2).is_none());
+        assert!(q.pop_ready(3).is_none());
+        assert!(q.pop_ready(4).is_some(), "second sweep completed");
+    }
+
+    #[test]
+    fn fifo_draining() {
+        let mut q = QuarantineSet::new();
+        q.push(0, 0x100, 16);
+        q.push(2, 0x200, 16);
+        q.push(4, 0x300, 16);
+        assert_eq!(q.max_lists_observed, 3);
+        assert_eq!(q.pop_ready(6).unwrap(), vec![(0x100, 16)]);
+        assert_eq!(q.pop_ready(6).unwrap(), vec![(0x200, 16)]);
+        assert!(q.pop_ready(6).is_some());
+        assert!(q.pop_ready(6).is_none());
+        assert_eq!(q.bytes(), 0);
+    }
+
+    #[test]
+    fn at_most_three_lists_under_protocol() {
+        // Simulate the allocator's discipline: drain before push.
+        let mut q = QuarantineSet::new();
+        for epoch in (0..40).step_by(2) {
+            while q.pop_ready(epoch).is_some() {}
+            q.push(epoch, 0x100 + epoch, 16);
+        }
+        assert!(q.max_lists_observed <= 3, "{}", q.max_lists_observed);
+    }
+}

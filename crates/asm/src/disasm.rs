@@ -1,0 +1,243 @@
+//! Disassembler: renders decoded instructions (or raw words) in the
+//! conventional RISC-V/CHERIoT mnemonic syntax. Round-trips with the
+//! binary codec for debugging and the objdump-style examples.
+
+use cheriot_core::encoding::decode;
+use cheriot_core::insn::{AluOp, BranchCond, CapField, CsrId, CsrOp, Instr, MemWidth, MulOp, Reg};
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Sll => "sll",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+        AluOp::Xor => "xor",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Or => "or",
+        AluOp::And => "and",
+    }
+}
+
+fn mul_name(op: MulOp) -> &'static str {
+    match op {
+        MulOp::Mul => "mul",
+        MulOp::Mulh => "mulh",
+        MulOp::Mulhu => "mulhu",
+        MulOp::Div => "div",
+        MulOp::Divu => "divu",
+        MulOp::Rem => "rem",
+        MulOp::Remu => "remu",
+    }
+}
+
+fn branch_name(c: BranchCond) -> &'static str {
+    match c {
+        BranchCond::Eq => "beq",
+        BranchCond::Ne => "bne",
+        BranchCond::Lt => "blt",
+        BranchCond::Ge => "bge",
+        BranchCond::Ltu => "bltu",
+        BranchCond::Geu => "bgeu",
+    }
+}
+
+fn width_suffix(w: MemWidth, signed: bool) -> &'static str {
+    match (w, signed) {
+        (MemWidth::B, true) => "lb",
+        (MemWidth::B, false) => "lbu",
+        (MemWidth::H, true) => "lh",
+        (MemWidth::H, false) => "lhu",
+        (MemWidth::W, _) => "lw",
+    }
+}
+
+fn csr_name(c: CsrId) -> &'static str {
+    match c {
+        CsrId::Mcycle => "mcycle",
+        CsrId::Mcycleh => "mcycleh",
+        CsrId::Mcause => "mcause",
+        CsrId::Mtval => "mtval",
+        CsrId::Mshwm => "mshwm",
+        CsrId::Mshwmb => "mshwmb",
+    }
+}
+
+/// Renders one instruction as assembly text.
+pub fn disassemble(i: &Instr) -> String {
+    use Instr::*;
+    match *i {
+        Lui { rd, imm } => format!("lui {rd:?}, {imm:#x}"),
+        Auipcc { rd, imm } => format!("auipcc {rd:?}, {imm}"),
+        Auicgp { rd, imm } => format!("auicgp {rd:?}, {imm}"),
+        OpImm {
+            op: AluOp::Add,
+            rd,
+            rs1: Reg::ZERO,
+            imm,
+        } => format!("li {rd:?}, {imm}"),
+        OpImm { op, rd, rs1, imm } => format!("{}i {rd:?}, {rs1:?}, {imm}", alu_name(op)),
+        Op { op, rd, rs1, rs2 } => format!("{} {rd:?}, {rs1:?}, {rs2:?}", alu_name(op)),
+        MulDiv { op, rd, rs1, rs2 } => format!("{} {rd:?}, {rs1:?}, {rs2:?}", mul_name(op)),
+        Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            format!("{} {rs1:?}, {rs2:?}, .{offset:+}", branch_name(cond))
+        }
+        Jal { rd, offset } => format!("jal {rd:?}, .{offset:+}"),
+        Jalr { rd, rs1, offset } => format!("cjalr {rd:?}, {offset}({rs1:?})"),
+        Load {
+            width,
+            signed,
+            rd,
+            rs1,
+            offset,
+        } => {
+            format!("{} {rd:?}, {offset}({rs1:?})", width_suffix(width, signed))
+        }
+        Store {
+            width,
+            rs2,
+            rs1,
+            offset,
+        } => {
+            let n = match width {
+                MemWidth::B => "sb",
+                MemWidth::H => "sh",
+                MemWidth::W => "sw",
+            };
+            format!("{n} {rs2:?}, {offset}({rs1:?})")
+        }
+        Clc { rd, rs1, offset } => format!("clc {rd:?}, {offset}({rs1:?})"),
+        Csc { rs2, rs1, offset } => format!("csc {rs2:?}, {offset}({rs1:?})"),
+        CGet { field, rd, rs1 } => {
+            let n = match field {
+                CapField::Perm => "cgetperm",
+                CapField::Type => "cgettype",
+                CapField::Base => "cgetbase",
+                CapField::Len => "cgetlen",
+                CapField::Tag => "cgettag",
+                CapField::Addr => "cgetaddr",
+                CapField::High => "cgethigh",
+            };
+            format!("{n} {rd:?}, {rs1:?}")
+        }
+        CSetAddr { rd, rs1, rs2 } => format!("csetaddr {rd:?}, {rs1:?}, {rs2:?}"),
+        CIncAddr { rd, rs1, rs2 } => format!("cincaddr {rd:?}, {rs1:?}, {rs2:?}"),
+        CIncAddrImm { rd, rs1, imm } => format!("cincaddrimm {rd:?}, {rs1:?}, {imm}"),
+        CSetBounds {
+            rd,
+            rs1,
+            rs2,
+            exact: false,
+        } => {
+            format!("csetbounds {rd:?}, {rs1:?}, {rs2:?}")
+        }
+        CSetBounds {
+            rd,
+            rs1,
+            rs2,
+            exact: true,
+        } => {
+            format!("csetboundsexact {rd:?}, {rs1:?}, {rs2:?}")
+        }
+        CSetBoundsImm { rd, rs1, imm } => format!("csetboundsimm {rd:?}, {rs1:?}, {imm}"),
+        CAndPerm { rd, rs1, rs2 } => format!("candperm {rd:?}, {rs1:?}, {rs2:?}"),
+        CClearTag { rd, rs1 } => format!("ccleartag {rd:?}, {rs1:?}"),
+        CMove { rd, rs1 } => format!("cmove {rd:?}, {rs1:?}"),
+        CSeal { rd, rs1, rs2 } => format!("cseal {rd:?}, {rs1:?}, {rs2:?}"),
+        CUnseal { rd, rs1, rs2 } => format!("cunseal {rd:?}, {rs1:?}, {rs2:?}"),
+        CTestSubset { rd, rs1, rs2 } => format!("ctestsubset {rd:?}, {rs1:?}, {rs2:?}"),
+        CSetEqualExact { rd, rs1, rs2 } => format!("csetequalexact {rd:?}, {rs1:?}, {rs2:?}"),
+        CRoundRepresentableLength { rd, rs1 } => format!("crrl {rd:?}, {rs1:?}"),
+        CRepresentableAlignmentMask { rd, rs1 } => format!("cram {rd:?}, {rs1:?}"),
+        CSpecialRw { rd, rs1, scr } => format!("cspecialrw {rd:?}, {scr:?}, {rs1:?}"),
+        Csr { op, rd, rs1, csr } => {
+            let n = match op {
+                CsrOp::Rw => "csrrw",
+                CsrOp::Rs => "csrrs",
+                CsrOp::Rc => "csrrc",
+            };
+            format!("{n} {rd:?}, {}, {rs1:?}", csr_name(csr))
+        }
+        Ecall => "ecall".into(),
+        Ebreak => "ebreak".into(),
+        Mret => "mret".into(),
+        Wfi => "wfi".into(),
+        Fence => "fence".into(),
+        Halt => "halt".into(),
+    }
+}
+
+/// Disassembles a binary word stream into an objdump-style listing
+/// (address, word, mnemonic). Illegal words render as `.word`.
+pub fn disassemble_words(base: u32, words: &[u32]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (i, &w) in words.iter().enumerate() {
+        let addr = base + 4 * i as u32;
+        match decode(w) {
+            Ok(instr) => {
+                let _ = writeln!(out, "{addr:#010x}: {w:08x}  {}", disassemble(&instr));
+            }
+            Err(_) => {
+                let _ = writeln!(out, "{addr:#010x}: {w:08x}  .word {w:#x}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Asm;
+
+    #[test]
+    fn mnemonics_look_right() {
+        assert_eq!(
+            disassemble(&Instr::Clc {
+                rd: Reg::A0,
+                rs1: Reg::GP,
+                offset: 8
+            }),
+            "clc ca0, 8(cgp)"
+        );
+        assert_eq!(
+            disassemble(&Instr::OpImm {
+                op: AluOp::Add,
+                rd: Reg::T0,
+                rs1: Reg::ZERO,
+                imm: 42
+            }),
+            "li ct0, 42"
+        );
+        assert_eq!(disassemble(&Instr::Halt), "halt");
+    }
+
+    #[test]
+    fn listing_round_trips_through_the_codec() {
+        let mut a = Asm::new();
+        a.li(Reg::T0, 5);
+        let top = a.here();
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bnez(Reg::T0, top);
+        a.halt();
+        let words = a.assemble_binary().unwrap();
+        let listing = disassemble_words(0x1000_0000, &words);
+        assert!(listing.contains("li ct0, 5"));
+        assert!(listing.contains("bne ct0, czero"));
+        assert!(listing.contains("halt"));
+        assert_eq!(listing.lines().count(), words.len());
+    }
+
+    #[test]
+    fn illegal_words_render_as_data() {
+        let listing = disassemble_words(0, &[0xffff_ffff]);
+        assert!(listing.contains(".word"));
+    }
+}

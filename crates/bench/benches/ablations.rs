@@ -1,0 +1,192 @@
+//! Design-choice ablations (DESIGN.md E9). These report *simulated* time:
+//! each measured iteration returns a `Duration` of one nanosecond per
+//! simulated cycle, so Criterion's statistics are over simulated cycles,
+//! not host time.
+//!
+//! Ablations covered:
+//! * load filter on/off on the guest pointer-chase (its whole cost),
+//! * pipelined vs. naive background revoker (the §3.3.3 second stage),
+//! * stack high-water mark on/off for the hot cross-call path,
+//! * compiler quirks present vs. fixed (the §7.2 worst-case framing),
+//! * quarantine threshold (revocation frequency vs. latency trade).
+
+use cheriot_alloc::{HeapAllocator, RevokerKind, TemporalPolicy};
+use cheriot_core::revocation::{revoker_reg, RevokerConfig};
+use cheriot_core::{CoreModel, Machine, MachineConfig};
+use cheriot_rtos::Rtos;
+use cheriot_workloads::{run_coremark, CompilerQuirks, CoreMarkConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn sim_duration(cycles: u64) -> Duration {
+    Duration::from_nanos(cycles)
+}
+
+fn ablate_load_filter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/load_filter");
+    for (name, filter) in [("off", false), ("on", true)] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let mut total = 0u64;
+                for _ in 0..iters {
+                    let cfg = CoreMarkConfig {
+                        iterations: 2,
+                        list_nodes: 64,
+                        find_passes: 6,
+                        load_filter: filter,
+                        ..CoreMarkConfig::capabilities()
+                    };
+                    total += run_coremark(CoreModel::ibex(), &cfg).cycles;
+                }
+                sim_duration(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablate_revoker_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/revoker_pipeline");
+    for (name, pipelined) in [("naive", false), ("two_stage", true)] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let mut slots = 0u64;
+                for _ in 0..iters {
+                    let mut mc = MachineConfig::new(CoreModel::ibex());
+                    mc.revoker = RevokerConfig {
+                        pipelined,
+                        ..RevokerConfig::default()
+                    };
+                    let mut m = Machine::new(mc);
+                    m.revoker.mmio_write(revoker_reg::START, 0x2000_0000);
+                    m.revoker
+                        .mmio_write(revoker_reg::END, 0x2000_0000 + 64 * 1024);
+                    m.revoker.mmio_write(revoker_reg::KICK, 1);
+                    while m.revoker.in_progress() {
+                        m.revoker.step(&mut m.sram, &m.bitmap);
+                    }
+                    slots += m.revoker.slots_used;
+                }
+                sim_duration(slots)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablate_hwm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/stack_hwm");
+    for (name, hwm) in [("off", false), ("on", true)] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let mut mc = MachineConfig::new(CoreModel::ibex());
+                mc.hwm_enabled = hwm;
+                let mut rtos = Rtos::new(Machine::new(mc), TemporalPolicy::None);
+                let app = rtos.add_compartment("app", 64);
+                let t = rtos.spawn_thread(1, 512, app);
+                let start = rtos.machine.cycles;
+                for _ in 0..iters {
+                    rtos.cross_call(t, app, 64, |_| ()).unwrap();
+                }
+                sim_duration(rtos.machine.cycles - start)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablate_compiler_quirks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/compiler_quirks");
+    for (name, quirks) in [
+        ("worst_case", CompilerQuirks::worst_case()),
+        ("fixed", CompilerQuirks::fixed()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let mut total = 0u64;
+                for _ in 0..iters {
+                    let cfg = CoreMarkConfig {
+                        iterations: 2,
+                        list_nodes: 32,
+                        find_passes: 3,
+                        quirks,
+                        ..CoreMarkConfig::capabilities_with_filter()
+                    };
+                    total += run_coremark(CoreModel::ibex(), &cfg).cycles;
+                }
+                sim_duration(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablate_quarantine_threshold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/quarantine_threshold");
+    g.sample_size(10);
+    for threshold in [8 * 1024u32, 32 * 1024, 96 * 1024] {
+        g.bench_function(format!("{}KiB", threshold / 1024), |b| {
+            b.iter_custom(|iters| {
+                let mut total = 0u64;
+                for _ in 0..iters {
+                    let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+                    let mut h = HeapAllocator::new(
+                        &mut m,
+                        TemporalPolicy::Quarantine(RevokerKind::Hardware),
+                    );
+                    h.quarantine_threshold = threshold;
+                    let start = m.cycles;
+                    for _ in 0..200 {
+                        let cap = h.malloc(&mut m, 2048).unwrap();
+                        h.free(&mut m, cap).unwrap();
+                    }
+                    total += m.cycles - start;
+                }
+                sim_duration(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablate_bus_width(c: &mut Criterion) {
+    // The single biggest Ibex-vs-Flute difference for capability code: the
+    // data-bus width (33 vs 65 bits). Sweep it on an otherwise-Ibex core.
+    let mut g = c.benchmark_group("ablation/bus_width");
+    for (name, bus) in [("33bit", 4u32), ("65bit", 8u32)] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let mut total = 0u64;
+                for _ in 0..iters {
+                    let mut core = CoreModel::ibex();
+                    core.bus_bytes = bus;
+                    let cfg = CoreMarkConfig {
+                        iterations: 2,
+                        list_nodes: 64,
+                        find_passes: 6,
+                        ..CoreMarkConfig::capabilities_with_filter()
+                    };
+                    total += run_coremark(core, &cfg).cycles;
+                }
+                sim_duration(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+// The simulator is perfectly deterministic, so measured "durations"
+// (simulated cycles) have zero variance; criterion's plot generation
+// cannot handle degenerate ranges, so plots are disabled.
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets =
+        ablate_load_filter,
+        ablate_revoker_pipeline,
+        ablate_hwm,
+        ablate_compiler_quirks,
+        ablate_quarantine_threshold,
+        ablate_bus_width
+}
+criterion_main!(benches);

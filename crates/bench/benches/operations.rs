@@ -1,0 +1,199 @@
+//! Criterion benches of the hot simulator operations: capability codec,
+//! allocator paths, the compartment switcher, and the revoker engines.
+
+use cheriot_alloc::{HeapAllocator, RevokerKind, TemporalPolicy};
+use cheriot_cap::bounds::EncodedBounds;
+use cheriot_cap::Capability;
+use cheriot_core::{CoreModel, Machine, MachineConfig};
+use cheriot_rtos::Rtos;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn machine() -> Machine {
+    Machine::new(MachineConfig::new(CoreModel::ibex()))
+}
+
+fn bench_cap_codec(c: &mut Criterion) {
+    let cap = Capability::root_mem_rw()
+        .with_address(0x2000_1234)
+        .set_bounds(4096)
+        .unwrap();
+    c.bench_function("cap/word_round_trip", |b| {
+        b.iter(|| {
+            let w = black_box(cap).to_word();
+            Capability::from_word(black_box(w), true)
+        })
+    });
+    c.bench_function("cap/bounds_encode", |b| {
+        b.iter(|| EncodedBounds::encode(black_box(0x2000_1230), black_box(777)))
+    });
+    c.bench_function("cap/derive_chain", |b| {
+        let root = Capability::root_mem_rw();
+        b.iter(|| {
+            root.with_address(black_box(0x2000_4000))
+                .set_bounds(256)
+                .unwrap()
+                .and_perms(!cheriot_cap::Permissions::SD)
+                .incremented(16)
+        })
+    });
+}
+
+fn bench_alloc_paths(c: &mut Criterion) {
+    for (name, policy) in [
+        ("baseline", TemporalPolicy::None),
+        ("metadata", TemporalPolicy::MetadataOnly),
+        (
+            "hardware",
+            TemporalPolicy::Quarantine(RevokerKind::Hardware),
+        ),
+    ] {
+        c.bench_function(&format!("alloc/malloc_free_64B/{name}"), |b| {
+            let mut m = machine();
+            let mut h = HeapAllocator::new(&mut m, policy);
+            b.iter(|| {
+                let cap = h.malloc(&mut m, black_box(64)).unwrap();
+                h.free(&mut m, cap).unwrap();
+            })
+        });
+    }
+}
+
+fn bench_switcher(c: &mut Criterion) {
+    c.bench_function("rtos/cross_compartment_call", |b| {
+        let mut rtos = Rtos::new(machine(), TemporalPolicy::None);
+        let app = rtos.add_compartment("app", 64);
+        let t = rtos.spawn_thread(1, 512, app);
+        b.iter(|| {
+            rtos.cross_call(t, app, 64, |env| black_box(env.compartment))
+                .unwrap()
+        })
+    });
+}
+
+fn bench_revoker(c: &mut Criterion) {
+    c.bench_function("revoker/full_sweep_256KiB", |b| {
+        let mut mc = MachineConfig::new(CoreModel::ibex());
+        mc.sram_size = 256 * 1024;
+        mc.heap_offset = 64 * 1024;
+        mc.heap_size = 192 * 1024;
+        let mut m = Machine::new(mc);
+        b.iter(|| {
+            m.revoker
+                .mmio_write(cheriot_core::revocation::revoker_reg::START, 0x2000_0000);
+            m.revoker.mmio_write(
+                cheriot_core::revocation::revoker_reg::END,
+                0x2000_0000 + 256 * 1024,
+            );
+            m.revoker
+                .mmio_write(cheriot_core::revocation::revoker_reg::KICK, 1);
+            while m.revoker.in_progress() {
+                m.revoker.step(&mut m.sram, &m.bitmap);
+            }
+        })
+    });
+}
+
+fn bench_guest_execution(c: &mut Criterion) {
+    use cheriot_workloads::{run_coremark, CoreMarkConfig};
+    c.bench_function("guest/coremark_iteration", |b| {
+        let cfg = CoreMarkConfig {
+            iterations: 1,
+            list_nodes: 32,
+            find_passes: 2,
+            ..CoreMarkConfig::capabilities_with_filter()
+        };
+        b.iter(|| run_coremark(CoreModel::ibex(), black_box(&cfg)))
+    });
+}
+
+fn bench_binary_codec(c: &mut Criterion) {
+    use cheriot_core::encoding::{decode_program, encode_program};
+    use cheriot_workloads::{coremark::generate_program, CoreMarkConfig};
+    let prog = generate_program(&CoreMarkConfig::capabilities());
+    let words = encode_program(&prog).unwrap();
+    c.bench_function("codec/encode_program", |b| {
+        b.iter(|| encode_program(black_box(&prog)).unwrap())
+    });
+    c.bench_function("codec/decode_program", |b| {
+        b.iter(|| decode_program(black_box(&words)).unwrap())
+    });
+}
+
+fn bench_guest_switcher(c: &mut Criterion) {
+    use cheriot_asm::Asm;
+    use cheriot_cap::Capability;
+    use cheriot_core::insn::Reg;
+    use cheriot_core::layout;
+    use cheriot_rtos::guest_switcher::{guest_compartment, GuestSwitcher};
+
+    c.bench_function("rtos/guest_switcher_round_trip", |b| {
+        // Build once; each iteration re-runs the call program.
+        let mut m = machine();
+        let mut sw = GuestSwitcher::install(&mut m, layout::SRAM_BASE + 0x200, 512);
+        let mut bee = Asm::new();
+        bee.addi(Reg::A0, Reg::A0, 1);
+        bee.cret();
+        let b_prog = bee.assemble();
+        let b_base = m.load_program(&b_prog);
+        let globals = Capability::root_mem_rw()
+            .with_address(layout::SRAM_BASE + 0x1000)
+            .set_bounds(0x100)
+            .unwrap();
+        let b_comp = guest_compartment(b_base, 4 * b_prog.len() as u32, globals);
+        let b_export = sw.make_export(&mut m, &b_comp, 0);
+        let mut aaa = Asm::new();
+        aaa.clc(Reg::T0, 0, Reg::GP);
+        aaa.clc(Reg::T1, 8, Reg::GP);
+        aaa.cjalr(Reg::RA, Reg::T1);
+        aaa.raw(cheriot_core::insn::Instr::Halt);
+        let a_prog = aaa.assemble();
+        let a_base = m.load_program(&a_prog);
+        let a_comp = guest_compartment(a_base, 4 * a_prog.len() as u32, globals);
+        let root = Capability::root_mem_rw();
+        m.meter()
+            .store_cap(
+                root.with_address(layout::SRAM_BASE + 0x1000)
+                    .set_bounds(16)
+                    .unwrap(),
+                layout::SRAM_BASE + 0x1000,
+                b_export,
+            )
+            .unwrap();
+        m.meter()
+            .store_cap(
+                root.with_address(layout::SRAM_BASE + 0x1008)
+                    .set_bounds(8)
+                    .unwrap(),
+                layout::SRAM_BASE + 0x1008,
+                sw.call_sentry,
+            )
+            .unwrap();
+        let stack = root
+            .with_address(layout::SRAM_BASE + 0x2000)
+            .set_bounds(512)
+            .unwrap()
+            .and_perms(!cheriot_cap::Permissions::GL)
+            .with_address(layout::SRAM_BASE + 0x2200);
+        b.iter(|| {
+            let mut m2 = m.clone();
+            m2.cpu.pcc = a_comp.code.with_address(a_base);
+            m2.cpu.write(Reg::GP, a_comp.globals);
+            m2.cpu.write(Reg::SP, stack);
+            m2.cpu.mshwmb = layout::SRAM_BASE + 0x2000;
+            m2.cpu.mshwm = layout::SRAM_BASE + 0x2200;
+            m2.run(100_000)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cap_codec,
+    bench_alloc_paths,
+    bench_switcher,
+    bench_revoker,
+    bench_guest_execution,
+    bench_binary_codec,
+    bench_guest_switcher
+);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates **Figure 5**: allocator benchmark overheads relative to the
+//! Baseline configuration, on Flute.
+
+fn main() {
+    cheriot_bench::figures::run(cheriot_core::CoreModel::flute(), "fig5_alloc_flute");
+}

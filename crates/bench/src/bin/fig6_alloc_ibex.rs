@@ -1,0 +1,6 @@
+//! Regenerates **Figure 6**: allocator benchmark overheads relative to the
+//! Baseline configuration, on Ibex.
+
+fn main() {
+    cheriot_bench::figures::run(cheriot_core::CoreModel::ibex(), "fig6_alloc_ibex");
+}

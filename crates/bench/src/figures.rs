@@ -1,0 +1,48 @@
+//! Shared driver for Figures 5 and 6: overhead-vs-baseline series per
+//! allocation size for Metadata / Software / Software(S) / Hardware /
+//! Hardware(S).
+
+use crate::{render_table, write_csv};
+use cheriot_core::CoreModel;
+use cheriot_workloads::{overhead_pct, run_alloc_bench, AllocBenchParams, AllocConfig};
+
+/// Runs the figure's full parameter sweep and prints/writes the series.
+pub fn run(core: CoreModel, name: &str) {
+    println!(
+        "Allocator benchmark overheads relative to Baseline ({})\n",
+        core.kind
+    );
+    let headers = [
+        "size(B)",
+        "Metadata%",
+        "Software%",
+        "Software(S)%",
+        "Hardware%",
+        "Hardware(S)%",
+    ];
+    let mut rows = Vec::new();
+    for size in AllocBenchParams::paper_sizes() {
+        let base = run_alloc_bench(&AllocBenchParams::paper(
+            core,
+            AllocConfig::Baseline,
+            false,
+            size,
+        ));
+        let cell = |config, hwm| {
+            let r = run_alloc_bench(&AllocBenchParams::paper(core, config, hwm, size));
+            format!("{:.1}", overhead_pct(&r, &base))
+        };
+        rows.push(vec![
+            format!("{size}"),
+            cell(AllocConfig::Metadata, false),
+            cell(AllocConfig::Software, false),
+            cell(AllocConfig::Software, true),
+            cell(AllocConfig::Hardware, false),
+            cell(AllocConfig::Hardware, true),
+        ]);
+    }
+    print!("{}", render_table(&headers, &rows));
+    if let Ok(p) = write_csv(name, &headers, &rows) {
+        println!("\nwrote {}", p.display());
+    }
+}

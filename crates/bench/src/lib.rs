@@ -1,0 +1,94 @@
+//! # cheriot-bench — evaluation harness
+//!
+//! One binary per table and figure of the paper's evaluation (§7):
+//!
+//! | binary | regenerates |
+//! |--------|-------------|
+//! | `table2_area_power` | Table 2: area and power of Ibex variants |
+//! | `table3_coremark` | Table 3: CoreMark/MHz for both cores |
+//! | `table4_alloc_cycles` | Table 4: cycles to allocate 1 MiB by size |
+//! | `fig5_alloc_flute` | Figure 5: allocator overhead series, Flute |
+//! | `fig6_alloc_ibex` | Figure 6: allocator overhead series, Ibex |
+//! | `e2e_iot_app` | §7.2.3: end-to-end IoT application CPU load |
+//! | `encoding_precision` | §3.2 encoding claims (precision, fragmentation) |
+//!
+//! Criterion benches (`cargo bench`) cover the hot operations and the
+//! design-choice ablations DESIGN.md calls out.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+
+use std::fmt::Write as _;
+
+/// Renders a markdown-style table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        let _ = write!(out, "|");
+        for (i, c) in cells.iter().enumerate() {
+            let _ = write!(out, " {:>w$} |", c, w = widths[i.min(widths.len() - 1)]);
+        }
+        let _ = writeln!(out);
+    };
+    line(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    line(&mut out, &sep);
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Writes CSV rows to `results/<name>.csv` (creating the directory),
+/// returning the path written.
+///
+/// # Errors
+///
+/// I/O errors from creating the directory or writing the file.
+pub fn write_csv(
+    name: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut body = headers.join(",");
+    body.push('\n');
+    for row in rows {
+        body.push_str(&row.join(","));
+        body.push('\n');
+    }
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        assert!(t.contains("| long-name |"));
+        assert_eq!(t.lines().count(), 4);
+    }
+}

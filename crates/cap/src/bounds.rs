@@ -1,0 +1,444 @@
+//! The CHERIoT bounds encoding (paper §3.2.3, Figures 1 and 3).
+//!
+//! Bounds are stored as a 4-bit exponent `E`, a 9-bit base mantissa `B` and a
+//! 9-bit top mantissa `T`, decoded *relative to the capability's address*:
+//! the base and top are reconstructed by splicing the mantissas into the
+//! address at bit `e` and zeroing the low `e` bits, with small corrections
+//! (`cb`, `ct`) when the base or top fall into an adjacent `2^(e+9)`-aligned
+//! region. `E = 0xF` denotes an exponent of 24 so that root capabilities can
+//! span the whole 32-bit address space (the top is a 33-bit quantity).
+//!
+//! Compared with CHERI Concentrate, this trades *representable range* (the
+//! freedom to move the address out of bounds without invalidating the
+//! capability) for *precision*: any object up to 511 bytes is represented
+//! exactly, and average internal fragmentation is below 2⁻⁹ ≈ 0.19%.
+
+use core::fmt;
+
+/// Exponent value encoded as `0xF`, meaning `e = 24`.
+pub const EXP_SPECIAL: u8 = 0xf;
+/// The exponent that `EXP_SPECIAL` stands for.
+pub const EXP_MAX: u32 = 24;
+/// Mantissa width of the `B` and `T` fields.
+pub const MANTISSA_BITS: u32 = 9;
+/// Largest length that is always exactly representable (paper §3.2.3).
+pub const MAX_EXACT_LENGTH: u32 = 511;
+
+/// The raw encoded bounds fields of a capability word.
+///
+/// This is the canonical stored form; [`EncodedBounds::decode`] recovers the
+/// architectural base and top for a given address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EncodedBounds {
+    exp_field: u8, // 4 bits; 0xF encodes e = 24
+    base: u16,     // 9 bits
+    top: u16,      // 9 bits
+}
+
+/// Decoded architectural bounds: `base ≤ address < top` authorizes access.
+///
+/// `top` is a 33-bit quantity (it may be `2^32` for a full-address-space
+/// capability), hence `u64`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DecodedBounds {
+    /// Inclusive lower bound.
+    pub base: u32,
+    /// Exclusive upper bound (33-bit).
+    pub top: u64,
+}
+
+impl DecodedBounds {
+    /// Length of the region in bytes.
+    pub fn length(self) -> u64 {
+        self.top.saturating_sub(u64::from(self.base))
+    }
+
+    /// Does `[addr, addr + size)` lie fully within these bounds?
+    pub fn covers(self, addr: u32, size: u32) -> bool {
+        let a = u64::from(addr);
+        a >= u64::from(self.base) && a + u64::from(size) <= self.top
+    }
+}
+
+impl fmt::Debug for DecodedBounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#010x}, {:#011x})", self.base, self.top)
+    }
+}
+
+/// Outcome of encoding a requested region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EncodeResult {
+    /// The encoded fields.
+    pub encoded: EncodedBounds,
+    /// The bounds those fields decode to (may be wider than requested).
+    pub decoded: DecodedBounds,
+    /// Whether the decoded bounds equal the requested region exactly.
+    pub exact: bool,
+}
+
+impl EncodedBounds {
+    /// Bounds fields covering the entire 32-bit address space (`[0, 2^32)`),
+    /// used by the three root capabilities.
+    pub const FULL: EncodedBounds = EncodedBounds {
+        exp_field: EXP_SPECIAL,
+        base: 0,
+        top: 0x100,
+    };
+
+    /// Reconstructs fields from their raw bit values.
+    ///
+    /// Values are masked to their field widths.
+    pub const fn from_fields(exp_field: u8, base: u16, top: u16) -> EncodedBounds {
+        EncodedBounds {
+            exp_field: exp_field & 0xf,
+            base: base & 0x1ff,
+            top: top & 0x1ff,
+        }
+    }
+
+    /// The raw exponent field (`0xF` encodes e = 24).
+    pub const fn exp_field(self) -> u8 {
+        self.exp_field
+    }
+
+    /// The 9-bit base mantissa.
+    pub const fn base_field(self) -> u16 {
+        self.base
+    }
+
+    /// The 9-bit top mantissa.
+    pub const fn top_field(self) -> u16 {
+        self.top
+    }
+
+    /// The effective exponent `e`.
+    pub const fn exponent(self) -> u32 {
+        if self.exp_field == EXP_SPECIAL {
+            EXP_MAX
+        } else {
+            self.exp_field as u32
+        }
+    }
+
+    /// Decodes the architectural bounds relative to `address`
+    /// (paper Figure 3).
+    pub fn decode(self, address: u32) -> DecodedBounds {
+        let e = self.exponent();
+        let shamt = e + MANTISSA_BITS; // ≤ 33
+        let a_top: u64 = if shamt >= 32 {
+            0
+        } else {
+            u64::from(address) >> shamt
+        };
+        let a_mid: u32 = ((u64::from(address) >> e) & 0x1ff) as u32;
+        let b = u32::from(self.base);
+        let t = u32::from(self.top);
+        let cb: i64 = if a_mid < b { -1 } else { 0 };
+        let ct: i64 = match (a_mid < b, t < b) {
+            (false, false) => 0,
+            (false, true) => 1,
+            (true, false) => -1,
+            (true, true) => 0,
+        };
+        let mask33 = (1u64 << 33) - 1;
+        let base = (((a_top as i64 + cb) << shamt) | ((b as i64) << e)) as u64 & mask33;
+        let top = (((a_top as i64 + ct) << shamt) | ((t as i64) << e)) as u64 & mask33;
+        DecodedBounds {
+            base: base as u32,
+            top,
+        }
+    }
+
+    /// Encodes a requested region `[base, base + length)`.
+    ///
+    /// The returned bounds contain the requested region; base is rounded
+    /// down and top rounded up to the alignment the chosen exponent demands.
+    /// The result reports whether the encoding was exact. Lengths up to
+    /// [`MAX_EXACT_LENGTH`] are always exact.
+    ///
+    /// Returns `None` only if the region cannot be represented at all, i.e.
+    /// `base + length > 2^32`.
+    pub fn encode(req_base: u32, req_length: u64) -> Option<EncodeResult> {
+        let req_top = u64::from(req_base) + req_length;
+        if req_top > 1u64 << 32 {
+            return None;
+        }
+        // Only exponents 0..=14 are directly encodable in the 4-bit field;
+        // 0xF stands for 24. Exponents 15..=23 do not exist (paper §3.2.3),
+        // so spans above 2^23 jump straight to 16 MiB granularity.
+        for e in (0..EXP_SPECIAL as u32).chain([EXP_MAX]) {
+            let align = 1u64 << e;
+            let b = u64::from(req_base) & !(align - 1);
+            let t = (req_top + align - 1) & !(align - 1);
+            let span = t - b;
+            // The mantissas cover at most 2^(e+9) bytes; T == B encodes an
+            // empty-or-full region depending on corrections, so demand a
+            // strictly representable span (see `length_511_exact` test for
+            // the boundary).
+            if span >= 1u64 << (e + MANTISSA_BITS) {
+                continue;
+            }
+            let encoded = EncodedBounds {
+                exp_field: if e == EXP_MAX { EXP_SPECIAL } else { e as u8 },
+                base: ((b >> e) & 0x1ff) as u16,
+                top: ((t >> e) & 0x1ff) as u16,
+            };
+            // The address of a freshly bounded capability is its base.
+            let decoded = encoded.decode(req_base);
+            if u64::from(decoded.base) == b && decoded.top == t {
+                return Some(EncodeResult {
+                    encoded,
+                    decoded,
+                    exact: b == u64::from(req_base) && t == req_top,
+                });
+            }
+        }
+        // Full address space: span of exactly 2^33 is unreachable here; the
+        // only remaining case is [aligned, +2^(24+9)) style regions, covered
+        // by the explicit FULL encoding when base == 0 and top == 2^32.
+        if req_base == 0 && req_top == 1u64 << 32 {
+            return Some(EncodeResult {
+                encoded: EncodedBounds::FULL,
+                decoded: EncodedBounds::FULL.decode(0),
+                exact: true,
+            });
+        }
+        let e = EXP_MAX;
+        let align = 1u64 << e;
+        let b = u64::from(req_base) & !(align - 1);
+        let t = (req_top + align - 1) & !(align - 1);
+        let encoded = EncodedBounds {
+            exp_field: EXP_SPECIAL,
+            base: ((b >> e) & 0x1ff) as u16,
+            top: ((t >> e) & 0x1ff) as u16,
+        };
+        let decoded = encoded.decode(req_base);
+        if u64::from(decoded.base) == b && decoded.top == t {
+            Some(EncodeResult {
+                encoded,
+                decoded,
+                exact: b == u64::from(req_base) && t == req_top,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Is `address` within this encoding's *representable range*, i.e. do
+    /// the bounds decode identically at `address` as they do at
+    /// `reference_address`?
+    ///
+    /// CHERIoT guarantees no representable range beyond the bounds
+    /// themselves; moving the address outside it invalidates the capability
+    /// (the tag is cleared by [`crate::Capability::with_address`]).
+    pub fn representable_at(self, reference_address: u32, address: u32) -> bool {
+        self.decode(reference_address) == self.decode(address)
+    }
+}
+
+impl fmt::Debug for EncodedBounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EncodedBounds {{ E: {:#x}, B: {:#05x}, T: {:#05x} }}",
+            self.exp_field, self.base, self.top
+        )
+    }
+}
+
+/// Returns the length that a `CSetBounds` request of `length` would be
+/// rounded up to (the `CRRL` instruction: Capability Round Representable
+/// Length).
+///
+/// # Examples
+///
+/// ```
+/// use cheriot_cap::bounds::representable_length;
+/// assert_eq!(representable_length(511), 511);
+/// assert_eq!(representable_length(513), 514); // e = 1: round to 2 bytes
+/// ```
+pub fn representable_length(length: u32) -> u64 {
+    let e = exponent_for_length(u64::from(length));
+    let align = 1u64 << e;
+    (u64::from(length) + align - 1) & !(align - 1)
+}
+
+/// Returns the alignment mask a base must satisfy for a region of `length`
+/// bytes to be exactly representable (the `CRAM` instruction).
+///
+/// ANDing a base with this mask aligns it sufficiently.
+pub fn representable_alignment_mask(length: u32) -> u32 {
+    let e = exponent_for_length(u64::from(length));
+    (!0u64 << e) as u32
+}
+
+/// The smallest exponent whose mantissas can span `length` bytes (before
+/// alignment-induced growth).
+fn exponent_for_length(length: u64) -> u32 {
+    // Exponents 15..=23 are not encodable (the 4-bit field reserves 0xF for
+    // 24), so spans that outgrow e = 14 jump straight to 16 MiB granularity.
+    for e in (0..EXP_SPECIAL as u32).chain([EXP_MAX]) {
+        let align = 1u64 << e;
+        let rounded = (length + align - 1) & !(align - 1);
+        if rounded < 1u64 << (e + MANTISSA_BITS) {
+            return e;
+        }
+    }
+    EXP_MAX
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(base: u32, len: u64) -> EncodeResult {
+        EncodedBounds::encode(base, len).expect("representable")
+    }
+
+    #[test]
+    fn zero_length() {
+        let r = roundtrip(0x1234, 0);
+        assert!(r.exact);
+        assert_eq!(r.decoded.base, 0x1234);
+        assert_eq!(r.decoded.top, 0x1234);
+    }
+
+    #[test]
+    fn small_lengths_always_exact() {
+        for len in [1u64, 7, 64, 100, 255, 500, 511] {
+            for base in [0u32, 1, 0xff, 0x1000, 0xdead_beef, 0xffff_f000] {
+                if u64::from(base) + len > 1 << 32 {
+                    continue;
+                }
+                let r = roundtrip(base, len);
+                assert!(r.exact, "base={base:#x} len={len}");
+                assert_eq!(r.decoded.base, base);
+                assert_eq!(r.decoded.top, u64::from(base) + len);
+            }
+        }
+    }
+
+    #[test]
+    fn length_511_exact_512_needs_alignment() {
+        assert!(roundtrip(3, 511).exact);
+        // 512 cannot use e=0 (span == 2^9 is not strictly representable);
+        // e=1 requires 2-byte alignment.
+        let r = roundtrip(3, 512);
+        assert!(!r.exact);
+        assert_eq!(r.decoded.base, 2);
+        assert!(r.decoded.top >= 3 + 512);
+        assert!(roundtrip(4, 512).exact);
+    }
+
+    #[test]
+    fn full_address_space() {
+        let r = roundtrip(0, 1 << 32);
+        assert!(r.exact);
+        assert_eq!(r.decoded.base, 0);
+        assert_eq!(r.decoded.top, 1 << 32);
+        assert_eq!(r.encoded, EncodedBounds::FULL);
+    }
+
+    #[test]
+    fn full_decodes_everywhere() {
+        for a in [0u32, 1, 0x8000_0000, 0xffff_ffff] {
+            let d = EncodedBounds::FULL.decode(a);
+            assert_eq!(d.base, 0);
+            assert_eq!(d.top, 1 << 32);
+        }
+    }
+
+    #[test]
+    fn decode_is_stable_within_bounds() {
+        // Decoding at any address inside the region must give the same bounds.
+        let cases = [
+            (0x1000u32, 4096u64),
+            (0x0040_0000, 123_456),
+            (0xfff0_0000, 0x000f_0000),
+            (0x789a, 511),
+        ];
+        for (base, len) in cases {
+            let r = roundtrip(base, len);
+            let d0 = r.decoded;
+            for probe in [
+                d0.base,
+                d0.base + 1,
+                ((u64::from(d0.base) + d0.top) / 2) as u32,
+                (d0.top - 1) as u32,
+            ] {
+                assert_eq!(
+                    r.encoded.decode(probe),
+                    d0,
+                    "base={base:#x} len={len} probe={probe:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fragmentation_bound() {
+        // Paper §3.2.3: average internal fragmentation ≤ 2^-9; individually,
+        // waste < 2 * 2^e and 2^e < len / 2^8 for the chosen exponent
+        // (within the directly-encodable e <= 14 regime).
+        for len in [513u64, 1000, 4097, 65_537, 1 << 20, (1 << 22) + 1] {
+            let r = roundtrip(0x1357_9bdf, len);
+            let waste = r.decoded.length() - len;
+            assert!(
+                (waste as f64) / (len as f64) <= 2.0 / 256.0,
+                "len={len} waste={waste}"
+            );
+        }
+    }
+
+    #[test]
+    fn addresses_below_base_not_representable() {
+        let r = roundtrip(0x2000, 256);
+        // One byte below base decodes differently or identically; CHERIoT
+        // forbids it: representable_at must be false for addresses that
+        // change the decode, and the capability layer rejects below-base
+        // addresses regardless.
+        let d = r.encoded.decode(0x2000 - 1);
+        // With e=0 the mid bits change: bounds shift by 512.
+        assert_ne!(d, r.decoded);
+        assert!(!r.encoded.representable_at(0x2000, 0x1fff));
+    }
+
+    #[test]
+    fn representable_range_equals_bounds_region() {
+        // In the worst case representable range == bounds (paper claim).
+        let r = roundtrip(0x4000, 300);
+        for a in 0x4000..0x4000 + 300 {
+            assert!(r.encoded.representable_at(0x4000, a));
+        }
+    }
+
+    #[test]
+    fn crrl_cram_consistency() {
+        for len in [1u32, 16, 511, 512, 513, 4096, 100_000, 1 << 20] {
+            let rounded = representable_length(len);
+            let mask = representable_alignment_mask(len);
+            let base = 0xdead_beefu32 & mask;
+            let r = EncodedBounds::encode(base, rounded).unwrap();
+            assert!(
+                r.exact,
+                "len={len} rounded={rounded} mask={mask:#x} base={base:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn covers_checks() {
+        let d = DecodedBounds {
+            base: 100,
+            top: 200,
+        };
+        assert!(d.covers(100, 100));
+        assert!(d.covers(150, 50));
+        assert!(!d.covers(150, 51));
+        assert!(!d.covers(99, 1));
+        assert!(d.covers(200, 0));
+        assert!(!d.covers(201, 0));
+        assert_eq!(d.length(), 100);
+    }
+}

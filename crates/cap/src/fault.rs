@@ -1,0 +1,58 @@
+//! Capability use-time faults.
+//!
+//! Guarded *manipulation* of capabilities never traps in CHERIoT — invalid
+//! derivations simply clear the tag. Faults arise when an invalid capability
+//! is *used* to authorize an operation (a load, store, fetch, seal or
+//! unseal). These map to CHERI exception causes in the CPU.
+
+use crate::perms::Permissions;
+use core::fmt;
+
+/// Why a capability failed to authorize an operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CapFault {
+    /// The capability's tag is clear (it is not a valid capability).
+    TagViolation,
+    /// The capability is sealed and the operation requires an unsealed one.
+    SealViolation,
+    /// A required permission is missing.
+    PermissionViolation {
+        /// The permission(s) that were required but absent.
+        needed: Permissions,
+    },
+    /// The access `[addr, addr+size)` is not within bounds.
+    BoundsViolation {
+        /// Faulting address.
+        addr: u32,
+        /// Access size in bytes.
+        size: u32,
+    },
+    /// Seal/unseal was attempted with an otype outside the authorizing
+    /// capability's bounds, or otype 0, or a namespace mismatch.
+    InvalidOType {
+        /// The otype field value involved.
+        otype: u8,
+    },
+    /// An unseal was attempted whose authority does not match the sealed
+    /// capability's otype.
+    OTypeMismatch,
+}
+
+impl fmt::Display for CapFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapFault::TagViolation => write!(f, "tag violation"),
+            CapFault::SealViolation => write!(f, "seal violation"),
+            CapFault::PermissionViolation { needed } => {
+                write!(f, "permission violation (needed {needed})")
+            }
+            CapFault::BoundsViolation { addr, size } => {
+                write!(f, "bounds violation at {addr:#010x}+{size}")
+            }
+            CapFault::InvalidOType { otype } => write!(f, "invalid otype {otype}"),
+            CapFault::OTypeMismatch => write!(f, "otype mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CapFault {}

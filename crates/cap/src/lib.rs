@@ -1,0 +1,49 @@
+//! # cheriot-cap — the CHERIoT capability model
+//!
+//! This crate implements the 64-bit compressed capability format of
+//! *CHERIoT: Complete Memory Safety for Embedded Devices* (MICRO 2023),
+//! §3.1–§3.2: twelve architectural permissions compressed into six bits
+//! across six formats, three-bit object types split into executable and
+//! data namespaces, sentries that control interrupt posture, and a
+//! simplified CHERI-Concentrate bounds encoding with 9-bit mantissas that
+//! represents any object up to 511 bytes exactly.
+//!
+//! The central type is [`Capability`]; its API is the architecture's
+//! *guarded manipulation* instruction set — every derivation is monotone
+//! (bounds shrink, permissions shed, tags clear) and invalid derivations
+//! clear the tag rather than trapping. Use-time authorization is checked by
+//! [`Capability::check_access`] and friends, which return [`CapFault`]s that
+//! a CPU maps to CHERI exceptions.
+//!
+//! ## Example
+//!
+//! ```
+//! use cheriot_cap::{Capability, Permissions};
+//!
+//! // The allocator derives an object capability from the heap root:
+//! let heap = Capability::root_mem_rw().with_address(0x8000_0000).set_bounds(0x10000).unwrap();
+//! let obj = heap.with_address(0x8000_0040).set_bounds_exact(96).unwrap();
+//! assert!(obj.tag());
+//!
+//! // Bounds are hardware-enforced:
+//! assert!(obj.check_access(0x8000_00a0, 1, Permissions::LD).is_err());
+//!
+//! // Derived read-only views cannot regain write permission:
+//! let ro = obj.and_perms(!Permissions::SD);
+//! assert!(!ro.and_perms(Permissions::ROOT_MEM).perms().contains(Permissions::SD));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bounds;
+pub mod capability;
+pub mod fault;
+pub mod otype;
+pub mod perms;
+
+pub use bounds::{DecodedBounds, EncodedBounds};
+pub use capability::Capability;
+pub use fault::CapFault;
+pub use otype::{InterruptPosture, OType, SentryKind};
+pub use perms::{CompressedPerms, PermFormat, Permissions};

@@ -1,0 +1,196 @@
+//! Object types ("otypes") and sentries (paper §3.1.2, §3.2.2).
+//!
+//! CHERIoT reduces the otype field to three bits and splits the namespace in
+//! two, selected by the execute permission: executable capabilities and data
+//! capabilities have *disjoint* sets of seven otypes each (0 denotes
+//! unsealed in both). Five of the executable otypes are consumed by (or
+//! reserved for) *sentries* — sealed entry capabilities that are unsealed
+//! automatically when jumped to and that control the interrupt posture.
+
+use core::fmt;
+
+/// Width of the otype field in the capability encoding.
+pub const OTYPE_BITS: u32 = 3;
+/// Number of usable (non-zero) otypes per namespace.
+pub const OTYPES_PER_SPACE: u8 = 7;
+
+/// An object type, tagged with the namespace it lives in.
+///
+/// Equality respects the namespace split: executable otype 2 and data
+/// otype 2 are different types and cannot unseal each other.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OType {
+    /// Not sealed.
+    Unsealed,
+    /// Sealed in the executable namespace (the capability has EX).
+    Executable(u8),
+    /// Sealed in the data namespace.
+    Data(u8),
+}
+
+/// Interrupt posture changes a sentry can demand (paper §3.1.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InterruptPosture {
+    /// Leave the interrupt-enable state as it is.
+    Inherit,
+    /// Enable interrupts on entry.
+    Enabled,
+    /// Disable interrupts on entry.
+    Disabled,
+}
+
+/// Classification of executable otypes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SentryKind {
+    /// Forward sentry: a jump target that sets the given posture.
+    Forward(InterruptPosture),
+    /// Backward (return) sentry: restores the posture recorded at call time.
+    Return(InterruptPosture),
+}
+
+impl OType {
+    /// Forward sentry that inherits the current interrupt posture.
+    pub const SENTRY_INHERIT: OType = OType::Executable(1);
+    /// Forward sentry that enables interrupts.
+    pub const SENTRY_ENABLE: OType = OType::Executable(2);
+    /// Forward sentry that disables interrupts.
+    pub const SENTRY_DISABLE: OType = OType::Executable(3);
+    /// Return sentry recording interrupts-enabled.
+    pub const RETURN_ENABLE: OType = OType::Executable(4);
+    /// Return sentry recording interrupts-disabled.
+    pub const RETURN_DISABLE: OType = OType::Executable(5);
+
+    /// Constructs from the raw 3-bit field plus the namespace selector (the
+    /// capability's execute permission).
+    pub fn from_field(field: u8, executable: bool) -> OType {
+        match field & 0x7 {
+            0 => OType::Unsealed,
+            n if executable => OType::Executable(n),
+            n => OType::Data(n),
+        }
+    }
+
+    /// The raw 3-bit field.
+    pub fn field(self) -> u8 {
+        match self {
+            OType::Unsealed => 0,
+            OType::Executable(n) | OType::Data(n) => n & 0x7,
+        }
+    }
+
+    /// Is this a sealed type (anything but [`OType::Unsealed`])?
+    pub fn is_sealed(self) -> bool {
+        !matches!(self, OType::Unsealed)
+    }
+
+    /// If this is an executable otype with hardware sentry semantics,
+    /// returns its classification.
+    pub fn sentry_kind(self) -> Option<SentryKind> {
+        match self {
+            OType::Executable(1) => Some(SentryKind::Forward(InterruptPosture::Inherit)),
+            OType::Executable(2) => Some(SentryKind::Forward(InterruptPosture::Enabled)),
+            OType::Executable(3) => Some(SentryKind::Forward(InterruptPosture::Disabled)),
+            OType::Executable(4) => Some(SentryKind::Return(InterruptPosture::Enabled)),
+            OType::Executable(5) => Some(SentryKind::Return(InterruptPosture::Disabled)),
+            _ => None,
+        }
+    }
+
+    /// The return sentry recording the given posture (used by jump-and-link
+    /// to seal the link register).
+    pub fn return_sentry(interrupts_enabled: bool) -> OType {
+        if interrupts_enabled {
+            OType::RETURN_ENABLE
+        } else {
+            OType::RETURN_DISABLE
+        }
+    }
+
+    /// Is this otype available for software use (not consumed by hardware
+    /// sentry semantics)?
+    pub fn is_software_available(self) -> bool {
+        match self {
+            OType::Unsealed => false,
+            OType::Executable(n) => n >= 6,
+            OType::Data(_) => true,
+        }
+    }
+}
+
+impl fmt::Debug for OType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OType::Unsealed => write!(f, "unsealed"),
+            OType::Executable(n) => match self.sentry_kind() {
+                Some(k) => write!(f, "exec-otype{n}({k:?})"),
+                None => write!(f, "exec-otype{n}"),
+            },
+            OType::Data(n) => write!(f, "data-otype{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespaces_are_disjoint() {
+        assert_ne!(OType::Executable(2), OType::Data(2));
+        assert_eq!(OType::from_field(2, true), OType::Executable(2));
+        assert_eq!(OType::from_field(2, false), OType::Data(2));
+    }
+
+    #[test]
+    fn zero_is_unsealed_in_both() {
+        assert_eq!(OType::from_field(0, true), OType::Unsealed);
+        assert_eq!(OType::from_field(0, false), OType::Unsealed);
+        assert!(!OType::Unsealed.is_sealed());
+    }
+
+    #[test]
+    fn sentry_classification() {
+        use InterruptPosture::*;
+        assert_eq!(
+            OType::SENTRY_ENABLE.sentry_kind(),
+            Some(SentryKind::Forward(Enabled))
+        );
+        assert_eq!(
+            OType::SENTRY_DISABLE.sentry_kind(),
+            Some(SentryKind::Forward(Disabled))
+        );
+        assert_eq!(
+            OType::SENTRY_INHERIT.sentry_kind(),
+            Some(SentryKind::Forward(Inherit))
+        );
+        assert_eq!(
+            OType::RETURN_ENABLE.sentry_kind(),
+            Some(SentryKind::Return(Enabled))
+        );
+        assert_eq!(OType::Data(2).sentry_kind(), None);
+        assert_eq!(OType::Executable(6).sentry_kind(), None);
+    }
+
+    #[test]
+    fn software_availability_counts() {
+        // Two executable otypes for software use, seven data otypes.
+        let exec_sw = (1..=7)
+            .filter(|&n| OType::Executable(n).is_software_available())
+            .count();
+        let data_sw = (1..=7)
+            .filter(|&n| OType::Data(n).is_software_available())
+            .count();
+        assert_eq!(exec_sw, 2);
+        assert_eq!(data_sw, 7);
+    }
+
+    #[test]
+    fn field_round_trip() {
+        for n in 0..8u8 {
+            for exec in [false, true] {
+                let t = OType::from_field(n, exec);
+                assert_eq!(t.field(), n);
+            }
+        }
+    }
+}

@@ -1,0 +1,533 @@
+//! Architectural permissions and the 6-bit compressed permission encoding.
+//!
+//! CHERIoT defines twelve architectural permissions (paper Table 1) but
+//! encodes them in six bits by exploiting their interdependence: the
+//! permissions are grouped into six *formats* (paper Figure 2), each of which
+//! implies some permissions and encodes the optional ones that make sense
+//! given the implied set. Combinations outside these formats (e.g. a
+//! capability that is simultaneously executable and writable, violating
+//! W^X) are unrepresentable by construction.
+
+use core::fmt;
+use core::ops::{BitAnd, BitOr, BitOrAssign, Not, Sub};
+
+/// A set of architectural permissions.
+///
+/// This is a value type; all guarded manipulation in the architecture only
+/// ever *removes* permissions (see [`Permissions::normalize`] for how
+/// removal interacts with the compressed encoding).
+///
+/// # Examples
+///
+/// ```
+/// use cheriot_cap::perms::Permissions;
+///
+/// let rw = Permissions::GL | Permissions::LD | Permissions::SD | Permissions::MC;
+/// assert!(rw.contains(Permissions::LD));
+/// assert!(!rw.contains(Permissions::EX));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Permissions(u16);
+
+macro_rules! perm_consts {
+    ($($(#[$doc:meta])* $name:ident = $bit:expr;)*) => {
+        impl Permissions {
+            $($(#[$doc])* pub const $name: Permissions = Permissions(1 << $bit);)*
+        }
+    };
+}
+
+perm_consts! {
+    /// Global: may be stored via capabilities lacking [`Permissions::SL`].
+    GL = 0;
+    /// Load data through this capability.
+    LD = 1;
+    /// Store data through this capability.
+    SD = 2;
+    /// Memory capability: loads/stores of capabilities are permitted
+    /// (modifies LD / SD).
+    MC = 3;
+    /// Store Local: stores of non-global capabilities are permitted.
+    SL = 4;
+    /// Load Global: loaded capabilities keep GL and LG; without it they are
+    /// recursively localised.
+    LG = 5;
+    /// Load Mutable: loaded capabilities keep SD and LM; without it they are
+    /// recursively made read-only.
+    LM = 6;
+    /// Execute: instruction fetch through this capability.
+    EX = 7;
+    /// Access to system registers (special capability CSRs).
+    SR = 8;
+    /// Seal capabilities with otypes in this capability's bounds.
+    SE = 9;
+    /// Unseal capabilities with otypes in this capability's bounds.
+    US = 10;
+    /// User-defined software permission 0.
+    U0 = 11;
+}
+
+impl Permissions {
+    /// The empty permission set.
+    pub const NONE: Permissions = Permissions(0);
+
+    /// Every architectural permission a memory-read-write root carries:
+    /// all data/capability memory permissions plus the information-flow
+    /// permissions, but neither execute nor sealing authority.
+    pub const ROOT_MEM: Permissions = Permissions(
+        Self::GL.0 | Self::LD.0 | Self::SD.0 | Self::MC.0 | Self::SL.0 | Self::LG.0 | Self::LM.0,
+    );
+
+    /// Permissions of the executable root: fetch plus read access and the
+    /// system-register permission. W^X forbids SD here.
+    pub const ROOT_EXEC: Permissions = Permissions(
+        Self::GL.0 | Self::EX.0 | Self::SR.0 | Self::LD.0 | Self::MC.0 | Self::LG.0 | Self::LM.0,
+    );
+
+    /// Permissions of the sealing root: seal/unseal plus the user permission.
+    pub const ROOT_SEAL: Permissions =
+        Permissions(Self::GL.0 | Self::SE.0 | Self::US.0 | Self::U0.0);
+
+    /// Returns the set containing every permission in either operand.
+    #[must_use]
+    pub const fn union(self, other: Permissions) -> Permissions {
+        Permissions(self.0 | other.0)
+    }
+
+    /// Returns the set containing permissions present in both operands.
+    #[must_use]
+    pub const fn intersection(self, other: Permissions) -> Permissions {
+        Permissions(self.0 & other.0)
+    }
+
+    /// Returns `self` with the permissions in `other` removed.
+    #[must_use]
+    pub const fn difference(self, other: Permissions) -> Permissions {
+        Permissions(self.0 & !other.0)
+    }
+
+    /// Does this set contain *all* permissions in `other`?
+    pub const fn contains(self, other: Permissions) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Does this set contain *any* permission in `other`?
+    pub const fn intersects(self, other: Permissions) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Is this the empty set?
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Raw bits, one per architectural permission (bit order as declared).
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Reconstructs a permission set from raw bits.
+    ///
+    /// Bits beyond the twelve architectural permissions are discarded.
+    pub const fn from_bits(bits: u16) -> Permissions {
+        Permissions(bits & 0x0fff)
+    }
+
+    /// Is `self` a subset of `other` (i.e. monotonically derivable)?
+    pub const fn is_subset_of(self, other: Permissions) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Normalizes an arbitrary permission set to the maximal *representable*
+    /// subset: the greatest set expressible in the 6-bit compressed encoding
+    /// that is contained in `self`.
+    ///
+    /// This is the semantics of `CAndPerm`: after masking, permissions that
+    /// the selected format cannot express are dropped. Notably, clearing
+    /// `LD` from an executable capability also drops `EX` (the executable
+    /// format implies LD), and no format can express EX together with SD
+    /// (W^X).
+    #[must_use]
+    pub fn normalize(self) -> Permissions {
+        self.compress().decompress()
+    }
+
+    /// Is this exact set expressible in the compressed encoding?
+    pub fn is_representable(self) -> bool {
+        self.normalize() == self
+    }
+
+    /// Compresses to the 6-bit format of paper Figure 2.
+    pub fn compress(self) -> CompressedPerms {
+        let gl = if self.contains(Self::GL) {
+            0b10_0000u8
+        } else {
+            0
+        };
+        let b = |p: Permissions, bit: u8| -> u8 {
+            if self.contains(p) {
+                1 << bit
+            } else {
+                0
+            }
+        };
+        let low = if self.contains(Self::EX) && self.contains(Self::LD) && self.contains(Self::MC) {
+            // Executable: 0 1 SR LM LG
+            0b0_1000 | b(Self::SR, 2) | b(Self::LM, 1) | b(Self::LG, 0)
+        } else if self.contains(Self::LD) && self.contains(Self::MC) && self.contains(Self::SD) {
+            // Mem-cap-rw: 1 1 SL LM LG
+            0b1_1000 | b(Self::SL, 2) | b(Self::LM, 1) | b(Self::LG, 0)
+        } else if self.contains(Self::LD) && self.contains(Self::MC) {
+            // Mem-cap-ro: 1 0 1 LM LG
+            0b1_0100 | b(Self::LM, 1) | b(Self::LG, 0)
+        } else if self.contains(Self::SD) && self.contains(Self::MC) {
+            // Mem-cap-wo: 1 0 0 0 0
+            0b1_0000
+        } else if self.intersects(Self::LD.union(Self::SD)) {
+            // Mem-no-cap: 1 0 0 LD SD (LD and SD not both clear here)
+            0b1_0000 | b(Self::LD, 1) | b(Self::SD, 0)
+        } else {
+            // Sealing: 0 0 U0 SE US
+            b(Self::U0, 2) | b(Self::SE, 1) | b(Self::US, 0)
+        };
+        CompressedPerms(gl | low)
+    }
+}
+
+impl BitOr for Permissions {
+    type Output = Permissions;
+    fn bitor(self, rhs: Permissions) -> Permissions {
+        self.union(rhs)
+    }
+}
+
+impl BitOrAssign for Permissions {
+    fn bitor_assign(&mut self, rhs: Permissions) {
+        *self = self.union(rhs);
+    }
+}
+
+impl BitAnd for Permissions {
+    type Output = Permissions;
+    fn bitand(self, rhs: Permissions) -> Permissions {
+        self.intersection(rhs)
+    }
+}
+
+impl Sub for Permissions {
+    type Output = Permissions;
+    fn sub(self, rhs: Permissions) -> Permissions {
+        self.difference(rhs)
+    }
+}
+
+impl Not for Permissions {
+    type Output = Permissions;
+    fn not(self) -> Permissions {
+        Permissions(!self.0 & 0x0fff)
+    }
+}
+
+impl fmt::Debug for Permissions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [(&str, u16); 12] = [
+            ("GL", 1 << 0),
+            ("LD", 1 << 1),
+            ("SD", 1 << 2),
+            ("MC", 1 << 3),
+            ("SL", 1 << 4),
+            ("LG", 1 << 5),
+            ("LM", 1 << 6),
+            ("EX", 1 << 7),
+            ("SR", 1 << 8),
+            ("SE", 1 << 9),
+            ("US", 1 << 10),
+            ("U0", 1 << 11),
+        ];
+        if self.is_empty() {
+            return write!(f, "∅");
+        }
+        let mut first = true;
+        for (name, bit) in NAMES {
+            if self.0 & bit != 0 {
+                if !first {
+                    write!(f, " ")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Permissions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::LowerHex for Permissions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Permissions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for Permissions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Permissions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+/// The format a compressed permission field is in (paper Figure 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PermFormat {
+    /// Read/write memory capability (implies LD, SD, MC).
+    MemCapRw,
+    /// Read-only memory capability (implies LD, MC).
+    MemCapRo,
+    /// Write-only memory capability (implies SD, MC).
+    MemCapWo,
+    /// Data-only memory capability (no capability loads/stores).
+    MemNoCap,
+    /// Executable capability (implies EX, LD, MC).
+    Executable,
+    /// Sealing capability (no memory permissions at all).
+    Sealing,
+}
+
+/// A 6-bit compressed permission field, as stored in a capability word.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompressedPerms(u8);
+
+impl CompressedPerms {
+    /// Reconstructs from the raw 6-bit field of a capability word.
+    pub const fn from_bits(bits: u8) -> CompressedPerms {
+        CompressedPerms(bits & 0x3f)
+    }
+
+    /// The raw 6-bit field.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Which of the six formats these bits are in.
+    pub const fn format(self) -> PermFormat {
+        let low = self.0 & 0x1f;
+        match low >> 3 {
+            0b11 => PermFormat::MemCapRw,
+            0b10 => {
+                if low & 0b00100 != 0 {
+                    PermFormat::MemCapRo
+                } else if low & 0b00011 != 0 {
+                    PermFormat::MemNoCap
+                } else {
+                    PermFormat::MemCapWo
+                }
+            }
+            0b01 => PermFormat::Executable,
+            _ => PermFormat::Sealing,
+        }
+    }
+
+    /// Expands to the full architectural permission set (paper Figure 2).
+    pub fn decompress(self) -> Permissions {
+        let gl = if self.0 & 0b10_0000 != 0 {
+            Permissions::GL.0
+        } else {
+            0
+        };
+        let low = self.0 & 0x1f;
+        let b2 = low & 0b100 != 0;
+        let b1 = low & 0b010 != 0;
+        let b0 = low & 0b001 != 0;
+        let opt = |cond: bool, p: Permissions| if cond { p.0 } else { 0 };
+        let bits = match self.format() {
+            PermFormat::MemCapRw => {
+                Permissions::LD.0
+                    | Permissions::SD.0
+                    | Permissions::MC.0
+                    | opt(b2, Permissions::SL)
+                    | opt(b1, Permissions::LM)
+                    | opt(b0, Permissions::LG)
+            }
+            PermFormat::MemCapRo => {
+                Permissions::LD.0
+                    | Permissions::MC.0
+                    | opt(b1, Permissions::LM)
+                    | opt(b0, Permissions::LG)
+            }
+            PermFormat::MemCapWo => Permissions::SD.0 | Permissions::MC.0,
+            PermFormat::MemNoCap => opt(b1, Permissions::LD) | opt(b0, Permissions::SD),
+            PermFormat::Executable => {
+                Permissions::EX.0
+                    | Permissions::LD.0
+                    | Permissions::MC.0
+                    | opt(b2, Permissions::SR)
+                    | opt(b1, Permissions::LM)
+                    | opt(b0, Permissions::LG)
+            }
+            PermFormat::Sealing => {
+                opt(b2, Permissions::U0) | opt(b1, Permissions::SE) | opt(b0, Permissions::US)
+            }
+        };
+        Permissions(gl | bits)
+    }
+}
+
+impl fmt::Debug for CompressedPerms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CompressedPerms({:#08b} = {:?} {:?})",
+            self.0,
+            self.format(),
+            self.decompress()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roots_are_representable() {
+        for p in [
+            Permissions::ROOT_MEM,
+            Permissions::ROOT_EXEC,
+            Permissions::ROOT_SEAL,
+        ] {
+            assert!(p.is_representable(), "{p:?} must round-trip");
+        }
+    }
+
+    #[test]
+    fn wx_is_unrepresentable() {
+        let wx = Permissions::EX | Permissions::SD | Permissions::LD | Permissions::MC;
+        let n = wx.normalize();
+        assert!(!n.contains(Permissions::SD) || !n.contains(Permissions::EX));
+        // The executable format wins; SD is shed.
+        assert!(n.contains(Permissions::EX));
+        assert!(!n.contains(Permissions::SD));
+    }
+
+    #[test]
+    fn clearing_ld_from_executable_drops_ex() {
+        let e = Permissions::ROOT_EXEC;
+        let no_ld = e.difference(Permissions::LD).normalize();
+        assert!(!no_ld.contains(Permissions::EX));
+        assert!(!no_ld.contains(Permissions::LD));
+    }
+
+    #[test]
+    fn write_only_cap_format() {
+        let wo = Permissions::SD | Permissions::MC | Permissions::GL;
+        assert_eq!(wo.compress().format(), PermFormat::MemCapWo);
+        assert_eq!(wo.compress().decompress(), wo);
+    }
+
+    #[test]
+    fn data_only_formats() {
+        for p in [
+            Permissions::LD,
+            Permissions::SD,
+            Permissions::LD | Permissions::SD,
+        ] {
+            assert_eq!(p.compress().format(), PermFormat::MemNoCap);
+            assert_eq!(p.compress().decompress(), p, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn wo_nocap_collision_resolves_to_wo() {
+        // The all-zero low field in the `1....` space belongs to mem-cap-wo.
+        let c = CompressedPerms::from_bits(0b1_0000);
+        assert_eq!(c.format(), PermFormat::MemCapWo);
+        assert_eq!(c.decompress(), Permissions::SD | Permissions::MC);
+    }
+
+    #[test]
+    fn sealing_format() {
+        let s = Permissions::SE | Permissions::US | Permissions::GL;
+        assert_eq!(s.compress().format(), PermFormat::Sealing);
+        assert_eq!(s.compress().decompress(), s);
+    }
+
+    #[test]
+    fn empty_set_round_trips() {
+        assert_eq!(Permissions::NONE.compress().decompress(), Permissions::NONE);
+    }
+
+    #[test]
+    fn gl_alone_round_trips() {
+        assert_eq!(
+            Permissions::GL.compress().decompress(),
+            Permissions::GL,
+            "a global-only capability keeps GL"
+        );
+    }
+
+    #[test]
+    fn normalize_is_idempotent_and_monotone() {
+        for bits in 0..0x1000u16 {
+            let p = Permissions::from_bits(bits);
+            let n = p.normalize();
+            assert!(n.is_subset_of(p), "{p:?} -> {n:?} must not gain perms");
+            assert_eq!(n.normalize(), n, "normalize must be idempotent");
+        }
+    }
+
+    #[test]
+    fn normalize_is_maximal_among_formats() {
+        // For every permission set, no *representable* subset may be strictly
+        // larger than the normalized subset in terms of contained bits count
+        // while still being a subset. We approximate by checking the chosen
+        // one is not strictly contained in another representable subset.
+        for bits in 0..0x1000u16 {
+            let p = Permissions::from_bits(bits);
+            let n = p.normalize();
+            for cand_bits in 0..0x40u8 {
+                let cand = CompressedPerms::from_bits(cand_bits).decompress();
+                if cand.is_subset_of(p) && n.is_subset_of(cand) && cand != n {
+                    // Another representable subset strictly above ours exists.
+                    // Only acceptable if it has the same number of bits
+                    // (ambiguous encodings), which cannot happen for strict
+                    // containment; so fail.
+                    panic!("{p:?}: normalize chose {n:?} but {cand:?} is better");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compress_decompress_compress_is_stable() {
+        for bits in 0..0x40u8 {
+            let c = CompressedPerms::from_bits(bits);
+            let rt = c.decompress().compress();
+            assert_eq!(
+                rt.decompress(),
+                c.decompress(),
+                "semantic round-trip for {bits:#08b}"
+            );
+        }
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert_eq!(format!("{:?}", Permissions::NONE), "∅");
+        assert_eq!(format!("{:?}", Permissions::GL), "GL");
+    }
+}

@@ -1,0 +1,161 @@
+//! `cheriot-sim`: assemble, disassemble and run CHERIoT guest programs.
+//!
+//! ```text
+//! cheriot-sim run  prog.s [--core ibex|flute] [--no-load-filter]
+//!                          [--trace N] [--max-cycles N] [--dump-regs]
+//! cheriot-sim asm  prog.s -o prog.bin
+//! cheriot-sim disasm prog.bin
+//! ```
+
+use cheriot_cli::{parse_program, run_source, RunOptions};
+use cheriot_core::CoreKind;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  cheriot-sim run <prog.s> [--core ibex|flute] [--no-load-filter] \
+         [--trace N] [--max-cycles N] [--dump-regs] [--heap]\n  cheriot-sim asm <prog.s> -o <out.bin>\n  \
+         cheriot-sim disasm <prog.bin>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "run" => cmd_run(rest),
+        "asm" => cmd_asm(rest),
+        "disasm" => cmd_disasm(rest),
+        _ => usage(),
+    }
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let Some((path, flags)) = args.split_first() else {
+        return usage();
+    };
+    let mut opts = RunOptions::default();
+    let mut binary = false;
+    let mut it = flags.iter();
+    while let Some(f) = it.next() {
+        match f.as_str() {
+            "--core" => match it.next().map(String::as_str) {
+                Some("ibex") => opts.core = CoreKind::Ibex,
+                Some("flute") => opts.core = CoreKind::Flute,
+                _ => return usage(),
+            },
+            "--no-load-filter" => opts.load_filter = false,
+            "--trace" => {
+                opts.trace_depth = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => return usage(),
+                }
+            }
+            "--max-cycles" => {
+                opts.max_cycles = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => return usage(),
+                }
+            }
+            "--dump-regs" => opts.dump_regs = true,
+            "--heap" => opts.heap = true,
+            "--binary" => binary = true,
+            _ => return usage(),
+        }
+    }
+    let outcome = if binary {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cheriot-sim: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let words: Vec<u32> = bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        cheriot_cli::run_words(&words, &opts).map_err(|e| e.to_string())
+    } else {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cheriot-sim: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        run_source(&src, &opts).map_err(|e| e.to_string())
+    };
+    match outcome {
+        Ok(out) => {
+            print!("{}", out.report);
+            println!(
+                "exit: {:?}  ({} cycles, {} instructions)",
+                out.exit, out.cycles, out.instructions
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cheriot-sim: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_asm(args: &[String]) -> ExitCode {
+    let (path, out) = match args {
+        [p, dash_o, o] if dash_o == "-o" => (p, o),
+        _ => return usage(),
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cheriot-sim: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let prog = match parse_program(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cheriot-sim: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let words = match cheriot_core::encoding::encode_program(&prog) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("cheriot-sim: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+    if let Err(e) = std::fs::write(out, bytes) {
+        eprintln!("cheriot-sim: {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} words to {out}", words.len());
+    ExitCode::SUCCESS
+}
+
+fn cmd_disasm(args: &[String]) -> ExitCode {
+    let [path] = args else { return usage() };
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cheriot-sim: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let words: Vec<u32> = bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    print!(
+        "{}",
+        cheriot_asm::disassemble_words(cheriot_core::layout::CODE_BASE, &words)
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,15 @@
+//! # cheriot-cli — command-line tools for the CHERIoT simulator
+//!
+//! The `cheriot-sim` binary assembles, disassembles, and runs guest
+//! programs written in a small assembly dialect (see [`parser`]). Programs
+//! start with the CPU in its reset state: the memory root in `ct0`, the
+//! sealing root in `ct1`, and PCC over the loaded code — exactly the
+//! environment early boot software sees (paper §3.1.1).
+
+#![warn(missing_docs)]
+
+pub mod parser;
+pub mod runner;
+
+pub use parser::{parse_program, ParseError};
+pub use runner::{run_source, run_words, RunOptions, RunOutcome};

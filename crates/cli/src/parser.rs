@@ -1,0 +1,561 @@
+//! Text assembler: parses a small CHERIoT assembly dialect into the
+//! simulator's instruction stream.
+//!
+//! Syntax:
+//!
+//! ```text
+//! // line comment (also `;` and `#`)
+//! loop:                       // labels end with ':'
+//!     li   t0, 10
+//!     addi t0, t0, -1
+//!     lw   a0, 4(a1)          // memory operands are offset(reg)
+//!     clc  t1, 0(gp)
+//!     bnez t0, loop           // pseudo-instructions supported
+//!     cjalr ra, t1
+//!     cret
+//!     halt
+//! ```
+//!
+//! Register names accept an optional `c` prefix (`a0` or `ca0`), matching
+//! the disassembler's output.
+
+use cheriot_asm::{Asm, Label};
+use cheriot_core::insn::{CapField, CsrId, Instr, Reg, ScrId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse failure, with 1-based line information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    let t = tok.trim();
+    let t = t
+        .strip_prefix('c')
+        .filter(|r| parse_reg_name(r).is_some())
+        .unwrap_or(t);
+    parse_reg_name(t).ok_or_else(|| err(line, format!("unknown register `{tok}`")))
+}
+
+fn parse_reg_name(t: &str) -> Option<Reg> {
+    Some(match t {
+        "zero" | "x0" => Reg::ZERO,
+        "ra" => Reg::RA,
+        "sp" => Reg::SP,
+        "gp" => Reg::GP,
+        "tp" => Reg::TP,
+        "t0" => Reg::T0,
+        "t1" => Reg::T1,
+        "t2" => Reg::T2,
+        "s0" => Reg::S0,
+        "s1" => Reg::S1,
+        "a0" => Reg::A0,
+        "a1" => Reg::A1,
+        "a2" => Reg::A2,
+        "a3" => Reg::A3,
+        "a4" => Reg::A4,
+        "a5" => Reg::A5,
+        _ => return None,
+    })
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseError> {
+    let t = tok.trim();
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(bin) = t.strip_prefix("0b") {
+        i64::from_str_radix(bin, 2)
+    } else {
+        t.parse::<i64>()
+    }
+    .map_err(|_| err(line, format!("bad immediate `{tok}`")))?;
+    Ok(if neg { -v } else { v })
+}
+
+fn parse_imm32(tok: &str, line: usize) -> Result<i32, ParseError> {
+    let v = parse_imm(tok, line)?;
+    if v < -(1 << 31) || v > u32::MAX as i64 {
+        return Err(err(line, format!("immediate `{tok}` out of 32-bit range")));
+    }
+    Ok(v as u32 as i32)
+}
+
+/// `offset(reg)` memory operand.
+fn parse_mem(tok: &str, line: usize) -> Result<(i32, Reg), ParseError> {
+    let t = tok.trim();
+    let open = t
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected offset(reg), got `{tok}`")))?;
+    let close = t
+        .rfind(')')
+        .ok_or_else(|| err(line, format!("missing `)` in `{tok}`")))?;
+    let off = if open == 0 {
+        0
+    } else {
+        parse_imm32(&t[..open], line)?
+    };
+    let reg = parse_reg(&t[open + 1..close], line)?;
+    Ok((off, reg))
+}
+
+fn parse_csr(tok: &str, line: usize) -> Result<CsrId, ParseError> {
+    Ok(match tok.trim() {
+        "mcycle" => CsrId::Mcycle,
+        "mcycleh" => CsrId::Mcycleh,
+        "mcause" => CsrId::Mcause,
+        "mtval" => CsrId::Mtval,
+        "mshwm" => CsrId::Mshwm,
+        "mshwmb" => CsrId::Mshwmb,
+        other => return Err(err(line, format!("unknown CSR `{other}`"))),
+    })
+}
+
+fn parse_scr(tok: &str, line: usize) -> Result<ScrId, ParseError> {
+    Ok(match tok.trim().to_ascii_lowercase().as_str() {
+        "mtcc" => ScrId::Mtcc,
+        "mtdc" => ScrId::Mtdc,
+        "mscratchc" => ScrId::MScratchC,
+        "mepcc" => ScrId::Mepcc,
+        other => return Err(err(line, format!("unknown special register `{other}`"))),
+    })
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    for pat in ["//", ";", "#"] {
+        if let Some(i) = line.find(pat) {
+            end = end.min(i);
+        }
+    }
+    &line[..end]
+}
+
+/// Parses a program. Labels may be referenced before definition.
+///
+/// # Errors
+///
+/// [`ParseError`] with the offending line for syntax errors, unknown
+/// mnemonics/registers, or undefined labels.
+pub fn parse_program(src: &str) -> Result<Vec<Instr>, ParseError> {
+    let mut asm = Asm::new();
+    let mut labels: HashMap<String, Label> = HashMap::new();
+    let mut defined: HashMap<String, usize> = HashMap::new();
+
+    // Pre-create a label object per name on demand.
+    fn label_for(asm: &mut Asm, labels: &mut HashMap<String, Label>, name: &str) -> Label {
+        *labels
+            .entry(name.to_string())
+            .or_insert_with(|| asm.label())
+    }
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = strip_comment(raw).trim();
+        // Labels (possibly several on one line).
+        while let Some(colon) = text.find(':') {
+            let (name, rest) = text.split_at(colon);
+            let name = name.trim();
+            if name.is_empty()
+                || !name
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+            {
+                return Err(err(line, format!("bad label `{name}`")));
+            }
+            if defined.insert(name.to_string(), line).is_some() {
+                return Err(err(line, format!("label `{name}` defined twice")));
+            }
+            let l = label_for(&mut asm, &mut labels, name);
+            asm.bind(l);
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = match text.find(char::is_whitespace) {
+            Some(i) => (&text[..i], text[i..].trim()),
+            None => (text, ""),
+        };
+        let ops: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let nops = ops.len();
+        let want = |n: usize| -> Result<(), ParseError> {
+            if nops == n {
+                Ok(())
+            } else {
+                Err(err(
+                    line,
+                    format!("`{mnemonic}` expects {n} operands, got {nops}"),
+                ))
+            }
+        };
+        let reg = |i: usize| parse_reg(ops[i], line);
+        let imm = |i: usize| parse_imm32(ops[i], line);
+        let mem = |i: usize| parse_mem(ops[i], line);
+        let lab = |asm: &mut Asm, labels: &mut HashMap<String, Label>, i: usize| {
+            label_for(asm, labels, ops[i].trim())
+        };
+
+        match mnemonic {
+            // integer
+            "li" => {
+                want(2)?;
+                let (rd, v) = (reg(0)?, imm(1)?);
+                asm.li(rd, v);
+            }
+            "mv" => {
+                want(2)?;
+                let (rd, rs) = (reg(0)?, reg(1)?);
+                asm.mv(rd, rs);
+            }
+            "addi" | "andi" | "ori" | "xori" | "slli" | "srli" | "srai" => {
+                want(3)?;
+                let (rd, rs1, v) = (reg(0)?, reg(1)?, imm(2)?);
+                match mnemonic {
+                    "addi" => asm.addi(rd, rs1, v),
+                    "andi" => asm.andi(rd, rs1, v),
+                    "ori" => asm.ori(rd, rs1, v),
+                    "xori" => asm.xori(rd, rs1, v),
+                    "slli" => asm.slli(rd, rs1, v),
+                    "srli" => asm.srli(rd, rs1, v),
+                    _ => asm.srai(rd, rs1, v),
+                };
+            }
+            "add" | "sub" | "and" | "or" | "xor" | "slt" | "sltu" | "mul" | "divu" | "remu" => {
+                want(3)?;
+                let (rd, rs1, rs2) = (reg(0)?, reg(1)?, reg(2)?);
+                match mnemonic {
+                    "add" => asm.add(rd, rs1, rs2),
+                    "sub" => asm.sub(rd, rs1, rs2),
+                    "and" => asm.and(rd, rs1, rs2),
+                    "or" => asm.or(rd, rs1, rs2),
+                    "xor" => asm.xor(rd, rs1, rs2),
+                    "slt" => asm.slt(rd, rs1, rs2),
+                    "sltu" => asm.sltu(rd, rs1, rs2),
+                    "mul" => asm.mul(rd, rs1, rs2),
+                    "divu" => asm.divu(rd, rs1, rs2),
+                    _ => asm.remu(rd, rs1, rs2),
+                };
+            }
+            "lui" => {
+                want(2)?;
+                let (rd, v) = (reg(0)?, imm(1)?);
+                asm.lui(rd, v as u32);
+            }
+            // memory
+            "lw" | "lb" | "lbu" | "lhu" | "clc" => {
+                want(2)?;
+                let rd = reg(0)?;
+                let (off, base) = mem(1)?;
+                match mnemonic {
+                    "lw" => asm.lw(rd, off, base),
+                    "lb" => asm.lb(rd, off, base),
+                    "lbu" => asm.lbu(rd, off, base),
+                    "lhu" => asm.lhu(rd, off, base),
+                    _ => asm.clc(rd, off, base),
+                };
+            }
+            "sw" | "sb" | "sh" | "csc" => {
+                want(2)?;
+                let rs2 = reg(0)?;
+                let (off, base) = mem(1)?;
+                match mnemonic {
+                    "sw" => asm.sw(rs2, off, base),
+                    "sb" => asm.sb(rs2, off, base),
+                    "sh" => asm.sh(rs2, off, base),
+                    _ => asm.csc(rs2, off, base),
+                };
+            }
+            // control flow
+            "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+                want(3)?;
+                let (rs1, rs2) = (reg(0)?, reg(1)?);
+                let l = lab(&mut asm, &mut labels, 2);
+                match mnemonic {
+                    "beq" => asm.beq(rs1, rs2, l),
+                    "bne" => asm.bne(rs1, rs2, l),
+                    "blt" => asm.blt(rs1, rs2, l),
+                    "bge" => asm.bge(rs1, rs2, l),
+                    "bltu" => asm.bltu(rs1, rs2, l),
+                    _ => asm.bgeu(rs1, rs2, l),
+                };
+            }
+            "beqz" | "bnez" => {
+                want(2)?;
+                let rs = reg(0)?;
+                let l = lab(&mut asm, &mut labels, 1);
+                if mnemonic == "beqz" {
+                    asm.beqz(rs, l);
+                } else {
+                    asm.bnez(rs, l);
+                }
+            }
+            "j" => {
+                want(1)?;
+                let l = lab(&mut asm, &mut labels, 0);
+                asm.j(l);
+            }
+            "jal" => {
+                want(2)?;
+                let rd = reg(0)?;
+                let l = lab(&mut asm, &mut labels, 1);
+                asm.jal(rd, l);
+            }
+            "cjalr" => {
+                want(2)?;
+                let (rd, rs) = (reg(0)?, reg(1)?);
+                asm.cjalr(rd, rs);
+            }
+            "cjr" => {
+                want(1)?;
+                let rs = reg(0)?;
+                asm.cjr(rs);
+            }
+            "cret" => {
+                want(0)?;
+                asm.cret();
+            }
+            // CHERI
+            "cmove" => {
+                want(2)?;
+                let (rd, rs) = (reg(0)?, reg(1)?);
+                asm.cmove(rd, rs);
+            }
+            "cgetperm" | "cgettype" | "cgetbase" | "cgetlen" | "cgettag" | "cgetaddr"
+            | "cgethigh" => {
+                want(2)?;
+                let (rd, rs) = (reg(0)?, reg(1)?);
+                let field = match mnemonic {
+                    "cgetperm" => CapField::Perm,
+                    "cgettype" => CapField::Type,
+                    "cgetbase" => CapField::Base,
+                    "cgetlen" => CapField::Len,
+                    "cgettag" => CapField::Tag,
+                    "cgetaddr" => CapField::Addr,
+                    _ => CapField::High,
+                };
+                asm.raw(Instr::CGet { field, rd, rs1: rs });
+            }
+            "csetaddr" | "cincaddr" | "csetbounds" | "csetboundsexact" | "candperm" | "cseal"
+            | "cunseal" | "ctestsubset" => {
+                want(3)?;
+                let (rd, rs1, rs2) = (reg(0)?, reg(1)?, reg(2)?);
+                match mnemonic {
+                    "csetaddr" => asm.csetaddr(rd, rs1, rs2),
+                    "cincaddr" => asm.cincaddr(rd, rs1, rs2),
+                    "csetbounds" => asm.csetbounds(rd, rs1, rs2),
+                    "csetboundsexact" => asm.csetboundsexact(rd, rs1, rs2),
+                    "candperm" => asm.candperm(rd, rs1, rs2),
+                    "cseal" => asm.cseal(rd, rs1, rs2),
+                    "cunseal" => asm.cunseal(rd, rs1, rs2),
+                    _ => asm.ctestsubset(rd, rs1, rs2),
+                };
+            }
+            "cincaddrimm" => {
+                want(3)?;
+                let (rd, rs1, v) = (reg(0)?, reg(1)?, imm(2)?);
+                asm.cincaddrimm(rd, rs1, v);
+            }
+            "csetboundsimm" => {
+                want(3)?;
+                let (rd, rs1, v) = (reg(0)?, reg(1)?, imm(2)?);
+                asm.csetboundsimm(rd, rs1, v as u32);
+            }
+            "ccleartag" => {
+                want(2)?;
+                let (rd, rs) = (reg(0)?, reg(1)?);
+                asm.ccleartag(rd, rs);
+            }
+            "crrl" => {
+                want(2)?;
+                let (rd, rs) = (reg(0)?, reg(1)?);
+                asm.crrl(rd, rs);
+            }
+            "cram" => {
+                want(2)?;
+                let (rd, rs) = (reg(0)?, reg(1)?);
+                asm.cram(rd, rs);
+            }
+            "cspecialrw" => {
+                want(3)?;
+                let rd = reg(0)?;
+                let scr = parse_scr(ops[1], line)?;
+                let rs1 = reg(2)?;
+                asm.cspecialrw(rd, scr, rs1);
+            }
+            "auipcc" => {
+                want(2)?;
+                let (rd, v) = (reg(0)?, imm(1)?);
+                asm.auipcc(rd, v);
+            }
+            "auicgp" => {
+                want(2)?;
+                let (rd, v) = (reg(0)?, imm(1)?);
+                asm.auicgp(rd, v);
+            }
+            // system
+            "csrr" => {
+                want(2)?;
+                let rd = reg(0)?;
+                let csr = parse_csr(ops[1], line)?;
+                asm.csrr(rd, csr);
+            }
+            "csrrw" => {
+                want(3)?;
+                let rd = reg(0)?;
+                let csr = parse_csr(ops[1], line)?;
+                let rs1 = reg(2)?;
+                asm.csrrw(rd, csr, rs1);
+            }
+            "ecall" => {
+                want(0)?;
+                asm.ecall();
+            }
+            "ebreak" => {
+                want(0)?;
+                asm.raw(Instr::Ebreak);
+            }
+            "mret" => {
+                want(0)?;
+                asm.mret();
+            }
+            "wfi" => {
+                want(0)?;
+                asm.wfi();
+            }
+            "fence" => {
+                want(0)?;
+                asm.raw(Instr::Fence);
+            }
+            "nop" => {
+                want(0)?;
+                asm.nop();
+            }
+            "halt" => {
+                want(0)?;
+                asm.halt();
+            }
+            other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+        }
+    }
+
+    // Undefined labels: report the first reference we can find.
+    for (name, _) in labels.iter() {
+        if !defined.contains_key(name) {
+            return Err(err(0, format!("undefined label `{name}`")));
+        }
+    }
+    Ok(asm.assemble())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheriot_core::{CoreModel, ExitReason, Machine, MachineConfig};
+
+    fn run(src: &str) -> ExitReason {
+        let prog = parse_program(src).expect("parses");
+        let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+        let entry = m.load_program(&prog);
+        m.set_entry(entry);
+        m.run(100_000)
+    }
+
+    #[test]
+    fn loop_program_runs() {
+        let src = r"
+            // sum 1..=10
+            li t0, 10
+            li a0, 0
+        top:
+            add a0, a0, t0
+            addi t0, t0, -1
+            bnez t0, top
+            halt
+        ";
+        assert_eq!(run(src), ExitReason::Halted(55));
+    }
+
+    #[test]
+    fn forward_labels_and_c_prefix() {
+        let src = r"
+            li ca0, 1
+            j done
+            li ca0, 99
+        done:
+            halt
+        ";
+        assert_eq!(run(src), ExitReason::Halted(1));
+    }
+
+    #[test]
+    fn memory_operands() {
+        // a0 starts as the machine's reset-time memory root in ct0... use
+        // csetaddr from t0 (the root) to build a pointer.
+        let src = r"
+            li t2, 0x20000040
+            csetaddr t2, t0, t2
+            li t1, 77
+            sw t1, 4(t2)
+            lw a0, 4(t2)
+            halt
+        ";
+        assert_eq!(run(src), ExitReason::Halted(77));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_program("nop\nbogus x, y\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+        let e = parse_program("lw a0, 4[a1]").unwrap_err();
+        assert!(e.message.contains("offset(reg)"));
+        let e = parse_program("addi a9, a0, 1").unwrap_err();
+        assert!(e.message.contains("register"));
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let e = parse_program("j nowhere\nhalt").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = parse_program("x:\nnop\nx:\nhalt").unwrap_err();
+        assert!(e.message.contains("defined twice"));
+    }
+
+    #[test]
+    fn comments_in_all_styles() {
+        let src = "li a0, 3 // one\nnop ; two\nnop # three\nhalt";
+        assert_eq!(run(src), ExitReason::Halted(3));
+    }
+}

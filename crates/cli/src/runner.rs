@@ -1,0 +1,148 @@
+//! Drives a parsed program on a configured machine.
+
+use crate::parser::{parse_program, ParseError};
+use cheriot_core::insn::Reg;
+use cheriot_core::{CoreKind, CoreModel, ExitReason, Machine, MachineConfig};
+use std::fmt::Write as _;
+
+/// Options for `cheriot-sim run`.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Core model to simulate.
+    pub core: CoreKind,
+    /// Enable the temporal-safety load filter.
+    pub load_filter: bool,
+    /// Keep the last N retired instructions for the post-run trace.
+    pub trace_depth: usize,
+    /// Cycle budget.
+    pub max_cycles: u64,
+    /// Dump the register file after the run.
+    pub dump_regs: bool,
+    /// Provide the semihosted heap service (`ecall` ABI of
+    /// `cheriot_rtos::semihost`).
+    pub heap: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            core: CoreKind::Ibex,
+            load_filter: true,
+            trace_depth: 0,
+            max_cycles: 100_000_000,
+            dump_regs: false,
+            heap: false,
+        }
+    }
+}
+
+/// What a run produced.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Why execution stopped.
+    pub exit: ExitReason,
+    /// Cycles consumed.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// The human-readable report (trace, registers, console).
+    pub report: String,
+}
+
+/// Parses and runs `src`.
+///
+/// # Errors
+///
+/// Parse errors from the assembler dialect.
+pub fn run_source(src: &str, opts: &RunOptions) -> Result<RunOutcome, ParseError> {
+    let prog = parse_program(src)?;
+    Ok(run_instructions(&prog, opts))
+}
+
+/// Runs a pre-decoded machine-code program (`cheriot-sim run --binary`).
+pub fn run_words(
+    words: &[u32],
+    opts: &RunOptions,
+) -> Result<RunOutcome, cheriot_core::encoding::DecodeError> {
+    let prog = cheriot_core::encoding::decode_program(words)?;
+    Ok(run_instructions(&prog, opts))
+}
+
+fn run_instructions(prog: &[cheriot_core::insn::Instr], opts: &RunOptions) -> RunOutcome {
+    let core = match opts.core {
+        CoreKind::Ibex => CoreModel::ibex(),
+        CoreKind::Flute => CoreModel::flute(),
+    };
+    let mut mc = MachineConfig::new(core);
+    mc.load_filter = opts.load_filter;
+    let mut m = Machine::new(mc);
+    if opts.trace_depth > 0 {
+        m.enable_trace(opts.trace_depth);
+    }
+    let entry = m.load_program(prog);
+    m.set_entry(entry);
+    let exit = if opts.heap {
+        let mut heap = cheriot_alloc::HeapAllocator::new(
+            &mut m,
+            cheriot_alloc::TemporalPolicy::Quarantine(cheriot_alloc::RevokerKind::Hardware),
+        );
+        cheriot_rtos::semihost::run_with_heap_service(&mut m, &mut heap, opts.max_cycles)
+    } else {
+        m.run(opts.max_cycles)
+    };
+
+    let mut report = String::new();
+    if !m.console.is_empty() {
+        let _ = writeln!(report, "console: {}", String::from_utf8_lossy(&m.console));
+    }
+    if opts.trace_depth > 0 {
+        let _ = writeln!(report, "last retired instructions:");
+        for e in m.trace_entries() {
+            let _ = writeln!(
+                report,
+                "  cycle {:>6}  pc {:#010x}  {}",
+                e.cycles,
+                e.pc,
+                cheriot_asm::disassemble(&e.instr)
+            );
+        }
+    }
+    if opts.dump_regs {
+        let _ = writeln!(report, "registers:");
+        for i in 0..16u8 {
+            let r = Reg(i);
+            let c = m.cpu.read(r);
+            let _ = writeln!(report, "  {r:?}\t{c}");
+        }
+    }
+    RunOutcome {
+        exit,
+        cycles: m.cycles,
+        instructions: m.stats.instructions,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_simple_program() {
+        let out = run_source("li a0, 9\nhalt\n", &RunOptions::default()).unwrap();
+        assert_eq!(out.exit, ExitReason::Halted(9));
+        assert_eq!(out.instructions, 2);
+    }
+
+    #[test]
+    fn trace_and_registers_in_report() {
+        let opts = RunOptions {
+            trace_depth: 4,
+            dump_regs: true,
+            ..RunOptions::default()
+        };
+        let out = run_source("li a0, 9\nhalt\n", &opts).unwrap();
+        assert!(out.report.contains("li ca0, 9"));
+        assert!(out.report.contains("registers:"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Architectural CPU state: the capability register file, special
+//! capability registers, interrupt posture, and the stack-high-water-mark
+//! CSRs.
+
+use crate::insn::{Reg, ScrId};
+use cheriot_cap::Capability;
+
+/// Architectural state of a CHERIoT hart.
+#[derive(Clone, Debug)]
+pub struct Cpu {
+    regs: [Capability; 16],
+    /// Program counter capability. Its address is the PC.
+    pub pcc: Capability,
+    /// Machine trap code capability (trap vector).
+    pub mtcc: Capability,
+    /// Machine trap data capability.
+    pub mtdc: Capability,
+    /// Scratch capability register.
+    pub mscratchc: Capability,
+    /// Machine exception PC capability.
+    pub mepcc: Capability,
+    /// Interrupt-enable state (the `mstatus.MIE` analogue; changed only by
+    /// sentries, traps and `mret`).
+    pub interrupts_enabled: bool,
+    /// Saved interrupt-enable state across a trap (`mstatus.MPIE`).
+    pub prev_interrupts_enabled: bool,
+    /// Trap cause register.
+    pub mcause: u32,
+    /// Trap value register (faulting address or capability register index).
+    pub mtval: u32,
+    /// Stack high water mark: lowest stack address stored to (paper §5.2.1).
+    pub mshwm: u32,
+    /// Stack base register bounding high-water-mark tracking.
+    pub mshwmb: u32,
+}
+
+impl Cpu {
+    /// A CPU at reset: the three capability roots are present in registers
+    /// (paper §3.1.1 — `ct0` = memory root, `ct1` = sealing root) and PCC is
+    /// the executable root. Early boot software derives everything from
+    /// these and erases them.
+    pub fn at_reset() -> Cpu {
+        let mut regs = [Capability::null(); 16];
+        regs[Reg::T0.0 as usize] = Capability::root_mem_rw();
+        regs[Reg::T1.0 as usize] = Capability::root_sealing();
+        Cpu {
+            regs,
+            pcc: Capability::root_executable(),
+            mtcc: Capability::null(),
+            mtdc: Capability::null(),
+            mscratchc: Capability::null(),
+            mepcc: Capability::null(),
+            interrupts_enabled: false,
+            prev_interrupts_enabled: false,
+            mcause: 0,
+            mtval: 0,
+            mshwm: 0,
+            mshwmb: 0,
+        }
+    }
+
+    /// The current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pcc.address()
+    }
+
+    /// Reads a register; `x0` always reads as the integer zero.
+    pub fn read(&self, r: Reg) -> Capability {
+        if r.0 == 0 {
+            Capability::null()
+        } else {
+            self.regs[(r.0 & 0xf) as usize]
+        }
+    }
+
+    /// Reads a register's address field as an integer.
+    pub fn read_int(&self, r: Reg) -> u32 {
+        self.read(r).address()
+    }
+
+    /// Writes a register; writes to `x0` are discarded.
+    pub fn write(&mut self, r: Reg, v: Capability) {
+        if r.0 != 0 {
+            self.regs[(r.0 & 0xf) as usize] = v;
+        }
+    }
+
+    /// Writes an integer result (an untagged capability whose address is
+    /// the value — how CHERIoT GPRs hold non-pointer data).
+    pub fn write_int(&mut self, r: Reg, v: u32) {
+        self.write(r, Capability::null().with_address(v));
+    }
+
+    /// Accesses a special capability register.
+    pub fn scr(&self, id: ScrId) -> Capability {
+        match id {
+            ScrId::Mtcc => self.mtcc,
+            ScrId::Mtdc => self.mtdc,
+            ScrId::MScratchC => self.mscratchc,
+            ScrId::Mepcc => self.mepcc,
+        }
+    }
+
+    /// Replaces a special capability register.
+    pub fn set_scr(&mut self, id: ScrId, v: Capability) {
+        match id {
+            ScrId::Mtcc => self.mtcc = v,
+            ScrId::Mtdc => self.mtdc = v,
+            ScrId::MScratchC => self.mscratchc = v,
+            ScrId::Mepcc => self.mepcc = v,
+        }
+    }
+
+    /// Updates the stack high water mark for a store at `addr` (paper
+    /// §5.2.1): tracks the lowest store address within `[mshwmb, mshwm)`.
+    pub fn note_store(&mut self, addr: u32) {
+        if addr >= self.mshwmb && addr < self.mshwm {
+            self.mshwm = addr & !0x7;
+        }
+    }
+}
+
+impl Default for Cpu {
+    fn default() -> Cpu {
+        Cpu::at_reset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_state_has_roots() {
+        let cpu = Cpu::at_reset();
+        assert!(cpu.read(Reg::T0).tag());
+        assert!(cpu.read(Reg::T1).tag());
+        assert!(cpu.pcc.tag());
+        assert!(!cpu.interrupts_enabled);
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let mut cpu = Cpu::at_reset();
+        cpu.write(Reg::ZERO, Capability::root_mem_rw());
+        assert!(!cpu.read(Reg::ZERO).tag());
+        assert_eq!(cpu.read_int(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn int_writes_are_untagged() {
+        let mut cpu = Cpu::at_reset();
+        cpu.write_int(Reg::A0, 0x1234);
+        assert!(!cpu.read(Reg::A0).tag());
+        assert_eq!(cpu.read_int(Reg::A0), 0x1234);
+    }
+
+    #[test]
+    fn hwm_tracks_lowest_store_in_window() {
+        let mut cpu = Cpu::at_reset();
+        cpu.mshwmb = 0x2000_0000;
+        cpu.mshwm = 0x2000_1000;
+        cpu.note_store(0x2000_0804);
+        assert_eq!(cpu.mshwm, 0x2000_0800);
+        cpu.note_store(0x2000_0900); // above the mark: no change
+        assert_eq!(cpu.mshwm, 0x2000_0800);
+        cpu.note_store(0x1fff_0000); // below the base: no change
+        assert_eq!(cpu.mshwm, 0x2000_0800);
+    }
+}

@@ -1,0 +1,1047 @@
+//! Binary instruction encoding.
+//!
+//! A RISC-V-style 32-bit encoding for the simulator's instruction set:
+//! the RV32I/M subset uses the standard opcodes and formats; capability
+//! loads/stores ride the LOAD/STORE opcodes at `funct3 = 0b011` (the
+//! 64-bit width, as in CHERIoT-Ibex); the remaining CHERI operations live
+//! under the custom-2 opcode `0x5B`. `AUIPCC`/`AUICGP` deviate from
+//! stock RISC-V in carrying a byte-granular 20-bit signed immediate
+//! (this simulator's decoded semantics), and `halt` is a SYSTEM-opcode
+//! simulator control; both deviations are local to this codec and are
+//! documented here.
+//!
+//! [`encode_program`] is a small backend pass: instructions whose
+//! immediates exceed their field (e.g. `li` of an absolute address) are
+//! expanded into `lui`+`addi` pairs and every branch/jump offset is fixed
+//! up across the expansion. [`decode_program`] inverts the word stream
+//! into runnable decoded instructions, so
+//! `run(decode(encode(p))) == run(p)`.
+
+use crate::insn::{AluOp, BranchCond, CapField, CsrId, CsrOp, Instr, MemWidth, MulOp, Reg, ScrId};
+use core::fmt;
+
+/// Encoding failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An immediate does not fit its field and cannot be expanded.
+    ImmediateRange {
+        /// Index of the offending instruction.
+        index: usize,
+        /// The immediate value.
+        value: i64,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmediateRange { index, value } => {
+                write!(f, "immediate {value} out of range at instruction {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Decoding failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The word is not a valid instruction.
+    Illegal {
+        /// The word.
+        word: u32,
+        /// Its index in the stream.
+        index: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Illegal { word, index } => {
+                write!(f, "illegal instruction {word:#010x} at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// --- field packers -----------------------------------------------------------
+
+fn r(rd: Reg) -> u32 {
+    u32::from(rd.0 & 0x1f)
+}
+
+fn rtype(op: u32, f3: u32, f7: u32, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    op | (r(rd) << 7) | (f3 << 12) | (r(rs1) << 15) | (r(rs2) << 20) | (f7 << 25)
+}
+
+fn itype(op: u32, f3: u32, rd: Reg, rs1: Reg, imm: i32) -> u32 {
+    op | (r(rd) << 7) | (f3 << 12) | (r(rs1) << 15) | (((imm as u32) & 0xfff) << 20)
+}
+
+fn stype(op: u32, f3: u32, rs1: Reg, rs2: Reg, imm: i32) -> u32 {
+    let i = imm as u32;
+    op | ((i & 0x1f) << 7) | (f3 << 12) | (r(rs1) << 15) | (r(rs2) << 20) | ((i >> 5 & 0x7f) << 25)
+}
+
+fn btype(op: u32, f3: u32, rs1: Reg, rs2: Reg, imm: i32) -> u32 {
+    let i = imm as u32;
+    op | ((i >> 11 & 1) << 7)
+        | ((i >> 1 & 0xf) << 8)
+        | (f3 << 12)
+        | (r(rs1) << 15)
+        | (r(rs2) << 20)
+        | ((i >> 5 & 0x3f) << 25)
+        | ((i >> 12 & 1) << 31)
+}
+
+fn utype(op: u32, rd: Reg, imm20: u32) -> u32 {
+    op | (r(rd) << 7) | ((imm20 & 0xf_ffff) << 12)
+}
+
+fn jtype(op: u32, rd: Reg, imm: i32) -> u32 {
+    let i = imm as u32;
+    op | (r(rd) << 7)
+        | ((i >> 12 & 0xff) << 12)
+        | ((i >> 11 & 1) << 20)
+        | ((i >> 1 & 0x3ff) << 21)
+        | ((i >> 20 & 1) << 31)
+}
+
+fn fits_signed(v: i64, bits: u32) -> bool {
+    let half = 1i64 << (bits - 1);
+    (-half..half).contains(&v)
+}
+
+const OP_LUI: u32 = 0x37;
+const OP_AUIPCC: u32 = 0x17;
+const OP_AUICGP: u32 = 0x7b;
+const OP_JAL: u32 = 0x6f;
+const OP_JALR: u32 = 0x67;
+const OP_BRANCH: u32 = 0x63;
+const OP_LOAD: u32 = 0x03;
+const OP_STORE: u32 = 0x23;
+const OP_IMM: u32 = 0x13;
+const OP_OP: u32 = 0x33;
+const OP_MISC: u32 = 0x0f;
+const OP_SYSTEM: u32 = 0x73;
+const OP_CHERI: u32 = 0x5b;
+
+fn csr_addr(c: CsrId) -> u32 {
+    match c {
+        CsrId::Mcycle => 0xb00,
+        CsrId::Mcycleh => 0xb80,
+        CsrId::Mcause => 0x342,
+        CsrId::Mtval => 0x343,
+        CsrId::Mshwm => 0xbc1,
+        CsrId::Mshwmb => 0xbc2,
+    }
+}
+
+fn csr_from_addr(a: u32) -> Option<CsrId> {
+    Some(match a {
+        0xb00 => CsrId::Mcycle,
+        0xb80 => CsrId::Mcycleh,
+        0x342 => CsrId::Mcause,
+        0x343 => CsrId::Mtval,
+        0xbc1 => CsrId::Mshwm,
+        0xbc2 => CsrId::Mshwmb,
+        _ => return None,
+    })
+}
+
+/// Encodes one instruction whose immediates are known to fit.
+///
+/// # Errors
+///
+/// [`EncodeError::ImmediateRange`] (with index 0) when a field overflows;
+/// use [`encode_program`] to get automatic expansion of large immediates.
+pub fn encode(instr: &Instr) -> Result<u32, EncodeError> {
+    let range_err = |v: i64| EncodeError::ImmediateRange { index: 0, value: v };
+    let chk = |v: i32, bits: u32| -> Result<i32, EncodeError> {
+        if fits_signed(i64::from(v), bits) {
+            Ok(v)
+        } else {
+            Err(range_err(i64::from(v)))
+        }
+    };
+    Ok(match *instr {
+        Instr::Lui { rd, imm } => utype(OP_LUI, rd, imm),
+        Instr::Auipcc { rd, imm } => {
+            let v = chk(imm, 20)?;
+            utype(OP_AUIPCC, rd, v as u32)
+        }
+        Instr::Auicgp { rd, imm } => {
+            let v = chk(imm, 20)?;
+            utype(OP_AUICGP, rd, v as u32)
+        }
+        Instr::OpImm { op, rd, rs1, imm } => {
+            let (f3, f7shift) = match op {
+                AluOp::Add => (0, None),
+                AluOp::Sll => (1, Some(0u32)),
+                AluOp::Slt => (2, None),
+                AluOp::Sltu => (3, None),
+                AluOp::Xor => (4, None),
+                AluOp::Srl => (5, Some(0)),
+                AluOp::Sra => (5, Some(0x20)),
+                AluOp::Or => (6, None),
+                AluOp::And => (7, None),
+                AluOp::Sub => return Err(range_err(i64::from(imm))), // no subi
+            };
+            match f7shift {
+                Some(f7) => {
+                    if !(0..32).contains(&imm) {
+                        return Err(range_err(i64::from(imm)));
+                    }
+                    itype(OP_IMM, f3, rd, rs1, imm | ((f7 as i32) << 5))
+                }
+                None => itype(OP_IMM, f3, rd, rs1, chk(imm, 12)?),
+            }
+        }
+        Instr::Op { op, rd, rs1, rs2 } => {
+            let (f3, f7) = match op {
+                AluOp::Add => (0, 0),
+                AluOp::Sub => (0, 0x20),
+                AluOp::Sll => (1, 0),
+                AluOp::Slt => (2, 0),
+                AluOp::Sltu => (3, 0),
+                AluOp::Xor => (4, 0),
+                AluOp::Srl => (5, 0),
+                AluOp::Sra => (5, 0x20),
+                AluOp::Or => (6, 0),
+                AluOp::And => (7, 0),
+            };
+            rtype(OP_OP, f3, f7, rd, rs1, rs2)
+        }
+        Instr::MulDiv { op, rd, rs1, rs2 } => {
+            let f3 = match op {
+                MulOp::Mul => 0,
+                MulOp::Mulh => 1,
+                MulOp::Mulhu => 3,
+                MulOp::Div => 4,
+                MulOp::Divu => 5,
+                MulOp::Rem => 6,
+                MulOp::Remu => 7,
+            };
+            rtype(OP_OP, f3, 1, rd, rs1, rs2)
+        }
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            let f3 = match cond {
+                BranchCond::Eq => 0,
+                BranchCond::Ne => 1,
+                BranchCond::Lt => 4,
+                BranchCond::Ge => 5,
+                BranchCond::Ltu => 6,
+                BranchCond::Geu => 7,
+            };
+            if offset % 2 != 0 || !fits_signed(i64::from(offset), 13) {
+                return Err(range_err(i64::from(offset)));
+            }
+            btype(OP_BRANCH, f3, rs1, rs2, offset)
+        }
+        Instr::Jal { rd, offset } => {
+            if offset % 2 != 0 || !fits_signed(i64::from(offset), 21) {
+                return Err(range_err(i64::from(offset)));
+            }
+            jtype(OP_JAL, rd, offset)
+        }
+        Instr::Jalr { rd, rs1, offset } => itype(OP_JALR, 0, rd, rs1, chk(offset, 12)?),
+        Instr::Load {
+            width,
+            signed,
+            rd,
+            rs1,
+            offset,
+        } => {
+            let f3 = match (width, signed) {
+                (MemWidth::B, true) => 0,
+                (MemWidth::H, true) => 1,
+                (MemWidth::W, _) => 2,
+                (MemWidth::B, false) => 4,
+                (MemWidth::H, false) => 5,
+            };
+            itype(OP_LOAD, f3, rd, rs1, chk(offset, 12)?)
+        }
+        Instr::Store {
+            width,
+            rs2,
+            rs1,
+            offset,
+        } => {
+            let f3 = match width {
+                MemWidth::B => 0,
+                MemWidth::H => 1,
+                MemWidth::W => 2,
+            };
+            stype(OP_STORE, f3, rs1, rs2, chk(offset, 12)?)
+        }
+        Instr::Clc { rd, rs1, offset } => itype(OP_LOAD, 3, rd, rs1, chk(offset, 12)?),
+        Instr::Csc { rs2, rs1, offset } => stype(OP_STORE, 3, rs1, rs2, chk(offset, 12)?),
+        Instr::CGet { field, rd, rs1 } => {
+            let sel = match field {
+                CapField::Perm => 0,
+                CapField::Type => 1,
+                CapField::Base => 2,
+                CapField::Len => 3,
+                CapField::Tag => 4,
+                CapField::Addr => 5,
+                CapField::High => 6,
+            };
+            rtype(OP_CHERI, 1, 0, rd, rs1, Reg(sel))
+        }
+        Instr::CMove { rd, rs1 } => rtype(OP_CHERI, 1, 0, rd, rs1, Reg(7)),
+        Instr::CClearTag { rd, rs1 } => rtype(OP_CHERI, 1, 0, rd, rs1, Reg(8)),
+        Instr::CRoundRepresentableLength { rd, rs1 } => rtype(OP_CHERI, 1, 0, rd, rs1, Reg(9)),
+        Instr::CRepresentableAlignmentMask { rd, rs1 } => rtype(OP_CHERI, 1, 0, rd, rs1, Reg(10)),
+        Instr::CSetAddr { rd, rs1, rs2 } => rtype(OP_CHERI, 0, 0x01, rd, rs1, rs2),
+        Instr::CIncAddr { rd, rs1, rs2 } => rtype(OP_CHERI, 0, 0x02, rd, rs1, rs2),
+        Instr::CSetBounds {
+            rd,
+            rs1,
+            rs2,
+            exact,
+        } => rtype(OP_CHERI, 0, if exact { 0x04 } else { 0x03 }, rd, rs1, rs2),
+        Instr::CAndPerm { rd, rs1, rs2 } => rtype(OP_CHERI, 0, 0x05, rd, rs1, rs2),
+        Instr::CSeal { rd, rs1, rs2 } => rtype(OP_CHERI, 0, 0x06, rd, rs1, rs2),
+        Instr::CUnseal { rd, rs1, rs2 } => rtype(OP_CHERI, 0, 0x07, rd, rs1, rs2),
+        Instr::CTestSubset { rd, rs1, rs2 } => rtype(OP_CHERI, 0, 0x08, rd, rs1, rs2),
+        Instr::CSetEqualExact { rd, rs1, rs2 } => rtype(OP_CHERI, 0, 0x09, rd, rs1, rs2),
+        Instr::CIncAddrImm { rd, rs1, imm } => itype(OP_CHERI, 3, rd, rs1, chk(imm, 12)?),
+        Instr::CSetBoundsImm { rd, rs1, imm } => {
+            if imm > 0xfff {
+                return Err(range_err(i64::from(imm)));
+            }
+            itype(OP_CHERI, 4, rd, rs1, imm as i32)
+        }
+        Instr::CSpecialRw { rd, rs1, scr } => {
+            let sel = match scr {
+                ScrId::Mtcc => 0,
+                ScrId::Mtdc => 1,
+                ScrId::MScratchC => 2,
+                ScrId::Mepcc => 3,
+            };
+            rtype(OP_CHERI, 2, 0, rd, rs1, Reg(sel))
+        }
+        Instr::Csr { op, rd, rs1, csr } => {
+            let f3 = match op {
+                CsrOp::Rw => 1,
+                CsrOp::Rs => 2,
+                CsrOp::Rc => 3,
+            };
+            itype(OP_SYSTEM, f3, rd, rs1, csr_addr(csr) as i32)
+        }
+        Instr::Ecall => itype(OP_SYSTEM, 0, Reg::ZERO, Reg::ZERO, 0),
+        Instr::Ebreak => itype(OP_SYSTEM, 0, Reg::ZERO, Reg::ZERO, 1),
+        Instr::Mret => itype(OP_SYSTEM, 0, Reg::ZERO, Reg::ZERO, 0x302),
+        Instr::Wfi => itype(OP_SYSTEM, 0, Reg::ZERO, Reg::ZERO, 0x105),
+        Instr::Halt => itype(OP_SYSTEM, 0, Reg::ZERO, Reg::ZERO, 0x7ff),
+        Instr::Fence => itype(OP_MISC, 0, Reg::ZERO, Reg::ZERO, 0),
+    })
+}
+
+// --- decode -------------------------------------------------------------------
+
+fn sext(v: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((v << shift) as i32) >> shift
+}
+
+fn reg_at(word: u32, lsb: u32) -> Reg {
+    Reg(((word >> lsb) & 0x1f) as u8)
+}
+
+/// Decodes one instruction word.
+///
+/// # Errors
+///
+/// [`DecodeError::Illegal`] (with index 0) for unrecognized words.
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let ill = DecodeError::Illegal { word, index: 0 };
+    let op = word & 0x7f;
+    let rd = reg_at(word, 7);
+    let rs1 = reg_at(word, 15);
+    let rs2 = reg_at(word, 20);
+    let f3 = (word >> 12) & 7;
+    let f7 = word >> 25;
+    let iimm = sext(word >> 20, 12);
+    Ok(match op {
+        OP_LUI => Instr::Lui {
+            rd,
+            imm: (word >> 12) & 0xf_ffff,
+        },
+        OP_AUIPCC => Instr::Auipcc {
+            rd,
+            imm: sext(word >> 12, 20),
+        },
+        OP_AUICGP => Instr::Auicgp {
+            rd,
+            imm: sext(word >> 12, 20),
+        },
+        OP_JAL => {
+            let i = (word >> 31 & 1) << 20
+                | (word >> 12 & 0xff) << 12
+                | (word >> 20 & 1) << 11
+                | (word >> 21 & 0x3ff) << 1;
+            Instr::Jal {
+                rd,
+                offset: sext(i, 21),
+            }
+        }
+        OP_JALR if f3 == 0 => Instr::Jalr {
+            rd,
+            rs1,
+            offset: iimm,
+        },
+        OP_BRANCH => {
+            let i = (word >> 31 & 1) << 12
+                | (word >> 7 & 1) << 11
+                | (word >> 25 & 0x3f) << 5
+                | (word >> 8 & 0xf) << 1;
+            let cond = match f3 {
+                0 => BranchCond::Eq,
+                1 => BranchCond::Ne,
+                4 => BranchCond::Lt,
+                5 => BranchCond::Ge,
+                6 => BranchCond::Ltu,
+                7 => BranchCond::Geu,
+                _ => return Err(ill),
+            };
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset: sext(i, 13),
+            }
+        }
+        OP_LOAD => {
+            let (width, signed) = match f3 {
+                0 => (MemWidth::B, true),
+                1 => (MemWidth::H, true),
+                2 => (MemWidth::W, false),
+                3 => {
+                    return Ok(Instr::Clc {
+                        rd,
+                        rs1,
+                        offset: iimm,
+                    })
+                }
+                4 => (MemWidth::B, false),
+                5 => (MemWidth::H, false),
+                _ => return Err(ill),
+            };
+            Instr::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                offset: iimm,
+            }
+        }
+        OP_STORE => {
+            let simm = sext((word >> 25 << 5) | (word >> 7 & 0x1f), 12);
+            let width = match f3 {
+                0 => MemWidth::B,
+                1 => MemWidth::H,
+                2 => MemWidth::W,
+                3 => {
+                    return Ok(Instr::Csc {
+                        rs2,
+                        rs1,
+                        offset: simm,
+                    })
+                }
+                _ => return Err(ill),
+            };
+            Instr::Store {
+                width,
+                rs2,
+                rs1,
+                offset: simm,
+            }
+        }
+        OP_IMM => {
+            let opk = match f3 {
+                0 => AluOp::Add,
+                1 => AluOp::Sll,
+                2 => AluOp::Slt,
+                3 => AluOp::Sltu,
+                4 => AluOp::Xor,
+                5 => {
+                    if f7 == 0x20 {
+                        AluOp::Sra
+                    } else {
+                        AluOp::Srl
+                    }
+                }
+                6 => AluOp::Or,
+                7 => AluOp::And,
+                _ => return Err(ill),
+            };
+            let imm = if matches!(opk, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
+                iimm & 0x1f
+            } else {
+                iimm
+            };
+            Instr::OpImm {
+                op: opk,
+                rd,
+                rs1,
+                imm,
+            }
+        }
+        OP_OP if f7 == 1 => {
+            let opk = match f3 {
+                0 => MulOp::Mul,
+                1 => MulOp::Mulh,
+                3 => MulOp::Mulhu,
+                4 => MulOp::Div,
+                5 => MulOp::Divu,
+                6 => MulOp::Rem,
+                7 => MulOp::Remu,
+                _ => return Err(ill),
+            };
+            Instr::MulDiv {
+                op: opk,
+                rd,
+                rs1,
+                rs2,
+            }
+        }
+        OP_OP => {
+            let opk = match (f3, f7) {
+                (0, 0) => AluOp::Add,
+                (0, 0x20) => AluOp::Sub,
+                (1, 0) => AluOp::Sll,
+                (2, 0) => AluOp::Slt,
+                (3, 0) => AluOp::Sltu,
+                (4, 0) => AluOp::Xor,
+                (5, 0) => AluOp::Srl,
+                (5, 0x20) => AluOp::Sra,
+                (6, 0) => AluOp::Or,
+                (7, 0) => AluOp::And,
+                _ => return Err(ill),
+            };
+            Instr::Op {
+                op: opk,
+                rd,
+                rs1,
+                rs2,
+            }
+        }
+        OP_MISC => Instr::Fence,
+        OP_SYSTEM => match f3 {
+            0 => match (word >> 20) & 0xfff {
+                0 => Instr::Ecall,
+                1 => Instr::Ebreak,
+                0x302 => Instr::Mret,
+                0x105 => Instr::Wfi,
+                0x7ff => Instr::Halt,
+                _ => return Err(ill),
+            },
+            1..=3 => {
+                let csr = csr_from_addr((word >> 20) & 0xfff).ok_or(ill)?;
+                let opk = match f3 {
+                    1 => CsrOp::Rw,
+                    2 => CsrOp::Rs,
+                    _ => CsrOp::Rc,
+                };
+                Instr::Csr {
+                    op: opk,
+                    rd,
+                    rs1,
+                    csr,
+                }
+            }
+            _ => return Err(ill),
+        },
+        OP_CHERI => match f3 {
+            0 => match f7 {
+                0x01 => Instr::CSetAddr { rd, rs1, rs2 },
+                0x02 => Instr::CIncAddr { rd, rs1, rs2 },
+                0x03 => Instr::CSetBounds {
+                    rd,
+                    rs1,
+                    rs2,
+                    exact: false,
+                },
+                0x04 => Instr::CSetBounds {
+                    rd,
+                    rs1,
+                    rs2,
+                    exact: true,
+                },
+                0x05 => Instr::CAndPerm { rd, rs1, rs2 },
+                0x06 => Instr::CSeal { rd, rs1, rs2 },
+                0x07 => Instr::CUnseal { rd, rs1, rs2 },
+                0x08 => Instr::CTestSubset { rd, rs1, rs2 },
+                0x09 => Instr::CSetEqualExact { rd, rs1, rs2 },
+                _ => return Err(ill),
+            },
+            1 => {
+                let sel = rs2.0;
+                match sel {
+                    0 => Instr::CGet {
+                        field: CapField::Perm,
+                        rd,
+                        rs1,
+                    },
+                    1 => Instr::CGet {
+                        field: CapField::Type,
+                        rd,
+                        rs1,
+                    },
+                    2 => Instr::CGet {
+                        field: CapField::Base,
+                        rd,
+                        rs1,
+                    },
+                    3 => Instr::CGet {
+                        field: CapField::Len,
+                        rd,
+                        rs1,
+                    },
+                    4 => Instr::CGet {
+                        field: CapField::Tag,
+                        rd,
+                        rs1,
+                    },
+                    5 => Instr::CGet {
+                        field: CapField::Addr,
+                        rd,
+                        rs1,
+                    },
+                    6 => Instr::CGet {
+                        field: CapField::High,
+                        rd,
+                        rs1,
+                    },
+                    7 => Instr::CMove { rd, rs1 },
+                    8 => Instr::CClearTag { rd, rs1 },
+                    9 => Instr::CRoundRepresentableLength { rd, rs1 },
+                    10 => Instr::CRepresentableAlignmentMask { rd, rs1 },
+                    _ => return Err(ill),
+                }
+            }
+            2 => {
+                let scr = match rs2.0 {
+                    0 => ScrId::Mtcc,
+                    1 => ScrId::Mtdc,
+                    2 => ScrId::MScratchC,
+                    3 => ScrId::Mepcc,
+                    _ => return Err(ill),
+                };
+                Instr::CSpecialRw { rd, rs1, scr }
+            }
+            3 => Instr::CIncAddrImm { rd, rs1, imm: iimm },
+            4 => Instr::CSetBoundsImm {
+                rd,
+                rs1,
+                imm: ((word >> 20) & 0xfff),
+            },
+            _ => return Err(ill),
+        },
+        _ => return Err(ill),
+    })
+}
+
+// --- program-level encode with expansion ---------------------------------------
+
+/// Encodes a program, expanding out-of-range `li`-style immediates into
+/// `lui`+`addi` pairs and fixing up every branch/jump offset across the
+/// expansion.
+///
+/// # Errors
+///
+/// [`EncodeError::ImmediateRange`] when an instruction cannot be encoded
+/// even with expansion (e.g. a large immediate added to a non-zero
+/// source, or a branch whose fixed-up offset overflows its field).
+pub fn encode_program(instrs: &[Instr]) -> Result<Vec<u32>, EncodeError> {
+    // Pass 1: how many words does each instruction need?
+    let needs_expand = |i: &Instr| -> bool {
+        matches!(
+            *i,
+            Instr::OpImm {
+                op: AluOp::Add,
+                rs1: Reg::ZERO,
+                imm,
+                ..
+            } if !fits_signed(i64::from(imm), 12)
+        )
+    };
+    let sizes: Vec<u32> = instrs
+        .iter()
+        .map(|i| if needs_expand(i) { 2 } else { 1 })
+        .collect();
+    // Map: original index -> word index.
+    let mut word_index = Vec::with_capacity(instrs.len() + 1);
+    let mut acc = 0u32;
+    for s in &sizes {
+        word_index.push(acc);
+        acc += s;
+    }
+    word_index.push(acc);
+
+    // Pass 2: emit with offsets rewritten through the map.
+    let mut out = Vec::with_capacity(acc as usize);
+    for (idx, instr) in instrs.iter().enumerate() {
+        let remap = |byte_off: i32| -> i64 {
+            let target = idx as i64 + i64::from(byte_off) / 4;
+            let t = target.clamp(0, instrs.len() as i64) as usize;
+            (i64::from(word_index[t]) - i64::from(word_index[idx])) * 4
+        };
+        let emit = |out: &mut Vec<u32>, i: &Instr, idx: usize| -> Result<(), EncodeError> {
+            match encode(i) {
+                Ok(w) => {
+                    out.push(w);
+                    Ok(())
+                }
+                Err(EncodeError::ImmediateRange { value, .. }) => {
+                    Err(EncodeError::ImmediateRange { index: idx, value })
+                }
+            }
+        };
+        match *instr {
+            _ if needs_expand(instr) => {
+                let Instr::OpImm { rd, imm, .. } = *instr else {
+                    unreachable!()
+                };
+                // lui + addi with the sign-rounding trick.
+                let lo = (imm << 20) >> 20; // low 12, sign-extended
+                let hi = (imm.wrapping_sub(lo) as u32) >> 12;
+                emit(&mut out, &Instr::Lui { rd, imm: hi }, idx)?;
+                emit(
+                    &mut out,
+                    &Instr::OpImm {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: rd,
+                        imm: lo,
+                    },
+                    idx,
+                )?;
+            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let new = remap(offset);
+                if !fits_signed(new, 13) {
+                    return Err(EncodeError::ImmediateRange {
+                        index: idx,
+                        value: new,
+                    });
+                }
+                emit(
+                    &mut out,
+                    &Instr::Branch {
+                        cond,
+                        rs1,
+                        rs2,
+                        offset: new as i32,
+                    },
+                    idx,
+                )?;
+            }
+            Instr::Jal { rd, offset } => {
+                let new = remap(offset);
+                if !fits_signed(new, 21) {
+                    return Err(EncodeError::ImmediateRange {
+                        index: idx,
+                        value: new,
+                    });
+                }
+                emit(
+                    &mut out,
+                    &Instr::Jal {
+                        rd,
+                        offset: new as i32,
+                    },
+                    idx,
+                )?;
+            }
+            ref other => emit(&mut out, other, idx)?,
+        }
+    }
+    Ok(out)
+}
+
+/// Decodes a word stream back into runnable instructions.
+///
+/// # Errors
+///
+/// [`DecodeError::Illegal`] with the offending index.
+pub fn decode_program(words: &[u32]) -> Result<Vec<Instr>, DecodeError> {
+    words
+        .iter()
+        .enumerate()
+        .map(|(index, &w)| {
+            decode(w)
+                .map_err(|DecodeError::Illegal { word, .. }| DecodeError::Illegal { word, index })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(i: Instr) {
+        let w = encode(&i).unwrap_or_else(|e| panic!("{i:?}: {e}"));
+        let back = decode(w).unwrap_or_else(|e| panic!("{i:?} -> {w:#x}: {e}"));
+        assert_eq!(back, i, "word {w:#010x}");
+    }
+
+    #[test]
+    fn representative_round_trips() {
+        use Instr::*;
+        let cases = [
+            Lui {
+                rd: Reg::A0,
+                imm: 0xfffff,
+            },
+            Auipcc {
+                rd: Reg::T0,
+                imm: -8,
+            },
+            Auicgp {
+                rd: Reg::T1,
+                imm: 256,
+            },
+            OpImm {
+                op: AluOp::Add,
+                rd: Reg::A1,
+                rs1: Reg::A2,
+                imm: -2048,
+            },
+            OpImm {
+                op: AluOp::Sra,
+                rd: Reg::A1,
+                rs1: Reg::A2,
+                imm: 31,
+            },
+            Op {
+                op: AluOp::Sub,
+                rd: Reg::S0,
+                rs1: Reg::S1,
+                rs2: Reg::T2,
+            },
+            MulDiv {
+                op: MulOp::Remu,
+                rd: Reg::A3,
+                rs1: Reg::A4,
+                rs2: Reg::A5,
+            },
+            Branch {
+                cond: BranchCond::Geu,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+                offset: -4096,
+            },
+            Branch {
+                cond: BranchCond::Eq,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+                offset: 4094,
+            },
+            Jal {
+                rd: Reg::RA,
+                offset: -1048576,
+            },
+            Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0,
+            },
+            Load {
+                width: MemWidth::H,
+                signed: false,
+                rd: Reg::A0,
+                rs1: Reg::SP,
+                offset: 2047,
+            },
+            Store {
+                width: MemWidth::B,
+                rs2: Reg::A0,
+                rs1: Reg::SP,
+                offset: -2048,
+            },
+            Clc {
+                rd: Reg::A0,
+                rs1: Reg::GP,
+                offset: 8,
+            },
+            Csc {
+                rs2: Reg::A0,
+                rs1: Reg::GP,
+                offset: -16,
+            },
+            CGet {
+                field: CapField::Base,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+            },
+            CSetAddr {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            },
+            CIncAddrImm {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                imm: -4,
+            },
+            CSetBounds {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+                exact: true,
+            },
+            CSetBoundsImm {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                imm: 0xfff,
+            },
+            CSeal {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            },
+            CSpecialRw {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                scr: ScrId::Mepcc,
+            },
+            Csr {
+                op: CsrOp::Rc,
+                rd: Reg::A0,
+                rs1: Reg::T0,
+                csr: CsrId::Mshwmb,
+            },
+            Ecall,
+            Ebreak,
+            Mret,
+            Wfi,
+            Fence,
+            Halt,
+            Instr::NOP,
+        ];
+        for c in cases {
+            rt(c);
+        }
+    }
+
+    #[test]
+    fn out_of_range_immediates_rejected() {
+        assert!(encode(&Instr::OpImm {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            imm: 4096
+        })
+        .is_err());
+        assert!(encode(&Instr::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: 4096
+        })
+        .is_err());
+        assert!(encode(&Instr::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: 3 // odd
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn li_expansion_preserves_value() {
+        let prog = vec![
+            Instr::OpImm {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::ZERO,
+                imm: 0x2000_1234u32 as i32,
+            },
+            Instr::Halt,
+        ];
+        let words = encode_program(&prog).unwrap();
+        assert_eq!(words.len(), 3, "li expands to lui+addi");
+        let decoded = decode_program(&words).unwrap();
+        // Execute both and compare a0.
+        let run = |p: &[Instr]| {
+            let mut m = crate::machine::Machine::new(crate::machine::MachineConfig::new(
+                crate::pipeline::CoreModel::ibex(),
+            ));
+            let e = m.load_program(p);
+            m.set_entry(e);
+            m.run(100);
+            m.cpu.read_int(crate::insn::Reg::A0)
+        };
+        assert_eq!(run(&prog), 0x2000_1234);
+        assert_eq!(run(&decoded), 0x2000_1234);
+    }
+
+    #[test]
+    fn branch_fixup_across_expansion() {
+        // A loop with a large li inside: the back-edge must be remapped.
+        let prog = vec![
+            Instr::OpImm {
+                op: AluOp::Add,
+                rd: Reg::T0,
+                rs1: Reg::ZERO,
+                imm: 3,
+            },
+            // loop:
+            Instr::OpImm {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::ZERO,
+                imm: 0x12345678, // expands to 2 words
+            },
+            Instr::OpImm {
+                op: AluOp::Add,
+                rd: Reg::T0,
+                rs1: Reg::T0,
+                imm: -1,
+            },
+            Instr::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::T0,
+                rs2: Reg::ZERO,
+                offset: -8, // back to loop
+            },
+            Instr::Halt,
+        ];
+        let words = encode_program(&prog).unwrap();
+        let decoded = decode_program(&words).unwrap();
+        let mut m = crate::machine::Machine::new(crate::machine::MachineConfig::new(
+            crate::pipeline::CoreModel::ibex(),
+        ));
+        let e = m.load_program(&decoded);
+        m.set_entry(e);
+        let r = m.run(1000);
+        assert_eq!(
+            r,
+            crate::machine::ExitReason::Halted(0x12345678),
+            "loop must terminate with the expanded constant in a0"
+        );
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(0xffff_ffff).is_err());
+        assert!(decode(0x0000_0000).is_err()); // opcode 0 is not allocated
+    }
+}

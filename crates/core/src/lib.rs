@@ -1,0 +1,50 @@
+//! # cheriot-core — the CHERIoT ISA simulator
+//!
+//! A functional, cycle-modelled simulator for the CHERIoT platform of
+//! *CHERIoT: Complete Memory Safety for Embedded Devices* (MICRO 2023):
+//!
+//! * **[`machine::Machine`]** — the SoC: a CHERIoT hart (RV32E + M +
+//!   CHERIoT), tagged SRAM, a machine timer, a debug console, the
+//!   memory-mapped revocation bitmap, and the background revoker device.
+//! * **[`revocation`]** — the temporal-safety hardware of paper §3.3: the
+//!   per-granule revocation bitmap, the pipeline load filter, and the
+//!   two-stage background revoker (with main-pipeline store snooping).
+//! * **[`pipeline::CoreModel`]** — cycle-cost parameters for the two
+//!   evaluated cores (area-optimised Ibex, performance-oriented Flute).
+//! * **[`meter::Meter`]** — the charging interface through which
+//!   natively-modelled TCB code (the RTOS and allocator) performs memory
+//!   accesses at the same per-access costs as guest code.
+//!
+//! ## Example
+//!
+//! ```
+//! use cheriot_core::insn::{Instr, Reg, AluOp};
+//! use cheriot_core::machine::{Machine, MachineConfig, ExitReason};
+//! use cheriot_core::pipeline::CoreModel;
+//!
+//! let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+//! let entry = m.load_program(&[
+//!     Instr::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: 42 },
+//!     Instr::Halt,
+//! ]);
+//! m.set_entry(entry);
+//! assert_eq!(m.run(1_000), ExitReason::Halted(42));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod encoding;
+pub mod insn;
+pub mod machine;
+pub mod mem;
+pub mod meter;
+pub mod pipeline;
+pub mod revocation;
+pub mod trap;
+
+pub use encoding::{decode, decode_program, encode, encode_program, DecodeError, EncodeError};
+pub use machine::{layout, ExitReason, Machine, MachineConfig, Stats, TraceEntry};
+pub use meter::Meter;
+pub use pipeline::{CoreKind, CoreModel};
+pub use trap::TrapCause;

@@ -1,0 +1,1059 @@
+//! The simulated CHERIoT SoC: CPU + tagged SRAM + revocation hardware +
+//! timer + console, with per-instruction cycle accounting driven by a
+//! [`CoreModel`].
+
+use crate::cpu::Cpu;
+use crate::insn::{AluOp, BranchCond, CapField, CsrId, CsrOp, Instr, MulOp, Reg};
+use crate::mem::{Sram, GRANULE};
+use crate::pipeline::CoreModel;
+use crate::revocation::{BackgroundRevoker, RevocationBitmap, RevokerConfig};
+use crate::trap::TrapCause;
+use cheriot_cap::bounds::{representable_alignment_mask, representable_length};
+use cheriot_cap::{Capability, InterruptPosture, OType, Permissions, SentryKind};
+
+/// Physical memory map of the simulated SoC.
+pub mod layout {
+    /// Base of the instruction region (code is fetch-only).
+    pub const CODE_BASE: u32 = 0x1000_0000;
+    /// Maximum code region size in bytes.
+    pub const CODE_SIZE: u32 = 0x0010_0000;
+    /// Base of the tagged data SRAM.
+    pub const SRAM_BASE: u32 = 0x2000_0000;
+    /// MMIO window of the revocation bitmap (allocator-only by software
+    /// convention, enforced by which compartments get a capability to it).
+    pub const REV_BITMAP_BASE: u32 = 0x8000_0000;
+    /// Machine timer: `+0` mtime lo (RO), `+4` mtime hi (RO), `+8`
+    /// mtimecmp lo, `+0xc` mtimecmp hi.
+    pub const TIMER_BASE: u32 = 0x8100_0000;
+    /// Debug console: a store of a byte to `+0` emits it.
+    pub const CONSOLE_BASE: u32 = 0x8200_0000;
+    /// Background revoker device (see [`crate::revocation::revoker_reg`]).
+    pub const REVOKER_BASE: u32 = 0x8300_0000;
+    /// GPIO block: `+0` LED output register (RW bitmask) — the paper's
+    /// demo application animates the dev-board LEDs from JavaScript.
+    pub const GPIO_BASE: u32 = 0x8400_0000;
+    /// Size of each MMIO window.
+    pub const MMIO_SIZE: u32 = 0x1000;
+}
+
+/// Build-time configuration of a [`Machine`].
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Core cost model (Ibex or Flute class).
+    pub core: CoreModel,
+    /// Data SRAM size in bytes.
+    pub sram_size: u32,
+    /// Offset of the revocable heap region within SRAM.
+    pub heap_offset: u32,
+    /// Size of the revocable heap region.
+    pub heap_size: u32,
+    /// Is the temporal-safety load filter wired into the pipeline?
+    pub load_filter: bool,
+    /// Is the background hardware revoker present?
+    pub hw_revoker: bool,
+    /// Microarchitecture of the hardware revoker.
+    pub revoker: RevokerConfig,
+    /// Are the stack high-water-mark CSRs implemented (paper §5.2.1)?
+    pub hwm_enabled: bool,
+    /// Is the CHERI extension present? When false the machine behaves as a
+    /// plain RV32E+M core: loads, stores and jumps use register *addresses*
+    /// with no capability checks (the Table 3 baseline). CHERI instructions
+    /// are illegal in this mode.
+    pub cheri_enabled: bool,
+}
+
+impl MachineConfig {
+    /// A full-featured configuration: 512 KiB SRAM with the upper half
+    /// revocable heap, load filter, pipelined revoker, and the stack
+    /// high-water mark.
+    pub fn new(core: CoreModel) -> MachineConfig {
+        let sram_size = 512 * 1024;
+        MachineConfig {
+            core,
+            sram_size,
+            heap_offset: sram_size / 2,
+            heap_size: sram_size / 2,
+            load_filter: true,
+            hw_revoker: true,
+            revoker: RevokerConfig::default(),
+            hwm_enabled: true,
+            cheri_enabled: true,
+        }
+    }
+
+    /// Base address of the heap region.
+    pub fn heap_base(&self) -> u32 {
+        layout::SRAM_BASE + self.heap_offset
+    }
+
+    /// End address (exclusive) of the heap region.
+    pub fn heap_end(&self) -> u32 {
+        self.heap_base() + self.heap_size
+    }
+}
+
+/// Execution statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Scalar loads.
+    pub loads: u64,
+    /// Scalar stores.
+    pub stores: u64,
+    /// Capability loads.
+    pub cap_loads: u64,
+    /// Capability stores.
+    pub cap_stores: u64,
+    /// Capability loads whose tag the load filter stripped.
+    pub filter_strips: u64,
+    /// Taken branches.
+    pub taken_branches: u64,
+    /// Synchronous traps taken.
+    pub traps: u64,
+    /// Interrupts delivered.
+    pub interrupts: u64,
+    /// Load-to-use stall cycles.
+    pub stall_cycles: u64,
+    /// Cycles spent in `wfi` idle.
+    pub idle_cycles: u64,
+}
+
+/// Why [`Machine::run`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExitReason {
+    /// The program executed `halt`; payload is `a0`.
+    Halted(u32),
+    /// An unhandled (double) fault occurred with no trap vector installed.
+    Fault(TrapCause),
+    /// The cycle budget was exhausted.
+    CycleLimit,
+    /// `wfi` with no possible wake-up source.
+    Idle,
+}
+
+/// The simulated SoC.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    /// Configuration (immutable after construction).
+    pub cfg: MachineConfig,
+    /// CPU architectural state.
+    pub cpu: Cpu,
+    /// Tagged data SRAM.
+    pub sram: Sram,
+    /// Revocation bitmap.
+    pub bitmap: RevocationBitmap,
+    /// Background revoker device.
+    pub revoker: BackgroundRevoker,
+    /// Cycle counter (also the timebase).
+    pub cycles: u64,
+    /// Timer compare register.
+    pub mtimecmp: u64,
+    /// Bytes written to the debug console.
+    pub console: Vec<u8>,
+    /// Current LED output register (GPIO block).
+    pub gpio_out: u32,
+    /// Number of writes to the LED register (demo-app statistics).
+    pub gpio_writes: u64,
+    /// Execution statistics.
+    pub stats: Stats,
+    code: Vec<Instr>,
+    halted: Option<ExitReason>,
+    pending_use: Option<(Reg, u64)>,
+    trace: Option<TraceBuffer>,
+}
+
+/// One retired-instruction trace record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Cycle count at retire.
+    pub cycles: u64,
+    /// Program counter.
+    pub pc: u32,
+    /// The instruction.
+    pub instr: Instr,
+}
+
+#[derive(Clone, Debug, Default)]
+struct TraceBuffer {
+    depth: usize,
+    entries: std::collections::VecDeque<TraceEntry>,
+}
+
+impl Machine {
+    /// Creates a machine with zeroed SRAM and an empty code region.
+    pub fn new(cfg: MachineConfig) -> Machine {
+        let heap_base = cfg.heap_base();
+        let heap_end = cfg.heap_end();
+        assert!(heap_end <= layout::SRAM_BASE + cfg.sram_size);
+        Machine {
+            cfg,
+            cpu: Cpu::at_reset(),
+            sram: Sram::new(layout::SRAM_BASE, cfg.sram_size),
+            bitmap: RevocationBitmap::new(heap_base, heap_end),
+            revoker: BackgroundRevoker::new(cfg.revoker),
+            cycles: 0,
+            mtimecmp: u64::MAX,
+            console: Vec::new(),
+            gpio_out: 0,
+            gpio_writes: 0,
+            stats: Stats::default(),
+            code: Vec::new(),
+            halted: None,
+            pending_use: None,
+            trace: None,
+        }
+    }
+
+    /// Enables the execution trace: the last `depth` retired instructions
+    /// are kept in a ring buffer readable via [`Machine::trace_entries`].
+    pub fn enable_trace(&mut self, depth: usize) {
+        self.trace = Some(TraceBuffer {
+            depth,
+            entries: std::collections::VecDeque::with_capacity(depth),
+        });
+    }
+
+    /// The trace ring buffer (oldest first). Empty unless
+    /// [`Machine::enable_trace`] was called.
+    pub fn trace_entries(&self) -> Vec<TraceEntry> {
+        self.trace
+            .as_ref()
+            .map(|t| t.entries.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    // --- Program loading ----------------------------------------------------
+
+    /// Appends a program to the code region, returning its start address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code region overflows.
+    pub fn load_program(&mut self, instrs: &[Instr]) -> u32 {
+        let start = layout::CODE_BASE + 4 * self.code.len() as u32;
+        assert!(
+            (self.code.len() + instrs.len()) * 4 <= layout::CODE_SIZE as usize,
+            "code region overflow"
+        );
+        self.code.extend_from_slice(instrs);
+        start
+    }
+
+    /// Decodes and loads a binary (machine-code) program, returning its
+    /// start address.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::encoding::DecodeError`] for unrecognized words.
+    pub fn load_binary(&mut self, words: &[u32]) -> Result<u32, crate::encoding::DecodeError> {
+        let instrs = crate::encoding::decode_program(words)?;
+        Ok(self.load_program(&instrs))
+    }
+
+    /// End of the currently loaded code (exclusive).
+    pub fn code_end(&self) -> u32 {
+        layout::CODE_BASE + 4 * self.code.len() as u32
+    }
+
+    /// An executable capability covering all loaded code, for use as a boot
+    /// PCC. Real boot code would narrow this per compartment.
+    pub fn boot_pcc(&self, entry: u32) -> Capability {
+        Capability::root_executable()
+            .with_address(layout::CODE_BASE)
+            .set_bounds(u64::from(self.code_end() - layout::CODE_BASE))
+            .expect("code region is representable")
+            .with_address(entry)
+    }
+
+    /// Starts execution at `entry` with the PCC covering all loaded code.
+    pub fn set_entry(&mut self, entry: u32) {
+        self.cpu.pcc = self.boot_pcc(entry);
+    }
+
+    /// Has the machine halted, and why?
+    pub fn exit_status(&self) -> Option<ExitReason> {
+        self.halted
+    }
+
+    /// Resumes after an unvectored `ecall` (no trap vector installed):
+    /// clears the halt state and advances the PC past the `ecall`
+    /// instruction. This is the semihosting hook — a host-side service
+    /// handles the call and the guest continues (see
+    /// `cheriot-rtos::semihost`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is not stopped at an environment call.
+    pub fn resume_from_syscall(&mut self) {
+        assert_eq!(
+            self.halted,
+            Some(ExitReason::Fault(TrapCause::EnvironmentCall)),
+            "resume_from_syscall: not stopped at an ecall"
+        );
+        self.halted = None;
+        let next = self.cpu.pc().wrapping_add(4);
+        self.cpu.pcc = self.cpu.pcc.with_address(next);
+    }
+
+    // --- Cycle accounting ----------------------------------------------------
+
+    /// Advances time by `cycles`, of which `mem_beats` used the load/store
+    /// unit; the background revoker consumes the remaining slots. This is
+    /// also the charging entry point for natively-modelled (RTOS) code.
+    pub fn advance(&mut self, cycles: u64, mem_beats: u64) {
+        self.cycles += cycles;
+        if self.cfg.hw_revoker && self.revoker.in_progress() {
+            let idle = cycles.saturating_sub(mem_beats);
+            for _ in 0..idle {
+                if !self.revoker.in_progress() {
+                    break;
+                }
+                self.revoker.step(&mut self.sram, &self.bitmap);
+            }
+        }
+    }
+
+    // --- Bus ----------------------------------------------------------------
+
+    fn is_sram(&self, addr: u32, size: u32) -> bool {
+        self.sram.contains(addr, size)
+    }
+
+    /// Raw scalar bus read (no capability check).
+    pub fn bus_read(&mut self, addr: u32, size: u32) -> Result<u32, TrapCause> {
+        if self.is_sram(addr, size) {
+            return self.sram.read_scalar(addr, size);
+        }
+        if size == 4 && addr.is_multiple_of(4) {
+            self.mmio_read(addr)
+        } else {
+            Err(TrapCause::BusError { addr })
+        }
+    }
+
+    /// Raw scalar bus write (no capability check). Clears the granule tag,
+    /// snoops the revoker, and updates the stack high-water mark.
+    pub fn bus_write(&mut self, addr: u32, size: u32, value: u32) -> Result<(), TrapCause> {
+        if self.cfg.hwm_enabled {
+            self.cpu.note_store(addr);
+        }
+        if self.is_sram(addr, size) {
+            self.sram.write_scalar(addr, size, value)?;
+            self.revoker.snoop_store(addr);
+            return Ok(());
+        }
+        if size == 4 && addr.is_multiple_of(4) {
+            self.mmio_write(addr, value)
+        } else if (layout::CONSOLE_BASE..layout::CONSOLE_BASE + 4).contains(&addr) {
+            self.console.push(value as u8);
+            Ok(())
+        } else {
+            Err(TrapCause::BusError { addr })
+        }
+    }
+
+    /// Raw capability bus read, applying the load filter and recording the
+    /// strip statistic. No capability *authority* check and no LG/LM
+    /// attenuation — callers do those.
+    pub fn bus_read_cap(&mut self, addr: u32) -> Result<Capability, TrapCause> {
+        let (word, tag) = self.sram.read_cap_word(addr)?;
+        let mut c = Capability::from_word(word, tag);
+        if self.cfg.load_filter && self.bitmap.filter_strips(tag, c.base()) {
+            c = c.cleared();
+            self.stats.filter_strips += 1;
+        }
+        Ok(c)
+    }
+
+    /// Raw capability bus write.
+    pub fn bus_write_cap(&mut self, addr: u32, c: Capability) -> Result<(), TrapCause> {
+        if self.cfg.hwm_enabled {
+            self.cpu.note_store(addr);
+        }
+        self.sram.write_cap_word(addr, c.to_word(), c.tag())?;
+        self.revoker.snoop_store(addr);
+        Ok(())
+    }
+
+    fn mmio_read(&mut self, addr: u32) -> Result<u32, TrapCause> {
+        let (base, off) = (
+            addr & !(layout::MMIO_SIZE - 1),
+            addr & (layout::MMIO_SIZE - 1),
+        );
+        match base {
+            layout::REV_BITMAP_BASE => Ok(self.bitmap.read_word32(off / 4)),
+            layout::TIMER_BASE => Ok(match off {
+                0x0 => self.cycles as u32,
+                0x4 => (self.cycles >> 32) as u32,
+                0x8 => self.mtimecmp as u32,
+                0xc => (self.mtimecmp >> 32) as u32,
+                _ => 0,
+            }),
+            layout::REVOKER_BASE => Ok(self.revoker.mmio_read(off)),
+            layout::CONSOLE_BASE => Ok(0),
+            layout::GPIO_BASE => Ok(if off == 0 { self.gpio_out } else { 0 }),
+            _ => Err(TrapCause::BusError { addr }),
+        }
+    }
+
+    fn mmio_write(&mut self, addr: u32, value: u32) -> Result<(), TrapCause> {
+        let (base, off) = (
+            addr & !(layout::MMIO_SIZE - 1),
+            addr & (layout::MMIO_SIZE - 1),
+        );
+        match base {
+            layout::REV_BITMAP_BASE => {
+                self.bitmap.write_word32(off / 4, value);
+                Ok(())
+            }
+            layout::TIMER_BASE => {
+                match off {
+                    0x8 => self.mtimecmp = (self.mtimecmp & !0xffff_ffff) | u64::from(value),
+                    0xc => self.mtimecmp = (self.mtimecmp & 0xffff_ffff) | (u64::from(value) << 32),
+                    _ => {}
+                }
+                Ok(())
+            }
+            layout::CONSOLE_BASE => {
+                self.console.push(value as u8);
+                Ok(())
+            }
+            layout::REVOKER_BASE => {
+                self.revoker.mmio_write(off, value);
+                Ok(())
+            }
+            layout::GPIO_BASE => {
+                if off == 0 {
+                    self.gpio_out = value;
+                    self.gpio_writes += 1;
+                }
+                Ok(())
+            }
+            _ => Err(TrapCause::BusError { addr }),
+        }
+    }
+
+    // --- Traps and interrupts -------------------------------------------------
+
+    fn enter_trap(&mut self, cause: TrapCause, epc: u32) {
+        if !self.cpu.mtcc.tag() {
+            // No trap vector: unrecoverable.
+            self.halted = Some(ExitReason::Fault(cause));
+            return;
+        }
+        if cause.is_interrupt() {
+            self.stats.interrupts += 1;
+        } else {
+            self.stats.traps += 1;
+        }
+        self.cpu.mepcc = self.cpu.pcc.with_address(epc);
+        self.cpu.mcause = cause.mcause();
+        self.cpu.mtval = match cause {
+            TrapCause::Cheri { reg, .. } => u32::from(reg),
+            TrapCause::Misaligned { addr } | TrapCause::BusError { addr } => addr,
+            _ => 0,
+        };
+        self.cpu.prev_interrupts_enabled = self.cpu.interrupts_enabled;
+        self.cpu.interrupts_enabled = false;
+        let target = self.cpu.mtcc.address();
+        self.cpu.pcc = self.cpu.mtcc.with_address(target);
+        // Trap entry costs a pipeline flush plus the vector fetch.
+        let flush = self.cfg.core.branch_taken_penalty + 1;
+        self.advance(flush, 0);
+    }
+
+    fn pending_interrupt(&mut self) -> Option<TrapCause> {
+        if !self.cpu.interrupts_enabled {
+            return None;
+        }
+        if self.cycles >= self.mtimecmp {
+            return Some(TrapCause::TimerInterrupt);
+        }
+        if self.revoker.take_irq() {
+            return Some(TrapCause::RevokerInterrupt);
+        }
+        None
+    }
+
+    // --- Execution -------------------------------------------------------------
+
+    /// Runs until halt, fault, idle, or the cycle budget is exhausted.
+    pub fn run(&mut self, max_cycles: u64) -> ExitReason {
+        let limit = self.cycles.saturating_add(max_cycles);
+        loop {
+            if let Some(r) = self.halted {
+                return r;
+            }
+            if self.cycles >= limit {
+                return ExitReason::CycleLimit;
+            }
+            self.step();
+        }
+    }
+
+    /// Executes one instruction (or delivers one interrupt).
+    pub fn step(&mut self) {
+        if self.halted.is_some() {
+            return;
+        }
+        if let Some(irq) = self.pending_interrupt() {
+            let pc = self.cpu.pc();
+            self.enter_trap(irq, pc);
+            return;
+        }
+        let pc = self.cpu.pc();
+        let instr = match self.fetch(pc) {
+            Ok(i) => i,
+            Err(t) => {
+                self.enter_trap(t, pc);
+                return;
+            }
+        };
+        // Load-to-use hazard from the previous instruction.
+        if let Some((r, penalty)) = self.pending_use.take() {
+            if instr.sources().iter().flatten().any(|&s| s == r) {
+                self.stats.stall_cycles += penalty;
+                self.advance(penalty, 0);
+            }
+        }
+        self.stats.instructions += 1;
+        if let Some(t) = &mut self.trace {
+            if t.entries.len() == t.depth {
+                t.entries.pop_front();
+            }
+            t.entries.push_back(TraceEntry {
+                cycles: self.cycles,
+                pc,
+                instr,
+            });
+        }
+        let mut base_cycles = self.cfg.core.instr_cycles(&instr);
+        if self.cfg.load_filter {
+            // The revocation-bit lookup lengthens capability loads on cores
+            // whose pipeline cannot hide it (Ibex; free on Flute's 5-stage).
+            if let Instr::Clc { .. } = instr {
+                base_cycles += self.cfg.core.filter_load_to_use;
+            }
+        }
+        let mem_beats = self.cfg.core.mem_beats(&instr);
+        match self.exec(instr, pc) {
+            Ok(extra) => {
+                self.advance(base_cycles + extra, mem_beats);
+            }
+            Err(t) => {
+                self.advance(base_cycles, 0);
+                self.enter_trap(t, pc);
+            }
+        }
+    }
+
+    fn fetch(&self, pc: u32) -> Result<Instr, TrapCause> {
+        self.cpu
+            .pcc
+            .check_fetch(pc)
+            .map_err(|fault| TrapCause::Cheri { fault, reg: 16 })?;
+        if pc < layout::CODE_BASE || !pc.is_multiple_of(4) {
+            return Err(TrapCause::BusError { addr: pc });
+        }
+        let idx = ((pc - layout::CODE_BASE) / 4) as usize;
+        self.code
+            .get(idx)
+            .copied()
+            .ok_or(TrapCause::BusError { addr: pc })
+    }
+
+    /// Executes `instr` at `pc`, returning extra (penalty) cycles.
+    fn exec(&mut self, instr: Instr, pc: u32) -> Result<u64, TrapCause> {
+        let next = pc.wrapping_add(4);
+        let mut extra = 0;
+        let mut next_pc = next;
+        match instr {
+            Instr::Lui { rd, imm } => self.cpu.write_int(rd, imm << 12),
+            Instr::Auipcc { rd, imm } => {
+                let c = self.cpu.pcc.with_address(pc.wrapping_add(imm as u32));
+                self.cpu.write(rd, c);
+            }
+            Instr::Auicgp { rd, imm } => {
+                let gp = self.cpu.read(Reg::GP);
+                let c = gp.with_address(gp.address().wrapping_add(imm as u32));
+                self.cpu.write(rd, c);
+            }
+            Instr::OpImm { op, rd, rs1, imm } => {
+                let a = self.cpu.read_int(rs1);
+                self.cpu.write_int(rd, alu(op, a, imm as u32));
+            }
+            Instr::Op { op, rd, rs1, rs2 } => {
+                let a = self.cpu.read_int(rs1);
+                let b = self.cpu.read_int(rs2);
+                self.cpu.write_int(rd, alu(op, a, b));
+            }
+            Instr::MulDiv { op, rd, rs1, rs2 } => {
+                let a = self.cpu.read_int(rs1);
+                let b = self.cpu.read_int(rs2);
+                self.cpu.write_int(rd, muldiv(op, a, b));
+            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let a = self.cpu.read_int(rs1);
+                let b = self.cpu.read_int(rs2);
+                if branch_taken(cond, a, b) {
+                    next_pc = pc.wrapping_add(offset as u32);
+                    extra += self.cfg.core.branch_taken_penalty;
+                    self.stats.taken_branches += 1;
+                }
+            }
+            Instr::Jal { rd, offset } => {
+                self.link(rd, next)?;
+                next_pc = pc.wrapping_add(offset as u32);
+                extra += self.cfg.core.jump_penalty;
+            }
+            Instr::Jalr { rd, rs1, offset } => {
+                let target = self.cpu.read(rs1);
+                if !self.cfg.cheri_enabled {
+                    // Plain RV32E jalr: the register holds an address.
+                    let addr = target.address().wrapping_add(offset as u32) & !1;
+                    if rd != Reg::ZERO {
+                        self.cpu.write_int(rd, next);
+                    }
+                    self.cpu.pcc = self.cpu.pcc.with_address(addr);
+                    self.finish_jump(addr);
+                    return Ok(extra + self.cfg.core.jump_penalty);
+                }
+                if !target.tag() {
+                    return Err(cheri(rs1, cheriot_cap::CapFault::TagViolation));
+                }
+                let mut posture = None;
+                let tc = if target.is_sealed() {
+                    match target.otype().sentry_kind() {
+                        Some(kind) if offset == 0 => {
+                            posture = Some(match kind {
+                                SentryKind::Forward(p) => p,
+                                SentryKind::Return(InterruptPosture::Enabled) => {
+                                    InterruptPosture::Enabled
+                                }
+                                SentryKind::Return(_) => InterruptPosture::Disabled,
+                            });
+                            target.unsealed_for_jump()
+                        }
+                        _ => {
+                            return Err(cheri(rs1, cheriot_cap::CapFault::SealViolation));
+                        }
+                    }
+                } else {
+                    target
+                };
+                if !tc.perms().contains(Permissions::EX) {
+                    return Err(cheri(
+                        rs1,
+                        cheriot_cap::CapFault::PermissionViolation {
+                            needed: Permissions::EX,
+                        },
+                    ));
+                }
+                self.link(rd, next)?;
+                match posture {
+                    Some(InterruptPosture::Enabled) => self.cpu.interrupts_enabled = true,
+                    Some(InterruptPosture::Disabled) => self.cpu.interrupts_enabled = false,
+                    Some(InterruptPosture::Inherit) | None => {}
+                }
+                let addr = tc.address().wrapping_add(offset as u32) & !1;
+                self.cpu.pcc = tc.with_address(addr);
+                extra += self.cfg.core.jump_penalty;
+                next_pc = addr;
+                // pcc already set; skip the common path below.
+                self.finish_jump(next_pc);
+                return Ok(extra);
+            }
+            Instr::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let auth = self.cpu.read(rs1);
+                let addr = auth.address().wrapping_add(offset as u32);
+                if self.cfg.cheri_enabled {
+                    auth.check_access(addr, width.bytes(), Permissions::LD)
+                        .map_err(|f| cheri(rs1, f))?;
+                }
+                let raw = self.bus_read(addr, width.bytes())?;
+                let v = if signed {
+                    sign_extend(raw, width.bytes())
+                } else {
+                    raw
+                };
+                self.cpu.write_int(rd, v);
+                self.stats.loads += 1;
+                self.pending_use = Some((rd, self.cfg.core.load_to_use));
+            }
+            Instr::Store {
+                width,
+                rs2,
+                rs1,
+                offset,
+            } => {
+                let auth = self.cpu.read(rs1);
+                let addr = auth.address().wrapping_add(offset as u32);
+                if self.cfg.cheri_enabled {
+                    auth.check_access(addr, width.bytes(), Permissions::SD)
+                        .map_err(|f| cheri(rs1, f))?;
+                }
+                let v = self.cpu.read_int(rs2);
+                self.bus_write(addr, width.bytes(), v)?;
+                self.stats.stores += 1;
+            }
+            Instr::Clc { rd, rs1, offset } => {
+                let auth = self.cpu.read(rs1);
+                let addr = auth.address().wrapping_add(offset as u32);
+                auth.check_access(addr, GRANULE, Permissions::LD | Permissions::MC)
+                    .map_err(|f| cheri(rs1, f))?;
+                let c = self.bus_read_cap(addr)?.attenuated_on_load(auth);
+                self.cpu.write(rd, c);
+                self.stats.cap_loads += 1;
+                self.pending_use = Some((rd, self.cfg.core.load_to_use));
+            }
+            Instr::Csc { rs2, rs1, offset } => {
+                let auth = self.cpu.read(rs1);
+                let addr = auth.address().wrapping_add(offset as u32);
+                auth.check_access(addr, GRANULE, Permissions::SD | Permissions::MC)
+                    .map_err(|f| cheri(rs1, f))?;
+                let c = self.cpu.read(rs2);
+                if c.tag() && !c.is_global() && !auth.perms().contains(Permissions::SL) {
+                    return Err(cheri(
+                        rs1,
+                        cheriot_cap::CapFault::PermissionViolation {
+                            needed: Permissions::SL,
+                        },
+                    ));
+                }
+                self.bus_write_cap(addr, c)?;
+                self.stats.cap_stores += 1;
+            }
+            Instr::CGet { field, rd, rs1 } => {
+                let c = self.cpu.read(rs1);
+                let v = match field {
+                    CapField::Perm => u32::from(c.perms().bits()),
+                    CapField::Type => u32::from(c.otype().field()),
+                    CapField::Base => c.base(),
+                    CapField::Len => c.length().min(u64::from(u32::MAX)) as u32,
+                    CapField::Tag => u32::from(c.tag()),
+                    CapField::Addr => c.address(),
+                    CapField::High => (c.to_word() >> 32) as u32,
+                };
+                self.cpu.write_int(rd, v);
+            }
+            Instr::CSetAddr { rd, rs1, rs2 } => {
+                let c = self.cpu.read(rs1);
+                let a = self.cpu.read_int(rs2);
+                self.cpu.write(rd, c.with_address(a));
+            }
+            Instr::CIncAddr { rd, rs1, rs2 } => {
+                let c = self.cpu.read(rs1);
+                let a = self.cpu.read_int(rs2);
+                self.cpu.write(rd, c.incremented(a as i32));
+            }
+            Instr::CIncAddrImm { rd, rs1, imm } => {
+                let c = self.cpu.read(rs1);
+                self.cpu.write(rd, c.incremented(imm));
+            }
+            Instr::CSetBounds {
+                rd,
+                rs1,
+                rs2,
+                exact,
+            } => {
+                let c = self.cpu.read(rs1);
+                let len = u64::from(self.cpu.read_int(rs2));
+                let out = if exact {
+                    c.set_bounds_exact(len)
+                } else {
+                    c.set_bounds(len)
+                };
+                self.cpu.write(rd, out.unwrap_or_else(|| c.cleared()));
+            }
+            Instr::CSetBoundsImm { rd, rs1, imm } => {
+                let c = self.cpu.read(rs1);
+                let out = c.set_bounds(u64::from(imm));
+                self.cpu.write(rd, out.unwrap_or_else(|| c.cleared()));
+            }
+            Instr::CAndPerm { rd, rs1, rs2 } => {
+                let c = self.cpu.read(rs1);
+                let mask = Permissions::from_bits(self.cpu.read_int(rs2) as u16);
+                self.cpu.write(rd, c.and_perms(mask));
+            }
+            Instr::CClearTag { rd, rs1 } => {
+                let c = self.cpu.read(rs1);
+                self.cpu.write(rd, c.cleared());
+            }
+            Instr::CMove { rd, rs1 } => {
+                let c = self.cpu.read(rs1);
+                self.cpu.write(rd, c);
+            }
+            Instr::CSeal { rd, rs1, rs2 } => {
+                let c = self.cpu.read(rs1);
+                let auth = self.cpu.read(rs2);
+                // Non-trapping: failures detag (CHERIoT semantics).
+                let out = c.seal_with(auth).unwrap_or_else(|_| c.cleared());
+                self.cpu.write(rd, out);
+            }
+            Instr::CUnseal { rd, rs1, rs2 } => {
+                let c = self.cpu.read(rs1);
+                let auth = self.cpu.read(rs2);
+                let out = c.unseal_with(auth).unwrap_or_else(|_| c.cleared());
+                self.cpu.write(rd, out);
+            }
+            Instr::CTestSubset { rd, rs1, rs2 } => {
+                let parent = self.cpu.read(rs1);
+                let child = self.cpu.read(rs2);
+                self.cpu
+                    .write_int(rd, u32::from(child.is_subset_of(parent)));
+            }
+            Instr::CSetEqualExact { rd, rs1, rs2 } => {
+                let a = self.cpu.read(rs1);
+                let b = self.cpu.read(rs2);
+                let eq = a.to_word() == b.to_word() && a.tag() == b.tag();
+                self.cpu.write_int(rd, u32::from(eq));
+            }
+            Instr::CRoundRepresentableLength { rd, rs1 } => {
+                let len = self.cpu.read_int(rs1);
+                self.cpu.write_int(
+                    rd,
+                    representable_length(len).min(u64::from(u32::MAX)) as u32,
+                );
+            }
+            Instr::CRepresentableAlignmentMask { rd, rs1 } => {
+                let len = self.cpu.read_int(rs1);
+                self.cpu.write_int(rd, representable_alignment_mask(len));
+            }
+            Instr::CSpecialRw { rd, rs1, scr } => {
+                if !self.cpu.pcc.perms().contains(Permissions::SR) {
+                    return Err(cheri(
+                        16,
+                        cheriot_cap::CapFault::PermissionViolation {
+                            needed: Permissions::SR,
+                        },
+                    ));
+                }
+                let old = self.cpu.scr(scr);
+                if rs1 != Reg::ZERO {
+                    let v = self.cpu.read(rs1);
+                    self.cpu.set_scr(scr, v);
+                }
+                self.cpu.write(rd, old);
+            }
+            Instr::Csr { op, rd, rs1, csr } => {
+                let needs_sr = !matches!(csr, CsrId::Mcycle | CsrId::Mcycleh);
+                if needs_sr && !self.cpu.pcc.perms().contains(Permissions::SR) {
+                    return Err(cheri(
+                        16,
+                        cheriot_cap::CapFault::PermissionViolation {
+                            needed: Permissions::SR,
+                        },
+                    ));
+                }
+                let old = match csr {
+                    CsrId::Mcycle => self.cycles as u32,
+                    CsrId::Mcycleh => (self.cycles >> 32) as u32,
+                    CsrId::Mcause => self.cpu.mcause,
+                    CsrId::Mtval => self.cpu.mtval,
+                    CsrId::Mshwm => self.cpu.mshwm,
+                    CsrId::Mshwmb => self.cpu.mshwmb,
+                };
+                let operand = self.cpu.read_int(rs1);
+                let new = match op {
+                    CsrOp::Rw => operand,
+                    CsrOp::Rs => old | operand,
+                    CsrOp::Rc => old & !operand,
+                };
+                if rs1 != Reg::ZERO || matches!(op, CsrOp::Rw) {
+                    match csr {
+                        CsrId::Mcause => self.cpu.mcause = new,
+                        CsrId::Mtval => self.cpu.mtval = new,
+                        CsrId::Mshwm => self.cpu.mshwm = new,
+                        CsrId::Mshwmb => self.cpu.mshwmb = new,
+                        CsrId::Mcycle | CsrId::Mcycleh => {}
+                    }
+                }
+                self.cpu.write_int(rd, old);
+            }
+            Instr::Ecall => return Err(TrapCause::EnvironmentCall),
+            Instr::Ebreak => return Err(TrapCause::Breakpoint),
+            Instr::Mret => {
+                if !self.cpu.pcc.perms().contains(Permissions::SR) {
+                    return Err(cheri(
+                        16,
+                        cheriot_cap::CapFault::PermissionViolation {
+                            needed: Permissions::SR,
+                        },
+                    ));
+                }
+                if !self.cpu.mepcc.tag() {
+                    return Err(cheri(16, cheriot_cap::CapFault::TagViolation));
+                }
+                self.cpu.interrupts_enabled = self.cpu.prev_interrupts_enabled;
+                self.cpu.pcc = self.cpu.mepcc;
+                extra += self.cfg.core.jump_penalty;
+                self.finish_jump(self.cpu.pc());
+                return Ok(extra);
+            }
+            Instr::Wfi => {
+                self.wait_for_interrupt();
+                // Falls through: wfi retires and the PC advances; a pending
+                // interrupt (if enabled) is taken before the next
+                // instruction.
+            }
+            Instr::Fence => {}
+            Instr::Halt => {
+                self.halted = Some(ExitReason::Halted(self.cpu.read_int(Reg::A0)));
+                return Ok(0);
+            }
+        }
+        self.finish_jump(next_pc);
+        Ok(extra)
+    }
+
+    fn finish_jump(&mut self, next_pc: u32) {
+        self.cpu.pcc = self.cpu.pcc.with_address(next_pc);
+    }
+
+    fn link(&mut self, rd: Reg, ret: u32) -> Result<(), TrapCause> {
+        if rd == Reg::ZERO {
+            return Ok(());
+        }
+        if !self.cfg.cheri_enabled {
+            // Plain RV32E: the link register holds an address.
+            self.cpu.write_int(rd, ret);
+            return Ok(());
+        }
+        let sentry = OType::return_sentry(self.cpu.interrupts_enabled);
+        let link = self
+            .cpu
+            .pcc
+            .with_address(ret)
+            .seal_as_sentry(sentry)
+            .map_err(|f| cheri(16, f))?;
+        self.cpu.write(rd, link);
+        Ok(())
+    }
+
+    fn wait_for_interrupt(&mut self) {
+        // `wfi` retires immediately if an interrupt is already pending.
+        loop {
+            if self.cycles >= self.mtimecmp || self.revoker.irq_pending() {
+                return;
+            }
+            if self.cfg.hw_revoker && self.revoker.in_progress() {
+                // Idle cycles all go to the revoker.
+                self.revoker.step(&mut self.sram, &self.bitmap);
+                self.cycles += 1;
+                self.stats.idle_cycles += 1;
+                continue;
+            }
+            if self.mtimecmp == u64::MAX {
+                // Nothing can ever wake us.
+                self.halted = Some(ExitReason::Idle);
+                return;
+            }
+            let skip = self.mtimecmp - self.cycles;
+            self.cycles += skip;
+            self.stats.idle_cycles += skip;
+        }
+    }
+}
+
+fn cheri(reg: impl Into<RegIndex>, fault: cheriot_cap::CapFault) -> TrapCause {
+    TrapCause::Cheri {
+        fault,
+        reg: reg.into().0,
+    }
+}
+
+/// Internal helper so `cheri()` accepts both `Reg` and the PCC pseudo-index
+/// 16.
+pub struct RegIndex(pub u8);
+
+impl From<Reg> for RegIndex {
+    fn from(r: Reg) -> RegIndex {
+        RegIndex(r.0)
+    }
+}
+
+impl From<i32> for RegIndex {
+    fn from(v: i32) -> RegIndex {
+        RegIndex(v as u8)
+    }
+}
+
+fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a.wrapping_shl(b & 31),
+        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+        AluOp::Sltu => u32::from(a < b),
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a.wrapping_shr(b & 31),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+    }
+}
+
+fn muldiv(op: MulOp, a: u32, b: u32) -> u32 {
+    match op {
+        MulOp::Mul => a.wrapping_mul(b),
+        MulOp::Mulh => ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32,
+        MulOp::Mulhu => ((u64::from(a) * u64::from(b)) >> 32) as u32,
+        MulOp::Div => {
+            if b == 0 {
+                u32::MAX
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                a
+            } else {
+                ((a as i32) / (b as i32)) as u32
+            }
+        }
+        MulOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
+        MulOp::Rem => {
+            if b == 0 {
+                a
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                0
+            } else {
+                ((a as i32) % (b as i32)) as u32
+            }
+        }
+        MulOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+fn branch_taken(cond: BranchCond, a: u32, b: u32) -> bool {
+    match cond {
+        BranchCond::Eq => a == b,
+        BranchCond::Ne => a != b,
+        BranchCond::Lt => (a as i32) < (b as i32),
+        BranchCond::Ge => (a as i32) >= (b as i32),
+        BranchCond::Ltu => a < b,
+        BranchCond::Geu => a >= b,
+    }
+}
+
+fn sign_extend(v: u32, bytes: u32) -> u32 {
+    match bytes {
+        1 => v as u8 as i8 as i32 as u32,
+        2 => v as u16 as i16 as i32 as u32,
+        _ => v,
+    }
+}

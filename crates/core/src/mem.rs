@@ -1,0 +1,273 @@
+//! Tagged SRAM.
+//!
+//! Embedded CHERIoT memory is tightly-coupled SRAM with one out-of-band tag
+//! bit per 8-byte (capability-sized) granule. Scalar stores clear the tag of
+//! the granule they touch; capability loads/stores move the tag with the
+//! data. Capability accesses must be 8-byte aligned.
+
+use crate::trap::TrapCause;
+
+/// Capability-granule size: 8 bytes (a 64-bit capability).
+pub const GRANULE: u32 = 8;
+
+/// A bank of byte-addressable tagged SRAM.
+#[derive(Clone)]
+pub struct Sram {
+    base: u32,
+    bytes: Vec<u8>,
+    tags: Vec<bool>,
+}
+
+impl std::fmt::Debug for Sram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sram")
+            .field("base", &format_args!("{:#010x}", self.base))
+            .field("size", &self.bytes.len())
+            .finish()
+    }
+}
+
+impl Sram {
+    /// Creates a zeroed SRAM bank of `size` bytes at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` or `size` is not granule-aligned.
+    pub fn new(base: u32, size: u32) -> Sram {
+        assert_eq!(base % GRANULE, 0, "SRAM base must be granule-aligned");
+        assert_eq!(size % GRANULE, 0, "SRAM size must be granule-aligned");
+        Sram {
+            base,
+            bytes: vec![0; size as usize],
+            tags: vec![false; (size / GRANULE) as usize],
+        }
+    }
+
+    /// Base address.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// End address (exclusive).
+    pub fn end(&self) -> u32 {
+        self.base + self.size()
+    }
+
+    /// Does this bank contain `[addr, addr+size)`?
+    pub fn contains(&self, addr: u32, size: u32) -> bool {
+        let a = u64::from(addr);
+        a >= u64::from(self.base) && a + u64::from(size) <= u64::from(self.end())
+    }
+
+    fn offset(&self, addr: u32) -> usize {
+        (addr - self.base) as usize
+    }
+
+    fn check(&self, addr: u32, size: u32) -> Result<(), TrapCause> {
+        if !self.contains(addr, size) {
+            return Err(TrapCause::BusError { addr });
+        }
+        if !addr.is_multiple_of(size) {
+            return Err(TrapCause::Misaligned { addr });
+        }
+        Ok(())
+    }
+
+    /// Reads a scalar of `size` ∈ {1, 2, 4} bytes, little-endian,
+    /// zero-extended.
+    ///
+    /// # Errors
+    ///
+    /// Bus error outside the bank; misaligned access faults.
+    pub fn read_scalar(&self, addr: u32, size: u32) -> Result<u32, TrapCause> {
+        self.check(addr, size)?;
+        let o = self.offset(addr);
+        let mut v = 0u32;
+        for i in (0..size as usize).rev() {
+            v = (v << 8) | u32::from(self.bytes[o + i]);
+        }
+        Ok(v)
+    }
+
+    /// Writes a scalar of `size` ∈ {1, 2, 4} bytes and clears the granule's
+    /// tag (a partial overwrite invalidates any capability stored there).
+    ///
+    /// # Errors
+    ///
+    /// As [`Sram::read_scalar`].
+    pub fn write_scalar(&mut self, addr: u32, size: u32, value: u32) -> Result<(), TrapCause> {
+        self.check(addr, size)?;
+        let o = self.offset(addr);
+        for i in 0..size as usize {
+            self.bytes[o + i] = (value >> (8 * i)) as u8;
+        }
+        self.tags[(addr - self.base) as usize / GRANULE as usize] = false;
+        Ok(())
+    }
+
+    /// Reads a capability-sized word with its tag. Requires 8-byte
+    /// alignment.
+    ///
+    /// # Errors
+    ///
+    /// As [`Sram::read_scalar`].
+    pub fn read_cap_word(&self, addr: u32) -> Result<(u64, bool), TrapCause> {
+        self.check(addr, GRANULE)?;
+        let o = self.offset(addr);
+        let mut v = 0u64;
+        for i in (0..GRANULE as usize).rev() {
+            v = (v << 8) | u64::from(self.bytes[o + i]);
+        }
+        Ok((v, self.tags[(addr - self.base) as usize / GRANULE as usize]))
+    }
+
+    /// Writes a capability-sized word and its tag. Requires 8-byte
+    /// alignment.
+    ///
+    /// # Errors
+    ///
+    /// As [`Sram::read_scalar`].
+    pub fn write_cap_word(&mut self, addr: u32, word: u64, tag: bool) -> Result<(), TrapCause> {
+        self.check(addr, GRANULE)?;
+        let o = self.offset(addr);
+        for i in 0..GRANULE as usize {
+            self.bytes[o + i] = (word >> (8 * i)) as u8;
+        }
+        self.tags[(addr - self.base) as usize / GRANULE as usize] = tag;
+        Ok(())
+    }
+
+    /// Zeroes `[addr, addr+len)` and clears all covered tags. Used by the
+    /// allocator (`free` zeroes memory) and the switcher (stack clearing).
+    ///
+    /// # Errors
+    ///
+    /// Bus error if the range leaves the bank.
+    pub fn zero_range(&mut self, addr: u32, len: u32) -> Result<(), TrapCause> {
+        if len == 0 {
+            return Ok(());
+        }
+        if !self.contains(addr, len) {
+            return Err(TrapCause::BusError { addr });
+        }
+        let o = self.offset(addr);
+        self.bytes[o..o + len as usize].fill(0);
+        let g0 = (addr - self.base) / GRANULE;
+        let g1 = (addr - self.base + len - 1) / GRANULE;
+        for g in g0..=g1 {
+            self.tags[g as usize] = false;
+        }
+        Ok(())
+    }
+
+    /// Is the tag set for the granule containing `addr`?
+    pub fn tag_at(&self, addr: u32) -> bool {
+        if !self.contains(addr, 1) {
+            return false;
+        }
+        self.tags[(addr - self.base) as usize / GRANULE as usize]
+    }
+
+    /// Count of set tags in `[addr, addr+len)` — used by sweeps and tests.
+    pub fn count_tags(&self, addr: u32, len: u32) -> usize {
+        if len == 0 || !self.contains(addr, len) {
+            return 0;
+        }
+        let g0 = (addr - self.base) / GRANULE;
+        let g1 = (addr - self.base + len - 1) / GRANULE;
+        (g0..=g1).filter(|&g| self.tags[g as usize]).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sram() -> Sram {
+        Sram::new(0x2000_0000, 0x1000)
+    }
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut m = sram();
+        m.write_scalar(0x2000_0010, 4, 0xdead_beef).unwrap();
+        assert_eq!(m.read_scalar(0x2000_0010, 4).unwrap(), 0xdead_beef);
+        assert_eq!(m.read_scalar(0x2000_0010, 1).unwrap(), 0xef);
+        assert_eq!(m.read_scalar(0x2000_0012, 2).unwrap(), 0xdead);
+    }
+
+    #[test]
+    fn misaligned_faults() {
+        let m = sram();
+        assert!(matches!(
+            m.read_scalar(0x2000_0001, 4),
+            Err(TrapCause::Misaligned { .. })
+        ));
+        assert!(matches!(
+            m.read_cap_word(0x2000_0004),
+            Err(TrapCause::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_is_bus_error() {
+        let m = sram();
+        assert!(matches!(
+            m.read_scalar(0x2000_1000, 4),
+            Err(TrapCause::BusError { .. })
+        ));
+        assert!(matches!(
+            m.read_scalar(0x1fff_fffc, 4),
+            Err(TrapCause::BusError { .. })
+        ));
+    }
+
+    #[test]
+    fn cap_word_round_trip_with_tag() {
+        let mut m = sram();
+        m.write_cap_word(0x2000_0020, 0x0123_4567_89ab_cdef, true)
+            .unwrap();
+        assert_eq!(
+            m.read_cap_word(0x2000_0020).unwrap(),
+            (0x0123_4567_89ab_cdef, true)
+        );
+    }
+
+    #[test]
+    fn scalar_store_clears_tag() {
+        let mut m = sram();
+        m.write_cap_word(0x2000_0020, 42, true).unwrap();
+        m.write_scalar(0x2000_0024, 1, 0xff).unwrap();
+        let (_, tag) = m.read_cap_word(0x2000_0020).unwrap();
+        assert!(!tag, "partial overwrite must detag the granule");
+    }
+
+    #[test]
+    fn zero_range_clears_data_and_tags() {
+        let mut m = sram();
+        m.write_cap_word(0x2000_0040, 7, true).unwrap();
+        m.write_cap_word(0x2000_0048, 7, true).unwrap();
+        // Zeroing a range straddling both granules detags both, even though
+        // only part of each granule's data is cleared.
+        m.zero_range(0x2000_0044, 8).unwrap();
+        let (w0, t0) = m.read_cap_word(0x2000_0040).unwrap();
+        let (w1, t1) = m.read_cap_word(0x2000_0048).unwrap();
+        assert_eq!(w0, 7); // low half untouched
+        assert_eq!(w1, 0);
+        assert!(!t0 && !t1);
+        assert_eq!(m.count_tags(0x2000_0040, 16), 0);
+    }
+
+    #[test]
+    fn zero_length_zero_range_is_noop() {
+        let mut m = sram();
+        m.zero_range(0x2000_0000, 0).unwrap();
+        // Even at the very end of the bank.
+        m.zero_range(m.end(), 0).unwrap();
+    }
+}

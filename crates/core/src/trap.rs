@@ -1,0 +1,86 @@
+//! Trap causes: CHERI exceptions, RISC-V synchronous exceptions, and
+//! interrupts.
+
+use cheriot_cap::CapFault;
+use core::fmt;
+
+/// Why the CPU trapped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrapCause {
+    /// A capability check failed on an instruction fetch, memory access,
+    /// jump, seal or special-register access.
+    Cheri {
+        /// The underlying capability fault.
+        fault: CapFault,
+        /// Which register held the offending capability (16 = PCC).
+        reg: u8,
+    },
+    /// Misaligned load/store (capability accesses require 8-byte alignment).
+    Misaligned {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// Access to an address no device claims.
+    BusError {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// Instruction not valid in the current state.
+    IllegalInstruction,
+    /// Environment call (`ecall`).
+    EnvironmentCall,
+    /// Breakpoint (`ebreak`).
+    Breakpoint,
+    /// Machine timer interrupt.
+    TimerInterrupt,
+    /// Background revoker completion interrupt.
+    RevokerInterrupt,
+}
+
+impl TrapCause {
+    /// Is this an (asynchronous) interrupt rather than a synchronous
+    /// exception?
+    pub fn is_interrupt(self) -> bool {
+        matches!(
+            self,
+            TrapCause::TimerInterrupt | TrapCause::RevokerInterrupt
+        )
+    }
+
+    /// The `mcause` encoding (interrupt bit in bit 31, as in RISC-V).
+    pub fn mcause(self) -> u32 {
+        match self {
+            TrapCause::Misaligned { .. } => 4,
+            TrapCause::BusError { .. } => 5,
+            TrapCause::IllegalInstruction => 2,
+            TrapCause::EnvironmentCall => 11,
+            TrapCause::Breakpoint => 3,
+            TrapCause::Cheri { .. } => 0x1c,
+            TrapCause::TimerInterrupt => 0x8000_0007,
+            TrapCause::RevokerInterrupt => 0x8000_000b,
+        }
+    }
+}
+
+impl fmt::Display for TrapCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrapCause::Cheri { fault, reg } => write!(f, "CHERI fault in c{reg}: {fault}"),
+            TrapCause::Misaligned { addr } => write!(f, "misaligned access at {addr:#010x}"),
+            TrapCause::BusError { addr } => write!(f, "bus error at {addr:#010x}"),
+            TrapCause::IllegalInstruction => write!(f, "illegal instruction"),
+            TrapCause::EnvironmentCall => write!(f, "environment call"),
+            TrapCause::Breakpoint => write!(f, "breakpoint"),
+            TrapCause::TimerInterrupt => write!(f, "timer interrupt"),
+            TrapCause::RevokerInterrupt => write!(f, "revoker interrupt"),
+        }
+    }
+}
+
+impl std::error::Error for TrapCause {}
+
+impl From<CapFault> for TrapCause {
+    fn from(fault: CapFault) -> TrapCause {
+        TrapCause::Cheri { fault, reg: 0xff }
+    }
+}

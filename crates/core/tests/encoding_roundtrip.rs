@@ -1,0 +1,186 @@
+//! Property tests for the binary instruction codec: random well-formed
+//! instructions round-trip bit-exactly, and decode is total (never panics)
+//! over arbitrary words.
+
+use cheriot_core::encoding::{decode, encode, encode_program};
+use cheriot_core::insn::{
+    AluOp, BranchCond, CapField, CsrId, CsrOp, Instr, MemWidth, MulOp, Reg, ScrId,
+};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg)
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+    ]
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    let imm12 = -2048i32..2048;
+    prop_oneof![
+        (arb_reg(), 0u32..(1 << 20)).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
+        (arb_reg(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, imm)| Instr::Auipcc { rd, imm }),
+        (arb_reg(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, imm)| Instr::Auicgp { rd, imm }),
+        (arb_alu(), arb_reg(), arb_reg(), imm12.clone()).prop_map(|(op, rd, rs1, imm)| {
+            let imm = if matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
+                imm.rem_euclid(32)
+            } else {
+                imm
+            };
+            Instr::OpImm { op, rd, rs1, imm }
+        }),
+        (arb_alu(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| Instr::Op {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Instr::MulDiv {
+            op: MulOp::Mulhu,
+            rd,
+            rs1,
+            rs2
+        }),
+        (arb_reg(), arb_reg(), -2048i32..2047).prop_map(|(rs1, rs2, o)| Instr::Branch {
+            cond: BranchCond::Ltu,
+            rs1,
+            rs2,
+            offset: o & !1
+        }),
+        (arb_reg(), -(1i32 << 20)..(1 << 20)).prop_map(|(rd, o)| Instr::Jal { rd, offset: o & !1 }),
+        (arb_reg(), arb_reg(), imm12.clone()).prop_map(|(rd, rs1, offset)| Instr::Jalr {
+            rd,
+            rs1,
+            offset
+        }),
+        (arb_reg(), arb_reg(), imm12.clone()).prop_map(|(rd, rs1, offset)| Instr::Load {
+            width: MemWidth::W,
+            signed: false,
+            rd,
+            rs1,
+            offset
+        }),
+        (arb_reg(), arb_reg(), imm12.clone()).prop_map(|(rs2, rs1, offset)| Instr::Store {
+            width: MemWidth::H,
+            rs2,
+            rs1,
+            offset
+        }),
+        (arb_reg(), arb_reg(), imm12.clone()).prop_map(|(rd, rs1, offset)| Instr::Clc {
+            rd,
+            rs1,
+            offset
+        }),
+        (arb_reg(), arb_reg(), imm12.clone()).prop_map(|(rs2, rs1, offset)| Instr::Csc {
+            rs2,
+            rs1,
+            offset
+        }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Instr::CGet {
+            field: CapField::Len,
+            rd,
+            rs1
+        }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Instr::CIncAddr {
+            rd,
+            rs1,
+            rs2
+        }),
+        (arb_reg(), arb_reg(), arb_reg(), any::<bool>()).prop_map(|(rd, rs1, rs2, exact)| {
+            Instr::CSetBounds {
+                rd,
+                rs1,
+                rs2,
+                exact,
+            }
+        }),
+        (arb_reg(), arb_reg(), imm12).prop_map(|(rd, rs1, imm)| Instr::CIncAddrImm {
+            rd,
+            rs1,
+            imm
+        }),
+        (arb_reg(), arb_reg(), 0u32..4096).prop_map(|(rd, rs1, imm)| Instr::CSetBoundsImm {
+            rd,
+            rs1,
+            imm
+        }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Instr::CSpecialRw {
+            rd,
+            rs1,
+            scr: ScrId::Mtdc
+        }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Instr::Csr {
+            op: CsrOp::Rs,
+            rd,
+            rs1,
+            csr: CsrId::Mshwm
+        }),
+        Just(Instr::Ecall),
+        Just(Instr::Mret),
+        Just(Instr::Wfi),
+        Just(Instr::Fence),
+        Just(Instr::Halt),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    #[test]
+    fn round_trip(i in arb_instr()) {
+        let w = encode(&i).expect("arbitrary well-formed instruction encodes");
+        let back = decode(w).expect("own encodings decode");
+        prop_assert_eq!(back, i, "word {:#010x}", w);
+    }
+
+    #[test]
+    fn decode_never_panics(w in any::<u32>()) {
+        let _ = decode(w); // Ok or Err, never panic
+    }
+
+    #[test]
+    fn decode_encode_decode_stable(w in any::<u32>()) {
+        if let Ok(i) = decode(w) {
+            let w2 = encode(&i).expect("decoded instructions re-encode");
+            let i2 = decode(w2).expect("and decode again");
+            prop_assert_eq!(i, i2);
+        }
+    }
+
+    #[test]
+    fn program_expansion_preserves_length_mapping(seed in any::<u64>()) {
+        // A program of n instructions with k large immediates encodes to
+        // n + k words.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..40usize);
+        let mut prog = Vec::new();
+        let mut expansions = 0;
+        for _ in 0..n {
+            if rng.gen_bool(0.2) {
+                prog.push(Instr::OpImm {
+                    op: AluOp::Add,
+                    rd: Reg::A0,
+                    rs1: Reg::ZERO,
+                    imm: rng.gen_range(4096..i32::MAX), // guaranteed large
+                });
+                expansions += 1;
+            } else {
+                prog.push(Instr::NOP);
+            }
+        }
+        let words = encode_program(&prog).unwrap();
+        prop_assert_eq!(words.len(), n + expansions);
+    }
+}

@@ -1,0 +1,209 @@
+//! Compartment auditing (paper §3.1.2).
+//!
+//! "For auditing, it is far more useful to know which code runs with
+//! interrupts disabled than it is to know which code may toggle
+//! interrupts." Because interrupt posture is carried by sentry types fixed
+//! at static-link time, the linker can emit a complete report of every
+//! interrupts-disabled entry point and every cross-compartment import
+//! edge. This module produces that report for a built system image.
+
+use crate::compartment::{CompartmentId, ExportPosture};
+use crate::kernel::Rtos;
+use core::fmt;
+
+/// One import edge: `importer` linked against `exporter.export`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ImportEdge {
+    /// The compartment holding the import.
+    pub importer: String,
+    /// The compartment whose export it names.
+    pub exporter: String,
+    /// The export's name.
+    pub export: String,
+    /// The posture the entry runs with.
+    pub posture: ExportPosture,
+}
+
+/// The audit report of a system image.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    /// Every compartment name, in id order.
+    pub compartments: Vec<String>,
+    /// Every declared export, with posture.
+    pub exports: Vec<(String, String, ExportPosture)>,
+    /// Every resolved import edge.
+    pub imports: Vec<ImportEdge>,
+}
+
+impl AuditReport {
+    /// Entry points that run with interrupts disabled — the set an auditor
+    /// reviews for availability risks.
+    pub fn interrupts_disabled_entries(&self) -> Vec<(String, String)> {
+        self.exports
+            .iter()
+            .filter(|(_, _, p)| *p == ExportPosture::Disabled)
+            .map(|(c, e, _)| (c.clone(), e.clone()))
+            .collect()
+    }
+
+    /// Compartments reachable (transitively) from `start` through import
+    /// edges — the blast-radius upper bound of a compromise.
+    pub fn reachable_from(&self, start: &str) -> Vec<String> {
+        let mut seen = vec![start.to_string()];
+        let mut frontier = vec![start.to_string()];
+        while let Some(c) = frontier.pop() {
+            for e in &self.imports {
+                if e.importer == c && !seen.contains(&e.exporter) {
+                    seen.push(e.exporter.clone());
+                    frontier.push(e.exporter.clone());
+                }
+            }
+        }
+        seen
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "System image audit")?;
+        writeln!(f, "  compartments: {}", self.compartments.join(", "))?;
+        let disabled = self.interrupts_disabled_entries();
+        writeln!(
+            f,
+            "  interrupts-disabled entry points ({}):",
+            disabled.len()
+        )?;
+        for (c, e) in &disabled {
+            writeln!(f, "    {c}::{e}")?;
+        }
+        writeln!(f, "  import edges ({}):", self.imports.len())?;
+        for e in &self.imports {
+            writeln!(
+                f,
+                "    {} -> {}::{} [{:?}]",
+                e.importer, e.exporter, e.export, e.posture
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl Rtos {
+    /// Resolves an import at static-link time: records the edge and
+    /// returns the export's sentry capability (what the importer's import
+    /// table would hold).
+    ///
+    /// Returns `None` when the export does not exist — an unresolved
+    /// import, which a real link would reject.
+    pub fn import(
+        &mut self,
+        importer: CompartmentId,
+        exporter: CompartmentId,
+        export: &str,
+    ) -> Option<cheriot_cap::Capability> {
+        let e = self.compartment(exporter).find_export(export)?;
+        let sentry = e.sentry;
+        let posture = e.posture;
+        self.record_import(ImportEdge {
+            importer: self.compartment(importer).name.clone(),
+            exporter: self.compartment(exporter).name.clone(),
+            export: export.to_string(),
+            posture,
+        });
+        Some(sentry)
+    }
+
+    /// Produces the audit report for the current image.
+    pub fn audit(&self) -> AuditReport {
+        let mut report = AuditReport::default();
+        for c in self.compartments_iter() {
+            report.compartments.push(c.name.clone());
+            for e in &c.exports {
+                report
+                    .exports
+                    .push((c.name.clone(), e.name.clone(), e.posture));
+            }
+        }
+        report.imports = self.import_edges().to_vec();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheriot_alloc::TemporalPolicy;
+    use cheriot_core::{CoreModel, Machine, MachineConfig};
+
+    fn rtos() -> Rtos {
+        Rtos::new(
+            Machine::new(MachineConfig::new(CoreModel::ibex())),
+            TemporalPolicy::None,
+        )
+    }
+
+    #[test]
+    fn report_lists_disabled_entries() {
+        let mut r = rtos();
+        let net = r.add_compartment("net", 64);
+        let drv = r.add_compartment("uart-driver", 64);
+        r.compartment_mut(drv)
+            .export("tx_atomic", 0x10, ExportPosture::Disabled);
+        r.compartment_mut(net)
+            .export("rx", 0x20, ExportPosture::Enabled);
+        let report = r.audit();
+        let disabled = report.interrupts_disabled_entries();
+        assert_eq!(disabled, vec![("uart-driver".into(), "tx_atomic".into())]);
+    }
+
+    #[test]
+    fn imports_are_recorded_and_resolve_to_sentries() {
+        let mut r = rtos();
+        let app = r.add_compartment("app", 64);
+        let svc = r.add_compartment("svc", 64);
+        r.compartment_mut(svc)
+            .export("do_thing", 0x40, ExportPosture::Inherit);
+        let sentry = r.import(app, svc, "do_thing").expect("resolves");
+        assert!(sentry.is_sealed());
+        assert!(r.import(app, svc, "missing").is_none());
+        let report = r.audit();
+        assert_eq!(report.imports.len(), 1);
+        assert_eq!(report.imports[0].importer, "app");
+        assert_eq!(report.imports[0].exporter, "svc");
+    }
+
+    #[test]
+    fn reachability_bounds_blast_radius() {
+        let mut r = rtos();
+        let a = r.add_compartment("a", 64);
+        let b = r.add_compartment("b", 64);
+        let c = r.add_compartment("c", 64);
+        let d = r.add_compartment("d", 64);
+        for comp in [b, c, d] {
+            r.compartment_mut(comp)
+                .export("f", 0, ExportPosture::Enabled);
+        }
+        r.import(a, b, "f");
+        r.import(b, c, "f");
+        // d is isolated.
+        let report = r.audit();
+        let reach = report.reachable_from("a");
+        assert!(reach.contains(&"b".to_string()));
+        assert!(reach.contains(&"c".to_string()));
+        assert!(!reach.contains(&"d".to_string()));
+        let _ = d;
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut r = rtos();
+        let app = r.add_compartment("app", 64);
+        let svc = r.add_compartment("svc", 64);
+        r.compartment_mut(svc)
+            .export("crit", 0, ExportPosture::Disabled);
+        r.import(app, svc, "crit");
+        let text = r.audit().to_string();
+        assert!(text.contains("svc::crit"));
+        assert!(text.contains("app -> svc::crit"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Compartments: contiguous code + globals with explicit exports
+//! (paper §2.6).
+//!
+//! A compartment is defined by a pair of capabilities: a program-counter
+//! capability over its code and a globals capability over its data. The
+//! globals capability carries no Store-Local permission, so references to
+//! stack memory can never be captured in a compartment's globals; code is
+//! read-only (W^X is structural in the permission encoding).
+
+use cheriot_cap::{Capability, OType, Permissions};
+
+/// Identifies a compartment within a [`crate::Rtos`] system image.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CompartmentId(pub(crate) usize);
+
+impl CompartmentId {
+    /// Constructs an id from a raw index (for embedders building their own
+    /// thread/compartment plumbing; indices must come from
+    /// [`crate::Rtos::add_compartment`]).
+    pub fn from_raw(index: usize) -> CompartmentId {
+        CompartmentId(index)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Interrupt posture an export runs with (paper §3.1.2: encoded in the
+/// sentry type of the export's entry capability).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExportPosture {
+    /// Interrupts enabled (the default for application code).
+    Enabled,
+    /// Interrupts disabled for the whole call (auditable: the linker report
+    /// of the real RTOS lists exactly these).
+    Disabled,
+    /// Inherit the caller's posture.
+    Inherit,
+}
+
+/// A compartment's static image.
+#[derive(Clone, Debug)]
+pub struct Compartment {
+    /// Human-readable name (unique within the image).
+    pub name: String,
+    /// Code capability: execute + read, bounded to the compartment's code.
+    pub pcc: Capability,
+    /// Globals capability: read/write data, **no SL**, bounded to the
+    /// compartment's globals region.
+    pub cgp: Capability,
+    /// Exported entry points.
+    pub exports: Vec<Export>,
+}
+
+/// An exported entry point: what an import of this compartment resolves to.
+#[derive(Clone, Debug)]
+pub struct Export {
+    /// Export name.
+    pub name: String,
+    /// The sealed entry capability an importer receives. Jumping to it (via
+    /// the switcher) enters the compartment at the designated point; it is
+    /// useless for anything else.
+    pub sentry: Capability,
+    /// Interrupt posture of the entry point.
+    pub posture: ExportPosture,
+}
+
+impl Compartment {
+    /// Constructs a compartment from its code and globals regions.
+    ///
+    /// `code` must be executable (derived from the executable root by the
+    /// loader); `globals` is stripped of SL here, enforcing the paper's
+    /// stack-capture invariant structurally.
+    pub fn new(name: impl Into<String>, code: Capability, globals: Capability) -> Compartment {
+        Compartment {
+            name: name.into(),
+            pcc: code,
+            cgp: globals.and_perms(!Permissions::SL),
+            exports: Vec::new(),
+        }
+    }
+
+    /// Declares an export at byte offset `entry` into the code region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code capability cannot be sealed (not executable).
+    pub fn export(&mut self, name: impl Into<String>, entry: u32, posture: ExportPosture) {
+        let otype = match posture {
+            ExportPosture::Enabled => OType::SENTRY_ENABLE,
+            ExportPosture::Disabled => OType::SENTRY_DISABLE,
+            ExportPosture::Inherit => OType::SENTRY_INHERIT,
+        };
+        let target = self.pcc.with_address(self.pcc.base().wrapping_add(entry));
+        let sentry = target
+            .seal_as_sentry(otype)
+            .expect("export entry must be executable");
+        self.exports.push(Export {
+            name: name.into(),
+            sentry,
+            posture,
+        });
+    }
+
+    /// Looks up an export by name (what import resolution does at static
+    /// link time).
+    pub fn find_export(&self, name: &str) -> Option<&Export> {
+        self.exports.iter().find(|e| e.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comp() -> Compartment {
+        let code = Capability::root_executable()
+            .with_address(0x1000_0000)
+            .set_bounds(0x1000)
+            .unwrap();
+        let globals = Capability::root_mem_rw()
+            .with_address(0x2000_0000)
+            .set_bounds(0x800)
+            .unwrap();
+        Compartment::new("net", code, globals)
+    }
+
+    #[test]
+    fn globals_never_store_local() {
+        let c = comp();
+        assert!(!c.cgp.perms().contains(Permissions::SL));
+        assert!(c.cgp.perms().contains(Permissions::SD));
+    }
+
+    #[test]
+    fn code_is_wx_clean() {
+        let c = comp();
+        assert!(c.pcc.perms().contains(Permissions::EX));
+        assert!(!c.pcc.perms().contains(Permissions::SD));
+    }
+
+    #[test]
+    fn exports_are_sealed_sentries() {
+        let mut c = comp();
+        c.export("rx", 0x40, ExportPosture::Disabled);
+        let e = c.find_export("rx").unwrap();
+        assert!(e.sentry.is_sealed());
+        assert_eq!(e.sentry.otype(), OType::SENTRY_DISABLE);
+        // The sentry is useless as data: all access checks fail.
+        assert!(e
+            .sentry
+            .check_access(e.sentry.address(), 1, Permissions::LD)
+            .is_err());
+    }
+
+    #[test]
+    fn missing_export_is_none() {
+        let c = comp();
+        assert!(c.find_export("nope").is_none());
+    }
+}

@@ -1,0 +1,200 @@
+//! The boot sequence as guest code (paper §3.1.1).
+//!
+//! "On CPU reset, all three roots are present in registers. Early-boot
+//! software is expected to use these to build narrower capabilities around
+//! the system before erasing the roots." This module generates exactly
+//! that boot program: from the reset state (memory root in `ct0`, sealing
+//! root in `ct1`, PCC = executable root) it derives a compartment's
+//! bounded globals and code capabilities, **erases every root**, and
+//! enters the compartment through a jump that simultaneously narrows the
+//! PCC and sheds the SR permission.
+//!
+//! After boot, no register holds whole-address-space authority — checked
+//! by [`assert_no_root_authority`].
+
+use cheriot_asm::Asm;
+use cheriot_cap::{Capability, Permissions};
+use cheriot_core::insn::{Instr, Reg};
+use cheriot_core::Machine;
+
+/// Where the booted compartment lives.
+#[derive(Clone, Copy, Debug)]
+pub struct BootTarget {
+    /// Code region base (within the loaded code).
+    pub code_base: u32,
+    /// Code region length in bytes.
+    pub code_len: u32,
+    /// Globals region base in SRAM.
+    pub globals_base: u32,
+    /// Globals region length.
+    pub globals_len: u32,
+}
+
+/// Generates the boot program: derive, erase, enter.
+///
+/// ABI at compartment entry: `cgp` = bounded globals (no SL), PCC =
+/// bounded code without SR, every other register null.
+pub fn build_boot(target: &BootTarget) -> Vec<Instr> {
+    let mut a = Asm::new();
+    // Globals: derive from the memory root in t0.
+    a.li(Reg::T2, target.globals_base as i32);
+    a.csetaddr(Reg::GP, Reg::T0, Reg::T2);
+    a.li(Reg::T2, target.globals_len as i32);
+    a.csetbounds(Reg::GP, Reg::GP, Reg::T2);
+    // Compartment globals must not be able to capture stack pointers.
+    a.li(Reg::T2, Permissions::SL.bits() as i32);
+    a.xori(Reg::T2, Reg::T2, 0xfff); // mask = all perms except SL
+    a.candperm(Reg::GP, Reg::GP, Reg::T2);
+
+    // Code: derive from the boot PCC (the executable root), shedding SR.
+    a.auipcc(Reg::S0, 0);
+    a.li(Reg::T2, target.code_base as i32);
+    a.csetaddr(Reg::S0, Reg::S0, Reg::T2);
+    a.li(Reg::T2, target.code_len as i32);
+    a.csetbounds(Reg::S0, Reg::S0, Reg::T2);
+    a.li(Reg::T2, Permissions::SR.bits() as i32);
+    a.xori(Reg::T2, Reg::T2, 0xfff);
+    a.candperm(Reg::S0, Reg::S0, Reg::T2);
+
+    // Erase the roots and every scratch register: after this point the
+    // only authority in the system is what was deliberately derived.
+    a.cmove(Reg::T0, Reg::ZERO);
+    a.cmove(Reg::T1, Reg::ZERO);
+    a.cmove(Reg::T2, Reg::ZERO);
+    a.cmove(Reg::TP, Reg::ZERO);
+    a.cmove(Reg::RA, Reg::ZERO);
+    a.cmove(Reg::SP, Reg::ZERO);
+    a.cmove(Reg::S1, Reg::ZERO);
+    for r in [Reg::A0, Reg::A1, Reg::A2, Reg::A3, Reg::A4, Reg::A5] {
+        a.cmove(r, Reg::ZERO);
+    }
+    // Enter: the jump replaces the root PCC with the bounded code cap.
+    a.cjr(Reg::S0);
+    a.assemble()
+}
+
+/// Asserts that no register (including PCC and the special capability
+/// registers) holds tagged whole-address-space authority. Call after boot.
+///
+/// # Panics
+///
+/// Panics with the offending register's description.
+pub fn assert_no_root_authority(m: &Machine) {
+    let is_rootish = |c: Capability| c.tag() && c.base() == 0 && c.top() == 1 << 32;
+    for i in 0..16 {
+        let c = m.cpu.read(Reg(i));
+        assert!(
+            !is_rootish(c),
+            "register c{i} still holds root authority: {c}"
+        );
+    }
+    assert!(!is_rootish(m.cpu.pcc), "PCC is still a root: {}", m.cpu.pcc);
+    for (name, c) in [
+        ("mtcc", m.cpu.mtcc),
+        ("mtdc", m.cpu.mtdc),
+        ("mscratchc", m.cpu.mscratchc),
+        ("mepcc", m.cpu.mepcc),
+    ] {
+        assert!(!is_rootish(c), "{name} still holds root authority: {c}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheriot_core::insn::CapField;
+    use cheriot_core::{layout, CoreModel, ExitReason, MachineConfig};
+
+    #[test]
+    fn boot_derives_erases_and_enters() {
+        let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+        // The compartment: report its own authority and halt.
+        let mut c = Asm::new();
+        c.cgetlen(Reg::A0, Reg::GP); // globals length
+        c.raw(Instr::Auipcc {
+            rd: Reg::T0,
+            imm: 0,
+        });
+        c.cgetlen(Reg::A1, Reg::T0); // code length (via pcc)
+        c.cgetperm(Reg::A2, Reg::T0); // pcc perms
+        c.halt();
+        let comp_prog = c.assemble();
+
+        let target = BootTarget {
+            code_base: 0, // patched below
+            code_len: 4 * comp_prog.len() as u32,
+            globals_base: layout::SRAM_BASE + 0x400,
+            globals_len: 256,
+        };
+        // Load compartment first so boot knows its address.
+        let comp_base = m.load_program(&comp_prog);
+        let boot_prog = build_boot(&BootTarget {
+            code_base: comp_base,
+            ..target
+        });
+        let boot_base = m.load_program(&boot_prog);
+        m.set_entry(boot_base);
+        // Reset state: roots are in place (Cpu::at_reset put them there).
+        let r = m.run(10_000);
+        assert_eq!(r, ExitReason::Halted(256), "globals bounded to 256");
+        assert_eq!(
+            m.cpu.read_int(Reg::A1),
+            4 * comp_prog.len() as u32,
+            "code bounded to the compartment"
+        );
+        let pcc_perms = Permissions::from_bits(m.cpu.read_int(Reg::A2) as u16);
+        assert!(!pcc_perms.contains(Permissions::SR), "SR shed at entry");
+        assert_no_root_authority(&m);
+    }
+
+    #[test]
+    fn booted_compartment_cannot_escape() {
+        let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+        // The compartment tries to read outside its globals.
+        let mut c = Asm::new();
+        c.lw(Reg::A0, 256, Reg::GP); // one past the end
+        c.halt();
+        let comp_prog = c.assemble();
+        let comp_base = m.load_program(&comp_prog);
+        let boot_prog = build_boot(&BootTarget {
+            code_base: comp_base,
+            code_len: 4 * comp_prog.len() as u32,
+            globals_base: layout::SRAM_BASE + 0x400,
+            globals_len: 256,
+        });
+        let boot_base = m.load_program(&boot_prog);
+        m.set_entry(boot_base);
+        let r = m.run(10_000);
+        assert!(
+            matches!(r, ExitReason::Fault(_)),
+            "escape must fault: {r:?}"
+        );
+    }
+
+    #[test]
+    fn booted_compartment_cannot_reforge_roots() {
+        let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+        // Try to widen the globals capability back out.
+        let mut c = Asm::new();
+        c.li(Reg::T1, 0x10000);
+        c.csetbounds(Reg::T0, Reg::GP, Reg::T1); // wider than granted
+        c.raw(Instr::CGet {
+            field: CapField::Tag,
+            rd: Reg::A0,
+            rs1: Reg::T0,
+        });
+        c.halt();
+        let comp_prog = c.assemble();
+        let comp_base = m.load_program(&comp_prog);
+        let boot_prog = build_boot(&BootTarget {
+            code_base: comp_base,
+            code_len: 4 * comp_prog.len() as u32,
+            globals_base: layout::SRAM_BASE + 0x400,
+            globals_len: 256,
+        });
+        let boot_base = m.load_program(&boot_prog);
+        m.set_entry(boot_base);
+        assert_eq!(m.run(10_000), ExitReason::Halted(0), "widening detags");
+        assert_no_root_authority(&m);
+    }
+}

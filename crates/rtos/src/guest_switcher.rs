@@ -1,0 +1,362 @@
+//! The compartment switcher as real guest code (paper §2.6: "RTOS
+//! primitives, totaling a little over 300 hand-written instructions,
+//! enforce calling into and returning from compartment entry points").
+//!
+//! Where [`crate::switcher`] *models* the switcher's costs for the
+//! natively-executed RTOS, this module *is* the switcher: hand-written
+//! guest assembly that runs on the simulated CPU with no native help. It
+//! demonstrates every mechanism the paper describes, in concert:
+//!
+//! * cross-compartment calls target a **sealed export entry** (unsealable
+//!   only by the switcher, which holds the unseal authority);
+//! * the switcher runs through an **interrupts-disabled sentry** and has
+//!   the only PCC with the SR permission;
+//! * caller state is saved on a **trusted stack** reached through MTDC;
+//! * the callee receives a **chopped stack** (bounded to the unused part),
+//!   zeroed up to the **stack high-water mark**, with non-argument
+//!   registers cleared;
+//! * return re-enters the switcher through a pre-sealed sentry, zeroes
+//!   exactly what the callee dirtied, restores the caller, and the
+//!   caller's return sentry restores its interrupt posture.
+
+use cheriot_asm::Asm;
+use cheriot_cap::{Capability, OType, Permissions};
+use cheriot_core::insn::{CsrId, Reg, ScrId};
+use cheriot_core::mem::GRANULE;
+use cheriot_core::Machine;
+
+/// Size of one trusted-stack activation frame: cra, csp, cgp, cs0, cs1.
+const FRAME: i32 = 40;
+/// Trusted-stack header: unseal authority (+0), reserved (+8),
+/// pre-sealed return-to-switcher sentry (+16).
+const TS_HEADER: u32 = 24;
+/// The data otype sealing switcher export entries.
+pub const EXPORT_OTYPE: u32 = 1;
+
+/// A guest compartment: code and globals capabilities plus the entry
+/// offset, as the loader lays it out.
+#[derive(Clone, Copy, Debug)]
+pub struct GuestCompartment {
+    /// Executable capability over the compartment's code (no SR).
+    pub code: Capability,
+    /// Globals capability (no SL).
+    pub globals: Capability,
+}
+
+/// The installed guest switcher.
+#[derive(Clone, Copy, Debug)]
+pub struct GuestSwitcher {
+    /// The sentry callers jump to for a cross-compartment call
+    /// (interrupts-disabled forward sentry into the switcher).
+    pub call_sentry: Capability,
+    /// Sealing authority for export entries (loader-private).
+    seal_auth: Capability,
+    /// Where the next export entry will be written.
+    export_cursor: u32,
+    /// Bounds of the export table region.
+    export_end: u32,
+    /// Static instruction count of the switcher (paper: "a little over
+    /// 300" including error paths we do not model).
+    pub instruction_count: usize,
+    /// Base address of the switcher's code.
+    pub code_base: u32,
+    /// Size of the switcher's code in bytes.
+    pub code_size: u32,
+}
+
+/// Emits the switcher's call path, return path and fault-unwind path;
+/// returns (instructions, return-path byte offset, fault-path byte
+/// offset).
+fn build_switcher() -> (Vec<cheriot_core::insn::Instr>, u32, u32) {
+    let mut a = Asm::new();
+
+    // ---------------- call path ----------------
+    // In: ct0 = sealed export entry, cra = caller return sentry,
+    //     ca0..ca5 = arguments, csp/cgp = caller stack/globals.
+    // Interrupts are disabled (we were entered through a SENTRY_DISABLE).
+    let bad = a.label();
+
+    a.cspecialrw(Reg::TP, ScrId::Mtdc, Reg::ZERO); // tp = trusted stack (cursor)
+    a.cgetbase(Reg::T1, Reg::TP);
+    a.csetaddr(Reg::T1, Reg::TP, Reg::T1); // t1 = TS base cap
+    a.clc(Reg::T2, 0, Reg::T1); // t2 = unseal authority
+    a.cunseal(Reg::T0, Reg::T0, Reg::T2); // t0 = export entry (or untagged)
+    a.cgettag(Reg::T2, Reg::T0);
+    a.beqz(Reg::T2, bad);
+
+    // Push the caller's frame on the trusted stack.
+    a.csc(Reg::RA, 0, Reg::TP);
+    a.csc(Reg::SP, 8, Reg::TP);
+    a.csc(Reg::GP, 16, Reg::TP);
+    a.csc(Reg::S0, 24, Reg::TP);
+    a.csc(Reg::S1, 32, Reg::TP);
+    a.cincaddrimm(Reg::TP, Reg::TP, FRAME);
+    a.cspecialrw(Reg::ZERO, ScrId::Mtdc, Reg::TP); // commit cursor
+
+    // Load the pre-sealed return-to-switcher sentry into cra.
+    a.clc(Reg::RA, 16, Reg::T1);
+
+    // Zero the dirty stack region [mshwm, sp) before handing it over.
+    a.cgetaddr(Reg::T2, Reg::SP);
+    a.csrr(Reg::TP, CsrId::Mshwm);
+    let zdone = a.label();
+    let zloop = a.here();
+    a.bgeu(Reg::TP, Reg::T2, zdone);
+    a.csetaddr(Reg::S0, Reg::SP, Reg::TP);
+    a.csc(Reg::ZERO, 0, Reg::S0);
+    a.addi(Reg::TP, Reg::TP, GRANULE as i32);
+    a.j(zloop);
+    a.bind(zdone);
+    a.csrrw(Reg::ZERO, CsrId::Mshwm, Reg::T2); // hwm := sp
+
+    // Chop: callee csp = csp bounded to [stack_base, sp), cursor at sp.
+    a.cgetbase(Reg::TP, Reg::SP);
+    a.sub(Reg::T2, Reg::T2, Reg::TP); // len = sp - base
+    a.csetaddr(Reg::S0, Reg::SP, Reg::TP);
+    a.csetbounds(Reg::S0, Reg::S0, Reg::T2);
+    a.cincaddr(Reg::S0, Reg::S0, Reg::T2);
+    a.cmove(Reg::SP, Reg::S0);
+
+    // Install the callee's globals and entry sentry. The entry capability
+    // is pre-sealed with the export's interrupt posture (usually
+    // SENTRY_ENABLE), so jumping to it atomically restores interrupts for
+    // the callee — the switcher itself stays un-interruptible.
+    a.clc(Reg::S1, 8, Reg::T0); // callee cgp
+    a.cmove(Reg::GP, Reg::S1);
+    a.clc(Reg::S1, 0, Reg::T0); // callee entry sentry
+
+    // Clear everything that is not an argument or ABI state.
+    a.cmove(Reg::T0, Reg::ZERO);
+    a.cmove(Reg::T1, Reg::ZERO);
+    a.cmove(Reg::T2, Reg::ZERO);
+    a.cmove(Reg::TP, Reg::ZERO);
+    a.cmove(Reg::S0, Reg::ZERO);
+    a.cjr(Reg::S1); // enter the callee through its sentry
+
+    // ---------------- return path ----------------
+    let ret = a.here();
+    // Zero exactly what the callee dirtied: [mshwm, sp).
+    a.cgetaddr(Reg::T2, Reg::SP);
+    a.csrr(Reg::TP, CsrId::Mshwm);
+    let rzdone = a.label();
+    let rzloop = a.here();
+    a.bgeu(Reg::TP, Reg::T2, rzdone);
+    a.csetaddr(Reg::T0, Reg::SP, Reg::TP);
+    a.csc(Reg::ZERO, 0, Reg::T0);
+    a.addi(Reg::TP, Reg::TP, GRANULE as i32);
+    a.j(rzloop);
+    a.bind(rzdone);
+
+    // Pop the trusted-stack frame.
+    a.cspecialrw(Reg::TP, ScrId::Mtdc, Reg::ZERO);
+    a.cincaddrimm(Reg::TP, Reg::TP, -FRAME);
+    a.clc(Reg::RA, 0, Reg::TP);
+    a.clc(Reg::SP, 8, Reg::TP);
+    a.clc(Reg::GP, 16, Reg::TP);
+    a.clc(Reg::S0, 24, Reg::TP);
+    a.clc(Reg::S1, 32, Reg::TP);
+    a.cspecialrw(Reg::ZERO, ScrId::Mtdc, Reg::TP);
+
+    // Reset the high-water mark to the caller's stack pointer.
+    a.cgetaddr(Reg::T2, Reg::SP);
+    a.csrrw(Reg::ZERO, CsrId::Mshwm, Reg::T2);
+
+    // Clear temporaries and non-return argument registers.
+    a.cmove(Reg::T0, Reg::ZERO);
+    a.cmove(Reg::T1, Reg::ZERO);
+    a.cmove(Reg::T2, Reg::ZERO);
+    a.cmove(Reg::TP, Reg::ZERO);
+    a.cmove(Reg::A1, Reg::ZERO);
+    a.cmove(Reg::A2, Reg::ZERO);
+    a.cmove(Reg::A3, Reg::ZERO);
+    a.cmove(Reg::A4, Reg::ZERO);
+    a.cmove(Reg::A5, Reg::ZERO);
+    a.cjr(Reg::RA); // caller's return sentry restores its posture
+
+    // ---------------- fault-unwind path ----------------
+    // Installed as the trap vector (MTCC). A CHERI fault inside a callee
+    // lands here with interrupts off and SR in hand: pop the trusted-stack
+    // frame, destroy the dead compartment's stack residue, and return the
+    // error value -1 to the caller — the blast radius is one invocation
+    // (paper §2.2). With no frame to unwind, the fault is unrecoverable.
+    let fault = a.here();
+    a.cspecialrw(Reg::TP, ScrId::Mtdc, Reg::ZERO);
+    a.cgetbase(Reg::T0, Reg::TP);
+    a.addi(Reg::T0, Reg::T0, TS_HEADER as i32);
+    a.cgetaddr(Reg::T1, Reg::TP);
+    let dead = a.label();
+    a.beq(Reg::T0, Reg::T1, dead); // no frames: unrecoverable
+    a.cincaddrimm(Reg::TP, Reg::TP, -FRAME);
+    a.clc(Reg::RA, 0, Reg::TP);
+    a.clc(Reg::SP, 8, Reg::TP);
+    a.clc(Reg::GP, 16, Reg::TP);
+    a.clc(Reg::S0, 24, Reg::TP);
+    a.clc(Reg::S1, 32, Reg::TP);
+    a.cspecialrw(Reg::ZERO, ScrId::Mtdc, Reg::TP);
+    // Destroy whatever the dead callee left below the caller's sp.
+    a.cgetaddr(Reg::T2, Reg::SP);
+    a.csrr(Reg::TP, CsrId::Mshwm);
+    let fzdone = a.label();
+    let fzloop = a.here();
+    a.bgeu(Reg::TP, Reg::T2, fzdone);
+    a.csetaddr(Reg::T0, Reg::SP, Reg::TP);
+    a.csc(Reg::ZERO, 0, Reg::T0);
+    a.addi(Reg::TP, Reg::TP, GRANULE as i32);
+    a.j(fzloop);
+    a.bind(fzdone);
+    a.csrrw(Reg::ZERO, CsrId::Mshwm, Reg::T2);
+    // Error return value and a clean register file.
+    a.li(Reg::A0, -1);
+    a.cmove(Reg::T0, Reg::ZERO);
+    a.cmove(Reg::T1, Reg::ZERO);
+    a.cmove(Reg::T2, Reg::ZERO);
+    a.cmove(Reg::TP, Reg::ZERO);
+    a.cmove(Reg::A1, Reg::ZERO);
+    a.cmove(Reg::A2, Reg::ZERO);
+    a.cmove(Reg::A3, Reg::ZERO);
+    a.cmove(Reg::A4, Reg::ZERO);
+    a.cmove(Reg::A5, Reg::ZERO);
+    a.cjr(Reg::RA); // the caller's return sentry restores its posture
+
+    // ---------------- bad export (call-path rejection) ----------------
+    // The caller's state is still intact: report the failure as an error
+    // return, like any failed system call.
+    a.bind(bad);
+    a.li(Reg::A0, -1);
+    a.cmove(Reg::T0, Reg::ZERO);
+    a.cmove(Reg::T1, Reg::ZERO);
+    a.cmove(Reg::T2, Reg::ZERO);
+    a.cmove(Reg::TP, Reg::ZERO);
+    a.cjr(Reg::RA);
+
+    // ---------------- unrecoverable ----------------
+    a.bind(dead);
+    a.li(Reg::A0, 0xdead);
+    a.raw(cheriot_core::insn::Instr::Halt);
+
+    let ret_off = a.byte_offset(ret).expect("bound");
+    let fault_off = a.byte_offset(fault).expect("bound");
+    (a.assemble(), ret_off, fault_off)
+}
+
+impl GuestSwitcher {
+    /// Assembles and installs the switcher: loads its code, carves the
+    /// trusted-stack and export-table regions out of `[tcb_base,
+    /// tcb_base + tcb_size)` (TCB-private SRAM), writes the sealing
+    /// authorities, and points MTDC at the trusted stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the TCB region is too small (< 256 bytes) or misaligned.
+    pub fn install(m: &mut Machine, tcb_base: u32, tcb_size: u32) -> GuestSwitcher {
+        assert!(tcb_size >= 256 && tcb_base.is_multiple_of(8));
+        let (code, ret_off, fault_off) = build_switcher();
+        let instruction_count = code.len();
+        let base = m.load_program(&code);
+        let switcher_pcc = Capability::root_executable()
+            .with_address(base)
+            .set_bounds(u64::from(4 * code.len() as u32))
+            .expect("switcher code bounds");
+
+        // TCB memory: first half trusted stack, second half export table.
+        let ts_size = tcb_size / 2;
+        let ts_cap = Capability::root_mem_rw()
+            .with_address(tcb_base)
+            .set_bounds(u64::from(ts_size))
+            .expect("trusted stack bounds");
+
+        // Header slots: unseal authority, (reserved), return sentry.
+        let unseal_auth = Capability::root_sealing()
+            .with_address(EXPORT_OTYPE)
+            .set_bounds(1)
+            .expect("otype slice")
+            .and_perms(!Permissions::SE);
+        let return_sentry = switcher_pcc
+            .with_address(base + ret_off)
+            .seal_as_sentry(OType::SENTRY_DISABLE)
+            .expect("return sentry");
+        m.meter()
+            .store_cap(ts_cap, tcb_base, unseal_auth)
+            .expect("write unseal auth");
+        m.meter()
+            .store_cap(ts_cap, tcb_base + 16, return_sentry)
+            .expect("write return sentry");
+
+        // MTDC: the trusted stack capability with the cursor after the
+        // header. SL is required (caller stack capabilities are local).
+        m.cpu.mtdc = ts_cap.with_address(tcb_base + TS_HEADER);
+        // MTCC: compartment faults unwind through the switcher.
+        m.cpu.mtcc = switcher_pcc.with_address(base + fault_off);
+
+        let call_sentry = switcher_pcc
+            .with_address(base)
+            .seal_as_sentry(OType::SENTRY_DISABLE)
+            .expect("call sentry");
+
+        GuestSwitcher {
+            call_sentry,
+            code_base: base,
+            code_size: 4 * instruction_count as u32,
+            seal_auth: Capability::root_sealing()
+                .with_address(EXPORT_OTYPE)
+                .set_bounds(1)
+                .expect("otype slice")
+                .and_perms(!Permissions::US),
+            export_cursor: tcb_base + ts_size,
+            export_end: tcb_base + tcb_size,
+            instruction_count,
+        }
+    }
+
+    /// Writes an export entry for `(compartment, entry_offset)` into the
+    /// switcher-private export table and returns the sealed capability an
+    /// importer's import table would hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the export table is full.
+    pub fn make_export(
+        &mut self,
+        m: &mut Machine,
+        compartment: &GuestCompartment,
+        entry_offset: u32,
+    ) -> Capability {
+        assert!(
+            self.export_cursor + 24 <= self.export_end,
+            "export table full"
+        );
+        let at = self.export_cursor;
+        self.export_cursor += 24;
+        let entry_sentry = compartment
+            .code
+            .with_address(compartment.code.base() + entry_offset)
+            .seal_as_sentry(OType::SENTRY_ENABLE)
+            .expect("entry sentry");
+        let view = Capability::root_mem_rw()
+            .with_address(at)
+            .set_bounds(24)
+            .expect("export entry bounds");
+        let mut meter = m.meter();
+        meter
+            .store_cap(view, at, entry_sentry)
+            .expect("export entry sentry");
+        meter
+            .store_cap(view, at + 8, compartment.globals)
+            .expect("export cgp cap");
+        view.seal_with(self.seal_auth).expect("sealable")
+    }
+}
+
+/// Builds a guest compartment from a loaded program and a globals region.
+/// The code capability is stripped of SR (only the switcher may touch
+/// system registers) and the globals capability of SL.
+pub fn guest_compartment(code_base: u32, code_len: u32, globals: Capability) -> GuestCompartment {
+    GuestCompartment {
+        code: Capability::root_executable()
+            .with_address(code_base)
+            .set_bounds(u64::from(code_len))
+            .expect("code bounds")
+            .and_perms(!Permissions::SR),
+        globals: globals.and_perms(!Permissions::SL),
+    }
+}

@@ -1,0 +1,212 @@
+//! Message queues: the RTOS's inter-thread communication primitive.
+//!
+//! A queue is a ring buffer of capability-sized slots living in TCB-owned
+//! SRAM, so enqueue/dequeue are metered memory operations like everything
+//! else. Queues carry *capabilities* — passing an object through a queue
+//! delegates authority to the receiver, which composes with the paper's
+//! sharing model: send a read-only view, and the receiver can read but not
+//! write; send a heap object and free it, and the receiver's copy dies
+//! with it (the load filter strips it at dequeue).
+
+use cheriot_cap::Capability;
+use cheriot_core::{Machine, TrapCause};
+
+/// Why a queue operation could not complete.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueError {
+    /// The queue is full (try again after a dequeue).
+    Full,
+    /// The queue is empty.
+    Empty,
+    /// A metered access faulted (mis-configured queue memory).
+    Trap(TrapCause),
+}
+
+impl core::fmt::Display for QueueError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            QueueError::Full => write!(f, "queue full"),
+            QueueError::Empty => write!(f, "queue empty"),
+            QueueError::Trap(t) => write!(f, "queue trapped: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+/// A bounded multi-producer ring of capability slots.
+#[derive(Clone, Copy, Debug)]
+pub struct MessageQueue {
+    buf: Capability,
+    slots: u32,
+    head: u32, // dequeue index
+    tail: u32, // enqueue index
+    len: u32,
+}
+
+impl MessageQueue {
+    /// Creates a queue over `buf`, which must cover at least
+    /// `slots * 8` bytes of capability-aligned memory (TCB-provided; the
+    /// buffer capability needs Store-Local so queues can carry local
+    /// capabilities for scoped cross-thread delegation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is too small or misaligned.
+    pub fn new(buf: Capability, slots: u32) -> MessageQueue {
+        assert!(slots > 0);
+        assert_eq!(buf.base() % 8, 0, "queue buffer must be aligned");
+        assert!(
+            buf.length() >= u64::from(slots) * 8,
+            "queue buffer too small"
+        );
+        MessageQueue {
+            buf,
+            slots,
+            head: 0,
+            tail: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Enqueues a capability (metered: one capability store plus index
+    /// bookkeeping).
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::Full`] when at capacity.
+    pub fn try_send(&mut self, m: &mut Machine, msg: Capability) -> Result<(), QueueError> {
+        if self.len == self.slots {
+            return Err(QueueError::Full);
+        }
+        let addr = self.buf.base() + self.tail * 8;
+        m.meter().charge(6);
+        m.meter()
+            .store_cap(self.buf, addr, msg)
+            .map_err(QueueError::Trap)?;
+        self.tail = (self.tail + 1) % self.slots;
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Dequeues the oldest capability (metered; the load filter applies,
+    /// so a revoked payload arrives untagged).
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::Empty`] when nothing is queued.
+    pub fn try_recv(&mut self, m: &mut Machine) -> Result<Capability, QueueError> {
+        if self.len == 0 {
+            return Err(QueueError::Empty);
+        }
+        let addr = self.buf.base() + self.head * 8;
+        m.meter().charge(6);
+        let msg = m
+            .meter()
+            .load_cap(self.buf, addr)
+            .map_err(QueueError::Trap)?;
+        // Clear the slot so no stale authority lingers in the ring.
+        m.meter()
+            .store_cap(self.buf, addr, Capability::null())
+            .map_err(QueueError::Trap)?;
+        self.head = (self.head + 1) % self.slots;
+        self.len -= 1;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheriot_alloc::{HeapAllocator, RevokerKind, TemporalPolicy};
+    use cheriot_cap::Permissions;
+    use cheriot_core::{layout, CoreModel, MachineConfig};
+
+    fn setup() -> (Machine, MessageQueue) {
+        let m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+        let buf = Capability::root_mem_rw()
+            .with_address(layout::SRAM_BASE + 0x400)
+            .set_bounds(4 * 8)
+            .unwrap();
+        (m, MessageQueue::new(buf, 4))
+    }
+
+    fn obj(base_off: u32, len: u64) -> Capability {
+        Capability::root_mem_rw()
+            .with_address(layout::SRAM_BASE + base_off)
+            .set_bounds(len)
+            .unwrap()
+    }
+
+    #[test]
+    fn fifo_order() {
+        let (mut m, mut q) = setup();
+        for i in 0..4 {
+            q.try_send(&mut m, obj(0x1000 + i * 64, 32)).unwrap();
+        }
+        assert_eq!(q.try_send(&mut m, obj(0, 8)), Err(QueueError::Full));
+        for i in 0..4 {
+            let c = q.try_recv(&mut m).unwrap();
+            assert_eq!(c.base(), layout::SRAM_BASE + 0x1000 + i * 64);
+        }
+        assert_eq!(q.try_recv(&mut m).unwrap_err(), QueueError::Empty);
+    }
+
+    #[test]
+    fn wraparound() {
+        let (mut m, mut q) = setup();
+        for round in 0..10u32 {
+            q.try_send(&mut m, obj(0x1000 + round * 8, 8)).unwrap();
+            let c = q.try_recv(&mut m).unwrap();
+            assert_eq!(c.base(), layout::SRAM_BASE + 0x1000 + round * 8);
+        }
+    }
+
+    #[test]
+    fn authority_travels_with_the_message() {
+        let (mut m, mut q) = setup();
+        let ro = obj(0x1000, 64).and_perms(!Permissions::SD & !Permissions::LM);
+        q.try_send(&mut m, ro).unwrap();
+        let got = q.try_recv(&mut m).unwrap();
+        assert!(got.tag());
+        assert!(!got.perms().contains(Permissions::SD));
+    }
+
+    #[test]
+    fn revoked_payloads_arrive_dead() {
+        let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+        let mut heap =
+            HeapAllocator::new(&mut m, TemporalPolicy::Quarantine(RevokerKind::Hardware));
+        let buf = Capability::root_mem_rw()
+            .with_address(layout::SRAM_BASE + 0x400)
+            .set_bounds(32)
+            .unwrap();
+        let mut q = MessageQueue::new(buf, 4);
+        let pkt = heap.malloc(&mut m, 64).unwrap();
+        q.try_send(&mut m, pkt).unwrap();
+        // The producer frees the packet before the consumer drains it.
+        heap.free(&mut m, pkt).unwrap();
+        let got = q.try_recv(&mut m).unwrap();
+        assert!(!got.tag(), "stale queue payload must be stripped");
+    }
+
+    #[test]
+    fn dequeued_slot_is_scrubbed() {
+        let (mut m, mut q) = setup();
+        q.try_send(&mut m, obj(0x1000, 64)).unwrap();
+        let slot_addr = q.buf.base();
+        q.try_recv(&mut m).unwrap();
+        let (_, tag) = m.sram.read_cap_word(slot_addr).unwrap();
+        assert!(!tag, "no residual authority in drained slots");
+    }
+}

@@ -1,0 +1,328 @@
+//! Virtualized sealing (paper §3.2.2, footnote 5).
+//!
+//! The architectural otype field is only three bits, so the RTOS
+//! bootstraps a *virtualized* sealing mechanism on top of it: a sealed
+//! "box" is a small TCB-owned allocation holding an unbounded software key
+//! and the payload capability, itself hardware-sealed with one of the data
+//! otypes reserved for the RTOS. Holders of the box capability can do
+//! nothing with it (it is architecturally opaque); only the sealing
+//! service, presenting the matching key, can recover the payload.
+
+use cheriot_alloc::{AllocError, HeapAllocator};
+use cheriot_cap::{CapFault, Capability, OType, Permissions};
+use cheriot_core::{Machine, TrapCause};
+use core::fmt;
+
+/// The hardware data otype the RTOS reserves for virtualized sealing
+/// boxes.
+pub const BOX_OTYPE: u32 = 4;
+
+/// A software sealing key: an unbounded virtual otype.
+///
+/// Keys are unforgeable by construction — only
+/// [`SealingService::create_key`] mints them, and they are not `Clone`.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SealingKey(u32);
+
+impl SealingKey {
+    /// The virtual otype this key names.
+    pub fn virtual_otype(&self) -> u32 {
+        self.0
+    }
+}
+
+/// Errors from the sealing service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SealError {
+    /// The presented capability is not one of this service's boxes.
+    NotASealedBox,
+    /// The key does not match the box's virtual otype.
+    WrongKey,
+    /// The box's payload has been revoked (freed while sealed).
+    PayloadRevoked,
+    /// Out of heap memory for the box.
+    Alloc(AllocError),
+    /// A metered access faulted (mis-configuration).
+    Trap(TrapCause),
+}
+
+impl fmt::Display for SealError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SealError::NotASealedBox => write!(f, "not a sealed box"),
+            SealError::WrongKey => write!(f, "wrong sealing key"),
+            SealError::PayloadRevoked => write!(f, "sealed payload was revoked"),
+            SealError::Alloc(e) => write!(f, "box allocation failed: {e}"),
+            SealError::Trap(t) => write!(f, "sealing service trapped: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for SealError {}
+
+/// The TCB sealing service.
+///
+/// Holds the architectural sealing authority for [`BOX_OTYPE`] and a
+/// Store-Local-capable view of the heap so boxes can hold *local* payloads
+/// too (scoped delegation of sealed objects).
+#[derive(Debug)]
+pub struct SealingService {
+    seal_auth: Capability,
+    unseal_auth: Capability,
+    box_view: Capability,
+    next_key: u32,
+}
+
+impl SealingService {
+    /// Constructs the service. TCB-only: requires the sealing root, which
+    /// early boot erases after handing it to the services that need it.
+    pub fn new() -> SealingService {
+        let root = Capability::root_sealing().with_address(BOX_OTYPE);
+        SealingService {
+            seal_auth: root.and_perms(!Permissions::US),
+            unseal_auth: root.and_perms(!Permissions::SE),
+            box_view: Capability::root_mem_rw(),
+            next_key: 8, // virtual otypes start beyond the architectural 0..7
+        }
+    }
+
+    /// Mints a fresh key (an unbounded virtual otype).
+    pub fn create_key(&mut self) -> SealingKey {
+        let k = SealingKey(self.next_key);
+        self.next_key += 1;
+        k
+    }
+
+    /// Seals `payload` under `key`: allocates a box, stores the key id and
+    /// the payload, and returns the hardware-sealed box capability.
+    ///
+    /// # Errors
+    ///
+    /// [`SealError::Alloc`] when the heap cannot serve the box.
+    pub fn seal(
+        &mut self,
+        m: &mut Machine,
+        heap: &mut HeapAllocator,
+        key: &SealingKey,
+        payload: Capability,
+    ) -> Result<Capability, SealError> {
+        let boxc = heap.malloc(m, 16).map_err(SealError::Alloc)?;
+        // The service's own SL-capable view of the box (TCB privilege): a
+        // sealed box may carry a local payload without leaking it.
+        let view = self
+            .box_view
+            .with_address(boxc.base())
+            .set_bounds(16)
+            .expect("box is small and aligned");
+        let mut meter = m.meter();
+        meter
+            .store(view, view.base(), 4, key.0)
+            .map_err(SealError::Trap)?;
+        meter
+            .store_cap(view, view.base() + 8, payload)
+            .map_err(SealError::Trap)?;
+        let sealed = boxc
+            .seal_with(self.seal_auth)
+            .expect("freshly allocated caps are sealable");
+        Ok(sealed)
+    }
+
+    /// Unseals a box, returning the payload if `key` matches.
+    ///
+    /// # Errors
+    ///
+    /// [`SealError::NotASealedBox`] for capabilities not sealed with the
+    /// service's otype; [`SealError::WrongKey`] on key mismatch;
+    /// [`SealError::PayloadRevoked`] if the payload was freed while sealed
+    /// (the load filter strips it on the way out — temporal safety extends
+    /// through sealing).
+    pub fn unseal(
+        &mut self,
+        m: &mut Machine,
+        key: &SealingKey,
+        sealed: Capability,
+    ) -> Result<Capability, SealError> {
+        if sealed.otype() != OType::Data(BOX_OTYPE as u8) {
+            return Err(SealError::NotASealedBox);
+        }
+        let boxc = match sealed.unseal_with(self.unseal_auth) {
+            Ok(c) => c,
+            Err(CapFault::TagViolation) | Err(CapFault::OTypeMismatch) => {
+                return Err(SealError::NotASealedBox)
+            }
+            Err(_) => return Err(SealError::NotASealedBox),
+        };
+        let view = self
+            .box_view
+            .with_address(boxc.base())
+            .set_bounds(16)
+            .expect("box view");
+        let mut meter = m.meter();
+        let stored_key = meter.load(view, view.base(), 4).map_err(SealError::Trap)?;
+        if stored_key != key.0 {
+            return Err(SealError::WrongKey);
+        }
+        let payload = meter
+            .load_cap(view, view.base() + 8)
+            .map_err(SealError::Trap)?;
+        if !payload.tag() {
+            return Err(SealError::PayloadRevoked);
+        }
+        Ok(payload)
+    }
+
+    /// Destroys a box, freeing its memory. The sealed capability becomes
+    /// permanently useless (revocation handles stale copies).
+    ///
+    /// # Errors
+    ///
+    /// As [`SealingService::unseal`] plus allocator errors.
+    pub fn destroy(
+        &mut self,
+        m: &mut Machine,
+        heap: &mut HeapAllocator,
+        key: &SealingKey,
+        sealed: Capability,
+    ) -> Result<(), SealError> {
+        // Validate ownership first.
+        let _payload = self.unseal(m, key, sealed);
+        let boxc = sealed
+            .unseal_with(self.unseal_auth)
+            .map_err(|_| SealError::NotASealedBox)?;
+        heap.free(m, boxc.and_perms(!Permissions::SL))
+            .map_err(SealError::Alloc)
+    }
+}
+
+impl Default for SealingService {
+    fn default() -> SealingService {
+        SealingService::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheriot_alloc::{RevokerKind, TemporalPolicy};
+    use cheriot_core::{CoreModel, MachineConfig};
+
+    fn setup() -> (Machine, HeapAllocator, SealingService) {
+        let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+        let heap = HeapAllocator::new(&mut m, TemporalPolicy::Quarantine(RevokerKind::Hardware));
+        (m, heap, SealingService::new())
+    }
+
+    #[test]
+    fn seal_round_trip() {
+        let (mut m, mut heap, mut svc) = setup();
+        let key = svc.create_key();
+        let payload = heap.malloc(&mut m, 64).unwrap();
+        let sealed = svc.seal(&mut m, &mut heap, &key, payload).unwrap();
+        assert!(sealed.is_sealed());
+        let out = svc.unseal(&mut m, &key, sealed).unwrap();
+        assert_eq!(out.base(), payload.base());
+        assert_eq!(out.length(), payload.length());
+    }
+
+    #[test]
+    fn virtual_otypes_exceed_architectural_space() {
+        let (_, _, mut svc) = setup();
+        let keys: Vec<_> = (0..100).map(|_| svc.create_key()).collect();
+        assert!(keys.iter().any(|k| k.virtual_otype() > 7));
+        // All distinct.
+        let set: std::collections::BTreeSet<_> = keys.iter().map(|k| k.virtual_otype()).collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let (mut m, mut heap, mut svc) = setup();
+        let key_a = svc.create_key();
+        let key_b = svc.create_key();
+        let payload = heap.malloc(&mut m, 32).unwrap();
+        let sealed = svc.seal(&mut m, &mut heap, &key_a, payload).unwrap();
+        assert_eq!(svc.unseal(&mut m, &key_b, sealed), Err(SealError::WrongKey));
+        assert!(svc.unseal(&mut m, &key_a, sealed).is_ok());
+    }
+
+    #[test]
+    fn sealed_box_is_architecturally_opaque() {
+        let (mut m, mut heap, mut svc) = setup();
+        let key = svc.create_key();
+        let payload = heap.malloc(&mut m, 32).unwrap();
+        let sealed = svc.seal(&mut m, &mut heap, &key, payload).unwrap();
+        // Holders cannot read the box, move its cursor, or shrink it.
+        assert!(sealed
+            .check_access(sealed.address(), 1, Permissions::LD)
+            .is_err());
+        assert!(!sealed.incremented(4).tag());
+        assert!(!sealed.set_bounds(8).unwrap().tag());
+    }
+
+    #[test]
+    fn arbitrary_sealed_caps_rejected() {
+        let (mut m, mut heap, mut svc) = setup();
+        let key = svc.create_key();
+        let other_auth = Capability::root_sealing().with_address(5);
+        let foreign = heap
+            .malloc(&mut m, 16)
+            .unwrap()
+            .seal_with(other_auth)
+            .unwrap();
+        assert_eq!(
+            svc.unseal(&mut m, &key, foreign),
+            Err(SealError::NotASealedBox)
+        );
+        let unsealed = heap.malloc(&mut m, 16).unwrap();
+        assert_eq!(
+            svc.unseal(&mut m, &key, unsealed),
+            Err(SealError::NotASealedBox)
+        );
+    }
+
+    #[test]
+    fn temporal_safety_extends_through_sealing() {
+        let (mut m, mut heap, mut svc) = setup();
+        let key = svc.create_key();
+        let payload = heap.malloc(&mut m, 48).unwrap();
+        let sealed = svc.seal(&mut m, &mut heap, &key, payload).unwrap();
+        // The payload is freed while the sealed box still holds a copy.
+        heap.free(&mut m, payload).unwrap();
+        // Unsealing must not resurrect it: the load filter strips the
+        // stored copy on its way out of the box.
+        assert_eq!(
+            svc.unseal(&mut m, &key, sealed),
+            Err(SealError::PayloadRevoked)
+        );
+    }
+
+    #[test]
+    fn destroy_frees_the_box() {
+        let (mut m, mut heap, mut svc) = setup();
+        let key = svc.create_key();
+        let payload = heap.malloc(&mut m, 32).unwrap();
+        let before = heap.stats().live_bytes;
+        let sealed = svc.seal(&mut m, &mut heap, &key, payload).unwrap();
+        assert!(heap.stats().live_bytes > before);
+        svc.destroy(&mut m, &mut heap, &key, sealed).unwrap();
+        assert_eq!(heap.stats().live_bytes, before);
+    }
+
+    #[test]
+    fn local_payloads_can_be_sealed_without_leaking() {
+        // A local (stack-derived) capability can live in a box because the
+        // TCB's box view has SL — but the *box* capability handed out is
+        // global, so holding it does not violate the stack discipline.
+        let (mut m, mut heap, mut svc) = setup();
+        let key = svc.create_key();
+        let local = Capability::root_mem_rw()
+            .with_address(cheriot_core::layout::SRAM_BASE + 0x100)
+            .set_bounds(32)
+            .unwrap()
+            .and_perms(!Permissions::GL);
+        let sealed = svc.seal(&mut m, &mut heap, &key, local).unwrap();
+        let out = svc.unseal(&mut m, &key, sealed).unwrap();
+        assert!(!out.is_global());
+        assert_eq!(out.base(), local.base());
+    }
+}

@@ -1,0 +1,208 @@
+//! Semihosted RTOS services for guest code.
+//!
+//! Guest programs reach the (natively-modelled) allocator compartment via
+//! `ecall`, the way compartments without a direct import would go through
+//! the RTOS: `a0` selects the service, arguments travel in `a1`, and the
+//! result comes back in `a0`. The servicing cost is charged like a
+//! cross-compartment call into the allocator (paper §7.2.2's dominant
+//! small-allocation cost).
+//!
+//! | a0 | service | a1 | result (a0) |
+//! |----|---------|----|-------------|
+//! | 1  | malloc  | size | object capability, or untagged on failure |
+//! | 2  | free    | capability | 0 ok, -1 error |
+//! | 3  | exit    | code | (run returns `Halted(code)`) |
+
+use cheriot_alloc::HeapAllocator;
+use cheriot_core::insn::Reg;
+use cheriot_core::{ExitReason, Machine, TrapCause};
+
+/// Service numbers for the guest ABI.
+pub mod sys {
+    /// Allocate `a1` bytes.
+    pub const MALLOC: u32 = 1;
+    /// Free the capability in `ca1`.
+    pub const FREE: u32 = 2;
+    /// Terminate with code `a1`.
+    pub const EXIT: u32 = 3;
+}
+
+/// Cycle cost of the service dispatch itself (trap entry is charged by the
+/// machine; this is the switcher-class overhead of entering the allocator
+/// compartment).
+const SERVICE_DISPATCH_CYCLES: u64 = 260;
+
+/// Runs the machine, servicing `ecall`s against `heap` until the program
+/// exits, faults, or exhausts `max_cycles`.
+///
+/// The machine must have no trap vector installed (`mtcc` untagged):
+/// unvectored environment calls surface to this host loop, everything
+/// else is a real fault.
+pub fn run_with_heap_service(
+    m: &mut Machine,
+    heap: &mut HeapAllocator,
+    max_cycles: u64,
+) -> ExitReason {
+    let deadline = m.cycles.saturating_add(max_cycles);
+    loop {
+        let budget = deadline.saturating_sub(m.cycles);
+        if budget == 0 {
+            return ExitReason::CycleLimit;
+        }
+        match m.run(budget) {
+            ExitReason::Fault(TrapCause::EnvironmentCall) => {
+                m.advance(SERVICE_DISPATCH_CYCLES, 20);
+                let op = m.cpu.read_int(Reg::A0);
+                match op {
+                    sys::MALLOC => {
+                        let size = m.cpu.read_int(Reg::A1);
+                        match heap.malloc(m, size) {
+                            Ok(cap) => m.cpu.write(Reg::A0, cap),
+                            Err(_) => m.cpu.write_int(Reg::A0, 0),
+                        }
+                    }
+                    sys::FREE => {
+                        let cap = m.cpu.read(Reg::A1);
+                        let ok = heap.free(m, cap).is_ok();
+                        m.cpu.write_int(Reg::A0, if ok { 0 } else { u32::MAX });
+                    }
+                    sys::EXIT => {
+                        return ExitReason::Halted(m.cpu.read_int(Reg::A1));
+                    }
+                    _ => return ExitReason::Fault(TrapCause::EnvironmentCall),
+                }
+                // Scrub the argument register, as the real service returns
+                // through the switcher with cleared registers.
+                m.cpu.write_int(Reg::A1, 0);
+                m.resume_from_syscall();
+            }
+            other => return other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheriot_alloc::{RevokerKind, TemporalPolicy};
+    use cheriot_asm::Asm;
+    use cheriot_core::{CoreModel, MachineConfig};
+
+    fn setup() -> (Machine, HeapAllocator) {
+        let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+        let heap = HeapAllocator::new(&mut m, TemporalPolicy::Quarantine(RevokerKind::Hardware));
+        (m, heap)
+    }
+
+    #[test]
+    fn guest_malloc_write_free() {
+        let (mut m, mut heap) = setup();
+        let mut a = Asm::new();
+        // p = malloc(64)
+        a.li(Reg::A0, 1);
+        a.li(Reg::A1, 64);
+        a.ecall();
+        a.cmove(Reg::S0, Reg::A0);
+        // *p = 42; x = *p
+        a.li(Reg::T0, 42);
+        a.sw(Reg::T0, 0, Reg::S0);
+        a.lw(Reg::S1, 0, Reg::S0);
+        // free(p)
+        a.li(Reg::A0, 2);
+        a.cmove(Reg::A1, Reg::S0);
+        a.ecall();
+        // exit(x)
+        a.li(Reg::A0, 3);
+        a.cmove(Reg::A1, Reg::S1);
+        a.ecall();
+        let entry = m.load_program(&a.assemble());
+        m.set_entry(entry);
+        let r = run_with_heap_service(&mut m, &mut heap, 1_000_000);
+        assert_eq!(r, ExitReason::Halted(42));
+        assert_eq!(heap.stats().allocs, 1);
+        assert_eq!(heap.stats().frees, 1);
+    }
+
+    #[test]
+    fn guest_use_after_free_faults() {
+        let (mut m, mut heap) = setup();
+        let mut a = Asm::new();
+        a.li(Reg::A0, 1);
+        a.li(Reg::A1, 64);
+        a.ecall();
+        a.cmove(Reg::S0, Reg::A0);
+        // Stash the pointer in a global slot, free it, reload it, use it.
+        a.csc(Reg::S0, 0, Reg::GP);
+        a.li(Reg::A0, 2);
+        a.cmove(Reg::A1, Reg::S0);
+        a.ecall();
+        a.clc(Reg::S0, 0, Reg::GP); // load filter strips here
+        a.lw(Reg::T0, 0, Reg::S0); // tag violation
+        a.li(Reg::A0, 3);
+        a.li(Reg::A1, 0);
+        a.ecall();
+        let entry = m.load_program(&a.assemble());
+        m.set_entry(entry);
+        let globals = cheriot_cap::Capability::root_mem_rw()
+            .with_address(cheriot_core::layout::SRAM_BASE + 0x40)
+            .set_bounds(16)
+            .unwrap();
+        m.cpu.write(Reg::GP, globals);
+        let r = run_with_heap_service(&mut m, &mut heap, 1_000_000);
+        assert!(
+            matches!(
+                r,
+                ExitReason::Fault(TrapCause::Cheri {
+                    fault: cheriot_cap::CapFault::TagViolation,
+                    ..
+                })
+            ),
+            "guest UAF must be dead on arrival: {r:?}"
+        );
+        assert_eq!(m.stats.filter_strips, 1);
+    }
+
+    #[test]
+    fn guest_oom_returns_null() {
+        let (mut m, mut heap) = setup();
+        let mut a = Asm::new();
+        a.li(Reg::A0, 1);
+        a.li(Reg::A1, 0x7fffffff); // absurd size
+        a.ecall();
+        a.cgettag(Reg::T0, Reg::A0);
+        a.li(Reg::A0, 3);
+        a.mv(Reg::A1, Reg::T0);
+        a.ecall();
+        let entry = m.load_program(&a.assemble());
+        m.set_entry(entry);
+        let r = run_with_heap_service(&mut m, &mut heap, 1_000_000);
+        assert_eq!(r, ExitReason::Halted(0), "null capability on failure");
+    }
+
+    #[test]
+    fn guest_churn_keeps_heap_consistent() {
+        let (mut m, mut heap) = setup();
+        let mut a = Asm::new();
+        a.li(Reg::S1, 200); // iterations
+        let top = a.here();
+        a.li(Reg::A0, 1);
+        a.li(Reg::A1, 96);
+        a.ecall();
+        a.cmove(Reg::S0, Reg::A0);
+        a.sw(Reg::S1, 0, Reg::S0);
+        a.li(Reg::A0, 2);
+        a.cmove(Reg::A1, Reg::S0);
+        a.ecall();
+        a.addi(Reg::S1, Reg::S1, -1);
+        a.bnez(Reg::S1, top);
+        a.li(Reg::A0, 3);
+        a.li(Reg::A1, 0);
+        a.ecall();
+        let entry = m.load_program(&a.assemble());
+        m.set_entry(entry);
+        let r = run_with_heap_service(&mut m, &mut heap, 50_000_000);
+        assert_eq!(r, ExitReason::Halted(0));
+        assert_eq!(heap.stats().allocs, 200);
+        heap.check_consistency(&m).unwrap();
+    }
+}

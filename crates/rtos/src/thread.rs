@@ -1,0 +1,182 @@
+//! Threads: preemptible execution contexts, orthogonal to compartments
+//! (paper §2.6).
+//!
+//! Each thread owns a stack region. Stack capabilities are *local* (no GL)
+//! and are the only capabilities with Store-Local permission, so references
+//! to a stack can live only in registers and on that stack — the foundation
+//! of scoped delegation (§5.2).
+
+use crate::compartment::CompartmentId;
+use cheriot_cap::{Capability, Permissions};
+
+/// Identifies a thread within a [`crate::Rtos`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub(crate) usize);
+
+impl ThreadId {
+    /// Constructs an id from a raw index (see
+    /// [`crate::compartment::CompartmentId::from_raw`]).
+    pub fn from_raw(index: usize) -> ThreadId {
+        ThreadId(index)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Scheduler state of a thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Runnable.
+    Ready,
+    /// Sleeping until the given cycle count.
+    Sleeping {
+        /// Absolute machine cycle at which the thread becomes ready.
+        until: u64,
+    },
+    /// The thread body returned `Done`.
+    Finished,
+}
+
+/// A trusted-stack activation frame, pushed by the switcher on every
+/// cross-compartment call.
+#[derive(Clone, Copy, Debug)]
+pub struct Frame {
+    /// Compartment to return to.
+    pub caller: CompartmentId,
+    /// Caller's stack pointer at the time of the call.
+    pub sp_at_call: u32,
+    /// Interrupt posture to restore.
+    pub interrupts_at_call: bool,
+}
+
+/// A thread's control block.
+#[derive(Clone, Debug)]
+pub struct Thread {
+    /// Identifier.
+    pub id: ThreadId,
+    /// Priority: higher runs first.
+    pub priority: u8,
+    /// Lowest address of the stack region.
+    pub stack_base: u32,
+    /// One past the highest address of the stack region.
+    pub stack_top: u32,
+    /// Current stack pointer (grows downward).
+    pub sp: u32,
+    /// The stack high water mark: lowest address stored to since last reset
+    /// (mirrors the `mshwm` CSR for this thread; saved/restored on context
+    /// switch).
+    pub hwm: u32,
+    /// Scheduler state.
+    pub state: ThreadState,
+    /// Compartment currently executing.
+    pub compartment: CompartmentId,
+    /// Trusted stack of activation frames (switcher-private).
+    pub frames: Vec<Frame>,
+    /// Cycles this thread has been charged.
+    pub busy_cycles: u64,
+    /// The thread's stack capability template: local (no GL), Store-Local.
+    pub stack_cap: Capability,
+}
+
+impl Thread {
+    /// Creates a thread with a stack over `[stack_base, stack_top)`,
+    /// starting in `compartment`.
+    pub fn new(
+        id: ThreadId,
+        priority: u8,
+        stack_base: u32,
+        stack_top: u32,
+        compartment: CompartmentId,
+    ) -> Thread {
+        let stack_cap = Capability::root_mem_rw()
+            .with_address(stack_base)
+            .set_bounds(u64::from(stack_top - stack_base))
+            .expect("stack region must be representable")
+            .and_perms(!Permissions::GL); // stacks are local, keep SL
+        debug_assert!(stack_cap.perms().contains(Permissions::SL));
+        debug_assert!(!stack_cap.perms().contains(Permissions::GL));
+        Thread {
+            id,
+            priority,
+            stack_base,
+            stack_top,
+            sp: stack_top,
+            hwm: stack_top,
+            state: ThreadState::Ready,
+            compartment,
+            frames: Vec::new(),
+            busy_cycles: 0,
+            stack_cap,
+        }
+    }
+
+    /// Records that execution dirtied the stack down to `sp - bytes`
+    /// (the hardware HWM update of paper §5.2.1, driven here by native
+    /// compartment code declaring its frame usage).
+    pub fn touch_stack(&mut self, bytes: u32) {
+        let low = self.sp.saturating_sub(bytes).max(self.stack_base);
+        self.hwm = self.hwm.min(low & !0x7);
+    }
+
+    /// Bytes of stack currently dirty below the stack pointer.
+    pub fn dirty_below_sp(&self) -> u32 {
+        self.sp.saturating_sub(self.hwm)
+    }
+
+    /// Derives the chopped stack capability handed to a callee:
+    /// `[stack_base, sp)`, local, with SL (paper §5.2).
+    pub fn chopped_stack(&self) -> Capability {
+        self.stack_cap
+            .with_address(self.stack_base)
+            .set_bounds(u64::from(self.sp - self.stack_base))
+            .expect("chopped stack within region")
+            .with_address(self.sp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn thread() -> Thread {
+        Thread::new(ThreadId(0), 1, 0x2000_1000, 0x2000_2000, CompartmentId(0))
+    }
+
+    #[test]
+    fn stack_cap_is_local_with_sl() {
+        let t = thread();
+        assert!(t.stack_cap.perms().contains(Permissions::SL));
+        assert!(!t.stack_cap.perms().contains(Permissions::GL));
+    }
+
+    #[test]
+    fn hwm_tracks_lowest_touch() {
+        let mut t = thread();
+        assert_eq!(t.dirty_below_sp(), 0);
+        t.touch_stack(128);
+        assert_eq!(t.dirty_below_sp(), 128);
+        t.touch_stack(64); // higher than current hwm: no change
+        assert_eq!(t.dirty_below_sp(), 128);
+    }
+
+    #[test]
+    fn chopped_stack_excludes_used_part() {
+        let mut t = thread();
+        t.sp -= 256;
+        let chopped = t.chopped_stack();
+        assert_eq!(chopped.base(), t.stack_base);
+        assert_eq!(chopped.top(), u64::from(t.sp));
+        assert!(chopped.tag());
+        assert!(chopped.perms().contains(Permissions::SL));
+    }
+
+    #[test]
+    fn touch_clamps_to_stack_base() {
+        let mut t = thread();
+        t.touch_stack(1 << 20);
+        assert_eq!(t.hwm, t.stack_base);
+    }
+}

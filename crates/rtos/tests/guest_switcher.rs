@@ -1,0 +1,455 @@
+//! End-to-end tests of the *guest-code* compartment switcher: real
+//! cross-compartment calls executed instruction by instruction on the
+//! simulated CPU, with sealed export entries, a trusted stack through
+//! MTDC, stack chopping/zeroing driven by the high-water mark, and
+//! interrupt posture carried by sentries.
+
+use cheriot_asm::Asm;
+use cheriot_cap::{Capability, Permissions};
+use cheriot_core::insn::Reg;
+use cheriot_core::{layout, CoreModel, ExitReason, Machine, MachineConfig};
+use cheriot_rtos::guest_switcher::{guest_compartment, GuestSwitcher};
+
+const TCB_BASE: u32 = layout::SRAM_BASE + 0x200;
+const A_GLOBALS: u32 = layout::SRAM_BASE + 0x1000;
+const B_GLOBALS: u32 = layout::SRAM_BASE + 0x1100;
+const C_GLOBALS: u32 = layout::SRAM_BASE + 0x1200;
+const STACK_BASE: u32 = layout::SRAM_BASE + 0x2000;
+const STACK_TOP: u32 = STACK_BASE + 0x200;
+
+fn machine() -> Machine {
+    Machine::new(MachineConfig::new(CoreModel::ibex()))
+}
+
+fn globals_cap(base: u32) -> Capability {
+    Capability::root_mem_rw()
+        .with_address(base)
+        .set_bounds(0x100)
+        .unwrap()
+}
+
+fn stack_cap() -> Capability {
+    Capability::root_mem_rw()
+        .with_address(STACK_BASE)
+        .set_bounds(u64::from(STACK_TOP - STACK_BASE))
+        .unwrap()
+        .and_perms(!Permissions::GL) // stacks are local
+        .with_address(STACK_TOP)
+}
+
+/// Prepares thread state: stack pointer, HWM CSRs, interrupts on.
+fn setup_thread(m: &mut Machine) {
+    m.cpu.write(Reg::SP, stack_cap());
+    m.cpu.mshwmb = STACK_BASE;
+    m.cpu.mshwm = STACK_TOP;
+    m.cpu.interrupts_enabled = true;
+}
+
+/// Builds the canonical two-compartment image:
+/// A(entry): a0 += 1; call B; a0 += 100; halt.
+/// B(entry): a0 = (a0 + B.global[0]) * 2; cret.
+fn build_a_calls_b(m: &mut Machine) -> GuestSwitcher {
+    let mut sw = GuestSwitcher::install(m, TCB_BASE, 512);
+
+    // B's code.
+    let mut b = Asm::new();
+    b.lw(Reg::T0, 0, Reg::GP); // B's private global (7)
+    b.add(Reg::A0, Reg::A0, Reg::T0);
+    b.slli(Reg::A0, Reg::A0, 1);
+    // Dirty B's stack with a "secret" to check return-path zeroing.
+    b.li(Reg::T1, 0x5ec2e7);
+    b.sw(Reg::T1, -8, Reg::SP);
+    b.cret();
+    let b_prog = b.assemble();
+    let b_base = m.load_program(&b_prog);
+    let b_comp = guest_compartment(b_base, 4 * b_prog.len() as u32, globals_cap(B_GLOBALS));
+    let b_export = sw.make_export(m, &b_comp, 0);
+
+    // A's code.
+    let mut a = Asm::new();
+    a.clc(Reg::T0, 0, Reg::GP); // sealed export entry for B
+    a.clc(Reg::T1, 8, Reg::GP); // switcher call sentry
+    a.addi(Reg::A0, Reg::A0, 1);
+    a.cjalr(Reg::RA, Reg::T1);
+    a.addi(Reg::A0, Reg::A0, 100);
+    a.halt();
+    let a_prog = a.assemble();
+    let a_base = m.load_program(&a_prog);
+    let a_comp = guest_compartment(a_base, 4 * a_prog.len() as u32, globals_cap(A_GLOBALS));
+
+    // Link: A's globals hold its import table.
+    let root = Capability::root_mem_rw();
+    m.meter()
+        .store_cap(
+            root.with_address(A_GLOBALS).set_bounds(16).unwrap(),
+            A_GLOBALS,
+            b_export,
+        )
+        .unwrap();
+    m.meter()
+        .store_cap(
+            root.with_address(A_GLOBALS + 8).set_bounds(8).unwrap(),
+            A_GLOBALS + 8,
+            sw.call_sentry,
+        )
+        .unwrap();
+    // B's private global.
+    m.meter()
+        .store(
+            root.with_address(B_GLOBALS).set_bounds(4).unwrap(),
+            B_GLOBALS,
+            4,
+            7,
+        )
+        .unwrap();
+
+    // Start in A.
+    m.cpu.pcc = a_comp.code.with_address(a_base);
+    m.cpu.write(Reg::GP, a_comp.globals);
+    setup_thread(m);
+    sw
+}
+
+#[test]
+fn cross_compartment_call_round_trip() {
+    let mut m = machine();
+    let sw = build_a_calls_b(&mut m);
+    m.cpu.write_int(Reg::A0, 5);
+    let r = m.run(100_000);
+    // A: 5+1=6; B: (6+7)*2 = 26; A: +100 = 126.
+    assert_eq!(r, ExitReason::Halted(126), "stats: {:?}", m.stats);
+    // Posture preserved across the whole call chain.
+    assert!(m.cpu.interrupts_enabled);
+    // Trusted stack fully popped: cursor back to the header.
+    assert_eq!(m.cpu.mtdc.address(), TCB_BASE + 24);
+    // Paper: the switcher is a few hundred hand-written instructions.
+    assert!(
+        sw.instruction_count < 150,
+        "ours is a subset of the real ~300: {}",
+        sw.instruction_count
+    );
+}
+
+#[test]
+fn callee_stack_residue_is_destroyed() {
+    let mut m = machine();
+    build_a_calls_b(&mut m);
+    m.cpu.write_int(Reg::A0, 5);
+    assert_eq!(m.run(100_000), ExitReason::Halted(126));
+    // B wrote 0x5ec2e7 at STACK_TOP-8; the switcher must have zeroed it.
+    let mut addr = STACK_BASE;
+    while addr < STACK_TOP {
+        let (word, tag) = m.sram.read_cap_word(addr).unwrap();
+        assert_eq!(word, 0, "secret residue at {addr:#x}");
+        assert!(!tag);
+        addr += 8;
+    }
+    // And the high-water mark is back at the caller's sp.
+    assert_eq!(m.cpu.mshwm, STACK_TOP);
+}
+
+#[test]
+fn callee_cannot_see_caller_frame() {
+    let mut m = machine();
+    let mut sw = GuestSwitcher::install(&mut m, TCB_BASE, 512);
+
+    // B returns the length of the stack it was given.
+    let mut b = Asm::new();
+    b.cgetlen(Reg::A0, Reg::SP);
+    b.cret();
+    let b_prog = b.assemble();
+    let b_base = m.load_program(&b_prog);
+    let b_comp = guest_compartment(b_base, 4 * b_prog.len() as u32, globals_cap(B_GLOBALS));
+    let b_export = sw.make_export(&mut m, &b_comp, 0);
+
+    // A dirties 64 bytes of stack (moving sp down) before calling.
+    let mut a = Asm::new();
+    a.clc(Reg::T0, 0, Reg::GP);
+    a.clc(Reg::T1, 8, Reg::GP);
+    a.cincaddrimm(Reg::SP, Reg::SP, -64);
+    a.sw(Reg::ZERO, 0, Reg::SP);
+    a.cjalr(Reg::RA, Reg::T1);
+    a.halt();
+    let a_prog = a.assemble();
+    let a_base = m.load_program(&a_prog);
+    let a_comp = guest_compartment(a_base, 4 * a_prog.len() as u32, globals_cap(A_GLOBALS));
+
+    let root = Capability::root_mem_rw();
+    m.meter()
+        .store_cap(
+            root.with_address(A_GLOBALS).set_bounds(16).unwrap(),
+            A_GLOBALS,
+            b_export,
+        )
+        .unwrap();
+    m.meter()
+        .store_cap(
+            root.with_address(A_GLOBALS + 8).set_bounds(8).unwrap(),
+            A_GLOBALS + 8,
+            sw.call_sentry,
+        )
+        .unwrap();
+    m.cpu.pcc = a_comp.code.with_address(a_base);
+    m.cpu.write(Reg::GP, a_comp.globals);
+    setup_thread(&mut m);
+
+    let r = m.run(100_000);
+    // The callee's stack view is exactly the unused part: full size minus
+    // the caller's 64 dirty bytes.
+    let expect = (STACK_TOP - STACK_BASE) - 64;
+    assert_eq!(r, ExitReason::Halted(expect));
+}
+
+#[test]
+fn forged_export_is_rejected() {
+    let mut m = machine();
+    let mut sw = GuestSwitcher::install(&mut m, TCB_BASE, 512);
+
+    // A presents an *unsealed* fake export entry.
+    let mut a = Asm::new();
+    a.clc(Reg::T1, 8, Reg::GP); // switcher sentry
+    a.cmove(Reg::T0, Reg::GP); // "export": just some data cap
+    a.cjalr(Reg::RA, Reg::T1);
+    a.halt();
+    let a_prog = a.assemble();
+    let a_base = m.load_program(&a_prog);
+    let a_comp = guest_compartment(a_base, 4 * a_prog.len() as u32, globals_cap(A_GLOBALS));
+    let root = Capability::root_mem_rw();
+    m.meter()
+        .store_cap(
+            root.with_address(A_GLOBALS + 8).set_bounds(8).unwrap(),
+            A_GLOBALS + 8,
+            sw.call_sentry,
+        )
+        .unwrap();
+    // Also exercise the seal-authority privacy: a compartment cannot mint
+    // its own export entries (no SE authority for the export otype).
+    let fake_seal = a_comp.globals.with_address(1);
+    assert!(a_comp.globals.seal_with(fake_seal).is_err());
+
+    m.cpu.pcc = a_comp.code.with_address(a_base);
+    m.cpu.write(Reg::GP, a_comp.globals);
+    setup_thread(&mut m);
+    let r = m.run(100_000);
+    // The switcher rejects the forgery and returns -1 to the caller, which
+    // halts with it — the system call failed, the system did not.
+    assert_eq!(
+        r,
+        ExitReason::Halted(u32::MAX),
+        "switcher must reject the forgery with an error return"
+    );
+    assert!(m.cpu.interrupts_enabled, "caller posture restored");
+    let _ = &mut sw;
+}
+
+#[test]
+fn faulting_guest_callee_is_unwound_to_caller() {
+    // The full §2.2 story in guest code: B walks off the end of its
+    // globals, traps, and the switcher's fault path unwinds the trusted
+    // stack and returns -1 to A — which keeps running.
+    let mut m = machine();
+    let mut sw = GuestSwitcher::install(&mut m, TCB_BASE, 512);
+
+    // B: dirty the stack, then do an out-of-bounds store and never return.
+    let mut b = Asm::new();
+    b.li(Reg::T1, 0x5ec2e7);
+    b.sw(Reg::T1, -8, Reg::SP); // residue the unwind must destroy
+    b.lw(Reg::T0, 0x100, Reg::GP); // OOB: globals are 0x100 long... load at +0x100
+    b.cret(); // never reached
+    let b_prog = b.assemble();
+    let b_base = m.load_program(&b_prog);
+    let b_comp = guest_compartment(b_base, 4 * b_prog.len() as u32, globals_cap(B_GLOBALS));
+    let b_export = sw.make_export(&mut m, &b_comp, 0);
+
+    // A: call B; then prove it is still alive by doing real work after
+    // receiving the error.
+    let mut a = Asm::new();
+    a.clc(Reg::T0, 0, Reg::GP);
+    a.clc(Reg::T1, 8, Reg::GP);
+    a.li(Reg::S0, 7);
+    a.cjalr(Reg::RA, Reg::T1);
+    // a0 == -1 (error); package proof-of-life: a0 = a0 + s0 + 10 = 16.
+    a.add(Reg::A0, Reg::A0, Reg::S0);
+    a.addi(Reg::A0, Reg::A0, 10);
+    a.halt();
+    let a_prog = a.assemble();
+    let a_base = m.load_program(&a_prog);
+    let a_comp = guest_compartment(a_base, 4 * a_prog.len() as u32, globals_cap(A_GLOBALS));
+
+    let root = Capability::root_mem_rw();
+    m.meter()
+        .store_cap(
+            root.with_address(A_GLOBALS).set_bounds(16).unwrap(),
+            A_GLOBALS,
+            b_export,
+        )
+        .unwrap();
+    m.meter()
+        .store_cap(
+            root.with_address(A_GLOBALS + 8).set_bounds(8).unwrap(),
+            A_GLOBALS + 8,
+            sw.call_sentry,
+        )
+        .unwrap();
+    m.cpu.pcc = a_comp.code.with_address(a_base);
+    m.cpu.write(Reg::GP, a_comp.globals);
+    setup_thread(&mut m);
+
+    let r = m.run(200_000);
+    // -1 + 7 + 10 = 16: A survived B's crash and did arithmetic with its
+    // preserved callee-saved register.
+    assert_eq!(r, ExitReason::Halted(16), "stats: {:?}", m.stats);
+    assert_eq!(m.stats.traps, 1, "exactly one CHERI fault");
+    assert_eq!(m.cpu.mtdc.address(), TCB_BASE + 24, "frame unwound");
+    assert!(m.cpu.interrupts_enabled, "caller posture restored");
+    // B's stack residue was destroyed by the unwind.
+    let mut addr = STACK_BASE;
+    while addr < STACK_TOP {
+        let (word, _) = m.sram.read_cap_word(addr).unwrap();
+        assert_eq!(word, 0, "residue at {addr:#x}");
+        addr += 8;
+    }
+}
+
+#[test]
+fn nested_calls_a_b_c() {
+    let mut m = machine();
+    let mut sw = GuestSwitcher::install(&mut m, TCB_BASE, 1024);
+
+    // C: a0 *= 3; cret.
+    let mut c = Asm::new();
+    c.li(Reg::T0, 3);
+    c.mul(Reg::A0, Reg::A0, Reg::T0);
+    c.cret();
+    let c_prog = c.assemble();
+    let c_base = m.load_program(&c_prog);
+    let c_comp = guest_compartment(c_base, 4 * c_prog.len() as u32, globals_cap(C_GLOBALS));
+    let c_export = sw.make_export(&mut m, &c_comp, 0);
+
+    // B: a0 += 10; call C; a0 += 1; cret. Like any compiled function, B
+    // saves its return capability (the return-to-switcher sentry) on its
+    // stack across its own outgoing call.
+    let mut b = Asm::new();
+    b.cincaddrimm(Reg::SP, Reg::SP, -16);
+    b.csc(Reg::RA, 0, Reg::SP);
+    b.clc(Reg::T0, 0, Reg::GP);
+    b.clc(Reg::T1, 8, Reg::GP);
+    b.addi(Reg::A0, Reg::A0, 10);
+    b.cjalr(Reg::RA, Reg::T1);
+    b.addi(Reg::A0, Reg::A0, 1);
+    b.clc(Reg::RA, 0, Reg::SP);
+    b.cincaddrimm(Reg::SP, Reg::SP, 16);
+    b.cret();
+    let b_prog = b.assemble();
+    let b_base = m.load_program(&b_prog);
+    let b_comp = guest_compartment(b_base, 4 * b_prog.len() as u32, globals_cap(B_GLOBALS));
+    let b_export = sw.make_export(&mut m, &b_comp, 0);
+
+    // A: call B; halt.
+    let mut a = Asm::new();
+    a.clc(Reg::T0, 0, Reg::GP);
+    a.clc(Reg::T1, 8, Reg::GP);
+    a.cjalr(Reg::RA, Reg::T1);
+    a.halt();
+    let a_prog = a.assemble();
+    let a_base = m.load_program(&a_prog);
+    let a_comp = guest_compartment(a_base, 4 * a_prog.len() as u32, globals_cap(A_GLOBALS));
+
+    let root = Capability::root_mem_rw();
+    let store_pair = |m: &mut Machine, base: u32, exp: Capability, sentry: Capability| {
+        m.meter()
+            .store_cap(root.with_address(base).set_bounds(16).unwrap(), base, exp)
+            .unwrap();
+        m.meter()
+            .store_cap(
+                root.with_address(base + 8).set_bounds(8).unwrap(),
+                base + 8,
+                sentry,
+            )
+            .unwrap();
+    };
+    store_pair(&mut m, A_GLOBALS, b_export, sw.call_sentry);
+    store_pair(&mut m, B_GLOBALS, c_export, sw.call_sentry);
+
+    m.cpu.pcc = a_comp.code.with_address(a_base);
+    m.cpu.write(Reg::GP, a_comp.globals);
+    setup_thread(&mut m);
+    m.cpu.write_int(Reg::A0, 4);
+    let r = m.run(200_000);
+    // A(4) -> B: 14 -> C: 42 -> B: 43 -> A halts with 43.
+    assert_eq!(r, ExitReason::Halted(43));
+    assert_eq!(m.cpu.mtdc.address(), TCB_BASE + 24, "both frames popped");
+}
+
+#[test]
+fn interrupts_stay_off_inside_the_switcher() {
+    // Arm the timer to fire mid-switch: the interrupt must be deferred
+    // until the callee (whose entry sentry re-enables) begins.
+    let mut m = machine();
+    let sw = build_a_calls_b(&mut m);
+    m.cpu.write_int(Reg::A0, 5);
+    // Install a trap vector so the interrupt is survivable; it bumps
+    // mtimecmp and returns.
+    let mut h = Asm::new();
+    h.li(Reg::T0, -1);
+    // Timer MMIO is reachable via a dedicated cap in ct2... keep it
+    // simple: the handler just parks mtimecmp by spinning cycles is not
+    // possible — so instead verify via posture snooping below, with the
+    // timer never actually armed.
+    h.mret();
+    let h_prog = h.assemble();
+    let h_base = m.load_program(&h_prog);
+    m.cpu.mtcc = m.boot_pcc(h_base);
+
+    // Snoop posture at every step: whenever the PC is inside the switcher
+    // region, interrupts must be disabled.
+    let sw_lo = sw.code_base;
+    let sw_hi = sw.code_base + sw.code_size;
+    let mut checked = 0;
+    while m.exit_status().is_none() && m.cycles < 100_000 {
+        let pc = m.cpu.pc();
+        if (sw_lo..sw_hi).contains(&pc) {
+            assert!(
+                !m.cpu.interrupts_enabled,
+                "interrupts enabled inside the switcher at pc {pc:#x}"
+            );
+            checked += 1;
+        }
+        m.step();
+    }
+    assert!(checked > 50, "switcher instructions observed: {checked}");
+    assert_eq!(m.exit_status(), Some(ExitReason::Halted(126)));
+}
+
+#[test]
+fn guest_switcher_cost_validates_native_model() {
+    // The natively-modelled switcher (crate::switcher) charges costs that
+    // should match the instruction-accurate guest implementation within a
+    // small factor — this pins the Table 4 cost model to real code.
+    let mut m = machine();
+    build_a_calls_b(&mut m);
+    m.cpu.write_int(Reg::A0, 5);
+    let t0 = m.cycles;
+    assert_eq!(m.run(100_000), ExitReason::Halted(126));
+    let guest_cycles = m.cycles - t0;
+
+    // Native model: one cross-compartment call with a clean 512-byte
+    // stack and a small callee frame, on the same core.
+    let mut rtos = cheriot_rtos::Rtos::new(
+        Machine::new(MachineConfig::new(CoreModel::ibex())),
+        cheriot_alloc::TemporalPolicy::None,
+    );
+    let app = rtos.add_compartment("app", 64);
+    let t = rtos.spawn_thread(1, 512, app);
+    // Warm-up (resets HWM bookkeeping like the guest's fresh stack).
+    rtos.cross_call(t, app, 16, |_| ()).unwrap();
+    let c0 = rtos.machine.cycles;
+    rtos.cross_call(t, app, 16, |_| ()).unwrap();
+    let native_cycles = rtos.machine.cycles - c0;
+
+    let ratio = guest_cycles as f64 / native_cycles as f64;
+    assert!(
+        (0.3..3.0).contains(&ratio),
+        "guest {guest_cycles} vs native {native_cycles} (ratio {ratio:.2})"
+    );
+}

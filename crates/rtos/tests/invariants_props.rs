@@ -1,0 +1,136 @@
+//! Property-based invariants for the RTOS primitives: the switcher's
+//! stack discipline under arbitrary thread states, and the message queue
+//! against a reference model.
+
+use cheriot_alloc::TemporalPolicy;
+use cheriot_cap::Capability;
+use cheriot_core::{layout, CoreModel, Machine, MachineConfig};
+use cheriot_rtos::compartment::CompartmentId;
+use cheriot_rtos::thread::{Thread, ThreadId};
+use cheriot_rtos::{MessageQueue, QueueError, Rtos, Switcher};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any call/return sequence from any dirty-stack state, the
+    /// high-water mark equals the stack pointer and everything below sp is
+    /// zero — the switcher never leaks and never loses track.
+    #[test]
+    fn switcher_stack_discipline(
+        dirty in 0u32..1024,
+        callee_use in 0u32..512,
+        hwm_enabled in any::<bool>(),
+    ) {
+        let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+        let stack_base = layout::SRAM_BASE + 0x1000;
+        let stack_top = stack_base + 1024;
+        let mut t = Thread::new(
+            ThreadId::from_raw(0),
+            1,
+            stack_base,
+            stack_top,
+            CompartmentId::from_raw(0),
+        );
+        // Pre-dirty the stack region with junk (as prior calls would).
+        let dirty = dirty & !7;
+        if dirty > 0 {
+            for off in (0..dirty).step_by(8) {
+                m.sram
+                    .write_cap_word(stack_top - 8 - off, 0xdead_beef, false)
+                    .unwrap();
+            }
+            t.touch_stack(dirty);
+        }
+        let mut s = Switcher::default();
+        s.on_call(&mut m, &mut t, hwm_enabled).unwrap();
+        prop_assert_eq!(t.hwm, t.sp, "call resets the mark");
+        // Callee dirties some stack.
+        t.touch_stack(callee_use);
+        s.on_return(&mut m, &mut t, hwm_enabled).unwrap();
+        prop_assert_eq!(t.hwm, t.sp, "return resets the mark");
+        // Everything below sp is zero, tags clear.
+        let mut addr = stack_base;
+        while addr < t.sp {
+            let (w, tag) = m.sram.read_cap_word(addr).unwrap();
+            prop_assert_eq!(w, 0, "residue at {:#x}", addr);
+            prop_assert!(!tag);
+            addr += 8;
+        }
+    }
+
+    /// The message queue behaves exactly like a bounded VecDeque of
+    /// capabilities under arbitrary operation sequences.
+    #[test]
+    fn queue_matches_reference_model(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+        let ring = Capability::root_mem_rw()
+            .with_address(layout::SRAM_BASE + 0x80)
+            .set_bounds(6 * 8)
+            .unwrap();
+        let mut q = MessageQueue::new(ring, 6);
+        let mut model: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+        let mut next_tag = 0u32;
+        for send in ops {
+            if send {
+                let payload = Capability::root_mem_rw()
+                    .with_address(layout::SRAM_BASE + 0x1000 + next_tag * 8)
+                    .set_bounds(8)
+                    .unwrap();
+                match q.try_send(&mut m, payload) {
+                    Ok(()) => {
+                        prop_assert!(model.len() < 6);
+                        model.push_back(next_tag);
+                    }
+                    Err(QueueError::Full) => prop_assert_eq!(model.len(), 6),
+                    Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                }
+                next_tag += 1;
+            } else {
+                match q.try_recv(&mut m) {
+                    Ok(got) => {
+                        let want = model.pop_front();
+                        prop_assert!(want.is_some(), "model empty but queue delivered");
+                        let want_base = layout::SRAM_BASE + 0x1000 + want.unwrap() * 8;
+                        prop_assert_eq!(got.base(), want_base);
+                        prop_assert!(got.tag());
+                    }
+                    Err(QueueError::Empty) => prop_assert!(model.is_empty()),
+                    Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                }
+            }
+            prop_assert_eq!(q.len() as usize, model.len());
+        }
+    }
+
+    /// Allocation quotas never go negative and `used` never exceeds
+    /// `limit` under arbitrary malloc/free interleavings.
+    #[test]
+    fn quota_accounting_invariants(ops in proptest::collection::vec(any::<bool>(), 1..80)) {
+        let mut r = Rtos::new(
+            Machine::new(MachineConfig::new(CoreModel::ibex())),
+            TemporalPolicy::None,
+        );
+        let app = r.add_compartment("app", 64);
+        let t = r.spawn_thread(1, 512, app);
+        r.set_allocation_quota(app, 4096);
+        let mut held = Vec::new();
+        for alloc in ops {
+            if alloc {
+                match r.malloc(t, 128) {
+                    Ok(c) => held.push(c),
+                    Err(cheriot_alloc::AllocError::QuotaExceeded) => {}
+                    Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                }
+            } else if let Some(c) = held.pop() {
+                prop_assert!(r.free(t, c).is_ok());
+            }
+            let q = r.quota(app).unwrap();
+            prop_assert!(q.used <= q.limit, "{:?}", q);
+        }
+        for c in held {
+            prop_assert!(r.free(t, c).is_ok());
+        }
+        prop_assert_eq!(r.quota(app).unwrap().used, 0);
+    }
+}

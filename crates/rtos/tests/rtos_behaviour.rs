@@ -1,0 +1,290 @@
+//! RTOS behavioural tests: cross-compartment call semantics, scoped
+//! delegation (§5.2), scheduler behaviour, and switcher cost shape.
+
+use cheriot_alloc::{RevokerKind, TemporalPolicy};
+use cheriot_cap::{Capability, Permissions};
+use cheriot_core::{CoreModel, Machine, MachineConfig};
+use cheriot_rtos::{Rtos, Slice, ThreadBody, ThreadId};
+
+fn rtos(core: CoreModel) -> Rtos {
+    Rtos::new(
+        Machine::new(MachineConfig::new(core)),
+        TemporalPolicy::Quarantine(RevokerKind::Hardware),
+    )
+}
+
+#[test]
+fn malloc_via_compartment_costs_more_than_direct() {
+    // The cross-compartment call is the dominant cost for small
+    // allocations (paper §7.2.2).
+    let mut r = rtos(CoreModel::ibex());
+    let app = r.add_compartment("app", 64);
+    let t = r.spawn_thread(1, 2048, app);
+
+    let c0 = r.machine.cycles;
+    let cap = r.malloc(t, 32).unwrap();
+    let with_switch = r.machine.cycles - c0;
+
+    let c1 = r.machine.cycles;
+    let cap2 = r.heap.malloc(&mut r.machine, 32).unwrap();
+    let direct = r.machine.cycles - c1;
+
+    assert!(
+        with_switch > direct + 100,
+        "switcher overhead missing: {with_switch} vs {direct}"
+    );
+    r.free(t, cap).unwrap();
+    r.heap.free(&mut r.machine, cap2).unwrap();
+}
+
+#[test]
+fn ephemeral_delegation_cannot_be_captured() {
+    // §5.2: a caller strips GL from an argument; the callee can hold it in
+    // registers and on the (SL) stack but cannot store it to its globals.
+    let mut r = rtos(CoreModel::ibex());
+    let victim = r.add_compartment("victim", 64);
+    let evil = r.add_compartment("evil", 64);
+    let _ = victim;
+    let t = r.spawn_thread(1, 2048, victim);
+
+    let obj = r.malloc(t, 64).unwrap();
+    let delegated = obj.and_perms(!Permissions::GL); // ephemeral
+    assert!(delegated.tag());
+
+    let result = r
+        .cross_call(t, evil, 64, |env| {
+            let globals = env.cgp;
+            let gaddr = globals.base();
+            // Attempt to capture the delegated capability in globals.
+            let captured = env.machine.meter().store_cap(globals, gaddr, delegated);
+            // Storing to the stack is fine (scoped)...
+            let saddr = env.stack_cap.address() - 16;
+            let stack_ok = env
+                .machine
+                .meter()
+                .store_cap(env.stack_cap, saddr, delegated);
+            (captured, stack_ok)
+        })
+        .unwrap();
+    assert!(result.0.is_err(), "globals capture must fault (no SL)");
+    assert!(result.1.is_ok(), "stack storage is permitted");
+
+    // After return, the switcher zeroed the callee's stack: the stack copy
+    // is destroyed.
+    let thread_stack = r.thread(t).stack_cap;
+    let saddr = r.thread(t).sp - 16 - cheriot_rtos::ALLOC_STACK_USE.next_multiple_of(16);
+    let _ = saddr;
+    // Check that no tagged word with the delegated base survives anywhere
+    // in the stack region.
+    let (base, top) = (r.thread(t).stack_base, r.thread(t).stack_top);
+    let mut survivors = 0;
+    let mut a = base;
+    while a < top {
+        let (word, tag) = r.machine.sram.read_cap_word(a).unwrap();
+        if tag && Capability::from_word(word, tag).base() == delegated.base() {
+            survivors += 1;
+        }
+        a += 8;
+    }
+    assert_eq!(survivors, 0, "ephemeral delegation must not survive return");
+    let _ = thread_stack;
+}
+
+#[test]
+fn callee_cannot_see_caller_stack() {
+    let mut r = rtos(CoreModel::ibex());
+    let app = r.add_compartment("app", 64);
+    let t = r.spawn_thread(1, 2048, app);
+    // The caller "uses" some stack below the top.
+    let sp_before = r.thread(t).sp;
+    let res = r
+        .cross_call(t, app, 64, |env| {
+            // The chopped stack must not reach the caller's frame.
+            (env.stack_cap.top(), env.stack_cap.base())
+        })
+        .unwrap();
+    assert!(res.0 <= u64::from(sp_before));
+    assert_eq!(res.1, r.thread(t).stack_base);
+}
+
+#[test]
+fn nested_calls_unwind_correctly() {
+    let mut r = rtos(CoreModel::ibex());
+    let a = r.add_compartment("a", 64);
+    let b = r.add_compartment("b", 64);
+    let c = r.add_compartment("c", 64);
+    let t = r.spawn_thread(1, 4096, a);
+
+    let depth: Result<u32, _> = r
+        .cross_call(t, b, 64, |_env| 1)
+        .and_then(|x| r.cross_call(t, c, 64, move |_env| x + 1));
+    assert_eq!(depth.unwrap(), 2);
+    assert_eq!(r.thread(t).frames.len(), 0);
+    assert_eq!(r.thread(t).compartment, a);
+    assert_eq!(r.thread(t).sp, r.thread(t).stack_top);
+}
+
+struct Worker {
+    runs: u32,
+    period: u64,
+    done_at: u32,
+}
+
+impl ThreadBody for Worker {
+    fn run_slice(&mut self, rtos: &mut Rtos, me: ThreadId) -> Slice {
+        self.runs += 1;
+        // Do some chargeable work.
+        rtos.machine.meter().charge(500);
+        let _ = me;
+        if self.runs >= self.done_at {
+            Slice::Done
+        } else {
+            Slice::Sleep(self.period)
+        }
+    }
+}
+
+#[test]
+fn scheduler_runs_periodic_thread_and_idles() {
+    let mut r = rtos(CoreModel::ibex());
+    let app = r.add_compartment("app", 64);
+    let t = r.spawn_thread(1, 1024, app);
+    let mut bodies: Vec<(ThreadId, Box<dyn ThreadBody>)> = vec![(
+        t,
+        Box::new(Worker {
+            runs: 0,
+            period: 100_000,
+            done_at: 10,
+        }),
+    )];
+    r.run_threads(&mut bodies, 5_000_000);
+    let stats = r.sched;
+    assert!(stats.idle_cycles > stats.busy_cycles * 10, "{stats:?}");
+    let load = stats.cpu_load();
+    assert!(load > 0.0 && load < 0.1, "load={load}");
+}
+
+#[test]
+fn higher_priority_thread_runs_first() {
+    let mut r = rtos(CoreModel::ibex());
+    let app = r.add_compartment("app", 64);
+    let lo = r.spawn_thread(1, 1024, app);
+    let hi = r.spawn_thread(5, 1024, app);
+
+    struct Tag(
+        std::rc::Rc<std::cell::RefCell<Vec<&'static str>>>,
+        &'static str,
+    );
+    impl ThreadBody for Tag {
+        fn run_slice(&mut self, rtos: &mut Rtos, _me: ThreadId) -> Slice {
+            rtos.machine.meter().charge(10);
+            self.0.borrow_mut().push(self.1);
+            Slice::Done
+        }
+    }
+    let order = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let mut bodies: Vec<(ThreadId, Box<dyn ThreadBody>)> = vec![
+        (lo, Box::new(Tag(order.clone(), "lo"))),
+        (hi, Box::new(Tag(order.clone(), "hi"))),
+    ];
+    r.run_threads(&mut bodies, 1_000_000);
+    assert_eq!(*order.borrow(), vec!["hi", "lo"]);
+}
+
+#[test]
+fn hwm_makes_repeat_calls_cheaper() {
+    // A hot call path touches little stack: with HWM the second call's
+    // zeroing is exactly the callee's frame, not the whole stack.
+    let mut cycles = Vec::new();
+    for hwm in [true, false] {
+        let mut cfg = MachineConfig::new(CoreModel::ibex());
+        cfg.hwm_enabled = hwm;
+        let mut r = Rtos::new(
+            Machine::new(cfg),
+            TemporalPolicy::Quarantine(RevokerKind::Hardware),
+        );
+        let app = r.add_compartment("app", 64);
+        let t = r.spawn_thread(1, 8192, app);
+        // Warm-up call.
+        r.cross_call(t, app, 64, |_| ()).unwrap();
+        let c0 = r.machine.cycles;
+        for _ in 0..10 {
+            r.cross_call(t, app, 64, |_| ()).unwrap();
+        }
+        cycles.push(r.machine.cycles - c0);
+    }
+    assert!(
+        cycles[0] * 3 < cycles[1],
+        "hwm={} no-hwm={}",
+        cycles[0],
+        cycles[1]
+    );
+}
+
+#[test]
+fn switcher_stats_accumulate() {
+    let mut r = rtos(CoreModel::flute());
+    let app = r.add_compartment("app", 64);
+    let t = r.spawn_thread(1, 2048, app);
+    for _ in 0..5 {
+        r.cross_call(t, app, 32, |_| ()).unwrap();
+    }
+    assert_eq!(r.switcher.stats.calls, 5);
+    assert!(r.switcher.stats.cycles > 0);
+    assert!(r.switcher.stats.zeroed_bytes > 0);
+}
+
+#[test]
+fn allocation_quotas_enforced_per_compartment() {
+    let mut r = rtos(CoreModel::ibex());
+    let greedy = r.add_compartment("greedy", 64);
+    let other = r.add_compartment("other", 64);
+    let tg = r.spawn_thread(1, 1024, greedy);
+    let to = r.spawn_thread(1, 1024, other);
+    r.set_allocation_quota(greedy, 1024);
+
+    // The greedy compartment can allocate until its budget runs out...
+    let mut held = Vec::new();
+    loop {
+        match r.malloc(tg, 200) {
+            Ok(c) => held.push(c),
+            Err(cheriot_alloc::AllocError::QuotaExceeded) => break,
+            Err(e) => panic!("unexpected {e}"),
+        }
+        assert!(held.len() < 50, "quota never enforced");
+    }
+    assert!(!held.is_empty());
+    let q = r.quota(greedy).unwrap();
+    assert!(q.used <= q.limit);
+
+    // ...while the unquota'd compartment is unaffected.
+    let big = r.malloc(to, 4096).expect("no quota on `other`");
+    r.free(to, big).unwrap();
+
+    // Freeing returns budget.
+    let used_before = r.quota(greedy).unwrap().used;
+    let c = held.pop().unwrap();
+    r.free(tg, c).unwrap();
+    assert!(r.quota(greedy).unwrap().used < used_before);
+    // And the compartment can allocate again.
+    let again = r.malloc(tg, 200).expect("budget returned");
+    r.free(tg, again).unwrap();
+    for c in held {
+        r.free(tg, c).unwrap();
+    }
+    assert_eq!(r.quota(greedy).unwrap().used, 0);
+}
+
+#[test]
+fn quota_rollback_leaves_heap_consistent() {
+    let mut r = rtos(CoreModel::ibex());
+    let app = r.add_compartment("app", 64);
+    let t = r.spawn_thread(1, 1024, app);
+    r.set_allocation_quota(app, 64);
+    assert!(matches!(
+        r.malloc(t, 4096),
+        Err(cheriot_alloc::AllocError::QuotaExceeded)
+    ));
+    r.heap.check_consistency(&r.machine).unwrap();
+    assert_eq!(r.heap.live_allocations(), 0, "rolled back");
+}

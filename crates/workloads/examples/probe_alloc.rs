@@ -1,0 +1,28 @@
+use cheriot_core::CoreModel;
+use cheriot_workloads::*;
+fn main() {
+    for core in [CoreModel::flute(), CoreModel::ibex()] {
+        println!("== {:?} ==", core.kind);
+        println!(
+            "{:>8} {:>12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "size", "base(cyc)", "meta%", "sw%", "sw(S)%", "hw%", "hw(S)%", "base(S)%"
+        );
+        for size in [32u32, 64, 128, 256, 512, 1024, 4096, 16384, 65536, 131072] {
+            let run = |cfg, hwm| run_alloc_bench(&AllocBenchParams::paper(core, cfg, hwm, size));
+            let base = run(AllocConfig::Baseline, false);
+            let row = [
+                run(AllocConfig::Metadata, false),
+                run(AllocConfig::Software, false),
+                run(AllocConfig::Software, true),
+                run(AllocConfig::Hardware, false),
+                run(AllocConfig::Hardware, true),
+                run(AllocConfig::Baseline, true),
+            ];
+            print!("{:>8} {:>12}", size, base.cycles);
+            for r in &row {
+                print!(" {:>8.1}%", overhead_pct(r, &base));
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,17 @@
+use cheriot_core::CoreModel;
+use cheriot_workloads::*;
+fn main() {
+    for core in [CoreModel::flute(), CoreModel::ibex()] {
+        let base = run_coremark(core, &CoreMarkConfig::baseline());
+        let cap = run_coremark(core, &CoreMarkConfig::capabilities());
+        let capf = run_coremark(core, &CoreMarkConfig::capabilities_with_filter());
+        println!(
+            "{:?}: base {:.3} ({} cyc) | +caps {:.2}% | +filter {:.2}%",
+            core.kind,
+            base.score_per_mhz,
+            base.cycles,
+            (cap.cycles as f64 / base.cycles as f64 - 1.0) * 100.0,
+            (capf.cycles as f64 / base.cycles as f64 - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,6 @@
+use cheriot_workloads::iot::*;
+fn main() {
+    let r = run_iot_app(&IotConfig::default());
+    println!("{:#?}", r);
+    println!("cpu_load = {:.2}%", r.cpu_load * 100.0);
+}

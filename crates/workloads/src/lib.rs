@@ -1,0 +1,18 @@
+//! # cheriot-workloads — evaluation workloads
+//!
+//! The three workloads of the paper's evaluation (§7.2): the CoreMark-like
+//! kernel mix ([`coremark`], Table 3), the allocation microbenchmark
+//! ([`allocbench`], Table 4 / Figures 5–6), and the end-to-end
+//! compartmentalized IoT application ([`iot`], §7.2.3).
+
+#![warn(missing_docs)]
+
+pub mod allocbench;
+pub mod coremark;
+pub mod iot;
+
+pub use allocbench::{
+    overhead_pct, run_alloc_bench, AllocBenchParams, AllocBenchResult, AllocConfig,
+};
+pub use coremark::{run_coremark, CompilerQuirks, CoreMarkConfig, CoreMarkResult, PtrMode};
+pub use iot::{run_iot_app, IotConfig, IotReport};

@@ -1,0 +1,214 @@
+//! Regression net for the paper's headline result *shapes*. These are the
+//! claims EXPERIMENTS.md reports; if a cost-model change breaks one, this
+//! suite catches it before the numbers drift. Workload sizes are trimmed
+//! for test speed; the assertions are deliberately loose bands around the
+//! published values.
+
+use cheriot_core::{CoreKind, CoreModel};
+use cheriot_workloads::{
+    overhead_pct, run_alloc_bench, run_coremark, AllocBenchParams, AllocConfig, CoreMarkConfig,
+};
+
+fn pct(new: u64, base: u64) -> f64 {
+    (new as f64 / base as f64 - 1.0) * 100.0
+}
+
+#[test]
+fn table3_overheads_in_band() {
+    // Full-size runs (they are fast enough in release; in debug this is
+    // the slowest test in the suite but still bounded).
+    let flute = CoreModel::flute();
+    let ibex = CoreModel::ibex();
+
+    let fb = run_coremark(flute, &CoreMarkConfig::baseline());
+    let fc = run_coremark(flute, &CoreMarkConfig::capabilities());
+    let ff = run_coremark(flute, &CoreMarkConfig::capabilities_with_filter());
+    let flute_cap = pct(fc.cycles, fb.cycles);
+    let flute_fil = pct(ff.cycles, fb.cycles);
+    assert!(
+        (3.0..9.0).contains(&flute_cap),
+        "Flute caps {flute_cap:.2}% (paper 5.73%)"
+    );
+    assert_eq!(
+        fc.cycles, ff.cycles,
+        "the load filter must be free on Flute"
+    );
+    let _ = flute_fil;
+
+    let ib = run_coremark(ibex, &CoreMarkConfig::baseline());
+    let ic = run_coremark(ibex, &CoreMarkConfig::capabilities());
+    let if_ = run_coremark(ibex, &CoreMarkConfig::capabilities_with_filter());
+    let ibex_cap = pct(ic.cycles, ib.cycles);
+    let ibex_fil = pct(if_.cycles, ib.cycles);
+    assert!(
+        (9.0..17.0).contains(&ibex_cap),
+        "Ibex caps {ibex_cap:.2}% (paper 13.18%)"
+    );
+    assert!(
+        (15.0..26.0).contains(&ibex_fil),
+        "Ibex filter {ibex_fil:.2}% (paper 21.28%)"
+    );
+    assert!(
+        ibex_fil - ibex_cap > 3.0,
+        "the filter must cost real cycles on Ibex"
+    );
+    // Baseline scores land near CoreMark ~2/MHz.
+    assert!((1.5..2.5).contains(&fb.score_per_mhz));
+    assert!((1.5..2.5).contains(&ib.score_per_mhz));
+}
+
+fn cell(core: CoreModel, config: AllocConfig, hwm: bool, size: u32) -> u64 {
+    cell_total(core, config, hwm, size, 128 * 1024)
+}
+
+fn cell_total(core: CoreModel, config: AllocConfig, hwm: bool, size: u32, total: u32) -> u64 {
+    run_alloc_bench(&AllocBenchParams {
+        core,
+        config,
+        hwm,
+        alloc_size: size,
+        total_bytes: total,
+    })
+    .cycles
+}
+
+#[test]
+fn fig5_flute_hw_hwm_beats_baseline_up_to_512b() {
+    let flute = CoreModel::flute();
+    for size in [64u32, 256, 512] {
+        let base = cell(flute, AllocConfig::Baseline, false, size);
+        let hw_s = cell(flute, AllocConfig::Hardware, true, size);
+        assert!(
+            (hw_s as f64) < (base as f64) * 1.05,
+            "size {size}: hw(S) {hw_s} vs baseline {base} (paper: at or below up to 512B)"
+        );
+    }
+    // And clearly above well past the crossover (full-size churn so the
+    // quarantine threshold is actually reached repeatedly).
+    let base = cell_total(flute, AllocConfig::Baseline, false, 4096, 1 << 20);
+    let hw_s = cell_total(flute, AllocConfig::Hardware, true, 4096, 1 << 20);
+    assert!(
+        hw_s > base * 2,
+        "revocation dominates at 4 KiB: {hw_s} vs {base}"
+    );
+}
+
+#[test]
+fn fig6_ibex_software_hwm_near_baseline_at_tiny_sizes() {
+    let ibex = CoreModel::ibex();
+    let base32 = cell(ibex, AllocConfig::Baseline, false, 32);
+    let sw_s32 = cell(ibex, AllocConfig::Software, true, 32);
+    assert!(
+        sw_s32 < base32,
+        "paper: software+HWM below baseline at 32 B ({sw_s32} vs {base32})"
+    );
+    // The narrower bus makes zeroing proportionately dearer on Ibex than
+    // Flute: the HWM saving (relative) must be larger on Ibex.
+    let flute = CoreModel::flute();
+    let saving = |core| {
+        let b = cell(core, AllocConfig::Baseline, false, 64) as f64;
+        let s = cell(core, AllocConfig::Baseline, true, 64) as f64;
+        1.0 - s / b
+    };
+    assert!(saving(ibex) > saving(flute) + 0.05);
+}
+
+#[test]
+fn software_revocation_hump_and_hardware_advantage() {
+    for core in [CoreModel::flute(), CoreModel::ibex()] {
+        let base = cell(core, AllocConfig::Baseline, false, 1024);
+        let sw = cell(core, AllocConfig::Software, false, 1024);
+        let hw = cell(core, AllocConfig::Hardware, false, 1024);
+        let sw_over = overhead_pct_raw(sw, base);
+        assert!(
+            sw_over > 100.0,
+            "{:?}: software revocation must dominate by 1 KiB ({sw_over:.0}%)",
+            core.kind
+        );
+        assert!(hw < sw, "{:?}: hardware beats software", core.kind);
+    }
+}
+
+fn overhead_pct_raw(new: u64, base: u64) -> f64 {
+    (new as f64 / base as f64 - 1.0) * 100.0
+}
+
+#[test]
+fn large_allocations_sweep_per_allocation() {
+    // At sizes near half the heap, every allocation needs a sweep.
+    let r = run_alloc_bench(&AllocBenchParams {
+        core: CoreModel::ibex(),
+        config: AllocConfig::Hardware,
+        hwm: false,
+        alloc_size: 64 * 1024,
+        total_bytes: 256 * 1024,
+    });
+    assert!(
+        r.revocation_passes >= r.pairs - 1,
+        "passes {} for {} pairs",
+        r.revocation_passes,
+        r.pairs
+    );
+}
+
+#[test]
+fn flute_polls_ibex_interrupts() {
+    // §7.2.2: the Flute prototype's revoker requires polling, slowing its
+    // waits relative to an interrupt-driven Ibex at sweep-bound sizes.
+    let t = 1 << 20;
+    let flute_hw = cell_total(
+        CoreModel::flute(),
+        AllocConfig::Hardware,
+        false,
+        32 * 1024,
+        t,
+    );
+    let flute_sw = cell_total(
+        CoreModel::flute(),
+        AllocConfig::Software,
+        false,
+        32 * 1024,
+        t,
+    );
+    let ibex_hw = cell_total(
+        CoreModel::ibex(),
+        AllocConfig::Hardware,
+        false,
+        32 * 1024,
+        t,
+    );
+    let ibex_sw = cell_total(
+        CoreModel::ibex(),
+        AllocConfig::Software,
+        false,
+        32 * 1024,
+        t,
+    );
+    let flute_ratio = flute_hw as f64 / flute_sw as f64;
+    let ibex_ratio = ibex_hw as f64 / ibex_sw as f64;
+    assert!(
+        flute_ratio > ibex_ratio,
+        "Flute's hw/sw ratio ({flute_ratio:.2}) must exceed Ibex's ({ibex_ratio:.2})"
+    );
+}
+
+#[test]
+fn overhead_helper_is_consistent() {
+    let a = run_alloc_bench(&AllocBenchParams {
+        core: CoreModel::ibex(),
+        config: AllocConfig::Metadata,
+        hwm: false,
+        alloc_size: 1024,
+        total_bytes: 64 * 1024,
+    });
+    let b = run_alloc_bench(&AllocBenchParams {
+        core: CoreModel::ibex(),
+        config: AllocConfig::Baseline,
+        hwm: false,
+        alloc_size: 1024,
+        total_bytes: 64 * 1024,
+    });
+    let direct = overhead_pct(&a, &b);
+    assert!((direct - overhead_pct_raw(a.cycles, b.cycles)).abs() < 1e-9);
+    let _ = CoreKind::Ibex;
+}

@@ -1,0 +1,35 @@
+//! The end-to-end compartmentalized IoT application of paper §7.2.3:
+//! network stack, TLS, MQTT and a bytecode interpreter in separate
+//! mutually-distrusting compartments, every packet a heap allocation,
+//! the interpreter ticking every 10 ms on a 20 MHz core.
+//!
+//! Run with `cargo run --release --example compartment_iot_app`.
+
+use cheriot::workloads::iot::{run_iot_app, IotConfig, CLOCK_HZ};
+
+fn main() {
+    println!("CHERIoT end-to-end IoT application (Ibex @ 20 MHz)");
+    println!("compartments: netstack | tls | mqtt | microvium | allocator\n");
+
+    let cfg = IotConfig {
+        duration_cycles: 2 * CLOCK_HZ,
+        ..IotConfig::default()
+    };
+    let r = run_iot_app(&cfg);
+
+    println!(
+        "simulated {}s of wall-clock at 20 MHz:",
+        r.cycles / CLOCK_HZ
+    );
+    println!("  packets processed      {}", r.packets);
+    println!("  interpreter ticks      {}", r.js_ticks);
+    println!("  heap allocations       {}", r.allocs);
+    println!("  revocation passes      {}", r.revocation_passes);
+    println!("  stale caps stripped    {}", r.filter_strips);
+    println!();
+    println!(
+        "  CPU load: {:.1}% busy / {:.1}% idle   (paper: 17.5% / 82.5%)",
+        r.cpu_load * 100.0,
+        (1.0 - r.cpu_load) * 100.0
+    );
+}

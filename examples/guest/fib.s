@@ -1,0 +1,27 @@
+// fib(12) on the CHERIoT simulator.
+// Run:  cargo run -p cheriot-cli --bin cheriot-sim -- run examples/guest/fib.s --dump-regs
+//
+// At reset the memory root is in ct0 (paper §3.1.1); we derive a bounded
+// 64-byte table from it, then fill it with Fibonacci numbers.
+
+    li   t2, 0x20000000      // table address
+    csetaddr t2, t0, t2      // derive from the memory root...
+    li   t1, 64
+    csetbounds t2, t2, t1    // ...and bound it to 64 bytes
+    cmove t0, zero           // erase the root (early boot discipline)
+    cmove t1, zero
+
+    li   a1, 0               // fib(0)
+    li   a2, 1               // fib(1)
+    li   s0, 12              // n
+loop:
+    add  a3, a1, a2
+    mv   a1, a2
+    mv   a2, a3
+    sw   a3, 0(t2)
+    cincaddrimm t2, t2, 4
+    addi s0, s0, -1
+    bnez s0, loop
+
+    mv   a0, a1              // fib(12) = 144
+    halt

@@ -1,0 +1,33 @@
+// Heap allocation and deterministic use-after-free protection, from pure
+// guest code via the semihosted allocator (ecall ABI).
+// Run:  cargo run -p cheriot-cli --bin cheriot-sim -- run examples/guest/heap_uaf.s --heap
+//
+// The program allocates, stashes the pointer in a global, frees it, and
+// then reloads the stale pointer: the load filter delivers it untagged
+// and the final load traps — UAF is dead on arrival.
+
+    li   t2, 0x20000040     // a global slot
+    csetaddr t2, t0, t2
+    li   t1, 8
+    csetbounds t2, t2, t1
+
+    li   a0, 1              // malloc(48)
+    li   a1, 48
+    ecall
+    cmove s0, a0
+
+    li   t1, 123            // use it
+    sw   t1, 0(s0)
+
+    csc  s0, 0(t2)          // stash the pointer
+
+    li   a0, 2              // free it
+    cmove a1, s0
+    ecall
+
+    clc  s1, 0(t2)          // reload: the load filter strips the tag
+    lw   t1, 0(s1)          // tag violation: deterministic UAF defeat
+
+    li   a0, 3              // never reached
+    li   a1, 0
+    ecall

@@ -1,0 +1,24 @@
+// Marching LED pattern via the GPIO block (the paper's demo app animates
+// the dev-board LEDs).
+// Run:  cargo run -p cheriot-cli --bin cheriot-sim -- run examples/guest/leds.s
+
+    li   t2, 0x84000000      // GPIO base
+    csetaddr t2, t0, t2
+    li   t1, 16
+    csetbounds t2, t2, t1
+    cmove t0, zero           // erase the root
+
+    li   s0, 24              // steps
+    li   s1, 1               // pattern
+step:
+    sw   s1, 0(t2)           // drive the LEDs
+    slli s1, s1, 1
+    andi t1, s1, 0xff
+    bnez t1, no_wrap
+    li   s1, 1
+no_wrap:
+    addi s0, s0, -1
+    bnez s0, step
+
+    li   a0, 0
+    halt

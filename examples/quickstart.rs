@@ -1,0 +1,80 @@
+//! Quickstart: capabilities, guarded manipulation, and a first guest
+//! program on the simulated CHERIoT core.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use cheriot::asm::Asm;
+use cheriot::cap::{Capability, Permissions};
+use cheriot::core::insn::Reg;
+use cheriot::core::{layout, CoreModel, ExitReason, Machine, MachineConfig};
+
+fn main() {
+    // --- 1. Capabilities are unforgeable, bounded, permissioned pointers.
+    let root = Capability::root_mem_rw();
+    let object = root
+        .with_address(layout::SRAM_BASE + 0x100)
+        .set_bounds(64)
+        .expect("64 bytes is always exactly representable");
+    println!("object capability: {object}");
+
+    // Monotonicity: bounds shrink, permissions shed, never the reverse.
+    let read_only = object.and_perms(!Permissions::SD);
+    assert!(!read_only.perms().contains(Permissions::SD));
+    assert!(
+        !read_only
+            .and_perms(Permissions::ROOT_MEM)
+            .perms()
+            .contains(Permissions::SD),
+        "write permission cannot be regrown"
+    );
+
+    // Out-of-bounds access is refused at use time.
+    let oob = object.check_access(object.base() + 64, 1, Permissions::LD);
+    println!("access one past the end: {oob:?}");
+    assert!(oob.is_err());
+
+    // --- 2. Run a guest program: sum an array through a bounded capability.
+    let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+
+    // The array: 10 words in SRAM.
+    let array = root.with_address(layout::SRAM_BASE).set_bounds(40).unwrap();
+    for i in 0..10u32 {
+        m.meter()
+            .store(array, layout::SRAM_BASE + i * 4, 4, i + 1)
+            .unwrap();
+    }
+
+    let mut a = Asm::new();
+    a.li(Reg::T0, 10); // counter
+    a.li(Reg::A1, 0); // sum
+    a.cmove(Reg::T1, Reg::A0); // cursor
+    let top = a.here();
+    a.lw(Reg::T2, 0, Reg::T1);
+    a.add(Reg::A1, Reg::A1, Reg::T2);
+    a.cincaddrimm(Reg::T1, Reg::T1, 4);
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, top);
+    a.mv(Reg::A0, Reg::A1);
+    a.halt();
+
+    let entry = m.load_program(&a.assemble());
+    m.set_entry(entry);
+    m.cpu.write(Reg::A0, array);
+    let result = m.run(10_000);
+    println!("guest sum of 1..=10 -> {result:?} in {} cycles", m.cycles);
+    assert_eq!(result, ExitReason::Halted(55));
+
+    // --- 3. The same program walking one element too far traps.
+    let mut m2 = Machine::new(MachineConfig::new(CoreModel::ibex()));
+    let mut a2 = Asm::new();
+    a2.lw(Reg::T2, 40, Reg::A0); // index 10: out of bounds
+    a2.halt();
+    let entry2 = m2.load_program(&a2.assemble());
+    m2.set_entry(entry2);
+    m2.cpu.write(Reg::A0, array);
+    let fault = m2.run(10_000);
+    println!("out-of-bounds guest access -> {fault:?}");
+    assert!(matches!(fault, ExitReason::Fault(_)));
+
+    println!("\nquickstart OK");
+}

@@ -1,0 +1,92 @@
+//! Sentry-based interrupt control (paper §3.1.2): granting a compartment
+//! the right to call *one particular function* with interrupts disabled —
+//! without allowing it to disable interrupts at will.
+//!
+//! Run with `cargo run --example sentry_interrupts`.
+
+use cheriot::asm::Asm;
+use cheriot::cap::{CapFault, Capability, OType};
+use cheriot::core::insn::Reg;
+use cheriot::core::{CoreModel, ExitReason, Machine, MachineConfig, TrapCause};
+
+fn main() {
+    let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+
+    let mut a = Asm::new();
+    // Entry: call the critical function through the *disabling* sentry in
+    // a4 — this is the only way this code can run with interrupts off.
+    a.cjalr(Reg::RA, Reg::A4);
+    // Back here, the return sentry restored our posture.
+    a.li(Reg::A0, 1);
+    a.halt();
+    let critical = a.here();
+    a.nop(); // ... time-critical work with interrupts off ...
+    a.nop();
+    a.cret();
+    let crit_idx = a.position(critical).unwrap() as u32;
+    let prog = a.assemble();
+    let entry = m.load_program(&prog);
+    m.set_entry(entry);
+
+    // The auditor's view: this compartment holds exactly one
+    // interrupts-disabled entry point — the linker report of the real RTOS
+    // lists precisely these sentries.
+    let code = m.boot_pcc(entry);
+    let crit_sentry = code
+        .with_address(entry + 4 * crit_idx)
+        .seal_as_sentry(OType::SENTRY_DISABLE)
+        .expect("executable code can be sealed as a sentry");
+    m.cpu.write(Reg::A4, crit_sentry);
+    m.cpu.interrupts_enabled = true;
+
+    println!("sentry for the critical section: {crit_sentry}");
+
+    // A sentry is opaque: it cannot be read, written, re-bounded or used
+    // as data — only jumped to.
+    assert!(matches!(
+        crit_sentry.check_access(crit_sentry.address(), 1, cheriot::cap::Permissions::LD),
+        Err(CapFault::SealViolation)
+    ));
+    assert!(
+        !crit_sentry.incremented(4).tag(),
+        "cannot retarget a sentry"
+    );
+
+    // Watch the posture as the program runs.
+    let mut trace = Vec::new();
+    while m.exit_status().is_none() && m.cycles < 1000 {
+        trace.push((m.cpu.pc(), m.cpu.interrupts_enabled));
+        m.step();
+    }
+    for (pc, ie) in &trace {
+        println!(
+            "pc {:#x}  interrupts {}",
+            pc,
+            if *ie { "on" } else { "OFF" }
+        );
+    }
+    assert_eq!(m.exit_status(), Some(ExitReason::Halted(1)));
+
+    // The compartment cannot mint a disabling sentry for arbitrary code:
+    // sealing requires authority it does not hold, and direct CSR access
+    // to the interrupt state requires the SR permission.
+    let unprivileged = code.and_perms(!cheriot::cap::Permissions::SR);
+    let mut m2 = Machine::new(MachineConfig::new(CoreModel::ibex()));
+    let mut a2 = Asm::new();
+    a2.cspecialrw(Reg::T0, cheriot::core::insn::ScrId::Mtcc, Reg::ZERO);
+    a2.halt();
+    let e2 = m2.load_program(&a2.assemble());
+    m2.set_entry(e2);
+    m2.cpu.pcc = unprivileged.with_address(e2);
+    let r2 = m2.run(100);
+    println!("\nSR-less access to system registers: {r2:?}");
+    assert!(matches!(
+        r2,
+        ExitReason::Fault(TrapCause::Cheri {
+            fault: CapFault::PermissionViolation { .. },
+            ..
+        })
+    ));
+    let _ = Capability::null();
+    println!("\nsentry interrupt-control demo OK");
+}

@@ -1,0 +1,209 @@
+//! A compartmentalized "smart sensor": a sensor-driver compartment
+//! produces readings, a filter compartment smooths them (fixed-point IIR),
+//! and a logger compartment prints summaries — three mutually-distrusting
+//! suppliers wired together with capability-carrying queues, allocation
+//! quotas bounding each party's heap use, and an audit report showing the
+//! blast radius before the system ever runs.
+//!
+//! Run with `cargo run --release --example smart_sensor`.
+
+use cheriot::alloc::{RevokerKind, TemporalPolicy};
+use cheriot::cap::{Capability, Permissions};
+use cheriot::core::{layout, CoreModel, Machine, MachineConfig};
+use cheriot::rtos::{ExportPosture, MessageQueue, Rtos, Slice, ThreadBody, ThreadId};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const SAMPLES: u32 = 64;
+
+struct SensorDriver {
+    queue: Rc<RefCell<MessageQueue>>,
+    produced: u32,
+    state: u32,
+}
+
+impl ThreadBody for SensorDriver {
+    fn run_slice(&mut self, rtos: &mut Rtos, me: ThreadId) -> Slice {
+        if self.produced == SAMPLES {
+            return Slice::Done;
+        }
+        // A pseudo-physical reading (the driver would read an ADC via MMIO).
+        self.state = self.state.wrapping_mul(1103515245).wrapping_add(12345);
+        let reading = 500 + (self.state >> 20) % 200; // 500..700
+        let Ok(buf) = rtos.malloc(me, 16) else {
+            return Slice::Sleep(5_000);
+        };
+        rtos.machine
+            .meter()
+            .store(buf, buf.base(), 4, reading)
+            .unwrap();
+        rtos.machine
+            .meter()
+            .store(buf, buf.base() + 4, 4, self.produced)
+            .unwrap();
+        // Readings are handed over *read-only*: the filter can look, not
+        // touch (guarantee ⑥ of §2.3 in day-to-day use).
+        let ro = buf.and_perms(!Permissions::SD & !Permissions::LM);
+        if self
+            .queue
+            .borrow_mut()
+            .try_send(&mut rtos.machine, ro)
+            .is_err()
+        {
+            rtos.free(me, buf).unwrap();
+            return Slice::Sleep(2_000);
+        }
+        // NOTE: the driver retains the writable capability and frees it
+        // after the batch (model: a reading pool). For simplicity it leaks
+        // ownership into the consumer's free below via the shared heap —
+        // the logger frees through the original allocation.
+        self.produced += 1;
+        Slice::Sleep(1_000)
+    }
+}
+
+struct Filter {
+    inq: Rc<RefCell<MessageQueue>>,
+    outq: Rc<RefCell<MessageQueue>>,
+    /// Q8.8 fixed-point IIR state.
+    acc: u32,
+}
+
+impl ThreadBody for Filter {
+    fn run_slice(&mut self, rtos: &mut Rtos, me: ThreadId) -> Slice {
+        let msg = match self.inq.borrow_mut().try_recv(&mut rtos.machine) {
+            Ok(m) => m,
+            Err(_) => return Slice::Sleep(1_500),
+        };
+        let raw = rtos.machine.meter().load(msg, msg.base(), 4).unwrap();
+        let idx = rtos.machine.meter().load(msg, msg.base() + 4, 4).unwrap();
+        // Prove the read-only delegation holds:
+        assert!(
+            rtos.machine.meter().store(msg, msg.base(), 4, 0).is_err(),
+            "filter must not be able to corrupt the reading"
+        );
+        // y += (x - y) / 4 in Q8.8 (signed arithmetic: x may be below y).
+        let x = (raw << 8) as i32;
+        let diff = (x - self.acc as i32) >> 2;
+        self.acc = self.acc.wrapping_add(diff as u32);
+        // Emit a result record from the filter's own quota.
+        let Ok(out) = rtos.malloc(me, 16) else {
+            return Slice::Sleep(2_000);
+        };
+        let m = &mut rtos.machine;
+        m.meter().store(out, out.base(), 4, self.acc >> 8).unwrap();
+        m.meter().store(out, out.base() + 4, 4, idx).unwrap();
+        m.meter().store(out, out.base() + 8, 4, raw).unwrap();
+        if self.outq.borrow_mut().try_send(m, out).is_err() {
+            rtos.free(me, out).unwrap();
+        }
+        // The raw reading is done with; release it.
+        // (The queue delivered a read-only view; freeing requires the
+        // allocator to recognise the allocation, which it does by base.)
+        rtos.free(me, msg).ok();
+        Slice::Yield
+    }
+}
+
+struct Logger {
+    outq: Rc<RefCell<MessageQueue>>,
+    logged: Rc<RefCell<Vec<(u32, u32)>>>,
+}
+
+impl ThreadBody for Logger {
+    fn run_slice(&mut self, rtos: &mut Rtos, me: ThreadId) -> Slice {
+        if self.logged.borrow().len() as u32 == SAMPLES {
+            return Slice::Done;
+        }
+        match self.outq.borrow_mut().try_recv(&mut rtos.machine) {
+            Ok(rec) => {
+                let smooth = rtos.machine.meter().load(rec, rec.base(), 4).unwrap();
+                let idx = rtos.machine.meter().load(rec, rec.base() + 4, 4).unwrap();
+                self.logged.borrow_mut().push((idx, smooth));
+                rtos.free(me, rec).unwrap();
+                Slice::Yield
+            }
+            Err(_) => Slice::Sleep(1_500),
+        }
+    }
+}
+
+fn main() {
+    let machine = Machine::new(MachineConfig::new(CoreModel::ibex()));
+    let mut rtos = Rtos::new(machine, TemporalPolicy::Quarantine(RevokerKind::Hardware));
+
+    let driver = rtos.add_compartment("sensor-driver", 128);
+    let filter = rtos.add_compartment("iir-filter", 128);
+    let logger = rtos.add_compartment("logger", 128);
+    rtos.compartment_mut(driver)
+        .export("read_adc", 0x10, ExportPosture::Disabled); // timing-critical
+    rtos.compartment_mut(filter)
+        .export("push", 0x20, ExportPosture::Enabled);
+    rtos.import(filter, driver, "read_adc");
+    rtos.import(logger, filter, "push");
+
+    // Quotas bound each supplier's heap appetite.
+    rtos.set_allocation_quota(driver, 2048);
+    rtos.set_allocation_quota(filter, 2048);
+
+    let t_driver = rtos.spawn_thread(3, 512, driver);
+    let t_filter = rtos.spawn_thread(2, 512, filter);
+    let t_logger = rtos.spawn_thread(1, 512, logger);
+
+    // Queues in TCB SRAM.
+    let ring = |off: u32| {
+        Capability::root_mem_rw()
+            .with_address(layout::SRAM_BASE + off)
+            .set_bounds(8 * 8)
+            .unwrap()
+    };
+    let raw_q = Rc::new(RefCell::new(MessageQueue::new(ring(0x80), 8)));
+    let out_q = Rc::new(RefCell::new(MessageQueue::new(ring(0xc0), 8)));
+    let logged = Rc::new(RefCell::new(Vec::new()));
+
+    println!("{}", rtos.audit());
+
+    let mut bodies: Vec<(ThreadId, Box<dyn ThreadBody>)> = vec![
+        (
+            t_driver,
+            Box::new(SensorDriver {
+                queue: raw_q.clone(),
+                produced: 0,
+                state: 0x5eed,
+            }),
+        ),
+        (
+            t_filter,
+            Box::new(Filter {
+                inq: raw_q.clone(),
+                outq: out_q.clone(),
+                acc: 600 << 8,
+            }),
+        ),
+        (
+            t_logger,
+            Box::new(Logger {
+                outq: out_q.clone(),
+                logged: logged.clone(),
+            }),
+        ),
+    ];
+    rtos.run_threads(&mut bodies, 50_000_000);
+
+    let log = logged.borrow();
+    println!("logged {} smoothed readings; last 8:", log.len());
+    for (idx, v) in log.iter().rev().take(8).rev() {
+        println!("  sample {idx:>3}: {v}");
+    }
+    assert_eq!(log.len() as u32, SAMPLES);
+    // All smoothed values stay inside the physical range.
+    assert!(log.iter().all(|(_, v)| (450..=750).contains(v)));
+    println!(
+        "\nheap: {} allocs / {} frees, {} revocation passes — clean shutdown",
+        rtos.heap.stats().allocs,
+        rtos.heap.stats().frees,
+        rtos.heap.stats().revocation_passes
+    );
+    rtos.heap.check_consistency(&rtos.machine).unwrap();
+    println!("smart sensor demo OK");
+}

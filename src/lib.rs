@@ -1,0 +1,34 @@
+//! # cheriot — a Rust reproduction of the CHERIoT platform
+//!
+//! This umbrella crate re-exports the whole system described in
+//! *CHERIoT: Complete Memory Safety for Embedded Devices* (MICRO 2023):
+//!
+//! * [`cap`] — the 64-bit compressed capability model (§3.1–§3.2),
+//! * [`core`] — the ISA simulator with tagged SRAM, load filter and
+//!   background revoker (§3.3, §4),
+//! * [`asm`] — the program builder for guest code,
+//! * [`alloc`] — the quarantining heap allocator (§5.1),
+//! * [`rtos`] — compartments, the trusted switcher, threads (§2.6, §5.2),
+//! * [`hwmodel`] — the Table 2 area/power composition model,
+//! * [`workloads`] — the evaluation workloads (§7.2).
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cheriot::cap::{Capability, Permissions};
+//!
+//! // Derive an object capability and watch monotonicity at work.
+//! let obj = Capability::root_mem_rw().with_address(0x2000_0000).set_bounds(64).unwrap();
+//! assert!(obj.check_access(0x2000_0040, 1, Permissions::LD).is_err()); // out of bounds
+//! ```
+
+pub use cheriot_alloc as alloc;
+pub use cheriot_asm as asm;
+pub use cheriot_cap as cap;
+pub use cheriot_core as core;
+pub use cheriot_hwmodel as hwmodel;
+pub use cheriot_rtos as rtos;
+pub use cheriot_workloads as workloads;

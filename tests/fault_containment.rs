@@ -1,0 +1,134 @@
+//! Fault containment: compartmentalization "limits the blast radius of a
+//! compromise" (paper §2.2). A compartment that faults is unwound by the
+//! switcher; the caller gets an error, every other compartment keeps
+//! working, and no state leaks out of the dead invocation.
+
+use cheriot::alloc::{RevokerKind, TemporalPolicy};
+use cheriot::cap::{CapFault, Permissions};
+use cheriot::core::{CoreModel, Machine, MachineConfig, TrapCause};
+use cheriot::rtos::Rtos;
+
+fn rtos() -> Rtos {
+    Rtos::new(
+        Machine::new(MachineConfig::new(CoreModel::ibex())),
+        TemporalPolicy::Quarantine(RevokerKind::Hardware),
+    )
+}
+
+#[test]
+fn faulting_callee_returns_error_to_caller() {
+    let mut r = rtos();
+    let app = r.add_compartment("app", 64);
+    let buggy = r.add_compartment("buggy-driver", 64);
+    let t = r.spawn_thread(1, 1024, app);
+
+    let result: Result<u32, TrapCause> = r.try_call(t, buggy, 64, |env| {
+        // The driver walks off the end of its globals.
+        let g = env.cgp;
+        let oob = g.base() + g.length() as u32;
+        env.machine.meter().store(g, oob, 4, 0xbad)?;
+        Ok(0)
+    });
+    assert!(matches!(
+        result,
+        Err(TrapCause::Cheri {
+            fault: CapFault::BoundsViolation { .. },
+            ..
+        })
+    ));
+    assert_eq!(r.switcher.forced_unwinds, 1);
+
+    // The thread is intact: compartment restored, stack pointer restored,
+    // trusted stack empty.
+    assert_eq!(r.thread(t).compartment, app);
+    assert_eq!(r.thread(t).frames.len(), 0);
+    assert_eq!(r.thread(t).sp, r.thread(t).stack_top);
+}
+
+#[test]
+fn system_keeps_running_after_a_compartment_fault() {
+    let mut r = rtos();
+    let app = r.add_compartment("app", 64);
+    let buggy = r.add_compartment("buggy", 64);
+    let healthy = r.add_compartment("healthy", 64);
+    let t = r.spawn_thread(1, 1024, app);
+
+    for round in 0..20 {
+        // The buggy compartment faults every time...
+        let bad: Result<(), _> = r.try_call(t, buggy, 64, |env| {
+            let g = env.cgp;
+            env.machine
+                .meter()
+                .store(g.and_perms(!Permissions::SD), g.base(), 4, 0)?;
+            Ok(())
+        });
+        assert!(bad.is_err(), "round {round}");
+        // ...while the healthy one, and the allocator, keep working.
+        let sum = r
+            .try_call(t, healthy, 64, |env| {
+                let mut m = env.machine.meter();
+                let g = env.cgp;
+                m.store(g, g.base(), 4, round)?;
+                m.load(g, g.base(), 4)
+            })
+            .expect("healthy compartment unaffected");
+        assert_eq!(sum, round);
+        let buf = r.malloc(t, 64).expect("allocator unaffected");
+        r.free(t, buf).expect("free");
+    }
+    assert_eq!(r.switcher.forced_unwinds, 20);
+    r.heap.check_consistency(&r.machine).expect("heap intact");
+}
+
+#[test]
+fn faulting_callee_leaves_no_stack_residue() {
+    let mut r = rtos();
+    let app = r.add_compartment("app", 64);
+    let buggy = r.add_compartment("buggy", 64);
+    let t = r.spawn_thread(1, 1024, app);
+    let secret_obj = r.malloc(t, 32).unwrap();
+
+    let _: Result<(), _> = r.try_call(t, buggy, 128, |env| {
+        // The callee spills a capability and a secret to its stack, then
+        // faults.
+        let slot = env.stack_cap.address() - 16;
+        env.machine
+            .meter()
+            .store_cap(env.stack_cap, slot, secret_obj)?;
+        env.machine
+            .meter()
+            .store(env.stack_cap, slot - 8, 4, 0x5ec2e7)?;
+        Err(TrapCause::IllegalInstruction)
+    });
+    // The unwind zeroed everything the callee touched.
+    let (base, top) = (r.thread(t).stack_base, r.thread(t).sp);
+    let mut addr = base;
+    while addr < top {
+        let (word, tag) = r.machine.sram.read_cap_word(addr).unwrap();
+        assert!(!tag, "no capability residue at {addr:#x}");
+        assert_eq!(word, 0, "no data residue at {addr:#x}");
+        addr += 8;
+    }
+}
+
+#[test]
+fn nested_fault_unwinds_one_level() {
+    let mut r = rtos();
+    let a = r.add_compartment("a", 64);
+    let b = r.add_compartment("b", 64);
+    let c = r.add_compartment("c", 64);
+    let t = r.spawn_thread(1, 2048, a);
+
+    // a calls b; b calls c; c faults; b catches and recovers.
+    let out = r
+        .cross_call(t, b, 64, |_env| "b-before")
+        .and_then(|_| {
+            let inner: Result<(), _> =
+                r.try_call(t, c, 64, |_env| Err(TrapCause::IllegalInstruction));
+            assert!(inner.is_err());
+            r.cross_call(t, b, 64, |_env| "b-recovered")
+        })
+        .unwrap();
+    assert_eq!(out, "b-recovered");
+    assert_eq!(r.thread(t).frames.len(), 0);
+}

@@ -1,0 +1,291 @@
+//! Full-system guest integration: everything at once, in guest code.
+//!
+//! A single trap vector — as in the real RTOS — dispatches on `mcause`:
+//! timer interrupts go to a context-switching ISR (preemptive
+//! multitasking between two threads), and synchronous CHERI faults go to
+//! the compartment switcher's unwind path. Thread A makes
+//! cross-compartment calls through the guest switcher into a compartment
+//! that faults on every third input; thread B crunches a counter. The
+//! paper's co-design story, end to end, executed instruction by
+//! instruction:
+//!
+//! * sentries carry interrupt posture (the switcher is never preempted),
+//! * a fault's blast radius is one invocation (A sees `-1` and moves on),
+//! * preemption is transparent (B makes progress throughout),
+//! * the trusted stack and register files stay consistent across all of it.
+//!
+//! (One simplification vs. the real RTOS: a single trusted stack, so only
+//! thread A performs cross-compartment calls; the real switcher banks the
+//! trusted-stack pointer per thread in the context-switch path.)
+
+use cheriot::asm::Asm;
+use cheriot::cap::Capability;
+use cheriot::core::insn::{CsrId, Instr, Reg, ScrId};
+use cheriot::core::{layout, CoreModel, ExitReason, Machine, MachineConfig};
+use cheriot::rtos::guest_switcher::{guest_compartment, GuestSwitcher};
+
+const QUANTUM: i32 = 600;
+const TCB_CTX: u32 = layout::SRAM_BASE + 0x900; // timer cap + 2 contexts
+const CTX_A: u32 = TCB_CTX + 16;
+const CTX_STRIDE: i32 = 128;
+
+/// The combined trap vector + context-switch ISR. `fault_addr` is the
+/// guest switcher's unwind path.
+fn build_vector(fault_addr: u32) -> Vec<Instr> {
+    let mut a = Asm::new();
+    // Free t0 (swap with the context pointer), save t1, read the cause.
+    a.cspecialrw(Reg::T0, ScrId::MScratchC, Reg::T0);
+    a.csc(Reg::T1, 32, Reg::T0);
+    a.csrr(Reg::T1, CsrId::Mcause);
+    let isr = a.label();
+    a.blt(Reg::T1, Reg::ZERO, isr); // bit 31 set: interrupt
+                                    // --- synchronous fault: restore mscratchc, tail-call the unwinder ---
+    a.cspecialrw(Reg::T0, ScrId::MScratchC, Reg::T0);
+    a.li(Reg::T1, fault_addr as i32);
+    a.auipcc(Reg::T2, 0);
+    a.csetaddr(Reg::T2, Reg::T2, Reg::T1);
+    a.cjr(Reg::T2);
+
+    // --- timer interrupt: switch thread contexts ---
+    a.bind(isr);
+    for (i, r) in [
+        Reg::RA,
+        Reg::SP,
+        Reg::GP,
+        Reg::TP,
+        // t1 already saved at slot 4 (offset 32)
+        Reg::T2,
+        Reg::S0,
+        Reg::S1,
+        Reg::A0,
+        Reg::A1,
+        Reg::A2,
+        Reg::A3,
+        Reg::A4,
+        Reg::A5,
+    ]
+    .iter()
+    .enumerate()
+    {
+        let slot = if i < 4 { i } else { i + 1 }; // skip slot 4 (t1)
+        a.csc(*r, (slot as i32) * 8, Reg::T0);
+    }
+    a.cspecialrw(Reg::T1, ScrId::MScratchC, Reg::ZERO); // user t0
+    a.csc(Reg::T1, 112, Reg::T0);
+    a.cspecialrw(Reg::T1, ScrId::Mepcc, Reg::ZERO);
+    a.csc(Reg::T1, 120, Reg::T0);
+    // Flip contexts.
+    a.cgetaddr(Reg::T1, Reg::T0);
+    a.xori(Reg::T1, Reg::T1, CTX_STRIDE);
+    a.csetaddr(Reg::T0, Reg::T0, Reg::T1);
+    // Restore next thread's pc.
+    a.clc(Reg::T1, 120, Reg::T0);
+    a.cspecialrw(Reg::ZERO, ScrId::Mepcc, Reg::T1);
+    // Re-arm the timer (capability in the TCB header).
+    a.cgetbase(Reg::T2, Reg::T0);
+    a.csetaddr(Reg::T2, Reg::T0, Reg::T2);
+    a.clc(Reg::T2, 0, Reg::T2);
+    a.lw(Reg::T1, 0, Reg::T2);
+    a.addi(Reg::T1, Reg::T1, QUANTUM);
+    a.sw(Reg::T1, 8, Reg::T2);
+    a.sw(Reg::ZERO, 12, Reg::T2);
+    // Restore the next thread.
+    for (i, r) in [
+        Reg::RA,
+        Reg::SP,
+        Reg::GP,
+        Reg::TP,
+        Reg::S0,
+        Reg::S1,
+        Reg::A0,
+        Reg::A1,
+        Reg::A2,
+        Reg::A3,
+        Reg::A4,
+        Reg::A5,
+    ]
+    .iter()
+    .enumerate()
+    {
+        let slot = if i < 4 { i } else { i + 2 }; // skip t1/t2 slots
+        a.clc(*r, (slot as i32) * 8, Reg::T0);
+    }
+    a.clc(Reg::T2, 112, Reg::T0);
+    a.cspecialrw(Reg::ZERO, ScrId::MScratchC, Reg::T2);
+    a.clc(Reg::T2, 40, Reg::T0);
+    a.clc(Reg::T1, 32, Reg::T0);
+    a.cspecialrw(Reg::T0, ScrId::MScratchC, Reg::T0);
+    a.mret();
+    a.assemble()
+}
+
+#[test]
+fn everything_at_once() {
+    let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+
+    // --- the guest switcher (also installs its fault path in mtcc) ---
+    let mut sw = GuestSwitcher::install(&mut m, layout::SRAM_BASE + 0x200, 512);
+    let fault_addr = m.cpu.mtcc.address();
+
+    // --- compartment C: doubles its argument, but faults when the
+    // argument is divisible by three (an input-dependent bug) ---
+    let mut c = Asm::new();
+    let boom = c.label();
+    c.li(Reg::T0, 3);
+    c.remu(Reg::T1, Reg::A0, Reg::T0);
+    c.beqz(Reg::T1, boom);
+    c.slli(Reg::A0, Reg::A0, 1);
+    c.cret();
+    c.bind(boom);
+    c.lw(Reg::T0, 0x100, Reg::GP); // out of bounds: globals are 0x100 long
+    c.cret(); // never reached
+    let c_prog = c.assemble();
+    let c_base = m.load_program(&c_prog);
+    let c_globals = Capability::root_mem_rw()
+        .with_address(layout::SRAM_BASE + 0x1200)
+        .set_bounds(0x100)
+        .unwrap();
+    let c_comp = guest_compartment(c_base, 4 * c_prog.len() as u32, c_globals);
+    let c_export = sw.make_export(&mut m, &c_comp, 0);
+
+    // --- thread A: calls C with 1..=N, accumulating results (-1 on the
+    // faulting inputs), then reports ---
+    const N: i32 = 12;
+    let mut ta = Asm::new();
+    ta.li(Reg::S0, 1); // i
+    ta.li(Reg::S1, 0); // acc
+    let loop_a = ta.here();
+    ta.cincaddrimm(Reg::SP, Reg::SP, -16);
+    ta.csc(Reg::RA, 0, Reg::SP);
+    ta.clc(Reg::T0, 0, Reg::GP); // C's export
+    ta.clc(Reg::T1, 8, Reg::GP); // switcher sentry
+    ta.mv(Reg::A0, Reg::S0);
+    ta.cjalr(Reg::RA, Reg::T1);
+    ta.add(Reg::S1, Reg::S1, Reg::A0);
+    ta.clc(Reg::RA, 0, Reg::SP);
+    ta.cincaddrimm(Reg::SP, Reg::SP, 16);
+    ta.addi(Reg::S0, Reg::S0, 1);
+    ta.li(Reg::T2, N + 1);
+    ta.blt(Reg::S0, Reg::T2, loop_a);
+    // Publish the result and spin (B still needs the core). The results
+    // capability lives in A's globals: argument registers do not survive
+    // cross-compartment returns (the switcher clears them).
+    ta.clc(Reg::T1, 16, Reg::GP);
+    ta.sw(Reg::S1, 0, Reg::T1);
+    let spin = ta.here();
+    ta.j(spin);
+    let ta_prog = ta.assemble();
+    let ta_base = m.load_program(&ta_prog);
+    let a_globals = Capability::root_mem_rw()
+        .with_address(layout::SRAM_BASE + 0x1000)
+        .set_bounds(0x100)
+        .unwrap();
+    let a_comp = guest_compartment(ta_base, 4 * ta_prog.len() as u32, a_globals);
+
+    // --- thread B: a counter loop ---
+    let mut tb = Asm::new();
+    let loop_b = tb.here();
+    tb.lw(Reg::T1, 0, Reg::A0);
+    tb.addi(Reg::T1, Reg::T1, 1);
+    tb.sw(Reg::T1, 0, Reg::A0);
+    tb.j(loop_b);
+    let tb_prog = tb.assemble();
+    let tb_base = m.load_program(&tb_prog);
+
+    // --- the combined trap vector ---
+    let vec_prog = build_vector(fault_addr);
+    let vec_base = m.load_program(&vec_prog);
+
+    // --- wiring ---
+    let root = Capability::root_mem_rw();
+    let code = m.boot_pcc(vec_base);
+    // A's import table.
+    m.meter()
+        .store_cap(
+            root.with_address(layout::SRAM_BASE + 0x1000)
+                .set_bounds(16)
+                .unwrap(),
+            layout::SRAM_BASE + 0x1000,
+            c_export,
+        )
+        .unwrap();
+    m.meter()
+        .store_cap(
+            root.with_address(layout::SRAM_BASE + 0x1008)
+                .set_bounds(8)
+                .unwrap(),
+            layout::SRAM_BASE + 0x1008,
+            sw.call_sentry,
+        )
+        .unwrap();
+    // TCB contexts + timer capability.
+    let tcb = root.with_address(TCB_CTX).set_bounds(16 + 256).unwrap();
+    let timer = root
+        .with_address(layout::TIMER_BASE)
+        .set_bounds(u64::from(layout::MMIO_SIZE))
+        .unwrap();
+    m.meter().store_cap(tcb, TCB_CTX, timer).unwrap();
+    // Thread B's initial context.
+    let cnt_b = root
+        .with_address(layout::SRAM_BASE + 0x1100)
+        .set_bounds(4)
+        .unwrap();
+    let ctx_b = CTX_A + CTX_STRIDE as u32;
+    m.meter().store_cap(tcb, ctx_b + 64, cnt_b).unwrap(); // a0 slot (idx 8)
+    m.meter()
+        .store_cap(tcb, ctx_b + 120, code.with_address(tb_base))
+        .unwrap();
+
+    // Results area for A, linked into its globals at +16.
+    let results = root
+        .with_address(layout::SRAM_BASE + 0x1300)
+        .set_bounds(32)
+        .unwrap();
+    m.meter()
+        .store_cap(
+            root.with_address(layout::SRAM_BASE + 0x1010)
+                .set_bounds(8)
+                .unwrap(),
+            layout::SRAM_BASE + 0x1010,
+            results,
+        )
+        .unwrap();
+
+    // Thread A's stack.
+    let stack = root
+        .with_address(layout::SRAM_BASE + 0x2000)
+        .set_bounds(0x200)
+        .unwrap()
+        .and_perms(!cheriot::cap::Permissions::GL)
+        .with_address(layout::SRAM_BASE + 0x2200);
+
+    // Boot state: thread A running, everything armed.
+    m.cpu.mtcc = code.with_address(vec_base); // the combined vector
+    m.cpu.mscratchc = tcb.with_address(CTX_A);
+    m.cpu.pcc = a_comp.code.with_address(ta_base);
+    m.cpu.write(Reg::GP, a_comp.globals);
+    m.cpu.write(Reg::SP, stack);
+    m.cpu.mshwmb = layout::SRAM_BASE + 0x2000;
+    m.cpu.mshwm = layout::SRAM_BASE + 0x2200;
+    m.cpu.interrupts_enabled = true;
+    m.mtimecmp = QUANTUM as u64;
+
+    let r = m.run(400_000);
+    assert_eq!(r, ExitReason::CycleLimit, "both threads run forever");
+
+    // A's accumulated result: sum over 1..=12 of (2i if i%3!=0 else -1).
+    let expected: i32 = (1..=N).map(|i| if i % 3 == 0 { -1 } else { 2 * i }).sum();
+    let got = m.sram.read_scalar(layout::SRAM_BASE + 0x1300, 4).unwrap();
+    assert_eq!(
+        got as i32, expected,
+        "A's cross-compartment results (with faults contained)"
+    );
+    // B made progress under preemption the whole time.
+    let b_count = m.sram.read_scalar(layout::SRAM_BASE + 0x1100, 4).unwrap();
+    assert!(b_count > 500, "thread B starved: {b_count}");
+    // Exactly four faults (i = 3, 6, 9, 12) plus many timer interrupts.
+    assert_eq!(m.stats.traps, 4, "{:?}", m.stats);
+    assert!(m.stats.interrupts > 50);
+    // The trusted stack is balanced.
+    assert_eq!(m.cpu.mtdc.address(), layout::SRAM_BASE + 0x200 + 24);
+}

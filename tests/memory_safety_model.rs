@@ -1,0 +1,332 @@
+//! The eight inter-compartment memory-safety guarantees of paper §2.3,
+//! each expressed as an attack that must fail.
+//!
+//! "For any object owned by compartment A, compartment B must not be able
+//! to: ① access it without being passed a pointer; ② access outside its
+//! bounds given a valid pointer; ③ access it (or its former memory) after
+//! free; ④ hold a pointer to an on-stack object after the call ends;
+//! ⑤ hold a temporarily delegated pointer beyond a single call; ⑥ modify
+//! an object passed via immutable reference; ⑦ modify anything reachable
+//! from a deeply immutable reference; ⑧ tamper with an object passed via
+//! opaque reference."
+
+use cheriot::alloc::{RevokerKind, TemporalPolicy};
+use cheriot::cap::{CapFault, Capability, Permissions};
+use cheriot::core::{layout, CoreModel, Machine, MachineConfig};
+use cheriot::rtos::Rtos;
+
+fn rtos() -> Rtos {
+    Rtos::new(
+        Machine::new(MachineConfig::new(CoreModel::ibex())),
+        TemporalPolicy::Quarantine(RevokerKind::Hardware),
+    )
+}
+
+#[test]
+fn g1_no_access_without_a_pointer() {
+    // B knows the address of A's object but holds no capability to it.
+    let mut r = rtos();
+    let a = r.add_compartment("a", 64);
+    let b = r.add_compartment("b", 64);
+    let t = r.spawn_thread(1, 1024, a);
+    let secret = r.malloc(t, 64).unwrap();
+    let addr = secret.base();
+    r.cross_call(t, b, 64, |env| {
+        // B's total authority: its globals, its stack. Neither reaches A's
+        // object even with the address in hand.
+        let via_globals = env.cgp.with_address(addr);
+        assert!(!via_globals.tag(), "address swing must detag");
+        let via_stack = env.stack_cap.with_address(addr);
+        assert!(!via_stack.tag());
+        // Conjuring from integers is impossible by construction: the only
+        // constructors are roots, and B has none.
+        let forged = Capability::null().with_address(addr);
+        assert_eq!(
+            forged.check_access(addr, 1, Permissions::LD),
+            Err(CapFault::TagViolation)
+        );
+    })
+    .unwrap();
+}
+
+#[test]
+fn g2_no_out_of_bounds_via_valid_pointer() {
+    let mut r = rtos();
+    let a = r.add_compartment("a", 64);
+    let b = r.add_compartment("b", 64);
+    let t = r.spawn_thread(1, 1024, a);
+    // Two adjacent heap objects; B receives a pointer to the first.
+    let obj1 = r.malloc(t, 32).unwrap();
+    let obj2 = r.malloc(t, 32).unwrap();
+    r.cross_call(t, b, 64, |env| {
+        // Walk off the end towards obj2.
+        for off in 32..128i32 {
+            let probe = obj1.incremented(off);
+            let ok = probe.check_access(probe.address(), 1, Permissions::LD);
+            assert!(ok.is_err(), "escaped bounds at +{off}");
+        }
+        let _ = env;
+    })
+    .unwrap();
+    let _ = obj2;
+}
+
+#[test]
+fn g3_no_use_after_free() {
+    let mut r = rtos();
+    let a = r.add_compartment("a", 64);
+    let b = r.add_compartment("b", 64);
+    let t = r.spawn_thread(1, 1024, a);
+    let obj = r.malloc(t, 48).unwrap();
+
+    // B stashes the pointer in its globals during a call.
+    let stash = r.compartment(b).cgp;
+    let stash_addr = stash.base();
+    r.cross_call(t, b, 64, |env| {
+        env.machine
+            .meter()
+            .store_cap(env.cgp, stash_addr, obj)
+            .unwrap();
+    })
+    .unwrap();
+
+    // A frees the object. From this instant UAF is impossible: the
+    // revocation bits are painted before free() returns.
+    r.free(t, obj).unwrap();
+
+    // B retrieves its stashed pointer: the load filter strips the tag.
+    let stale = r
+        .cross_call(t, b, 64, |env| {
+            env.machine.meter().load_cap(env.cgp, stash_addr).unwrap()
+        })
+        .unwrap();
+    assert!(!stale.tag(), "guarantee 3: stale pointer must be dead");
+
+    // Even the still-tagged register copy cannot reach *reused* memory:
+    // the chunk stays quarantined until a sweep invalidates all copies.
+    r.heap.start_revocation(&mut r.machine);
+    r.heap.wait_revocation_complete(&mut r.machine);
+    let reuse = r.malloc(t, 48).unwrap();
+    if reuse.base() == obj.base() {
+        // Memory was reused: every in-memory copy of the old pointer has
+        // been invalidated by the sweep.
+        let reloaded = r
+            .cross_call(t, b, 64, |env| {
+                env.machine.meter().load_cap(env.cgp, stash_addr).unwrap()
+            })
+            .unwrap();
+        assert!(!reloaded.tag());
+    }
+}
+
+#[test]
+fn g4_no_stack_pointer_survives_the_call() {
+    // A passes B a pointer to an on-stack object; B tries to keep it.
+    let mut r = rtos();
+    let a = r.add_compartment("a", 64);
+    let b = r.add_compartment("b", 64);
+    let t = r.spawn_thread(1, 1024, a);
+
+    // A's on-stack object: derived from the (local, SL) stack capability.
+    let sp = r.thread(t).sp;
+    let on_stack = r
+        .thread(t)
+        .stack_cap
+        .with_address(sp - 64)
+        .set_bounds(32)
+        .unwrap();
+    assert!(!on_stack.is_global(), "stack derivations are local");
+
+    let b_globals = r.compartment(b).cgp;
+    let capture_attempt = r
+        .cross_call(t, b, 64, |env| {
+            // Storing a local capability to globals requires SL, which no
+            // globals capability has.
+            env.machine
+                .meter()
+                .store_cap(b_globals, b_globals.base(), on_stack)
+        })
+        .unwrap();
+    assert!(
+        capture_attempt.is_err(),
+        "guarantee 4: stack pointers cannot be captured off-stack"
+    );
+
+    // B *can* spill it to its own stack frame — but the switcher zeroes
+    // that on return, so nothing survives the call.
+    r.cross_call(t, b, 64, |env| {
+        let slot = env.stack_cap.address() - 16;
+        env.machine
+            .meter()
+            .store_cap(env.stack_cap, slot, on_stack)
+            .unwrap();
+    })
+    .unwrap();
+    let (base, top) = (r.thread(t).stack_base, r.thread(t).sp);
+    let mut a_ = base;
+    while a_ < top {
+        let (_, tag) = r.machine.sram.read_cap_word(a_).unwrap();
+        assert!(!tag, "guarantee 4: no capability survives below sp");
+        a_ += 8;
+    }
+    let _ = a;
+}
+
+#[test]
+fn g5_no_delegation_beyond_a_single_call() {
+    // A delegates a heap object for one call by stripping GL (§5.2).
+    let mut r = rtos();
+    let a = r.add_compartment("a", 64);
+    let b = r.add_compartment("b", 64);
+    let t = r.spawn_thread(1, 1024, a);
+    let obj = r.malloc(t, 64).unwrap();
+    let ephemeral = obj.and_perms(!Permissions::GL);
+
+    let b_globals = r.compartment(b).cgp;
+    r.cross_call(t, b, 64, |env| {
+        // Off-stack capture fails (no SL on globals)...
+        assert!(env
+            .machine
+            .meter()
+            .store_cap(b_globals, b_globals.base(), ephemeral)
+            .is_err());
+        // ...and the heap is equally off-limits: heap caps lack SL too.
+        let heap_obj = env.heap.malloc(env.machine, 16).unwrap();
+        assert!(env
+            .machine
+            .meter()
+            .store_cap(heap_obj, heap_obj.base(), ephemeral)
+            .is_err());
+        env.heap.free(env.machine, heap_obj).unwrap();
+        // The stack works, but dies at return (zeroed by the switcher).
+        let slot = env.stack_cap.address() - 8;
+        env.machine
+            .meter()
+            .store_cap(env.stack_cap, slot, ephemeral)
+            .unwrap();
+    })
+    .unwrap();
+    // After return, nothing below sp holds a tag.
+    let (base, top) = (r.thread(t).stack_base, r.thread(t).sp);
+    let mut addr = base;
+    while addr < top {
+        let (_, tag) = r.machine.sram.read_cap_word(addr).unwrap();
+        assert!(!tag, "guarantee 5: delegation must not outlive the call");
+        addr += 8;
+    }
+}
+
+#[test]
+fn g6_immutable_reference_cannot_modify() {
+    let mut r = rtos();
+    let a = r.add_compartment("a", 64);
+    let b = r.add_compartment("b", 64);
+    let t = r.spawn_thread(1, 1024, a);
+    let obj = r.malloc(t, 64).unwrap();
+    let ro = obj.and_perms(!Permissions::SD & !Permissions::LM);
+    r.cross_call(t, b, 64, |env| {
+        assert_eq!(
+            env.machine.meter().store(ro, ro.base(), 4, 0xbad),
+            Err(cheriot::core::TrapCause::Cheri {
+                fault: CapFault::PermissionViolation {
+                    needed: Permissions::SD
+                },
+                reg: 0xff
+            })
+        );
+        // And write permission cannot be regrown.
+        let w = ro.and_perms(Permissions::ROOT_MEM);
+        assert!(!w.perms().contains(Permissions::SD));
+    })
+    .unwrap();
+}
+
+#[test]
+fn g7_deep_immutability_via_load_mutable() {
+    // A shares a structure root without LM: everything loaded through it
+    // becomes read-only, recursively (§3.1.1).
+    let mut r = rtos();
+    let a = r.add_compartment("a", 64);
+    let b = r.add_compartment("b", 64);
+    let t = r.spawn_thread(1, 1024, a);
+
+    // A two-node structure in the heap: root -> inner.
+    let root = r.malloc(t, 16).unwrap();
+    let inner = r.malloc(t, 32).unwrap();
+    let aug = r.compartment(a).cgp; // anything with MC+SD to write the link
+    let _ = aug;
+    let heap_view = root;
+    r.machine
+        .meter()
+        .store_cap(heap_view, root.base(), inner)
+        .unwrap();
+
+    let deep_ro = root.and_perms(!Permissions::LM);
+    let loaded = r
+        .cross_call(t, b, 64, |env| {
+            env.machine.meter().load_cap(deep_ro, root.base()).unwrap()
+        })
+        .unwrap();
+    // The loaded inner pointer lost SD and LM.
+    assert!(loaded.tag());
+    assert!(!loaded.perms().contains(Permissions::SD));
+    assert!(!loaded.perms().contains(Permissions::LM));
+    assert!(loaded
+        .check_access(inner.base(), 4, Permissions::SD)
+        .is_err());
+}
+
+#[test]
+fn g8_opaque_references_cannot_be_tampered() {
+    // A hands B a sealed ("opaque") reference to its object.
+    let mut r = rtos();
+    let a = r.add_compartment("a", 64);
+    let b = r.add_compartment("b", 64);
+    let t = r.spawn_thread(1, 1024, a);
+    let obj = r.malloc(t, 64).unwrap();
+    // A seals with a data otype it owns (the RTOS virtualizes these; here
+    // we use the architectural sealing root directly as the TCB would).
+    let seal_auth = Capability::root_sealing().with_address(5);
+    let opaque = obj.seal_with(seal_auth).unwrap();
+
+    r.cross_call(t, b, 64, |env| {
+        // No access through a sealed capability.
+        assert_eq!(
+            opaque.check_access(opaque.address(), 1, Permissions::LD),
+            Err(CapFault::SealViolation)
+        );
+        // No mutation: every manipulation detags.
+        assert!(!opaque.incremented(4).tag());
+        assert!(!opaque.and_perms(Permissions::NONE).tag());
+        assert!(!opaque.set_bounds(8).unwrap().tag());
+        // No unsealing without the authority: B forging an authority fails
+        // because it cannot conjure SE/US permissions.
+        let fake_auth = env.cgp.with_address(5);
+        assert!(opaque.unseal_with(fake_auth).is_err());
+    })
+    .unwrap();
+
+    // A, holding the real authority, gets its object back intact.
+    let unsealed = opaque.unseal_with(seal_auth).unwrap();
+    assert_eq!(unsealed, obj);
+}
+
+#[test]
+fn defense_in_depth_within_a_compartment() {
+    // §2.3: the same facilities give intra-compartment hardening — bounds
+    // on private globals hold even against the compartment's own code.
+    let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+    let globals = Capability::root_mem_rw()
+        .with_address(layout::SRAM_BASE)
+        .set_bounds(256)
+        .unwrap();
+    let field = globals
+        .with_address(layout::SRAM_BASE + 8)
+        .set_bounds(4)
+        .unwrap();
+    assert!(m.meter().store(field, field.base(), 4, 1).is_ok());
+    assert!(
+        m.meter().store(field, field.base() + 4, 4, 2).is_err(),
+        "sub-object overflow caught"
+    );
+}

@@ -1,0 +1,179 @@
+//! Real-time properties (paper §2.1): "the latency of operations is
+//! bounded and can be reasoned about", "none of the hardware operations
+//! have nondeterministic latency". These tests measure interrupt latency
+//! under random workloads and check cycle-level determinism of the
+//! security mechanisms.
+
+use cheriot::asm::Asm;
+use cheriot::cap::Capability;
+use cheriot::core::insn::Reg;
+use cheriot::core::{layout, CoreModel, Machine, MachineConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Worst-case interrupt latency: the longest single instruction (divide)
+/// plus the trap-entry flush. Nothing in the machine may exceed this.
+const WCET_IRQ_CYCLES: u64 = 37 + 8;
+
+fn random_busy_program(rng: &mut StdRng) -> Vec<cheriot::core::insn::Instr> {
+    let mut a = Asm::new();
+    a.li(Reg::A1, 123);
+    a.li(Reg::A2, 7);
+    let top = a.here();
+    for _ in 0..rng.gen_range(4..20) {
+        match rng.gen_range(0..6) {
+            0 => {
+                a.add(Reg::A1, Reg::A1, Reg::A2);
+            }
+            1 => {
+                a.mul(Reg::A1, Reg::A1, Reg::A2);
+            }
+            2 => {
+                a.divu(Reg::A3, Reg::A1, Reg::A2);
+            }
+            3 => {
+                a.lw(Reg::A3, 0, Reg::T2);
+            }
+            4 => {
+                a.sw(Reg::A1, 4, Reg::T2);
+            }
+            _ => {
+                a.clc(Reg::A4, 8, Reg::T2);
+            }
+        }
+    }
+    a.j(top);
+    a.assemble()
+}
+
+#[test]
+fn interrupt_latency_is_bounded_under_any_workload() {
+    let mut rng = StdRng::seed_from_u64(0x3EA1);
+    for case in 0..30 {
+        let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+        let prog = random_busy_program(&mut rng);
+        let entry = m.load_program(&prog);
+        // Trap vector: a separate one-instruction handler (halt).
+        let mut h = Asm::new();
+        h.halt();
+        let handler = m.load_program(&h.assemble());
+        m.set_entry(entry);
+        m.cpu.mtcc = m.boot_pcc(handler);
+        m.cpu.interrupts_enabled = true;
+        let buf = Capability::root_mem_rw()
+            .with_address(layout::SRAM_BASE + 0x40)
+            .set_bounds(64)
+            .unwrap();
+        m.cpu.write(Reg::T2, buf);
+        let arm_at = rng.gen_range(100..2000);
+        m.mtimecmp = arm_at;
+        m.run(100_000);
+        // The handler halts immediately, so cycles-at-halt bounds the
+        // latency from timer fire to handler completion.
+        let latency = m.cycles.saturating_sub(arm_at);
+        assert!(
+            latency <= WCET_IRQ_CYCLES,
+            "case {case}: latency {latency} exceeds WCET bound"
+        );
+        assert_eq!(m.stats.interrupts, 1);
+    }
+}
+
+#[test]
+fn security_checks_have_constant_latency() {
+    // A bounds-checked load costs exactly the same whether the access is
+    // at the base, the middle, or the last byte of its object, and whether
+    // the capability is freshly derived or heavily re-derived — no caches,
+    // no variable paths (§2.1).
+    let run_one = |addr_off: i32, rederive: bool| -> u64 {
+        let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+        let mut a = Asm::new();
+        if rederive {
+            for _ in 0..5 {
+                a.cincaddrimm(Reg::A1, Reg::A1, 1);
+                a.cincaddrimm(Reg::A1, Reg::A1, -1);
+            }
+        } else {
+            for _ in 0..5 {
+                a.nop();
+                a.nop();
+            }
+        }
+        let t0 = a.len();
+        a.lw(Reg::A0, addr_off, Reg::A1);
+        let _ = t0;
+        a.halt();
+        let entry = m.load_program(&a.assemble());
+        m.set_entry(entry);
+        let obj = Capability::root_mem_rw()
+            .with_address(layout::SRAM_BASE + 0x100)
+            .set_bounds(256)
+            .unwrap();
+        m.cpu.write(Reg::A1, obj);
+        m.run(10_000);
+        m.cycles
+    };
+    let base = run_one(0, false);
+    assert_eq!(run_one(128, false), base, "middle of object");
+    assert_eq!(run_one(252, false), base, "end of object");
+    assert_eq!(run_one(0, true), base, "re-derived capability");
+}
+
+#[test]
+fn cross_compartment_call_cost_is_deterministic() {
+    // The same call, performed twice in identical state, costs the same
+    // cycles — WCET of the switcher is exact, not statistical.
+    use cheriot::alloc::TemporalPolicy;
+    use cheriot::rtos::Rtos;
+    let mut r = Rtos::new(
+        Machine::new(MachineConfig::new(CoreModel::ibex())),
+        TemporalPolicy::None,
+    );
+    let app = r.add_compartment("app", 64);
+    let t = r.spawn_thread(1, 512, app);
+    // Warm-up to reach steady HWM state.
+    r.cross_call(t, app, 64, |_| ()).unwrap();
+    let mut costs = Vec::new();
+    for _ in 0..5 {
+        let c0 = r.machine.cycles;
+        r.cross_call(t, app, 64, |_| ()).unwrap();
+        costs.push(r.machine.cycles - c0);
+    }
+    assert!(
+        costs.windows(2).all(|w| w[0] == w[1]),
+        "nondeterministic switcher: {costs:?}"
+    );
+}
+
+#[test]
+fn revoker_steals_only_idle_slots() {
+    // §3.3.3: the background revoker must not slow the main pipeline. The
+    // same memory-free workload runs in the same cycles whether or not a
+    // sweep is in progress.
+    let run_with = |kick: bool| -> u64 {
+        let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+        let mut a = Asm::new();
+        a.li(Reg::T0, 2000);
+        let top = a.here();
+        a.addi(Reg::T0, Reg::T0, -1); // pure ALU loop: LSU idle
+        a.bnez(Reg::T0, top);
+        a.halt();
+        let entry = m.load_program(&a.assemble());
+        m.set_entry(entry);
+        if kick {
+            use cheriot::core::revocation::revoker_reg;
+            m.revoker.mmio_write(revoker_reg::START, layout::SRAM_BASE);
+            m.revoker
+                .mmio_write(revoker_reg::END, layout::SRAM_BASE + 64 * 1024);
+            m.revoker.mmio_write(revoker_reg::KICK, 1);
+        }
+        m.run(1_000_000);
+        m.cycles
+    };
+    let quiet = run_with(false);
+    let sweeping = run_with(true);
+    assert_eq!(
+        quiet, sweeping,
+        "the revoker must be invisible to the main pipeline"
+    );
+}
