@@ -47,7 +47,7 @@ fn bench_alloc_paths(c: &mut Criterion) {
             TemporalPolicy::Quarantine(RevokerKind::Hardware),
         ),
     ] {
-        c.bench_function(&format!("alloc/malloc_free_64B/{name}"), |b| {
+        c.bench_function(format!("alloc/malloc_free_64B/{name}"), |b| {
             let mut m = machine();
             let mut h = HeapAllocator::new(&mut m, policy);
             b.iter(|| {

@@ -1,116 +1,9 @@
 //! Runs every table and figure of the evaluation in one go, writing all
 //! CSVs into `results/` — the one-command regeneration of EXPERIMENTS.md.
-
-use cheriot_core::CoreModel;
+//!
+//! Independent runs fan out across threads (`cheriot_bench::harness`);
+//! the printed report keeps the historical section order.
 
 fn main() {
-    println!("=== Table 2: area and power ===\n");
-    table2();
-    println!("\n=== Table 3: CoreMark ===\n");
-    table3();
-    println!("\n=== Table 4 + Figures 5/6: allocator ===\n");
-    table4_and_figures();
-    println!("\n=== §7.2.3: end-to-end IoT application ===\n");
-    e2e();
-    println!("\n=== §3.2: encoding quality ===\n");
-    encoding();
-    println!("\nall results written to results/");
-}
-
-fn table2() {
-    use cheriot_bench::{render_table, write_csv};
-    use cheriot_hwmodel::{fmax_mhz, table2, CoreVariant};
-    let rows: Vec<Vec<String>> = table2()
-        .iter()
-        .zip(CoreVariant::all())
-        .map(|(r, v)| {
-            vec![
-                r.name.to_string(),
-                format!("{}", r.gates),
-                format!("{:.2}x", r.gate_ratio),
-                format!("{:.3}", r.power_mw),
-                format!("{:.2}x", r.power_ratio),
-                format!("{:.0}", fmax_mhz(v)),
-            ]
-        })
-        .collect();
-    let headers = [
-        "Configuration",
-        "Gates",
-        "(ratio)",
-        "Power(mW)",
-        "(ratio)",
-        "fmax(MHz)",
-    ];
-    print!("{}", render_table(&headers, &rows));
-    let _ = write_csv("table2_area_power", &headers, &rows);
-}
-
-fn table3() {
-    use cheriot_bench::render_table;
-    use cheriot_workloads::{run_coremark, CoreMarkConfig};
-    let mut rows = Vec::new();
-    for core in [CoreModel::flute(), CoreModel::ibex()] {
-        let base = run_coremark(core, &CoreMarkConfig::baseline());
-        let cap = run_coremark(core, &CoreMarkConfig::capabilities());
-        let fil = run_coremark(core, &CoreMarkConfig::capabilities_with_filter());
-        let pct = |x: u64| format!("{:.2}%", (x as f64 / base.cycles as f64 - 1.0) * 100.0);
-        rows.push(vec![
-            format!("{} RV32E", core.kind),
-            format!("{:.3}", base.score_per_mhz),
-            "-".into(),
-        ]);
-        rows.push(vec![
-            format!("{} +caps", core.kind),
-            format!("{:.3}", cap.score_per_mhz),
-            pct(cap.cycles),
-        ]);
-        rows.push(vec![
-            format!("{} +filter", core.kind),
-            format!("{:.3}", fil.score_per_mhz),
-            pct(fil.cycles),
-        ]);
-    }
-    print!(
-        "{}",
-        render_table(&["Configuration", "Score", "Overhead"], &rows)
-    );
-}
-
-fn table4_and_figures() {
-    cheriot_bench::figures::run(CoreModel::flute(), "fig5_alloc_flute");
-    println!();
-    cheriot_bench::figures::run(CoreModel::ibex(), "fig6_alloc_ibex");
-}
-
-fn e2e() {
-    use cheriot_workloads::iot::{run_iot_app, IotConfig, CLOCK_HZ};
-    let r = run_iot_app(&IotConfig {
-        duration_cycles: CLOCK_HZ,
-        ..IotConfig::default()
-    });
-    println!(
-        "CPU load {:.1}% (paper 17.5%); {} packets, {} allocations, {} revocation passes",
-        r.cpu_load * 100.0,
-        r.packets,
-        r.allocs,
-        r.revocation_passes
-    );
-}
-
-fn encoding() {
-    use cheriot_cap::bounds::EncodedBounds;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(7);
-    let mut exact = 0;
-    const N: u32 = 50_000;
-    for _ in 0..N {
-        let len = rng.gen_range(1u32..=511);
-        let base = rng.gen_range(0u32..0xc000_0000);
-        if EncodedBounds::encode(base, u64::from(len)).unwrap().exact {
-            exact += 1;
-        }
-    }
-    println!("exactness <= 511 B: {exact}/{N} (paper: always)");
+    print!("{}", cheriot_bench::harness::run_all());
 }

@@ -1,0 +1,105 @@
+//! Simulator throughput benchmark: how many simulated instructions per
+//! host second the interpreter sustains on the CoreMark-class workload.
+//!
+//! Runs the capability+filter CoreMark kernel for a fixed
+//! *simulated-cycle* budget on both core models and reports host-side
+//! MIPS (simulated instructions / host wall second), then times a full
+//! `all_results` regeneration. Writes `results/sim_throughput.csv` and a
+//! repo-root `BENCH_simperf.json` trajectory file
+//! (`{"mips_ibex": .., "mips_flute": .., "wall_s_all_results": ..}`) so
+//! future changes have a perf baseline to beat.
+//!
+//! `--quick` shrinks the cycle budget and skips the `all_results` timing
+//! (writing 0.0 for it) — the CI smoke mode.
+
+use cheriot_bench::write_csv;
+use cheriot_core::CoreModel;
+use cheriot_workloads::{run_coremark_for_cycles, CoreMarkConfig};
+use std::time::Instant;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let budget: u64 = if quick { 4_000_000 } else { 80_000_000 };
+    let cfg = CoreMarkConfig::capabilities_with_filter();
+
+    println!("Simulator throughput (CoreMark kernel, capabilities + load filter)");
+    println!(
+        "budget: {budget} simulated cycles per core{}\n",
+        if quick { " (--quick)" } else { "" }
+    );
+
+    // Best-of-N wall times: the host may be shared and frequency-scaled,
+    // so a single trial can under-report throughput by 2x. The fastest
+    // trial is the closest estimate of what the interpreter sustains.
+    let trials = if quick { 1 } else { 3 };
+
+    let mut rows = Vec::new();
+    let mut mips_by_core = Vec::new();
+    for core in [CoreModel::ibex(), CoreModel::flute()] {
+        // Warm-up pass: code/data caches, branch predictors, allocator.
+        run_coremark_for_cycles(core, &cfg, budget / 10);
+        let (mut cycles, mut instructions, mut wall) = (0, 0, f64::INFINITY);
+        for _ in 0..trials {
+            let t0 = Instant::now();
+            let (c, i) = run_coremark_for_cycles(core, &cfg, budget);
+            let w = t0.elapsed().as_secs_f64();
+            if w < wall {
+                (cycles, instructions, wall) = (c, i, w);
+            }
+        }
+        let mips = instructions as f64 / wall / 1e6;
+        println!(
+            "{:<6}  {:>12} cycles  {:>12} instrs  {:>8.3} host-s  {:>8.2} MIPS",
+            format!("{}", core.kind),
+            cycles,
+            instructions,
+            wall,
+            mips
+        );
+        rows.push(vec![
+            format!("{}", core.kind),
+            "coremark_caps_filter".to_string(),
+            format!("{cycles}"),
+            format!("{instructions}"),
+            format!("{wall:.4}"),
+            format!("{mips:.2}"),
+        ]);
+        mips_by_core.push(mips);
+    }
+
+    let wall_all = if quick {
+        0.0
+    } else {
+        println!("\ntiming all_results regeneration (output suppressed)...");
+        let t0 = Instant::now();
+        let report = cheriot_bench::harness::run_all();
+        let wall = t0.elapsed().as_secs_f64();
+        println!(
+            "all_results: {wall:.3} host-s ({} report bytes)",
+            report.len()
+        );
+        wall
+    };
+
+    let headers = [
+        "core",
+        "workload",
+        "sim_cycles",
+        "instructions",
+        "host_wall_s",
+        "mips",
+    ];
+    match write_csv("sim_throughput", &headers, &rows) {
+        Ok(p) => println!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("failed to write sim_throughput.csv: {e}"),
+    }
+
+    let json = format!(
+        "{{\"mips_ibex\": {:.2}, \"mips_flute\": {:.2}, \"wall_s_all_results\": {:.3}}}\n",
+        mips_by_core[0], mips_by_core[1], wall_all
+    );
+    match std::fs::write("BENCH_simperf.json", &json) {
+        Ok(()) => println!("wrote BENCH_simperf.json: {}", json.trim()),
+        Err(e) => eprintln!("failed to write BENCH_simperf.json: {e}"),
+    }
+}

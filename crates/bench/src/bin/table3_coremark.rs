@@ -11,13 +11,13 @@ fn main() {
     // Published (paper): Flute 2.017 / 5.73% / 5.73%; Ibex 2.086 / 13.18% / 21.28%.
     let published = [("Flute", 2.017, 5.73, 5.73), ("Ibex", 2.086, 13.18, 21.28)];
     let mut rows = Vec::new();
-    for (core, (pname, pscore, pcap, pfil)) in [CoreModel::flute(), CoreModel::ibex()]
-        .into_iter()
-        .zip(published)
+    // The six (core × config) runs are independent; the harness fans them
+    // out across threads and returns them in deterministic order.
+    for ((_, [base, cap, fil]), (pname, pscore, pcap, pfil)) in
+        cheriot_bench::harness::table3_runs()
+            .into_iter()
+            .zip(published)
     {
-        let base = run_coremark(core, &CoreMarkConfig::baseline());
-        let cap = run_coremark(core, &CoreMarkConfig::capabilities());
-        let fil = run_coremark(core, &CoreMarkConfig::capabilities_with_filter());
         assert_eq!(base.checksum, cap.checksum, "functional mismatch");
         assert_eq!(base.checksum, fil.checksum, "functional mismatch");
         let pct = |x: u64| (x as f64 / base.cycles as f64 - 1.0) * 100.0;
@@ -59,15 +59,26 @@ fn main() {
     // techniques and we expect them to be addressed before any CHERIoT
     // silicon is in production." With the modelled bugs fixed:
     println!("\nWith the two compiler bugs fixed (paper's expectation):");
-    for core in [CoreModel::flute(), CoreModel::ibex()] {
-        let base = run_coremark(core, &CoreMarkConfig::baseline());
-        let fixed = run_coremark(
-            core,
-            &CoreMarkConfig {
-                quirks: CompilerQuirks::fixed(),
-                ..CoreMarkConfig::capabilities_with_filter()
-            },
-        );
+    let fixed_runs: Vec<_> = std::thread::scope(|s| {
+        [CoreModel::flute(), CoreModel::ibex()]
+            .map(|core| {
+                s.spawn(move || {
+                    let base = run_coremark(core, &CoreMarkConfig::baseline());
+                    let fixed = run_coremark(
+                        core,
+                        &CoreMarkConfig {
+                            quirks: CompilerQuirks::fixed(),
+                            ..CoreMarkConfig::capabilities_with_filter()
+                        },
+                    );
+                    (core, base, fixed)
+                })
+            })
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    for (core, base, fixed) in fixed_runs {
         println!(
             "  {}: +filter overhead {:.2}% (worst-case compiler: see table)",
             core.kind,

@@ -6,10 +6,15 @@ use crate::{render_table, write_csv};
 use cheriot_core::CoreModel;
 use cheriot_workloads::{overhead_pct, run_alloc_bench, AllocBenchParams, AllocConfig};
 
-/// Runs the figure's full parameter sweep and prints/writes the series.
-pub fn run(core: CoreModel, name: &str) {
-    println!(
-        "Allocator benchmark overheads relative to Baseline ({})\n",
+/// Runs the figure's full parameter sweep, writes the CSV, and returns the
+/// printable report.
+///
+/// Each allocation size's row is independent of the others, so the sweep
+/// fans out across sizes with `std::thread::scope`; rows are joined back
+/// in size order, keeping the output deterministic.
+pub fn report(core: CoreModel, name: &str) -> String {
+    let mut out = format!(
+        "Allocator benchmark overheads relative to Baseline ({})\n\n",
         core.kind
     );
     let headers = [
@@ -20,29 +25,43 @@ pub fn run(core: CoreModel, name: &str) {
         "Hardware%",
         "Hardware(S)%",
     ];
-    let mut rows = Vec::new();
-    for size in AllocBenchParams::paper_sizes() {
-        let base = run_alloc_bench(&AllocBenchParams::paper(
-            core,
-            AllocConfig::Baseline,
-            false,
-            size,
-        ));
-        let cell = |config, hwm| {
-            let r = run_alloc_bench(&AllocBenchParams::paper(core, config, hwm, size));
-            format!("{:.1}", overhead_pct(&r, &base))
-        };
-        rows.push(vec![
-            format!("{size}"),
-            cell(AllocConfig::Metadata, false),
-            cell(AllocConfig::Software, false),
-            cell(AllocConfig::Software, true),
-            cell(AllocConfig::Hardware, false),
-            cell(AllocConfig::Hardware, true),
-        ]);
-    }
-    print!("{}", render_table(&headers, &rows));
+    let sizes = AllocBenchParams::paper_sizes();
+    let rows: Vec<Vec<String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = sizes
+            .iter()
+            .map(|&size| {
+                s.spawn(move || {
+                    let base = run_alloc_bench(&AllocBenchParams::paper(
+                        core,
+                        AllocConfig::Baseline,
+                        false,
+                        size,
+                    ));
+                    let cell = |config, hwm| {
+                        let r = run_alloc_bench(&AllocBenchParams::paper(core, config, hwm, size));
+                        format!("{:.1}", overhead_pct(&r, &base))
+                    };
+                    vec![
+                        format!("{size}"),
+                        cell(AllocConfig::Metadata, false),
+                        cell(AllocConfig::Software, false),
+                        cell(AllocConfig::Software, true),
+                        cell(AllocConfig::Hardware, false),
+                        cell(AllocConfig::Hardware, true),
+                    ]
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    out.push_str(&render_table(&headers, &rows));
     if let Ok(p) = write_csv(name, &headers, &rows) {
-        println!("\nwrote {}", p.display());
+        out.push_str(&format!("\nwrote {}\n", p.display()));
     }
+    out
+}
+
+/// Runs the figure's full parameter sweep and prints/writes the series.
+pub fn run(core: CoreModel, name: &str) {
+    print!("{}", report(core, name));
 }

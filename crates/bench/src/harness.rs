@@ -1,0 +1,167 @@
+//! Shared, parallel experiment harness.
+//!
+//! Every table/figure of the evaluation is a pure function of the
+//! simulator configuration, so independent (core model × configuration ×
+//! workload) runs fan out with `std::thread::scope` — no extra
+//! dependencies, which matters in this offline build environment. Each
+//! section returns its report as a `String`; callers print the sections in
+//! a fixed order, so output stays byte-identical to the sequential
+//! harness regardless of scheduling.
+
+use crate::{figures, render_table, write_csv};
+use cheriot_core::CoreModel;
+use cheriot_workloads::{run_coremark, CoreMarkConfig, CoreMarkResult};
+
+/// Table 2: area and power of the Ibex variants (analytical model; cheap).
+pub fn table2_report() -> String {
+    use cheriot_hwmodel::{fmax_mhz, table2, CoreVariant};
+    let rows: Vec<Vec<String>> = table2()
+        .iter()
+        .zip(CoreVariant::all())
+        .map(|(r, v)| {
+            vec![
+                r.name.to_string(),
+                format!("{}", r.gates),
+                format!("{:.2}x", r.gate_ratio),
+                format!("{:.3}", r.power_mw),
+                format!("{:.2}x", r.power_ratio),
+                format!("{:.0}", fmax_mhz(v)),
+            ]
+        })
+        .collect();
+    let headers = [
+        "Configuration",
+        "Gates",
+        "(ratio)",
+        "Power(mW)",
+        "(ratio)",
+        "fmax(MHz)",
+    ];
+    let mut out = render_table(&headers, &rows);
+    if write_csv("table2_area_power", &headers, &rows).is_err() {
+        out.push_str("(failed to write table2_area_power.csv)\n");
+    }
+    out
+}
+
+/// The six CoreMark runs behind Table 3 (2 cores × 3 configurations), run
+/// concurrently, returned in deterministic (core, config) order.
+pub fn table3_runs() -> Vec<(CoreModel, [CoreMarkResult; 3])> {
+    let cores = [CoreModel::flute(), CoreModel::ibex()];
+    let configs = [
+        CoreMarkConfig::baseline(),
+        CoreMarkConfig::capabilities(),
+        CoreMarkConfig::capabilities_with_filter(),
+    ];
+    std::thread::scope(|s| {
+        let handles: Vec<_> = cores
+            .iter()
+            .map(|&core| {
+                configs
+                    .iter()
+                    .map(|cfg| s.spawn(move || run_coremark(core, cfg)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        cores
+            .iter()
+            .zip(handles)
+            .map(|(&core, hs)| {
+                let mut it = hs.into_iter().map(|h| h.join().unwrap());
+                let results = [it.next().unwrap(), it.next().unwrap(), it.next().unwrap()];
+                (core, results)
+            })
+            .collect()
+    })
+}
+
+/// Table 3: CoreMark score and overhead per core/configuration.
+pub fn table3_report() -> String {
+    let mut rows = Vec::new();
+    for (core, [base, cap, fil]) in table3_runs() {
+        let pct = |x: u64| format!("{:.2}%", (x as f64 / base.cycles as f64 - 1.0) * 100.0);
+        rows.push(vec![
+            format!("{} RV32E", core.kind),
+            format!("{:.3}", base.score_per_mhz),
+            "-".into(),
+        ]);
+        rows.push(vec![
+            format!("{} +caps", core.kind),
+            format!("{:.3}", cap.score_per_mhz),
+            pct(cap.cycles),
+        ]);
+        rows.push(vec![
+            format!("{} +filter", core.kind),
+            format!("{:.3}", fil.score_per_mhz),
+            pct(fil.cycles),
+        ]);
+    }
+    render_table(&["Configuration", "Score", "Overhead"], &rows)
+}
+
+/// Table 4 + Figures 5/6: the allocator sweeps for both cores, run
+/// concurrently (each figure also fans out internally across sizes).
+pub fn figures_report() -> String {
+    let (fig5, fig6) = std::thread::scope(|s| {
+        let h5 = s.spawn(|| figures::report(CoreModel::flute(), "fig5_alloc_flute"));
+        let h6 = s.spawn(|| figures::report(CoreModel::ibex(), "fig6_alloc_ibex"));
+        (h5.join().unwrap(), h6.join().unwrap())
+    });
+    format!("{fig5}\n{fig6}")
+}
+
+/// §7.2.3: the end-to-end IoT application.
+pub fn e2e_report() -> String {
+    use cheriot_workloads::iot::{run_iot_app, IotConfig, CLOCK_HZ};
+    let r = run_iot_app(&IotConfig {
+        duration_cycles: CLOCK_HZ,
+        ..IotConfig::default()
+    });
+    format!(
+        "CPU load {:.1}% (paper 17.5%); {} packets, {} allocations, {} revocation passes\n",
+        r.cpu_load * 100.0,
+        r.packets,
+        r.allocs,
+        r.revocation_passes
+    )
+}
+
+/// §3.2: encoding exactness over a random sample of small objects.
+pub fn encoding_report() -> String {
+    use cheriot_cap::bounds::EncodedBounds;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut exact = 0;
+    const N: u32 = 50_000;
+    for _ in 0..N {
+        let len = rng.gen_range(1u32..=511);
+        let base = rng.gen_range(0u32..0xc000_0000);
+        if EncodedBounds::encode(base, u64::from(len)).unwrap().exact {
+            exact += 1;
+        }
+    }
+    format!("exactness <= 511 B: {exact}/{N} (paper: always)\n")
+}
+
+/// Runs every section concurrently and returns the combined report in the
+/// fixed section order `all_results` has always printed.
+pub fn run_all() -> String {
+    let [t2, t3, figs, e2e, enc] = std::thread::scope(|s| {
+        let h2 = s.spawn(table2_report);
+        let h3 = s.spawn(table3_report);
+        let hf = s.spawn(figures_report);
+        let he = s.spawn(e2e_report);
+        let hn = s.spawn(encoding_report);
+        [
+            h2.join().unwrap(),
+            h3.join().unwrap(),
+            hf.join().unwrap(),
+            he.join().unwrap(),
+            hn.join().unwrap(),
+        ]
+    });
+    format!(
+        "=== Table 2: area and power ===\n\n{t2}\n=== Table 3: CoreMark ===\n\n{t3}\n=== Table 4 + Figures 5/6: allocator ===\n\n{figs}\n=== §7.2.3: end-to-end IoT application ===\n\n{e2e}\n=== §3.2: encoding quality ===\n\n{enc}\nall results written to results/\n"
+    )
+}

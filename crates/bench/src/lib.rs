@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod harness;
 
 use std::fmt::Write as _;
 

@@ -49,11 +49,13 @@ pub struct DecodedBounds {
 
 impl DecodedBounds {
     /// Length of the region in bytes.
+    #[inline]
     pub fn length(self) -> u64 {
         self.top.saturating_sub(u64::from(self.base))
     }
 
     /// Does `[addr, addr + size)` lie fully within these bounds?
+    #[inline]
     pub fn covers(self, addr: u32, size: u32) -> bool {
         let a = u64::from(addr);
         a >= u64::from(self.base) && a + u64::from(size) <= self.top
@@ -89,6 +91,7 @@ impl EncodedBounds {
     /// Reconstructs fields from their raw bit values.
     ///
     /// Values are masked to their field widths.
+    #[inline]
     pub const fn from_fields(exp_field: u8, base: u16, top: u16) -> EncodedBounds {
         EncodedBounds {
             exp_field: exp_field & 0xf,
@@ -98,16 +101,19 @@ impl EncodedBounds {
     }
 
     /// The raw exponent field (`0xF` encodes e = 24).
+    #[inline]
     pub const fn exp_field(self) -> u8 {
         self.exp_field
     }
 
     /// The 9-bit base mantissa.
+    #[inline]
     pub const fn base_field(self) -> u16 {
         self.base
     }
 
     /// The 9-bit top mantissa.
+    #[inline]
     pub const fn top_field(self) -> u16 {
         self.top
     }
@@ -123,6 +129,7 @@ impl EncodedBounds {
 
     /// Decodes the architectural bounds relative to `address`
     /// (paper Figure 3).
+    #[inline]
     pub fn decode(self, address: u32) -> DecodedBounds {
         let e = self.exponent();
         let shamt = e + MANTISSA_BITS; // ≤ 33
@@ -232,6 +239,7 @@ impl EncodedBounds {
     /// CHERIoT guarantees no representable range beyond the bounds
     /// themselves; moving the address outside it invalidates the capability
     /// (the tag is cleared by [`crate::Capability::with_address`]).
+    #[inline]
     pub fn representable_at(self, reference_address: u32, address: u32) -> bool {
         self.decode(reference_address) == self.decode(address)
     }

@@ -34,19 +34,36 @@ use core::fmt;
 /// assert!(!ro.perms().contains(Permissions::SD));
 /// assert!(ro.tag());
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy)]
 pub struct Capability {
     tag: bool,
     address: u32,
     perms: Permissions, // invariant: always representable (normalized)
     otype: OType,       // invariant: namespace matches EX permission
     bounds: EncodedBounds,
+    // Cached `bounds.decode(address)`, mirroring hardware's decoded
+    // register file (CHERIoT-Ibex keeps expanded bounds alongside the
+    // compressed word for exactly this reason). Invariant: valid whenever
+    // `tag` is set; may be stale on untagged capabilities, where
+    // `Capability::bounds` recomputes and `PartialEq`/`Hash` ignore it.
+    decoded: DecodedBounds,
 }
+
+/// Decode of the all-zero bounds fields at address zero, used wherever the
+/// cached decode of an untagged capability has no meaningful value.
+const ZERO_BOUNDS: DecodedBounds = DecodedBounds { base: 0, top: 0 };
+
+/// Decode of [`EncodedBounds::FULL`] (any address): the whole space.
+const FULL_BOUNDS: DecodedBounds = DecodedBounds {
+    base: 0,
+    top: 1 << 32,
+};
 
 impl Capability {
     /// The null capability: untagged, no permissions, zero bounds.
     ///
     /// This is what zeroed memory decodes to.
+    #[inline]
     pub fn null() -> Capability {
         Capability {
             tag: false,
@@ -54,6 +71,7 @@ impl Capability {
             perms: Permissions::NONE,
             otype: OType::Unsealed,
             bounds: EncodedBounds::from_fields(0, 0, 0),
+            decoded: ZERO_BOUNDS,
         }
     }
 
@@ -66,6 +84,7 @@ impl Capability {
             perms: Permissions::ROOT_MEM,
             otype: OType::Unsealed,
             bounds: EncodedBounds::FULL,
+            decoded: FULL_BOUNDS,
         }
     }
 
@@ -78,6 +97,7 @@ impl Capability {
             perms: Permissions::ROOT_EXEC,
             otype: OType::Unsealed,
             bounds: EncodedBounds::FULL,
+            decoded: FULL_BOUNDS,
         }
     }
 
@@ -89,52 +109,71 @@ impl Capability {
             perms: Permissions::ROOT_SEAL,
             otype: OType::Unsealed,
             bounds: EncodedBounds::FULL,
+            decoded: FULL_BOUNDS,
         }
     }
 
     // --- Accessors ---------------------------------------------------------
 
     /// The validity tag. Untagged capabilities authorize nothing.
+    #[inline]
     pub fn tag(self) -> bool {
         self.tag
     }
 
     /// The 32-bit address (cursor).
+    #[inline]
     pub fn address(self) -> u32 {
         self.address
     }
 
     /// The architectural permission set.
+    #[inline]
     pub fn perms(self) -> Permissions {
         self.perms
     }
 
     /// The object type. [`OType::Unsealed`] for ordinary capabilities.
+    #[inline]
     pub fn otype(self) -> OType {
         self.otype
     }
 
     /// Is this capability sealed (including sentries)?
+    #[inline]
     pub fn is_sealed(self) -> bool {
         self.otype.is_sealed()
     }
 
     /// The decoded bounds at the current address.
+    ///
+    /// Tagged capabilities return the cached decode (kept valid by every
+    /// deriving operation); untagged ones recompute, since their cache may
+    /// be stale.
+    #[inline]
     pub fn bounds(self) -> DecodedBounds {
-        self.bounds.decode(self.address)
+        if self.tag {
+            debug_assert_eq!(self.decoded, self.bounds.decode(self.address));
+            self.decoded
+        } else {
+            self.bounds.decode(self.address)
+        }
     }
 
     /// Inclusive lower bound.
+    #[inline]
     pub fn base(self) -> u32 {
         self.bounds().base
     }
 
     /// Exclusive upper bound (33-bit).
+    #[inline]
     pub fn top(self) -> u64 {
         self.bounds().top
     }
 
     /// Length in bytes.
+    #[inline]
     pub fn length(self) -> u64 {
         self.bounds().length()
     }
@@ -145,6 +184,7 @@ impl Capability {
     }
 
     /// Is this capability global (storable anywhere MC+SD permits)?
+    #[inline]
     pub fn is_global(self) -> bool {
         self.perms.contains(Permissions::GL)
     }
@@ -158,17 +198,32 @@ impl Capability {
     /// range), or if the new address is below the base. This models
     /// `CSetAddr`.
     #[must_use]
+    #[inline]
     pub fn with_address(self, address: u32) -> Capability {
         let mut out = self;
         out.address = address;
-        if self.tag && (self.is_sealed() || !self.bounds.representable_at(self.address, address)) {
-            out.tag = false;
+        if self.tag {
+            if self.is_sealed() {
+                out.tag = false;
+            } else if u64::from(address) >= u64::from(self.decoded.base)
+                && u64::from(address) < self.decoded.top
+            {
+                // Fast path: CHERIoT's representable range always contains
+                // the bounds region, so an in-bounds move never changes the
+                // decode — the cached decode stays valid as-is.
+                debug_assert_eq!(self.bounds.decode(address), self.decoded);
+            } else if !self.bounds.representable_at(self.address, address) {
+                out.tag = false;
+            }
+            // representable_at == true leaves the decode unchanged by
+            // definition, so `out.decoded` is still correct there too.
         }
         out
     }
 
     /// Returns a copy with the address displaced by `offset` (`CIncAddr`).
     #[must_use]
+    #[inline]
     pub fn incremented(self, offset: i32) -> Capability {
         self.with_address(self.address.wrapping_add(offset as u32))
     }
@@ -205,6 +260,7 @@ impl Capability {
             perms: self.perms,
             otype: self.otype,
             bounds: enc.encoded,
+            decoded: enc.decoded,
         })
     }
 
@@ -223,11 +279,13 @@ impl Capability {
             otype: self.otype,
             perms: self.perms.intersection(mask).normalize(),
             bounds: self.bounds,
+            decoded: self.decoded,
         }
     }
 
     /// Returns a copy with the tag cleared (`CClearTag`).
     #[must_use]
+    #[inline]
     pub fn cleared(self) -> Capability {
         Capability { tag: false, ..self }
     }
@@ -241,6 +299,7 @@ impl Capability {
     /// * without LM: the loaded capability loses SD and LM (it becomes
     ///   read-only, recursively), unless it is sealed executable code.
     #[must_use]
+    #[inline]
     pub fn attenuated_on_load(self, authority: Capability) -> Capability {
         let mut out = self;
         if !self.tag {
@@ -377,6 +436,7 @@ impl Capability {
     ///
     /// Returns the highest-priority [`CapFault`] (tag, then seal, then
     /// permission, then bounds), mirroring hardware exception priority.
+    #[inline]
     pub fn check_access(self, addr: u32, size: u32, needed: Permissions) -> Result<(), CapFault> {
         if !self.tag {
             return Err(CapFault::TagViolation);
@@ -399,6 +459,7 @@ impl Capability {
     ///
     /// As [`Capability::check_access`] with [`Permissions::EX`]; sealed
     /// program-counter capabilities never occur (jumps unseal).
+    #[inline]
     pub fn check_fetch(self, addr: u32) -> Result<(), CapFault> {
         self.check_access(addr, 2, Permissions::EX)
     }
@@ -420,6 +481,7 @@ impl Capability {
 
     /// Encodes to the in-memory 64-bit word (metadata in the high half,
     /// address in the low half). The tag travels out of band.
+    #[inline]
     pub fn to_word(self) -> u64 {
         let p = u32::from(self.perms.compress().bits()); // 6 bits
         let o = u32::from(self.otype.field()); // 3 bits
@@ -435,6 +497,7 @@ impl Capability {
     /// Any bit pattern decodes to *some* capability; only patterns written
     /// by [`Capability::to_word`] ever carry a set tag in the simulator, so
     /// decoded-tagged capabilities always satisfy the type's invariants.
+    #[inline]
     pub fn from_word(word: u64, tag: bool) -> Capability {
         let address = word as u32;
         let meta = (word >> 32) as u32;
@@ -445,13 +508,47 @@ impl Capability {
             ((meta >> 9) & 0x1ff) as u16,
             (meta & 0x1ff) as u16,
         );
+        // Decode eagerly only for tagged words (the ones whose bounds will
+        // actually be consulted); untagged words skip the expansion, which
+        // is what makes scalar-heavy memory traffic cheap.
+        let decoded = if tag {
+            bounds.decode(address)
+        } else {
+            ZERO_BOUNDS
+        };
         Capability {
             tag,
             address,
             perms,
             otype,
             bounds,
+            decoded,
         }
+    }
+}
+
+// The cached decode is derived state: two capabilities are equal iff their
+// architectural fields are, regardless of whether either cache is stale
+// (only possible while untagged).
+impl PartialEq for Capability {
+    fn eq(&self, other: &Capability) -> bool {
+        self.tag == other.tag
+            && self.address == other.address
+            && self.perms == other.perms
+            && self.otype == other.otype
+            && self.bounds == other.bounds
+    }
+}
+
+impl Eq for Capability {}
+
+impl core::hash::Hash for Capability {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.tag.hash(state);
+        self.address.hash(state);
+        self.perms.hash(state);
+        self.otype.hash(state);
+        self.bounds.hash(state);
     }
 }
 

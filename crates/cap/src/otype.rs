@@ -62,6 +62,7 @@ impl OType {
 
     /// Constructs from the raw 3-bit field plus the namespace selector (the
     /// capability's execute permission).
+    #[inline]
     pub fn from_field(field: u8, executable: bool) -> OType {
         match field & 0x7 {
             0 => OType::Unsealed,
@@ -85,6 +86,7 @@ impl OType {
 
     /// If this is an executable otype with hardware sentry semantics,
     /// returns its classification.
+    #[inline]
     pub fn sentry_kind(self) -> Option<SentryKind> {
         match self {
             OType::Executable(1) => Some(SentryKind::Forward(InterruptPosture::Inherit)),

@@ -96,17 +96,20 @@ impl Permissions {
 
     /// Returns the set containing permissions present in both operands.
     #[must_use]
+    #[inline]
     pub const fn intersection(self, other: Permissions) -> Permissions {
         Permissions(self.0 & other.0)
     }
 
     /// Returns `self` with the permissions in `other` removed.
     #[must_use]
+    #[inline]
     pub const fn difference(self, other: Permissions) -> Permissions {
         Permissions(self.0 & !other.0)
     }
 
     /// Does this set contain *all* permissions in `other`?
+    #[inline]
     pub const fn contains(self, other: Permissions) -> bool {
         self.0 & other.0 == other.0
     }
@@ -122,6 +125,7 @@ impl Permissions {
     }
 
     /// Raw bits, one per architectural permission (bit order as declared).
+    #[inline]
     pub const fn bits(self) -> u16 {
         self.0
     }
@@ -129,11 +133,13 @@ impl Permissions {
     /// Reconstructs a permission set from raw bits.
     ///
     /// Bits beyond the twelve architectural permissions are discarded.
+    #[inline]
     pub const fn from_bits(bits: u16) -> Permissions {
         Permissions(bits & 0x0fff)
     }
 
     /// Is `self` a subset of `other` (i.e. monotonically derivable)?
+    #[inline]
     pub const fn is_subset_of(self, other: Permissions) -> bool {
         self.0 & !other.0 == 0
     }
@@ -148,6 +154,7 @@ impl Permissions {
     /// format implies LD), and no format can express EX together with SD
     /// (W^X).
     #[must_use]
+    #[inline]
     pub fn normalize(self) -> Permissions {
         self.compress().decompress()
     }
@@ -158,6 +165,7 @@ impl Permissions {
     }
 
     /// Compresses to the 6-bit format of paper Figure 2.
+    #[inline]
     pub fn compress(self) -> CompressedPerms {
         let gl = if self.contains(Self::GL) {
             0b10_0000u8
@@ -314,11 +322,13 @@ pub struct CompressedPerms(u8);
 
 impl CompressedPerms {
     /// Reconstructs from the raw 6-bit field of a capability word.
+    #[inline]
     pub const fn from_bits(bits: u8) -> CompressedPerms {
         CompressedPerms(bits & 0x3f)
     }
 
     /// The raw 6-bit field.
+    #[inline]
     pub const fn bits(self) -> u8 {
         self.0
     }
@@ -343,6 +353,7 @@ impl CompressedPerms {
     }
 
     /// Expands to the full architectural permission set (paper Figure 2).
+    #[inline]
     pub fn decompress(self) -> Permissions {
         let gl = if self.0 & 0b10_0000 != 0 {
             Permissions::GL.0

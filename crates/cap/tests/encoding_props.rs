@@ -7,7 +7,7 @@
 
 use cheriot_cap::bounds::{representable_alignment_mask, representable_length, EncodedBounds};
 use cheriot_cap::perms::CompressedPerms;
-use cheriot_cap::{Capability, Permissions};
+use cheriot_cap::{Capability, OType, Permissions};
 use proptest::prelude::*;
 
 fn arb_perms() -> impl Strategy<Value = Permissions> {
@@ -21,6 +21,24 @@ fn arb_object() -> impl Strategy<Value = Capability> {
             .with_address(base)
             .set_bounds(len)
             .unwrap()
+    })
+}
+
+/// Plain, permission-attenuated, data-sealed and sentry-sealed
+/// capabilities — every kind the machine can put in memory.
+fn arb_varied() -> impl Strategy<Value = Capability> {
+    (arb_object(), arb_perms(), 1u32..=7, 0u32..4).prop_map(|(c, mask, ot, kind)| match kind {
+        0 => c,
+        1 => c.and_perms(mask),
+        2 => c
+            .seal_with(Capability::root_sealing().with_address(ot))
+            .expect("sealing a tagged unsealed capability with a valid otype"),
+        _ => Capability::root_executable()
+            .with_address(0x1000_0000)
+            .set_bounds(0x1000)
+            .unwrap()
+            .seal_as_sentry(OType::return_sentry(ot % 2 == 0))
+            .expect("sentry-sealing an executable capability"),
     })
 }
 
@@ -89,6 +107,32 @@ proptest! {
     fn word_round_trip_any_capability(c in arb_object()) {
         let rt = Capability::from_word(c.to_word(), c.tag());
         prop_assert_eq!(rt, c);
+    }
+
+    #[test]
+    fn word_round_trip_varied_capabilities(c in arb_varied()) {
+        // Sealed, attenuated and sentry capabilities survive the memory
+        // format bit-exactly, field by field.
+        let rt = Capability::from_word(c.to_word(), c.tag());
+        prop_assert_eq!(rt, c);
+        prop_assert_eq!(rt.perms(), c.perms());
+        prop_assert_eq!(rt.otype(), c.otype());
+        prop_assert_eq!(rt.bounds(), c.bounds());
+    }
+
+    #[test]
+    fn cached_decode_matches_fresh_decode(c in arb_varied(), delta in -100_000i32..100_000) {
+        // The decoded-bounds cache invariant: however a tagged capability
+        // was produced (including address moves through the in-bounds fast
+        // path), its bounds equal a from-scratch decode of its in-memory
+        // form. `bounds()` itself also debug-asserts the cached value
+        // against a recompute, so this exercises the cache directly.
+        let moved = c.incremented(delta);
+        if moved.tag() {
+            let fresh = Capability::from_word(moved.to_word(), true);
+            prop_assert_eq!(moved.bounds(), fresh.bounds());
+            prop_assert_eq!(moved, fresh);
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::insn::{AluOp, BranchCond, CapField, CsrId, CsrOp, Instr, MulOp, Reg};
 use crate::mem::{Sram, GRANULE};
 use crate::pipeline::CoreModel;
 use crate::revocation::{BackgroundRevoker, RevocationBitmap, RevokerConfig};
-use crate::trap::TrapCause;
+use crate::trap::{TrapCause, PCC_REG_INDEX};
 use cheriot_cap::bounds::{representable_alignment_mask, representable_length};
 use cheriot_cap::{Capability, InterruptPosture, OType, Permissions, SentryKind};
 
@@ -305,12 +305,7 @@ impl Machine {
         self.cycles += cycles;
         if self.cfg.hw_revoker && self.revoker.in_progress() {
             let idle = cycles.saturating_sub(mem_beats);
-            for _ in 0..idle {
-                if !self.revoker.in_progress() {
-                    break;
-                }
-                self.revoker.step(&mut self.sram, &self.bitmap);
-            }
+            self.revoker.step_n(&mut self.sram, &self.bitmap, idle);
         }
     }
 
@@ -356,22 +351,27 @@ impl Machine {
     /// Raw capability bus read, applying the load filter and recording the
     /// strip statistic. No capability *authority* check and no LG/LM
     /// attenuation — callers do those.
+    ///
+    /// Served from the SRAM's decoded side cache when possible, so a load
+    /// of a just-stored capability copies the decoded form instead of
+    /// re-deriving bounds. The filter still keys off the raw tag: untagged
+    /// words skip the base decode entirely (`filter_strips`' tag conjunct
+    /// would discard it anyway).
     pub fn bus_read_cap(&mut self, addr: u32) -> Result<Capability, TrapCause> {
-        let (word, tag) = self.sram.read_cap_word(addr)?;
-        let mut c = Capability::from_word(word, tag);
-        if self.cfg.load_filter && self.bitmap.filter_strips(tag, c.base()) {
+        let mut c = self.sram.read_cap(addr)?;
+        if self.cfg.load_filter && c.tag() && self.bitmap.filter_strips(true, c.base()) {
             c = c.cleared();
             self.stats.filter_strips += 1;
         }
         Ok(c)
     }
 
-    /// Raw capability bus write.
+    /// Raw capability bus write. Fills the SRAM's decoded side cache.
     pub fn bus_write_cap(&mut self, addr: u32, c: Capability) -> Result<(), TrapCause> {
         if self.cfg.hwm_enabled {
             self.cpu.note_store(addr);
         }
-        self.sram.write_cap_word(addr, c.to_word(), c.tag())?;
+        self.sram.write_cap(addr, c)?;
         self.revoker.snoop_store(addr);
         Ok(())
     }
@@ -479,17 +479,34 @@ impl Machine {
     // --- Execution -------------------------------------------------------------
 
     /// Runs until halt, fault, idle, or the cycle budget is exhausted.
+    ///
+    /// Batched event loop: interrupts can only become deliverable when the
+    /// cycle counter crosses `mtimecmp`, the revoker completion flag rises
+    /// (both only move inside instruction execution), or the interrupt
+    /// posture changes (sentry jumps, `mret`, trap entry) — so the inner
+    /// loop fetch/executes without the per-instruction
+    /// [`Machine::pending_interrupt`] poll of [`Machine::step`] and breaks
+    /// only on those events. Delivery happens at exactly the same
+    /// instruction boundary (and cycle count) as the stepwise loop.
     pub fn run(&mut self, max_cycles: u64) -> ExitReason {
         let limit = self.cycles.saturating_add(max_cycles);
-        loop {
-            if let Some(r) = self.halted {
-                return r;
+        while self.halted.is_none() && self.cycles < limit {
+            if let Some(irq) = self.pending_interrupt() {
+                let pc = self.cpu.pc();
+                self.enter_trap(irq, pc);
+                continue;
             }
-            if self.cycles >= limit {
-                return ExitReason::CycleLimit;
+            while self.halted.is_none() && self.cycles < limit {
+                let enabled = self.cpu.interrupts_enabled;
+                self.step_instr();
+                if self.cpu.interrupts_enabled != enabled
+                    || (enabled && (self.cycles >= self.mtimecmp || self.revoker.irq_pending()))
+                {
+                    break;
+                }
             }
-            self.step();
         }
+        self.halted.unwrap_or(ExitReason::CycleLimit)
     }
 
     /// Executes one instruction (or delivers one interrupt).
@@ -502,6 +519,12 @@ impl Machine {
             self.enter_trap(irq, pc);
             return;
         }
+        self.step_instr();
+    }
+
+    /// Fetch/execute of one instruction, without the interrupt poll (the
+    /// batched [`Machine::run`] loop does that at its break points).
+    fn step_instr(&mut self) {
         let pc = self.cpu.pc();
         let instr = match self.fetch(pc) {
             Ok(i) => i,
@@ -552,7 +575,10 @@ impl Machine {
         self.cpu
             .pcc
             .check_fetch(pc)
-            .map_err(|fault| TrapCause::Cheri { fault, reg: 16 })?;
+            .map_err(|fault| TrapCause::Cheri {
+                fault,
+                reg: PCC_REG_INDEX,
+            })?;
         if pc < layout::CODE_BASE || !pc.is_multiple_of(4) {
             return Err(TrapCause::BusError { addr: pc });
         }
@@ -834,7 +860,7 @@ impl Machine {
             Instr::CSpecialRw { rd, rs1, scr } => {
                 if !self.cpu.pcc.perms().contains(Permissions::SR) {
                     return Err(cheri(
-                        16,
+                        PCC_REG_INDEX,
                         cheriot_cap::CapFault::PermissionViolation {
                             needed: Permissions::SR,
                         },
@@ -851,7 +877,7 @@ impl Machine {
                 let needs_sr = !matches!(csr, CsrId::Mcycle | CsrId::Mcycleh);
                 if needs_sr && !self.cpu.pcc.perms().contains(Permissions::SR) {
                     return Err(cheri(
-                        16,
+                        PCC_REG_INDEX,
                         cheriot_cap::CapFault::PermissionViolation {
                             needed: Permissions::SR,
                         },
@@ -887,14 +913,14 @@ impl Machine {
             Instr::Mret => {
                 if !self.cpu.pcc.perms().contains(Permissions::SR) {
                     return Err(cheri(
-                        16,
+                        PCC_REG_INDEX,
                         cheriot_cap::CapFault::PermissionViolation {
                             needed: Permissions::SR,
                         },
                     ));
                 }
                 if !self.cpu.mepcc.tag() {
-                    return Err(cheri(16, cheriot_cap::CapFault::TagViolation));
+                    return Err(cheri(PCC_REG_INDEX, cheriot_cap::CapFault::TagViolation));
                 }
                 self.cpu.interrupts_enabled = self.cpu.prev_interrupts_enabled;
                 self.cpu.pcc = self.cpu.mepcc;
@@ -937,7 +963,7 @@ impl Machine {
             .pcc
             .with_address(ret)
             .seal_as_sentry(sentry)
-            .map_err(|f| cheri(16, f))?;
+            .map_err(|f| cheri(PCC_REG_INDEX, f))?;
         self.cpu.write(rd, link);
         Ok(())
     }
@@ -949,10 +975,19 @@ impl Machine {
                 return;
             }
             if self.cfg.hw_revoker && self.revoker.in_progress() {
-                // Idle cycles all go to the revoker.
-                self.revoker.step(&mut self.sram, &self.bitmap);
-                self.cycles += 1;
-                self.stats.idle_cycles += 1;
+                // Idle cycles all go to the revoker, batched up to the
+                // timer horizon: one cycle per engine slot, plus one for
+                // the completion transition (which consumes no slot but
+                // took a wfi cycle in the stepwise loop).
+                let budget = self.mtimecmp.saturating_sub(self.cycles);
+                let used = self.revoker.step_n(&mut self.sram, &self.bitmap, budget);
+                let ticks = if self.revoker.in_progress() {
+                    used
+                } else {
+                    used + 1
+                };
+                self.cycles += ticks;
+                self.stats.idle_cycles += ticks;
                 continue;
             }
             if self.mtimecmp == u64::MAX {
@@ -987,6 +1022,12 @@ impl From<Reg> for RegIndex {
 impl From<i32> for RegIndex {
     fn from(v: i32) -> RegIndex {
         RegIndex(v as u8)
+    }
+}
+
+impl From<u8> for RegIndex {
+    fn from(v: u8) -> RegIndex {
+        RegIndex(v)
     }
 }
 

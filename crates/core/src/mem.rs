@@ -4,8 +4,21 @@
 //! bit per 8-byte (capability-sized) granule. Scalar stores clear the tag of
 //! the granule they touch; capability loads/stores move the tag with the
 //! data. Capability accesses must be 8-byte aligned.
+//!
+//! Two simulator-only acceleration structures ride alongside the
+//! architectural state (neither is architecturally visible):
+//!
+//! * the tag bits are packed 64 per `u64` word, so sweeps and range
+//!   operations use mask arithmetic and popcounts instead of per-granule
+//!   loops, and the background revoker can skip whole all-clear words;
+//! * a **decoded-capability side cache** keeps the expanded form of the
+//!   capability last written to each granule, so a `CLC` that follows a
+//!   `CSC` is a copy instead of a bounds re-derivation. Scalar writes, raw
+//!   word writes and tag clears invalidate the slot; the raw 64-bit word
+//!   plus tag bit remain the source of truth.
 
 use crate::trap::TrapCause;
+use cheriot_cap::Capability;
 
 /// Capability-granule size: 8 bytes (a 64-bit capability).
 pub const GRANULE: u32 = 8;
@@ -15,7 +28,13 @@ pub const GRANULE: u32 = 8;
 pub struct Sram {
     base: u32,
     bytes: Vec<u8>,
-    tags: Vec<bool>,
+    /// One tag bit per granule: bit `g % 64` of word `g / 64`. Bits past
+    /// the last granule are always clear.
+    tags: Vec<u64>,
+    /// Decoded-capability side cache, one slot per granule. `Some(c)` only
+    /// when the granule's tag is set and `c` equals
+    /// `Capability::from_word(word, true)` for the granule's current word.
+    caps: Vec<Option<Capability>>,
 }
 
 impl std::fmt::Debug for Sram {
@@ -36,10 +55,12 @@ impl Sram {
     pub fn new(base: u32, size: u32) -> Sram {
         assert_eq!(base % GRANULE, 0, "SRAM base must be granule-aligned");
         assert_eq!(size % GRANULE, 0, "SRAM size must be granule-aligned");
+        let granules = (size / GRANULE) as usize;
         Sram {
             base,
             bytes: vec![0; size as usize],
-            tags: vec![false; (size / GRANULE) as usize],
+            tags: vec![0; granules.div_ceil(64)],
+            caps: vec![None; granules],
         }
     }
 
@@ -53,19 +74,38 @@ impl Sram {
         self.bytes.len() as u32
     }
 
-    /// End address (exclusive).
-    pub fn end(&self) -> u32 {
-        self.base + self.size()
+    /// End address (exclusive). `u64` because a bank ending at the top of
+    /// the address space has end `0x1_0000_0000`, which a `u32` cannot
+    /// hold (the old `u32` return overflowed for such banks).
+    pub fn end(&self) -> u64 {
+        u64::from(self.base) + self.bytes.len() as u64
     }
 
     /// Does this bank contain `[addr, addr+size)`?
     pub fn contains(&self, addr: u32, size: u32) -> bool {
         let a = u64::from(addr);
-        a >= u64::from(self.base) && a + u64::from(size) <= u64::from(self.end())
+        a >= u64::from(self.base) && a + u64::from(size) <= self.end()
     }
 
     fn offset(&self, addr: u32) -> usize {
         (addr - self.base) as usize
+    }
+
+    fn granule(&self, addr: u32) -> usize {
+        self.offset(addr) / GRANULE as usize
+    }
+
+    fn tag_get(&self, g: usize) -> bool {
+        self.tags[g >> 6] & (1u64 << (g & 63)) != 0
+    }
+
+    fn tag_set(&mut self, g: usize, v: bool) {
+        let mask = 1u64 << (g & 63);
+        if v {
+            self.tags[g >> 6] |= mask;
+        } else {
+            self.tags[g >> 6] &= !mask;
+        }
     }
 
     fn check(&self, addr: u32, size: u32) -> Result<(), TrapCause> {
@@ -86,12 +126,13 @@ impl Sram {
     /// Bus error outside the bank; misaligned access faults.
     pub fn read_scalar(&self, addr: u32, size: u32) -> Result<u32, TrapCause> {
         self.check(addr, size)?;
+        debug_assert!(matches!(size, 1 | 2 | 4));
         let o = self.offset(addr);
-        let mut v = 0u32;
-        for i in (0..size as usize).rev() {
-            v = (v << 8) | u32::from(self.bytes[o + i]);
-        }
-        Ok(v)
+        Ok(match size {
+            1 => u32::from(self.bytes[o]),
+            2 => u32::from(u16::from_le_bytes([self.bytes[o], self.bytes[o + 1]])),
+            _ => u32::from_le_bytes(self.bytes[o..o + 4].try_into().unwrap()),
+        })
     }
 
     /// Writes a scalar of `size` ∈ {1, 2, 4} bytes and clears the granule's
@@ -102,11 +143,16 @@ impl Sram {
     /// As [`Sram::read_scalar`].
     pub fn write_scalar(&mut self, addr: u32, size: u32, value: u32) -> Result<(), TrapCause> {
         self.check(addr, size)?;
+        debug_assert!(matches!(size, 1 | 2 | 4));
         let o = self.offset(addr);
-        for i in 0..size as usize {
-            self.bytes[o + i] = (value >> (8 * i)) as u8;
+        match size {
+            1 => self.bytes[o] = value as u8,
+            2 => self.bytes[o..o + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            _ => self.bytes[o..o + 4].copy_from_slice(&value.to_le_bytes()),
         }
-        self.tags[(addr - self.base) as usize / GRANULE as usize] = false;
+        let g = self.granule(addr);
+        self.tag_set(g, false);
+        self.caps[g] = None;
         Ok(())
     }
 
@@ -119,15 +165,13 @@ impl Sram {
     pub fn read_cap_word(&self, addr: u32) -> Result<(u64, bool), TrapCause> {
         self.check(addr, GRANULE)?;
         let o = self.offset(addr);
-        let mut v = 0u64;
-        for i in (0..GRANULE as usize).rev() {
-            v = (v << 8) | u64::from(self.bytes[o + i]);
-        }
-        Ok((v, self.tags[(addr - self.base) as usize / GRANULE as usize]))
+        let word = u64::from_le_bytes(self.bytes[o..o + GRANULE as usize].try_into().unwrap());
+        Ok((word, self.tag_get(self.granule(addr))))
     }
 
     /// Writes a capability-sized word and its tag. Requires 8-byte
-    /// alignment.
+    /// alignment. Invalidates the granule's decoded-capability slot (the
+    /// caller supplied a raw word, not a decoded capability).
     ///
     /// # Errors
     ///
@@ -135,11 +179,51 @@ impl Sram {
     pub fn write_cap_word(&mut self, addr: u32, word: u64, tag: bool) -> Result<(), TrapCause> {
         self.check(addr, GRANULE)?;
         let o = self.offset(addr);
-        for i in 0..GRANULE as usize {
-            self.bytes[o + i] = (word >> (8 * i)) as u8;
-        }
-        self.tags[(addr - self.base) as usize / GRANULE as usize] = tag;
+        self.bytes[o..o + GRANULE as usize].copy_from_slice(&word.to_le_bytes());
+        let g = self.granule(addr);
+        self.tag_set(g, tag);
+        self.caps[g] = None;
         Ok(())
+    }
+
+    /// Writes a decoded capability (word + tag) and fills the granule's
+    /// side-cache slot, so a subsequent [`Sram::read_cap`] is a copy rather
+    /// than a bounds re-derivation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Sram::read_scalar`].
+    pub fn write_cap(&mut self, addr: u32, c: Capability) -> Result<(), TrapCause> {
+        self.check(addr, GRANULE)?;
+        let o = self.offset(addr);
+        self.bytes[o..o + GRANULE as usize].copy_from_slice(&c.to_word().to_le_bytes());
+        let g = self.granule(addr);
+        self.tag_set(g, c.tag());
+        self.caps[g] = if c.tag() { Some(c) } else { None };
+        Ok(())
+    }
+
+    /// Reads a capability, consulting the decoded side cache. A miss on a
+    /// tagged granule decodes the raw word once and fills the slot;
+    /// untagged granules never decode (and never populate the cache).
+    ///
+    /// # Errors
+    ///
+    /// As [`Sram::read_scalar`].
+    pub fn read_cap(&mut self, addr: u32) -> Result<Capability, TrapCause> {
+        let (word, tag) = self.read_cap_word(addr)?;
+        if !tag {
+            return Ok(Capability::from_word(word, false));
+        }
+        let g = self.granule(addr);
+        if let Some(c) = self.caps[g] {
+            debug_assert_eq!(c, Capability::from_word(word, tag));
+            debug_assert_eq!(c.bounds(), Capability::from_word(word, tag).bounds());
+            return Ok(c);
+        }
+        let c = Capability::from_word(word, true);
+        self.caps[g] = Some(c);
+        Ok(c)
     }
 
     /// Zeroes `[addr, addr+len)` and clears all covered tags. Used by the
@@ -157,10 +241,19 @@ impl Sram {
         }
         let o = self.offset(addr);
         self.bytes[o..o + len as usize].fill(0);
-        let g0 = (addr - self.base) / GRANULE;
-        let g1 = (addr - self.base + len - 1) / GRANULE;
-        for g in g0..=g1 {
-            self.tags[g as usize] = false;
+        let g0 = o / GRANULE as usize;
+        let g1 = (o + len as usize - 1) / GRANULE as usize;
+        self.caps[g0..=g1].fill(None);
+        let (w0, b0) = (g0 >> 6, g0 & 63);
+        let (w1, b1) = (g1 >> 6, g1 & 63);
+        let lo = !0u64 << b0;
+        let hi = !0u64 >> (63 - b1);
+        if w0 == w1 {
+            self.tags[w0] &= !(lo & hi);
+        } else {
+            self.tags[w0] &= !lo;
+            self.tags[w0 + 1..w1].fill(0);
+            self.tags[w1] &= !hi;
         }
         Ok(())
     }
@@ -170,7 +263,7 @@ impl Sram {
         if !self.contains(addr, 1) {
             return false;
         }
-        self.tags[(addr - self.base) as usize / GRANULE as usize]
+        self.tag_get(self.granule(addr))
     }
 
     /// Count of set tags in `[addr, addr+len)` — used by sweeps and tests.
@@ -178,9 +271,47 @@ impl Sram {
         if len == 0 || !self.contains(addr, len) {
             return 0;
         }
-        let g0 = (addr - self.base) / GRANULE;
-        let g1 = (addr - self.base + len - 1) / GRANULE;
-        (g0..=g1).filter(|&g| self.tags[g as usize]).count()
+        let o = self.offset(addr);
+        let g0 = o / GRANULE as usize;
+        let g1 = (o + len as usize - 1) / GRANULE as usize;
+        let (w0, b0) = (g0 >> 6, g0 & 63);
+        let (w1, b1) = (g1 >> 6, g1 & 63);
+        let lo = !0u64 << b0;
+        let hi = !0u64 >> (63 - b1);
+        if w0 == w1 {
+            (self.tags[w0] & lo & hi).count_ones() as usize
+        } else {
+            let mut n = (self.tags[w0] & lo).count_ones();
+            for w in &self.tags[w0 + 1..w1] {
+                n += w.count_ones();
+            }
+            n += (self.tags[w1] & hi).count_ones();
+            n as usize
+        }
+    }
+
+    /// Length (in granules, capped at `max_granules`) of the run of
+    /// *untagged* granules starting at granule-aligned `addr`. Scans the
+    /// packed tag words, so an all-clear 64-granule word costs one load —
+    /// this is what lets the background revoker batch over untouched
+    /// memory. Returns 0 for addresses outside the bank or unaligned.
+    pub fn untagged_run(&self, addr: u32, max_granules: u32) -> u32 {
+        if max_granules == 0 || !addr.is_multiple_of(GRANULE) || !self.contains(addr, GRANULE) {
+            return 0;
+        }
+        let g0 = self.granule(addr);
+        let total = self.bytes.len() / GRANULE as usize;
+        let limit = (g0 + max_granules as usize).min(total);
+        let mut g = g0;
+        while g < limit {
+            let masked = self.tags[g >> 6] & (!0u64 << (g & 63));
+            if masked != 0 {
+                let next_tagged = (g & !63) + masked.trailing_zeros() as usize;
+                return (next_tagged.min(limit) - g0) as u32;
+            }
+            g = (g & !63) + 64;
+        }
+        (limit - g0) as u32
     }
 }
 
@@ -268,6 +399,88 @@ mod tests {
         let mut m = sram();
         m.zero_range(0x2000_0000, 0).unwrap();
         // Even at the very end of the bank.
-        m.zero_range(m.end(), 0).unwrap();
+        m.zero_range(m.base() + m.size(), 0).unwrap();
+    }
+
+    #[test]
+    fn bank_ending_at_address_space_top() {
+        // Regression: `end()` used to compute base + size in u32, which
+        // overflows (panicking in debug builds) for a bank whose exclusive
+        // end is 0x1_0000_0000.
+        let mut m = Sram::new(0xffff_f000, 0x1000);
+        assert_eq!(m.end(), 0x1_0000_0000);
+        assert!(m.contains(0xffff_fff8, 8));
+        assert!(!m.contains(0xffff_fff8, 16));
+        m.write_cap_word(0xffff_fff8, 99, true).unwrap();
+        assert_eq!(m.read_cap_word(0xffff_fff8).unwrap(), (99, true));
+        assert_eq!(m.count_tags(0xffff_f000, 0x1000), 1);
+        m.zero_range(0xffff_fff8, 8).unwrap();
+        assert_eq!(m.read_cap_word(0xffff_fff8).unwrap(), (0, false));
+    }
+
+    #[test]
+    fn count_tags_spanning_many_words() {
+        let mut m = sram();
+        // One tag every 16 granules across the whole 512-granule bank.
+        for g in (0..0x1000 / GRANULE).step_by(16) {
+            m.write_cap_word(0x2000_0000 + g * GRANULE, 1, true)
+                .unwrap();
+        }
+        assert_eq!(m.count_tags(0x2000_0000, 0x1000), 32);
+        assert_eq!(m.count_tags(0x2000_0000, 16 * GRANULE), 1);
+        assert_eq!(m.count_tags(0x2000_0008, 16 * GRANULE), 1);
+    }
+
+    #[test]
+    fn untagged_run_scans_word_boundaries() {
+        let mut m = sram();
+        assert_eq!(m.untagged_run(0x2000_0000, 512), 512);
+        assert_eq!(m.untagged_run(0x2000_0000, 100), 100);
+        // Tag granule 70 (second tag word).
+        m.write_cap_word(0x2000_0000 + 70 * 8, 1, true).unwrap();
+        assert_eq!(m.untagged_run(0x2000_0000, 512), 70);
+        assert_eq!(m.untagged_run(0x2000_0000 + 70 * 8, 512), 0);
+        assert_eq!(m.untagged_run(0x2000_0000 + 71 * 8, 512), 512 - 71);
+        // Unaligned or out-of-bank addresses yield no run.
+        assert_eq!(m.untagged_run(0x2000_0004, 512), 0);
+        assert_eq!(m.untagged_run(0x3000_0000, 512), 0);
+    }
+
+    #[test]
+    fn side_cache_returns_written_capability() {
+        use cheriot_cap::Capability;
+        let mut m = sram();
+        let c = Capability::root_mem_rw()
+            .with_address(0x2000_0100)
+            .set_bounds(64)
+            .unwrap();
+        m.write_cap(0x2000_0010, c).unwrap();
+        let back = m.read_cap(0x2000_0010).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.bounds(), c.bounds());
+        // The raw word view agrees with the cached view.
+        assert_eq!(m.read_cap_word(0x2000_0010).unwrap(), (c.to_word(), true));
+    }
+
+    #[test]
+    fn side_cache_invalidated_by_scalar_and_raw_writes() {
+        use cheriot_cap::Capability;
+        let mut m = sram();
+        let c = Capability::root_mem_rw()
+            .with_address(0x2000_0200)
+            .set_bounds(32)
+            .unwrap();
+        m.write_cap(0x2000_0040, c).unwrap();
+        // Scalar overwrite: tag drops, and the read-back reflects the new
+        // bytes, not the stale cached decode.
+        m.write_scalar(0x2000_0040, 4, 0x1234_5678).unwrap();
+        let back = m.read_cap(0x2000_0040).unwrap();
+        assert!(!back.tag());
+        assert_eq!(back.to_word() as u32, 0x1234_5678);
+        // Raw word write with tag repopulates lazily on the next read.
+        m.write_cap_word(0x2000_0040, c.to_word(), true).unwrap();
+        let again = m.read_cap(0x2000_0040).unwrap();
+        assert_eq!(again, c);
+        assert_eq!(again.bounds(), c.bounds());
     }
 }

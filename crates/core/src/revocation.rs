@@ -78,8 +78,19 @@ impl RevocationBitmap {
         self.bits[w] >> b & 1 != 0
     }
 
+    /// The word range `[w0..=w1]` with edge masks for the
+    /// `len.div_ceil(GRANULE)` granules starting at `addr`'s granule.
+    fn word_span(&self, addr: u32, len: u32) -> (usize, usize, u64, u64) {
+        let g0 = (addr - self.heap_base) / GRANULE;
+        let g1 = g0 + len.div_ceil(GRANULE) - 1;
+        let lo = !0u64 << (g0 % 64);
+        let hi = !0u64 >> (63 - g1 % 64);
+        ((g0 / 64) as usize, (g1 / 64) as usize, lo, hi)
+    }
+
     /// Paints the revocation bits for `[addr, addr+len)` (called by the
-    /// allocator on `free`).
+    /// allocator on `free`). Whole 64-granule words are painted with one
+    /// mask operation each.
     ///
     /// # Panics
     ///
@@ -90,11 +101,13 @@ impl RevocationBitmap {
             return;
         }
         assert!(self.covers(addr) && self.covers(addr + len - 1));
-        let mut a = addr;
-        while a < addr + len {
-            let (w, b) = self.index(a);
-            self.bits[w] |= 1 << b;
-            a += GRANULE;
+        let (w0, w1, lo, hi) = self.word_span(addr, len);
+        if w0 == w1 {
+            self.bits[w0] |= lo & hi;
+        } else {
+            self.bits[w0] |= lo;
+            self.bits[w0 + 1..w1].fill(!0);
+            self.bits[w1] |= hi;
         }
     }
 
@@ -109,11 +122,13 @@ impl RevocationBitmap {
             return;
         }
         assert!(self.covers(addr) && self.covers(addr + len - 1));
-        let mut a = addr;
-        while a < addr + len {
-            let (w, b) = self.index(a);
-            self.bits[w] &= !(1 << b);
-            a += GRANULE;
+        let (w0, w1, lo, hi) = self.word_span(addr, len);
+        if w0 == w1 {
+            self.bits[w0] &= !(lo & hi);
+        } else {
+            self.bits[w0] &= !lo;
+            self.bits[w0 + 1..w1].fill(0);
+            self.bits[w1] &= !hi;
         }
     }
 
@@ -329,8 +344,12 @@ impl BackgroundRevoker {
                 self.cursor = self.cursor.min(f.addr);
                 lsu_busy = true;
             } else {
-                let base = Capability::from_word(f.word, f.tag).base();
-                if bitmap.filter_strips(f.tag, base) {
+                // Only a tagged word can be stripped, and only tagged words
+                // need their base decoded; untagged words skip the expansion
+                // (filter_strips' tag conjunct would discard it anyway).
+                let strips =
+                    f.tag && bitmap.filter_strips(true, Capability::from_word(f.word, true).base());
+                if strips {
                     // A single write suffices to clear the tag (the data
                     // word is preserved; only the tag matters).
                     let _ = sram.write_cap_word(f.addr, f.word, false);
@@ -367,6 +386,51 @@ impl BackgroundRevoker {
         }
         self.slots_used += 1;
         true
+    }
+
+    /// Advances the engine by up to `slots` idle load/store-unit slots,
+    /// returning how many were consumed. Cycle-for-cycle identical to
+    /// calling [`BackgroundRevoker::step`] in a loop, but a run of
+    /// untagged granules is skipped in bulk using the SRAM's packed tag
+    /// words ([`Sram::untagged_run`]): in the pipelined engine each
+    /// untagged word costs exactly one slot (its load overlaps the
+    /// previous word's vacuous check), so the batch charges `run` slots
+    /// and leaves the run's last word in flight — the same boundary state
+    /// the stepwise engine reaches, preserving store-snoop semantics.
+    pub fn step_n(&mut self, sram: &mut Sram, bitmap: &RevocationBitmap, slots: u64) -> u64 {
+        let mut used = 0u64;
+        while used < slots && self.in_progress() {
+            if self.config.pipelined
+                && !self.config.skip_untagged_second_half
+                && self.inflight.is_none()
+                && self.cursor < self.end
+            {
+                let max_g = ((self.end - self.cursor) / GRANULE)
+                    .min((slots - used).min(u64::from(u32::MAX)) as u32);
+                let run = sram.untagged_run(self.cursor, max_g);
+                if run > 0 {
+                    let last = self.cursor + (run - 1) * GRANULE;
+                    if let Ok((word, tag)) = sram.read_cap_word(last) {
+                        debug_assert!(!tag);
+                        self.inflight = Some(InFlight {
+                            addr: last,
+                            word,
+                            tag,
+                            stale: false,
+                        });
+                        self.cursor = last + GRANULE;
+                        self.slots_used += u64::from(run);
+                        used += u64::from(run);
+                        continue;
+                    }
+                }
+            }
+            if !self.step(sram, bitmap) {
+                break;
+            }
+            used += 1;
+        }
+        used
     }
 
     fn finish(&mut self) {
@@ -562,6 +626,105 @@ mod tests {
         run_sweep(&mut r, &mut sram, &b, 10_000);
         let (_, t) = sram.read_cap_word(HEAP + 8).unwrap();
         assert!(!t, "without snooping the fresh store is clobbered");
+    }
+
+    #[test]
+    fn step_n_matches_stepwise_engine() {
+        // A mix of stale-tagged, live-tagged and untagged granules, swept
+        // with both engines in interleaved chunks of varying size: every
+        // observable (slots, invalidations, epoch, cursor state via the
+        // final memory image) must match the one-slot-at-a-time engine.
+        for pipelined in [false, true] {
+            for skip in [false, true] {
+                let (mut sram, mut b) = setup();
+                let stale = obj(HEAP + 0x800, 64);
+                let live = obj(HEAP + 0x900, 64);
+                for g in 0..512u32 {
+                    let a = HEAP + g * 8;
+                    match g % 7 {
+                        0 => sram.write_cap_word(a, stale.to_word(), true).unwrap(),
+                        3 => sram.write_cap_word(a, live.to_word(), true).unwrap(),
+                        _ => sram.write_scalar(a, 4, g).unwrap(),
+                    }
+                }
+                b.set_range(HEAP + 0x800, 64);
+                let cfg = RevokerConfig {
+                    pipelined,
+                    skip_untagged_second_half: skip,
+                    ..RevokerConfig::default()
+                };
+                let mut r_step = BackgroundRevoker::new(cfg);
+                let mut r_batch = BackgroundRevoker::new(cfg);
+                let mut s_step = sram.clone();
+                let mut s_batch = sram;
+                for r in [&mut r_step, &mut r_batch] {
+                    r.mmio_write(revoker_reg::START, HEAP);
+                    r.mmio_write(revoker_reg::END, HEAP + 0x1000);
+                    r.kick();
+                }
+                let mut chunk = 1u64;
+                let mut guard = 0;
+                while r_step.in_progress() || r_batch.in_progress() {
+                    r_batch.step_n(&mut s_batch, &b, chunk);
+                    for _ in 0..chunk {
+                        if !r_step.in_progress() {
+                            break;
+                        }
+                        r_step.step(&mut s_step, &b);
+                    }
+                    assert_eq!(r_step.slots_used, r_batch.slots_used);
+                    assert_eq!(r_step.words_invalidated, r_batch.words_invalidated);
+                    assert_eq!(r_step.epoch(), r_batch.epoch());
+                    chunk = chunk % 13 + 1;
+                    guard += 1;
+                    assert!(guard < 100_000, "sweep did not terminate");
+                }
+                for g in 0..512u32 {
+                    let a = HEAP + g * 8;
+                    assert_eq!(
+                        s_step.read_cap_word(a).unwrap(),
+                        s_batch.read_cap_word(a).unwrap(),
+                        "memory diverged at granule {g} (pipelined={pipelined}, skip={skip})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitmap_word_masking_matches_per_granule_painting() {
+        // set_range/clear_range use u64 mask arithmetic; cross-check
+        // against a straightforward per-granule reference over ranges that
+        // start, end and span at every 64-granule word boundary.
+        let (_, mut b) = setup();
+        let cases = [
+            (HEAP, 8u32),
+            (HEAP, 64 * 8),
+            (HEAP + 63 * 8, 2 * 8),
+            (HEAP + 8, 200 * 8),
+            (HEAP + 64 * 8, 64 * 8),
+            (HEAP + 120 * 8, 7 * 8),
+            (HEAP, 0x1000),
+        ];
+        for (addr, len) in cases {
+            b.set_range(addr, len);
+            let mut expected = std::collections::HashSet::new();
+            let mut a = addr;
+            while a < addr + len {
+                expected.insert((a - HEAP) / 8);
+                a += 8;
+            }
+            for g in 0..512u32 {
+                assert_eq!(
+                    b.is_revoked(HEAP + g * 8),
+                    expected.contains(&g),
+                    "granule {g} after set_range({addr:#x}, {len})"
+                );
+            }
+            assert_eq!(b.painted_granules() as usize, expected.len());
+            b.clear_range(addr, len);
+            assert_eq!(b.painted_granules(), 0);
+        }
     }
 
     #[test]

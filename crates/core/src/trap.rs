@@ -4,6 +4,13 @@
 use cheriot_cap::CapFault;
 use core::fmt;
 
+/// The special register index CHERI trap records use for faults whose
+/// offending capability is the PCC rather than one of the 16 general
+/// registers (instruction fetch, `mret` with a bad MEPCC, missing
+/// system-register permission). Shared by the trap machinery and the
+/// trap-dump formatting below.
+pub const PCC_REG_INDEX: u8 = 16;
+
 /// Why the CPU trapped.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TrapCause {
@@ -12,7 +19,8 @@ pub enum TrapCause {
     Cheri {
         /// The underlying capability fault.
         fault: CapFault,
-        /// Which register held the offending capability (16 = PCC).
+        /// Which register held the offending capability
+        /// ([`PCC_REG_INDEX`] means the PCC).
         reg: u8,
     },
     /// Misaligned load/store (capability accesses require 8-byte alignment).
@@ -65,6 +73,9 @@ impl TrapCause {
 impl fmt::Display for TrapCause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            TrapCause::Cheri { fault, reg } if *reg == PCC_REG_INDEX => {
+                write!(f, "CHERI fault in pcc: {fault}")
+            }
             TrapCause::Cheri { fault, reg } => write!(f, "CHERI fault in c{reg}: {fault}"),
             TrapCause::Misaligned { addr } => write!(f, "misaligned access at {addr:#010x}"),
             TrapCause::BusError { addr } => write!(f, "bus error at {addr:#010x}"),

@@ -1,0 +1,235 @@
+//! Equivalence tests for the simulator fast paths: the decoded-capability
+//! side cache must be invisible to software (CSC/scalar-store/CLC
+//! interleavings, load-filter strips), and the batched `run()` event loop
+//! must deliver interrupts at exactly the same instruction boundaries and
+//! cycle counts as the stepwise `step()` loop.
+
+use cheriot_cap::Capability;
+use cheriot_core::insn::{AluOp, Instr, MemWidth, Reg};
+use cheriot_core::{layout, CoreModel, ExitReason, Machine, MachineConfig};
+
+fn machine() -> Machine {
+    Machine::new(MachineConfig::new(CoreModel::ibex()))
+}
+
+#[test]
+fn csc_scalar_store_clc_cache_coherence() {
+    // CSC then CLC on the same granule must round-trip the capability;
+    // a scalar store in between must detag and the following CLC must see
+    // the overwritten bytes, not a stale cached decode.
+    let mut m = machine();
+    let prog = vec![
+        Instr::Csc {
+            rs2: Reg::A2,
+            rs1: Reg::A1,
+            offset: 0,
+        },
+        Instr::Clc {
+            rd: Reg::A3,
+            rs1: Reg::A1,
+            offset: 0,
+        },
+        Instr::Store {
+            width: MemWidth::W,
+            rs2: Reg::A4,
+            rs1: Reg::A1,
+            offset: 0,
+        },
+        Instr::Clc {
+            rd: Reg::A5,
+            rs1: Reg::A1,
+            offset: 0,
+        },
+        Instr::Halt,
+    ];
+    let e = m.load_program(&prog);
+    m.set_entry(e);
+    let granule = layout::SRAM_BASE + 0x40;
+    let auth = Capability::root_mem_rw()
+        .with_address(granule)
+        .set_bounds(8)
+        .unwrap();
+    let stored = Capability::root_mem_rw()
+        .with_address(layout::SRAM_BASE + 0x100)
+        .set_bounds(32)
+        .unwrap();
+    m.cpu.write(Reg::A1, auth);
+    m.cpu.write(Reg::A2, stored);
+    m.cpu.write_int(Reg::A4, 0xdead_beef);
+    assert_eq!(m.run(1_000), ExitReason::Halted(0));
+
+    let reloaded = m.cpu.read(Reg::A3);
+    assert!(reloaded.tag(), "CLC after CSC must return a tagged copy");
+    assert_eq!(reloaded, stored);
+    assert_eq!(reloaded.bounds(), stored.bounds());
+
+    let clobbered = m.cpu.read(Reg::A5);
+    assert!(!clobbered.tag(), "scalar store must detag the granule");
+    assert_eq!(
+        clobbered.to_word() as u32,
+        0xdead_beef,
+        "CLC must see the scalar overwrite, not a stale cached decode"
+    );
+}
+
+#[test]
+fn side_cache_does_not_bypass_load_filter() {
+    // A capability sits cached in a granule; its referent is then freed
+    // (revocation bits painted). The next CLC must still strip the tag —
+    // the filter consults the bitmap on every load, cached or not.
+    let mut m = machine();
+    let prog = vec![
+        Instr::Csc {
+            rs2: Reg::A2,
+            rs1: Reg::A1,
+            offset: 0,
+        },
+        Instr::Halt,
+    ];
+    let e = m.load_program(&prog);
+    m.set_entry(e);
+    let heap_obj = m.cfg.heap_base() + 0x200;
+    let granule = layout::SRAM_BASE + 0x40;
+    let auth = Capability::root_mem_rw()
+        .with_address(granule)
+        .set_bounds(8)
+        .unwrap();
+    let stored = Capability::root_mem_rw()
+        .with_address(heap_obj)
+        .set_bounds(32)
+        .unwrap();
+    m.cpu.write(Reg::A1, auth);
+    m.cpu.write(Reg::A2, stored);
+    assert_eq!(m.run(1_000), ExitReason::Halted(0));
+
+    // Warm read: tagged (nothing revoked yet).
+    assert!(m.bus_read_cap(granule).unwrap().tag());
+    // Free the object, then read again through the same cached granule.
+    m.bitmap.set_range(heap_obj, 32);
+    let after = m.bus_read_cap(granule).unwrap();
+    assert!(
+        !after.tag(),
+        "filter must strip despite the warm side cache"
+    );
+    assert_eq!(m.stats.filter_strips, 1);
+}
+
+/// Builds a machine whose program spins incrementing `a0` while a timer
+/// interrupt handler counts deliveries in `a1` and pushes `mtimecmp`
+/// forward, exercising interrupt delivery, trap entry and `mret` under
+/// the batched loop.
+fn timer_machine() -> Machine {
+    let mut m = machine();
+    // Handler at code start: a1 += 1; a3 = mtimecmp_lo + period; store it;
+    // mret.
+    let handler = vec![
+        Instr::OpImm {
+            op: AluOp::Add,
+            rd: Reg::A1,
+            rs1: Reg::A1,
+            imm: 1,
+        },
+        Instr::Load {
+            width: MemWidth::W,
+            signed: false,
+            rd: Reg::A3,
+            rs1: Reg::A2,
+            offset: 8,
+        },
+        Instr::OpImm {
+            op: AluOp::Add,
+            rd: Reg::A3,
+            rs1: Reg::A3,
+            imm: 173,
+        },
+        Instr::Store {
+            width: MemWidth::W,
+            rs2: Reg::A3,
+            rs1: Reg::A2,
+            offset: 8,
+        },
+        Instr::Mret,
+    ];
+    let h = m.load_program(&handler);
+    let spin = vec![
+        Instr::OpImm {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 1,
+        },
+        Instr::Jal {
+            rd: Reg::ZERO,
+            offset: -4,
+        },
+    ];
+    let e = m.load_program(&spin);
+    m.set_entry(e);
+    m.cpu.mtcc = m.boot_pcc(h);
+    m.cpu.write(
+        Reg::A2,
+        Capability::root_mem_rw().with_address(layout::TIMER_BASE),
+    );
+    m.cpu.interrupts_enabled = true;
+    m.mtimecmp = 97;
+    m
+}
+
+#[test]
+fn batched_run_matches_stepwise_loop_with_timer_interrupts() {
+    let mut batched = timer_machine();
+    let mut stepwise = timer_machine();
+
+    let exit_b = batched.run(20_000);
+
+    // The reference: the pre-batching `run()` loop, one `step()` at a time.
+    let limit = stepwise.cycles + 20_000;
+    let exit_s = loop {
+        if let Some(r) = stepwise.exit_status() {
+            break r;
+        }
+        if stepwise.cycles >= limit {
+            break ExitReason::CycleLimit;
+        }
+        stepwise.step();
+    };
+
+    assert_eq!(exit_b, exit_s);
+    assert_eq!(batched.cycles, stepwise.cycles);
+    assert_eq!(batched.stats, stepwise.stats);
+    assert!(
+        batched.stats.interrupts > 10,
+        "test must actually deliver interrupts (got {})",
+        batched.stats.interrupts
+    );
+    for i in 0..16u8 {
+        let r = Reg(i);
+        assert_eq!(
+            batched.cpu.read(r),
+            stepwise.cpu.read(r),
+            "register c{i} diverged"
+        );
+    }
+    assert_eq!(batched.cpu.pc(), stepwise.cpu.pc());
+    assert_eq!(batched.mtimecmp, stepwise.mtimecmp);
+}
+
+#[test]
+fn batched_run_resumes_across_cycle_limit_slices() {
+    // Slicing the budget must not change behavior: many small run() calls
+    // land on the same state as one big one.
+    let mut whole = timer_machine();
+    let mut sliced = timer_machine();
+    whole.run(20_000);
+    while sliced.cycles < whole.cycles {
+        sliced.run((whole.cycles - sliced.cycles).min(117));
+    }
+    assert_eq!(whole.cycles, sliced.cycles);
+    assert_eq!(whole.stats, sliced.stats);
+    assert_eq!(whole.cpu.pc(), sliced.cpu.pc());
+    assert_eq!(
+        whole.cpu.read_int(Reg::A1),
+        sliced.cpu.read_int(Reg::A1),
+        "interrupt deliveries diverged"
+    );
+}

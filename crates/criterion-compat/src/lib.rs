@@ -1,0 +1,215 @@
+//! Offline stand-in for the subset of the `criterion` crate API this
+//! workspace uses.
+//!
+//! The build environment has no crates.io access, so the dev-dependency
+//! `criterion` is path-renamed to this crate. It implements
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`]/[`Bencher::iter_custom`], [`black_box`], and both
+//! forms of [`criterion_group!`] plus [`criterion_main!`].
+//!
+//! Instead of criterion's statistical machinery, each benchmark is run for
+//! a fixed number of timed samples after a calibration pass and the
+//! median/min/max per-iteration times are printed. That keeps
+//! `cargo bench` meaningful (and `cargo bench --no-run` compiling) without
+//! any external dependencies.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; defers to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark timing state handed to the measured closure.
+pub struct Bencher {
+    /// Measured per-iteration durations, one per sample.
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Bencher {
+        Bencher {
+            samples: Vec::new(),
+            sample_count,
+        }
+    }
+
+    /// Times `f`, auto-scaling the iteration count so one sample takes a
+    /// measurable amount of wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: find an iteration count taking >= ~1 ms per sample.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed() / iters as u32);
+        }
+    }
+
+    /// Times via a user-supplied measurement: `f` receives an iteration
+    /// count and returns the total duration for that many iterations.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        const ITERS: u64 = 1;
+        for _ in 0..self.sample_count {
+            self.samples.push(f(ITERS) / ITERS as u32);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        println!(
+            "{name:<40} median {:>12?}  (min {:?}, max {:?}, {} samples)",
+            median,
+            min,
+            max,
+            sorted.len()
+        );
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Disables plot generation (a no-op here; kept for API parity).
+    pub fn without_plots(self) -> Criterion {
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(name.as_ref());
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.as_ref().to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        let mut b = Bencher::new(samples);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name.as_ref()));
+        self
+    }
+
+    /// Finishes the group (a no-op here; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, in either the simple
+/// `criterion_group!(name, target, ..)` or the
+/// `criterion_group! { name = ..; config = ..; targets = .. }` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("custom", |b| {
+            b.iter_custom(|iters| std::time::Duration::from_nanos(42 * iters))
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

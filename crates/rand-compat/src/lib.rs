@@ -1,0 +1,161 @@
+//! Offline stand-in for the subset of the `rand` crate API this workspace
+//! uses.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! dependency `rand` is path-renamed to this crate. It provides
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! methods `gen_range`/`gen_bool` with the same signatures the real crate
+//! exposes. The generator is SplitMix64 — deterministic for a given seed,
+//! statistically fine for test-case generation and workload jitter, and
+//! *not* a drop-in reproduction of the real `rand` value streams (seeded
+//! consumers get a different but equally deterministic sequence).
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable RNG constructors (the subset of `rand::SeedableRng` used here).
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core entropy source: everything else derives from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods (the subset of `rand::Rng` used here).
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(&mut |_bound| self.next_u64())
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        // 53 random mantissa bits, as the real implementation does.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Ranges a value can be uniformly sampled from.
+pub trait SampleRange<T> {
+    /// Draws one sample, given a source of random 64-bit words.
+    fn sample_from(self, next: &mut dyn FnMut(u64) -> u64) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, next: &mut dyn FnMut(u64) -> u64) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = next(0) as u128 % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, next: &mut dyn FnMut(u64) -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let v = next(0) as u128 % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, next: &mut dyn FnMut(u64) -> u64) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let unit = (next(0) >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Concrete RNG types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic RNG (SplitMix64 under the hood).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (public domain, Sebastiano Vigna).
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u32..1000), b.gen_range(0u32..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = r.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u = r.gen_range(3usize..4);
+            assert_eq!(u, 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(1);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "hits = {hits}");
+    }
+}

@@ -514,12 +514,9 @@ pub fn code_size_bytes(cfg: &CoreMarkConfig) -> u32 {
     4 * words.len() as u32
 }
 
-/// Runs the benchmark on the given core model.
-///
-/// # Panics
-///
-/// Panics if the generated program faults (a bug in the generator).
-pub fn run_coremark(core: CoreModel, cfg: &CoreMarkConfig) -> CoreMarkResult {
+/// Builds a machine with the benchmark program loaded and its data-region
+/// pointer installed, ready to run.
+fn setup_machine(core: CoreModel, cfg: &CoreMarkConfig) -> Machine {
     let mut mc = MachineConfig::new(core);
     mc.load_filter = cfg.load_filter;
     mc.hw_revoker = false;
@@ -544,6 +541,45 @@ pub fn run_coremark(core: CoreModel, cfg: &CoreMarkConfig) -> CoreMarkResult {
             m.cpu.write(Reg::GP, region);
         }
     }
+    m
+}
+
+/// Runs the benchmark kernel for a fixed simulated-cycle budget instead of
+/// a fixed iteration count, returning `(simulated_cycles, instructions)`.
+///
+/// This is the measurement primitive of the `sim_throughput` benchmark:
+/// host wall time divided into `instructions` gives host-side MIPS. The
+/// iteration count is set high enough that the cycle budget is always the
+/// limiter, so the run exercises the steady-state fetch/execute hot path.
+///
+/// # Panics
+///
+/// Panics if the program faults or halts before the budget expires (a
+/// generator bug, or a budget large enough to drain the iteration count).
+pub fn run_coremark_for_cycles(core: CoreModel, cfg: &CoreMarkConfig, budget: u64) -> (u64, u64) {
+    let cfg = CoreMarkConfig {
+        // ~26k cycles per iteration: 50M iterations outlasts any budget
+        // below ~10^12 cycles while staying in `li`'s i32 range.
+        iterations: 50_000_000,
+        ..*cfg
+    };
+    let mut m = setup_machine(core, &cfg);
+    let reason = m.run(budget);
+    assert!(
+        matches!(reason, ExitReason::CycleLimit),
+        "coremark budget run ended early: {reason:?} at pc {:#x}",
+        m.cpu.pc()
+    );
+    (m.cycles, m.stats.instructions)
+}
+
+/// Runs the benchmark on the given core model.
+///
+/// # Panics
+///
+/// Panics if the generated program faults (a bug in the generator).
+pub fn run_coremark(core: CoreModel, cfg: &CoreMarkConfig) -> CoreMarkResult {
+    let mut m = setup_machine(core, cfg);
     let reason = m.run(2_000_000_000);
     let ExitReason::Halted(checksum) = reason else {
         panic!(

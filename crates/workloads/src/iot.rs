@@ -85,7 +85,7 @@ impl NetThread {
     /// Receive + decrypt + publish one packet. Every packet is a separate
     /// heap allocation.
     fn process_packet(&mut self, rtos: &mut Rtos, me: ThreadId) {
-        let len = self.rng.gen_range(128..=1024) & !3u32;
+        let len = self.rng.gen_range(128u32..=1024) & !3;
         let Ok(buf) = rtos.malloc(me, len) else {
             return; // transient OOM: drop the packet, as a NIC would
         };

@@ -14,5 +14,7 @@ pub mod iot;
 pub use allocbench::{
     overhead_pct, run_alloc_bench, AllocBenchParams, AllocBenchResult, AllocConfig,
 };
-pub use coremark::{run_coremark, CompilerQuirks, CoreMarkConfig, CoreMarkResult, PtrMode};
+pub use coremark::{
+    run_coremark, run_coremark_for_cycles, CompilerQuirks, CoreMarkConfig, CoreMarkResult, PtrMode,
+};
 pub use iot::{run_iot_app, IotConfig, IotReport};
