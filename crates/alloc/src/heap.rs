@@ -17,6 +17,7 @@ use crate::quarantine::QuarantineSet;
 use cheriot_cap::bounds::{representable_alignment_mask, representable_length};
 use cheriot_cap::{Capability, Permissions};
 use cheriot_core::revocation::revoker_reg;
+use cheriot_core::trace::EventKind;
 use cheriot_core::{layout, Machine};
 use std::collections::BTreeMap;
 
@@ -388,6 +389,10 @@ impl HeapAllocator {
             .filter(|c| c.tag())
             .ok_or(AllocError::HeapCorruption)?;
         debug_assert!(cap.top() <= u64::from(alloc_chunk + alloc_size));
+        m.trace_emit(EventKind::Malloc {
+            base: user,
+            size: user_len,
+        });
         Ok(cap.and_perms(!Permissions::SL))
     }
 
@@ -482,6 +487,7 @@ impl HeapAllocator {
         self.live.remove(&user);
         self.stats.frees += 1;
         self.stats.live_bytes -= size;
+        m.trace_emit(EventKind::Free { base: user, size });
 
         match self.policy {
             TemporalPolicy::None => {
@@ -502,6 +508,7 @@ impl HeapAllocator {
                     .map_err(AllocError::Trap)?;
                 let epoch = self.current_epoch(m);
                 self.quarantine.push(epoch, chunk, size);
+                m.trace_emit(EventKind::QuarantinePush { chunk, size, epoch });
                 self.stats.quarantined_bytes = self.quarantine.bytes();
                 m.meter().charge(8);
                 if self.quarantine.bytes() >= self.quarantine_threshold {
@@ -593,12 +600,24 @@ impl HeapAllocator {
                 m.revoker.mmio_write(revoker_reg::START, sweep_base);
                 m.revoker.mmio_write(revoker_reg::END, sweep_end);
                 m.revoker.mmio_write(revoker_reg::KICK, 1);
+                // The kick went straight to the device, not through the
+                // machine's MMIO dispatch, so emit the epoch-start here.
+                let epoch = m.revoker.epoch();
+                m.trace_emit(EventKind::RevokerStart { epoch });
             }
             TemporalPolicy::Quarantine(RevokerKind::Software) => {
                 self.stats.revocation_passes += 1;
                 self.sw_epoch += 1;
+                m.trace_emit(EventKind::RevokerStart {
+                    epoch: self.sw_epoch,
+                });
+                let strips_before = m.stats.filter_strips;
                 self.software_sweep(m);
                 self.sw_epoch += 1;
+                m.trace_emit(EventKind::RevokerFinish {
+                    epoch: self.sw_epoch,
+                    words_invalidated: m.stats.filter_strips - strips_before,
+                });
             }
             _ => {}
         }
@@ -684,6 +703,7 @@ impl HeapAllocator {
         let epoch = self.current_epoch(m);
         while let Some(list) = self.quarantine.pop_ready(epoch) {
             for (chunk, size) in list {
+                m.trace_emit(EventKind::QuarantineRelease { chunk, size });
                 self.clear_bits(m, chunk + HDR, size - HDR);
                 self.release_chunk(m, chunk, size);
                 m.meter().charge(6);

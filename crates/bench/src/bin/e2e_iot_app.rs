@@ -1,17 +1,37 @@
 //! Regenerates the **§7.2.3 end-to-end IoT application** result: CPU load
 //! of the compartmentalized network stack + TLS + MQTT + interpreter
 //! application at 20 MHz with a 10 ms interpreter tick.
+//!
+//! `--trace-out <path>` re-runs the experiment with the tracing subsystem
+//! enabled and writes a Chrome `trace_event` JSON timeline (compartment
+//! spans per thread, allocator and revoker activity) loadable in
+//! `chrome://tracing` / Perfetto, then prints the per-compartment cycle
+//! attribution. `--metrics` prints the attribution table without writing
+//! a file.
 
-use cheriot_workloads::iot::{run_iot_app, IotConfig, CLOCK_HZ};
+use cheriot_workloads::iot::{run_iot_app, run_iot_app_traced, IotConfig, CLOCK_HZ};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics = args.iter().any(|a| a == "--metrics");
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+
     println!("End-to-end IoT application (paper §7.2.3)");
     println!("SoC: CHERIoT-Ibex @ 20 MHz, hardware revoker, stack HWM\n");
     let cfg = IotConfig {
         duration_cycles: 3 * CLOCK_HZ, // 3 simulated seconds of steady state
         ..IotConfig::default()
     };
-    let r = run_iot_app(&cfg);
+    let (r, tracer) = if metrics || trace_out.is_some() {
+        let (r, t) = run_iot_app_traced(&cfg);
+        (r, Some(t))
+    } else {
+        (run_iot_app(&cfg), None)
+    };
     println!(
         "simulated time      : {:.2} s",
         r.cycles as f64 / CLOCK_HZ as f64
@@ -30,4 +50,19 @@ fn main() {
         "idle                : {:.1}%  (paper: 82.5%)",
         (1.0 - r.cpu_load) * 100.0
     );
+
+    if let Some(tracer) = tracer {
+        if let Some(path) = trace_out {
+            match std::fs::write(&path, tracer.chrome_json()) {
+                Ok(()) => println!(
+                    "\nwrote {} ({} events) — open in chrome://tracing or ui.perfetto.dev",
+                    path.display(),
+                    tracer.recorded()
+                ),
+                Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
+            }
+        }
+        println!();
+        print!("{}", tracer.summary());
+    }
 }

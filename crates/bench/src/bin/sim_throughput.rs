@@ -11,16 +11,50 @@
 //!
 //! `--quick` shrinks the cycle budget and skips the `all_results` timing
 //! (writing 0.0 for it) — the CI smoke mode.
+//!
+//! `--check-baseline` compares the measured per-core MIPS against the
+//! *committed* `BENCH_simperf.json` and exits nonzero if either core
+//! regressed by more than 15% (the agreed noise band); in this mode the
+//! baseline file is left untouched so the committed numbers stay the
+//! reference.
 
 use cheriot_bench::write_csv;
 use cheriot_core::CoreModel;
 use cheriot_workloads::{run_coremark_for_cycles, CoreMarkConfig};
 use std::time::Instant;
 
+/// Allowed fractional MIPS regression vs the committed baseline.
+const NOISE_BAND: f64 = 0.15;
+
+/// Pulls `"key": <number>` out of the baseline JSON (hand-rolled: the
+/// build environment has no JSON dependency and the file is one line).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = text.find(&needle)? + needle.len();
+    let rest = text[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let check_baseline = std::env::args().any(|a| a == "--check-baseline");
     let budget: u64 = if quick { 4_000_000 } else { 80_000_000 };
     let cfg = CoreMarkConfig::capabilities_with_filter();
+    let baseline = if check_baseline {
+        let text = std::fs::read_to_string("BENCH_simperf.json").unwrap_or_else(|e| {
+            eprintln!("--check-baseline: cannot read BENCH_simperf.json: {e}");
+            std::process::exit(2);
+        });
+        Some((
+            json_number(&text, "mips_ibex").unwrap_or(0.0),
+            json_number(&text, "mips_flute").unwrap_or(0.0),
+        ))
+    } else {
+        None
+    };
 
     println!("Simulator throughput (CoreMark kernel, capabilities + load filter)");
     println!(
@@ -92,6 +126,35 @@ fn main() {
     match write_csv("sim_throughput", &headers, &rows) {
         Ok(p) => println!("\nwrote {}", p.display()),
         Err(e) => eprintln!("failed to write sim_throughput.csv: {e}"),
+    }
+
+    if let Some((base_ibex, base_flute)) = baseline {
+        // Guard mode: compare, don't overwrite the committed reference.
+        let mut failed = false;
+        for (name, measured, base) in [
+            ("ibex", mips_by_core[0], base_ibex),
+            ("flute", mips_by_core[1], base_flute),
+        ] {
+            let floor = base * (1.0 - NOISE_BAND);
+            let verdict = if base > 0.0 && measured < floor {
+                failed = true;
+                "REGRESSION"
+            } else {
+                "ok"
+            };
+            println!(
+                "baseline check {name:<6} measured {measured:>8.2} MIPS  baseline {base:>8.2}  \
+                 floor {floor:>8.2}  {verdict}"
+            );
+        }
+        if failed {
+            eprintln!(
+                "sim_throughput: host MIPS regressed more than {:.0}% vs BENCH_simperf.json",
+                NOISE_BAND * 100.0
+            );
+            std::process::exit(1);
+        }
+        return;
     }
 
     let json = format!(

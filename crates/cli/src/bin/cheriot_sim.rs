@@ -3,6 +3,7 @@
 //! ```text
 //! cheriot-sim run  prog.s [--core ibex|flute] [--no-load-filter]
 //!                          [--trace N] [--max-cycles N] [--dump-regs]
+//!                          [--trace-out out.json] [--metrics]
 //! cheriot-sim asm  prog.s -o prog.bin
 //! cheriot-sim disasm prog.bin
 //! ```
@@ -14,7 +15,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  cheriot-sim run <prog.s> [--core ibex|flute] [--no-load-filter] \
-         [--trace N] [--max-cycles N] [--dump-regs] [--heap]\n  cheriot-sim asm <prog.s> -o <out.bin>\n  \
+         [--trace N] [--max-cycles N] [--dump-regs] [--heap] \
+         [--trace-out <out.json>] [--metrics]\n  cheriot-sim asm <prog.s> -o <out.bin>\n  \
          cheriot-sim disasm <prog.bin>"
     );
     ExitCode::from(2)
@@ -62,6 +64,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
             }
             "--dump-regs" => opts.dump_regs = true,
             "--heap" => opts.heap = true,
+            "--trace-out" => {
+                opts.trace_out = match it.next() {
+                    Some(p) => Some(std::path::PathBuf::from(p)),
+                    None => return usage(),
+                }
+            }
+            "--metrics" => opts.metrics = true,
             "--binary" => binary = true,
             _ => return usage(),
         }

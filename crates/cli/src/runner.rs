@@ -2,6 +2,7 @@
 
 use crate::parser::{parse_program, ParseError};
 use cheriot_core::insn::Reg;
+use cheriot_core::trace::Tracer;
 use cheriot_core::{CoreKind, CoreModel, ExitReason, Machine, MachineConfig};
 use std::fmt::Write as _;
 
@@ -21,6 +22,11 @@ pub struct RunOptions {
     /// Provide the semihosted heap service (`ecall` ABI of
     /// `cheriot_rtos::semihost`).
     pub heap: bool,
+    /// Write a Chrome `trace_event` JSON timeline of the run here
+    /// (loadable in `chrome://tracing` / Perfetto).
+    pub trace_out: Option<std::path::PathBuf>,
+    /// Append the metrics summary table to the report.
+    pub metrics: bool,
 }
 
 impl Default for RunOptions {
@@ -32,6 +38,8 @@ impl Default for RunOptions {
             max_cycles: 100_000_000,
             dump_regs: false,
             heap: false,
+            trace_out: None,
+            metrics: false,
         }
     }
 }
@@ -76,7 +84,15 @@ fn run_instructions(prog: &[cheriot_core::insn::Instr], opts: &RunOptions) -> Ru
     let mut mc = MachineConfig::new(core);
     mc.load_filter = opts.load_filter;
     let mut m = Machine::new(mc);
-    if opts.trace_depth > 0 {
+    if opts.trace_out.is_some() || opts.metrics {
+        // One tracer serves all three outputs; buffer instruction retires
+        // only when the post-run instruction trace also needs them.
+        m.set_tracer(Tracer::with_sink(
+            Box::new(cheriot_core::trace::VecSink::new()),
+            opts.trace_depth > 0,
+            true,
+        ));
+    } else if opts.trace_depth > 0 {
         m.enable_trace(opts.trace_depth);
     }
     let entry = m.load_program(prog);
@@ -97,7 +113,9 @@ fn run_instructions(prog: &[cheriot_core::insn::Instr], opts: &RunOptions) -> Ru
     }
     if opts.trace_depth > 0 {
         let _ = writeln!(report, "last retired instructions:");
-        for e in m.trace_entries() {
+        let entries = m.trace_entries();
+        let skip = entries.len().saturating_sub(opts.trace_depth);
+        for e in &entries[skip..] {
             let _ = writeln!(
                 report,
                 "  cycle {:>6}  pc {:#010x}  {}",
@@ -113,6 +131,24 @@ fn run_instructions(prog: &[cheriot_core::insn::Instr], opts: &RunOptions) -> Ru
             let r = Reg(i);
             let c = m.cpu.read(r);
             let _ = writeln!(report, "  {r:?}\t{c}");
+        }
+    }
+    if opts.trace_out.is_some() || opts.metrics {
+        if let Some(mut tracer) = m.take_tracer() {
+            let _ = tracer.finish(m.cycles);
+            if let Some(path) = &opts.trace_out {
+                match std::fs::write(path, tracer.chrome_json()) {
+                    Ok(()) => {
+                        let _ = writeln!(report, "wrote trace: {}", path.display());
+                    }
+                    Err(e) => {
+                        let _ = writeln!(report, "failed to write {}: {e}", path.display());
+                    }
+                }
+            }
+            if opts.metrics {
+                report.push_str(&tracer.summary());
+            }
         }
     }
     RunOutcome {
@@ -144,5 +180,68 @@ mod tests {
         let out = run_source("li a0, 9\nhalt\n", &opts).unwrap();
         assert!(out.report.contains("li ca0, 9"));
         assert!(out.report.contains("registers:"));
+    }
+
+    /// A heap-service program: two syscalls (malloc, free) produce traps
+    /// and allocator events for the trace outputs to capture.
+    const HEAP_PROG: &str =
+        "li a0, 1\nli a1, 48\necall\ncmove ca1, ca0\nli a0, 2\necall\nli a0, 0\nhalt\n";
+
+    #[test]
+    fn trace_out_writes_chrome_json() {
+        let dir = std::env::temp_dir().join("cheriot-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let opts = RunOptions {
+            heap: true,
+            trace_out: Some(path.clone()),
+            ..RunOptions::default()
+        };
+        let out = run_source(HEAP_PROG, &opts).unwrap();
+        assert_eq!(out.exit, ExitReason::Halted(0));
+        assert!(out.report.contains("wrote trace:"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        // The two ecalls surface as trap instants; the malloc shows up
+        // with its requested size.
+        assert!(json.contains("\"name\":\"trap\""));
+        assert!(json.contains("\"name\":\"malloc\""));
+        assert!(json.contains("\"size\":48"));
+    }
+
+    #[test]
+    fn metrics_summary_in_report() {
+        let opts = RunOptions {
+            heap: true,
+            metrics: true,
+            ..RunOptions::default()
+        };
+        let out = run_source(HEAP_PROG, &opts).unwrap();
+        assert_eq!(out.exit, ExitReason::Halted(0));
+        assert!(out.report.contains("== metrics summary =="));
+        assert!(out.report.contains("malloc"));
+        assert!(out.report.contains("bytes_allocated"));
+        assert!(out.report.contains("instr_retired"));
+    }
+
+    #[test]
+    fn metrics_with_trace_depth_keeps_instruction_trace() {
+        let opts = RunOptions {
+            trace_depth: 2,
+            metrics: true,
+            ..RunOptions::default()
+        };
+        let out = run_source("li a0, 9\nhalt\n", &opts).unwrap();
+        assert!(out.report.contains("last retired instructions:"));
+        assert!(out.report.contains("halt"));
+        // Depth still bounds the printed window even on an unbounded sink.
+        assert_eq!(
+            out.report
+                .lines()
+                .filter(|l| l.trim_start().starts_with("cycle"))
+                .count(),
+            2
+        );
+        assert!(out.report.contains("== metrics summary =="));
     }
 }

@@ -14,6 +14,10 @@
 //! * **[`meter::Meter`]** — the charging interface through which
 //!   natively-modelled TCB code (the RTOS and allocator) performs memory
 //!   accesses at the same per-access costs as guest code.
+//! * **[`trace`]** (re-export of `cheriot-trace`) — the structured
+//!   tracing/metrics subsystem; install a [`trace::Tracer`] with
+//!   [`machine::Machine::set_tracer`] to capture timelines and
+//!   per-compartment cycle attribution.
 //!
 //! ## Example
 //!
@@ -42,6 +46,11 @@ pub mod meter;
 pub mod pipeline;
 pub mod revocation;
 pub mod trap;
+
+/// The structured tracing/metrics subsystem (the `cheriot-trace` crate),
+/// re-exported so downstream crates can name event and tracer types
+/// without a direct dependency.
+pub use cheriot_trace as trace;
 
 pub use encoding::{decode, decode_program, encode, encode_program, DecodeError, EncodeError};
 pub use machine::{layout, ExitReason, Machine, MachineConfig, Stats, TraceEntry};

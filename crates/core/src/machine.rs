@@ -10,6 +10,7 @@ use crate::revocation::{BackgroundRevoker, RevocationBitmap, RevokerConfig};
 use crate::trap::{TrapCause, PCC_REG_INDEX};
 use cheriot_cap::bounds::{representable_alignment_mask, representable_length};
 use cheriot_cap::{Capability, InterruptPosture, OType, Permissions, SentryKind};
+use cheriot_trace::{EventKind, Tracer};
 
 /// Physical memory map of the simulated SoC.
 pub mod layout {
@@ -133,7 +134,7 @@ pub enum ExitReason {
 }
 
 /// The simulated SoC.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Machine {
     /// Configuration (immutable after construction).
     pub cfg: MachineConfig,
@@ -160,7 +161,7 @@ pub struct Machine {
     code: Vec<Instr>,
     halted: Option<ExitReason>,
     pending_use: Option<(Reg, u64)>,
-    trace: Option<TraceBuffer>,
+    tracer: Option<Box<Tracer>>,
 }
 
 /// One retired-instruction trace record.
@@ -174,10 +175,30 @@ pub struct TraceEntry {
     pub instr: Instr,
 }
 
-#[derive(Clone, Debug, Default)]
-struct TraceBuffer {
-    depth: usize,
-    entries: std::collections::VecDeque<TraceEntry>,
+impl Clone for Machine {
+    /// Clones the architectural state. The tracer (if any) stays with the
+    /// original: a trace is a log of one machine's history, and sinks may
+    /// hold non-clonable resources such as open files. The clone starts
+    /// with tracing disabled.
+    fn clone(&self) -> Machine {
+        Machine {
+            cfg: self.cfg,
+            cpu: self.cpu.clone(),
+            sram: self.sram.clone(),
+            bitmap: self.bitmap.clone(),
+            revoker: self.revoker.clone(),
+            cycles: self.cycles,
+            mtimecmp: self.mtimecmp,
+            console: self.console.clone(),
+            gpio_out: self.gpio_out,
+            gpio_writes: self.gpio_writes,
+            stats: self.stats,
+            code: self.code.clone(),
+            halted: self.halted,
+            pending_use: self.pending_use,
+            tracer: None,
+        }
+    }
 }
 
 impl Machine {
@@ -201,26 +222,79 @@ impl Machine {
             code: Vec::new(),
             halted: None,
             pending_use: None,
-            trace: None,
+            tracer: None,
         }
     }
 
-    /// Enables the execution trace: the last `depth` retired instructions
-    /// are kept in a ring buffer readable via [`Machine::trace_entries`].
-    pub fn enable_trace(&mut self, depth: usize) {
-        self.trace = Some(TraceBuffer {
-            depth,
-            entries: std::collections::VecDeque::with_capacity(depth),
-        });
+    // --- Tracing -------------------------------------------------------------
+
+    /// Installs a [`Tracer`]; subsequent execution emits structured events
+    /// through it. Replaces any previously installed tracer.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(Box::new(tracer));
     }
 
-    /// The trace ring buffer (oldest first). Empty unless
-    /// [`Machine::enable_trace`] was called.
+    /// Removes and returns the installed tracer (typically to finish and
+    /// export it after a run).
+    pub fn take_tracer(&mut self) -> Option<Box<Tracer>> {
+        self.tracer.take()
+    }
+
+    /// The installed tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_deref()
+    }
+
+    /// Mutable access to the installed tracer (e.g. to register
+    /// compartment/thread names in its metrics registry).
+    pub fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        self.tracer.as_deref_mut()
+    }
+
+    /// Emits one trace event stamped with the current cycle counter. A
+    /// no-op (single branch on the tracer `Option`) when tracing is
+    /// disabled — this is the only cost every emission site pays.
+    #[inline]
+    pub fn trace_emit(&mut self, kind: EventKind) {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.emit(self.cycles, kind);
+        }
+    }
+
+    /// Enables the classic execution trace: the last `depth` retired
+    /// instructions are kept readable via [`Machine::trace_entries`].
+    ///
+    /// Compat wrapper over the structured tracing subsystem: installs a
+    /// [`Tracer`] in instruction-ring configuration
+    /// ([`Tracer::instr_ring`]).
+    pub fn enable_trace(&mut self, depth: usize) {
+        self.set_tracer(Tracer::instr_ring(depth));
+    }
+
+    /// The buffered instruction trace (oldest first). Empty unless a
+    /// tracer whose sink records instruction-retire events is installed
+    /// ([`Machine::enable_trace`] does).
+    ///
+    /// Compat wrapper: reconstructs each [`TraceEntry`]'s instruction from
+    /// the (immutable) code region by program counter.
     pub fn trace_entries(&self) -> Vec<TraceEntry> {
-        self.trace
-            .as_ref()
-            .map(|t| t.entries.iter().copied().collect())
-            .unwrap_or_default()
+        let Some(t) = self.tracer.as_deref() else {
+            return Vec::new();
+        };
+        t.events()
+            .iter()
+            .filter_map(|ev| match ev.kind {
+                EventKind::InstrRetired { pc } => {
+                    let idx = pc.checked_sub(layout::CODE_BASE)? / 4;
+                    self.code.get(idx as usize).map(|&instr| TraceEntry {
+                        cycles: ev.cycles,
+                        pc,
+                        instr,
+                    })
+                }
+                _ => None,
+            })
+            .collect()
     }
 
     // --- Program loading ----------------------------------------------------
@@ -306,7 +380,21 @@ impl Machine {
         if self.cfg.hw_revoker && self.revoker.in_progress() {
             let idle = cycles.saturating_sub(mem_beats);
             self.revoker.step_n(&mut self.sram, &self.bitmap, idle);
+            if self.tracer.is_some() && !self.revoker.in_progress() {
+                self.emit_revoker_finish();
+            }
         }
+    }
+
+    /// Emits the sweep-completion event (called from the two places that
+    /// step the revoker to completion).
+    fn emit_revoker_finish(&mut self) {
+        let epoch = self.revoker.epoch();
+        let words_invalidated = self.revoker.words_invalidated;
+        self.trace_emit(EventKind::RevokerFinish {
+            epoch,
+            words_invalidated,
+        });
     }
 
     // --- Bus ----------------------------------------------------------------
@@ -362,6 +450,7 @@ impl Machine {
         if self.cfg.load_filter && c.tag() && self.bitmap.filter_strips(true, c.base()) {
             c = c.cleared();
             self.stats.filter_strips += 1;
+            self.trace_emit(EventKind::FilterStrip { addr });
         }
         Ok(c)
     }
@@ -420,7 +509,12 @@ impl Machine {
                 Ok(())
             }
             layout::REVOKER_BASE => {
+                let epoch_before = self.revoker.epoch();
                 self.revoker.mmio_write(off, value);
+                if self.revoker.epoch() != epoch_before {
+                    let epoch = self.revoker.epoch();
+                    self.trace_emit(EventKind::RevokerStart { epoch });
+                }
                 Ok(())
             }
             layout::GPIO_BASE => {
@@ -437,6 +531,20 @@ impl Machine {
     // --- Traps and interrupts -------------------------------------------------
 
     fn enter_trap(&mut self, cause: TrapCause, epc: u32) {
+        if self.tracer.is_some() {
+            let kind = if cause.is_interrupt() {
+                EventKind::IrqDelivered {
+                    pc: epc,
+                    mcause: cause.mcause(),
+                }
+            } else {
+                EventKind::Trap {
+                    pc: epc,
+                    mcause: cause.mcause(),
+                }
+            };
+            self.trace_emit(kind);
+        }
         if !self.cpu.mtcc.tag() {
             // No trap vector: unrecoverable.
             self.halted = Some(ExitReason::Fault(cause));
@@ -456,6 +564,9 @@ impl Machine {
         };
         self.cpu.prev_interrupts_enabled = self.cpu.interrupts_enabled;
         self.cpu.interrupts_enabled = false;
+        if self.cpu.prev_interrupts_enabled {
+            self.trace_emit(EventKind::InterruptPosture { enabled: false });
+        }
         let target = self.cpu.mtcc.address();
         self.cpu.pcc = self.cpu.mtcc.with_address(target);
         // Trap entry costs a pipeline flush plus the vector fetch.
@@ -541,15 +652,8 @@ impl Machine {
             }
         }
         self.stats.instructions += 1;
-        if let Some(t) = &mut self.trace {
-            if t.entries.len() == t.depth {
-                t.entries.pop_front();
-            }
-            t.entries.push_back(TraceEntry {
-                cycles: self.cycles,
-                pc,
-                instr,
-            });
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.emit(self.cycles, EventKind::InstrRetired { pc });
         }
         let mut base_cycles = self.cfg.core.instr_cycles(&instr);
         if self.cfg.load_filter {
@@ -682,10 +786,16 @@ impl Machine {
                     ));
                 }
                 self.link(rd, next)?;
+                let was_enabled = self.cpu.interrupts_enabled;
                 match posture {
                     Some(InterruptPosture::Enabled) => self.cpu.interrupts_enabled = true,
                     Some(InterruptPosture::Disabled) => self.cpu.interrupts_enabled = false,
                     Some(InterruptPosture::Inherit) | None => {}
+                }
+                if self.cpu.interrupts_enabled != was_enabled {
+                    self.trace_emit(EventKind::InterruptPosture {
+                        enabled: self.cpu.interrupts_enabled,
+                    });
                 }
                 let addr = tc.address().wrapping_add(offset as u32) & !1;
                 self.cpu.pcc = tc.with_address(addr);
@@ -922,7 +1032,13 @@ impl Machine {
                 if !self.cpu.mepcc.tag() {
                     return Err(cheri(PCC_REG_INDEX, cheriot_cap::CapFault::TagViolation));
                 }
+                let was_enabled = self.cpu.interrupts_enabled;
                 self.cpu.interrupts_enabled = self.cpu.prev_interrupts_enabled;
+                if self.cpu.interrupts_enabled != was_enabled {
+                    self.trace_emit(EventKind::InterruptPosture {
+                        enabled: self.cpu.interrupts_enabled,
+                    });
+                }
                 self.cpu.pcc = self.cpu.mepcc;
                 extra += self.cfg.core.jump_penalty;
                 self.finish_jump(self.cpu.pc());
@@ -988,6 +1104,9 @@ impl Machine {
                 };
                 self.cycles += ticks;
                 self.stats.idle_cycles += ticks;
+                if self.tracer.is_some() && !self.revoker.in_progress() {
+                    self.emit_revoker_finish();
+                }
                 continue;
             }
             if self.mtimecmp == u64::MAX {

@@ -7,6 +7,7 @@ use crate::switcher::Switcher;
 use crate::thread::{Frame, Thread, ThreadId, ThreadState};
 use cheriot_alloc::{AllocError, HeapAllocator, TemporalPolicy};
 use cheriot_cap::Capability;
+use cheriot_core::trace::EventKind;
 use cheriot_core::{layout, Machine, TrapCause};
 
 /// Stack bytes the allocator compartment's entry points dirty per call
@@ -187,7 +188,11 @@ impl Rtos {
         // Every compartment exports a default entry point.
         comp.export("entry", 0, ExportPosture::Enabled);
         self.compartments.push(comp);
-        CompartmentId(self.compartments.len() - 1)
+        let id = CompartmentId(self.compartments.len() - 1);
+        if let Some(t) = self.machine.tracer_mut() {
+            t.metrics.set_comp_name(id.0 as u32, name);
+        }
+        id
     }
 
     /// Access to a compartment's image (exports, capabilities).
@@ -226,6 +231,10 @@ impl Rtos {
         let id = ThreadId(self.threads.len());
         self.threads
             .push(Thread::new(id, priority, base, base + size, compartment));
+        if let Some(t) = self.machine.tracer_mut() {
+            t.metrics
+                .set_thread_name(id.0 as u32, &format!("thread{} (prio {priority})", id.0));
+        }
         id
     }
 
@@ -262,6 +271,11 @@ impl Rtos {
             sp_at_call: t.sp,
             interrupts_at_call: self.machine.cpu.interrupts_enabled,
         };
+        self.machine.trace_emit(EventKind::CompartmentEnter {
+            thread: tid.0 as u32,
+            from: frame.caller.0 as u32,
+            to: to.0 as u32,
+        });
         self.switcher.on_call(&mut self.machine, t, hwm)?;
         t.frames.push(frame);
         t.compartment = to;
@@ -283,6 +297,11 @@ impl Rtos {
         self.switcher.on_return(&mut self.machine, t, hwm)?;
         t.compartment = fr.caller;
         t.sp = fr.sp_at_call;
+        self.machine.trace_emit(EventKind::CompartmentExit {
+            thread: tid.0 as u32,
+            from: fr.caller.0 as u32,
+            to: to.0 as u32,
+        });
         Ok(result)
     }
 
@@ -438,6 +457,10 @@ impl Rtos {
                         self.switcher.context_switch(&mut self.machine, hwm);
                         self.sched.busy_cycles += self.machine.cycles - t0;
                         self.last_ran = Some(tid);
+                        self.machine.trace_emit(EventKind::ThreadSwitch {
+                            thread: tid.0 as u32,
+                            compartment: self.threads[tid.0].compartment.0 as u32,
+                        });
                     }
                     let body = bodies.iter_mut().find(|(id, _)| *id == tid);
                     let Some((_, body)) = body else {

@@ -236,11 +236,31 @@ impl ThreadBody for JsThread {
 
 /// Builds and runs the end-to-end application.
 pub fn run_iot_app(cfg: &IotConfig) -> IotReport {
+    run_iot_app_inner(cfg, false).0
+}
+
+/// [`run_iot_app`] with a timeline tracer installed: returns the report
+/// plus the finished tracer (compartment spans, allocator and revoker
+/// events, per-compartment cycle attribution) ready for export.
+pub fn run_iot_app_traced(cfg: &IotConfig) -> (IotReport, Box<cheriot_core::trace::Tracer>) {
+    let (report, tracer) = run_iot_app_inner(cfg, true);
+    (report, tracer.expect("tracer installed for traced run"))
+}
+
+fn run_iot_app_inner(
+    cfg: &IotConfig,
+    trace: bool,
+) -> (IotReport, Option<Box<cheriot_core::trace::Tracer>>) {
     let mut mc = MachineConfig::new(cfg.core);
     mc.sram_size = 256 * 1024;
     mc.heap_offset = 64 * 1024;
     mc.heap_size = 192 * 1024;
-    let machine = Machine::new(mc);
+    let mut machine = Machine::new(mc);
+    if trace {
+        // Installed before the RTOS boots so compartment/thread names
+        // register in the metrics as the loader creates them.
+        machine.set_tracer(cheriot_core::trace::Tracer::timeline());
+    }
     let mut rtos = Rtos::new(machine, TemporalPolicy::Quarantine(RevokerKind::Hardware));
 
     let net = rtos.add_compartment("netstack", 1024);
@@ -281,7 +301,7 @@ pub fn run_iot_app(cfg: &IotConfig) -> IotReport {
     rtos.run_threads(&mut bodies, horizon);
 
     let stats = rtos.heap.stats();
-    IotReport {
+    let report = IotReport {
         cpu_load: rtos.sched.cpu_load(),
         packets: packet_counter.get(),
         js_ticks: tick_counter.get(),
@@ -290,7 +310,12 @@ pub fn run_iot_app(cfg: &IotConfig) -> IotReport {
         filter_strips: rtos.machine.stats.filter_strips,
         cycles: rtos.machine.cycles,
         led_writes: rtos.machine.gpio_writes,
-    }
+    };
+    let tracer = rtos.machine.take_tracer().map(|mut t| {
+        let _ = t.finish(rtos.machine.cycles);
+        t
+    });
+    (report, tracer)
 }
 
 #[cfg(test)]

@@ -10,7 +10,9 @@
 //! * [`alloc`] — the quarantining heap allocator (§5.1),
 //! * [`rtos`] — compartments, the trusted switcher, threads (§2.6, §5.2),
 //! * [`hwmodel`] — the Table 2 area/power composition model,
-//! * [`workloads`] — the evaluation workloads (§7.2).
+//! * [`workloads`] — the evaluation workloads (§7.2),
+//! * [`trace`] — structured tracing, metrics, and profiling for the
+//!   whole stack (timelines, per-compartment cycle attribution).
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results.
@@ -31,4 +33,5 @@ pub use cheriot_cap as cap;
 pub use cheriot_core as core;
 pub use cheriot_hwmodel as hwmodel;
 pub use cheriot_rtos as rtos;
+pub use cheriot_trace as trace;
 pub use cheriot_workloads as workloads;

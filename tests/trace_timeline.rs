@@ -1,0 +1,138 @@
+//! End-to-end timeline test: replay the compartmentalised IoT application
+//! (paper §7.2.3) under the tracing subsystem and validate the recorded
+//! timeline's structure — span nesting per thread, cycle-attribution
+//! totals against the machine's cycle counter, event ordering, and the
+//! Chrome / CSV export shapes.
+
+use cheriot::trace::EventKind;
+use cheriot::workloads::iot::{run_iot_app_traced, IotConfig, CLOCK_HZ};
+use std::collections::HashMap;
+
+fn traced_run() -> (
+    cheriot::workloads::iot::IotReport,
+    Box<cheriot::trace::Tracer>,
+) {
+    run_iot_app_traced(&IotConfig {
+        duration_cycles: CLOCK_HZ / 10, // 100 simulated ms
+        ..IotConfig::default()
+    })
+}
+
+#[test]
+fn events_are_ordered_against_the_cycle_counter() {
+    let (report, tracer) = traced_run();
+    let events = tracer.events();
+    assert!(events.len() > 100, "expected a busy timeline");
+    assert!(
+        events.windows(2).all(|w| w[0].cycles <= w[1].cycles),
+        "timestamps must be nondecreasing"
+    );
+    assert!(
+        events.last().unwrap().cycles <= report.cycles,
+        "no event may postdate the machine's final cycle count"
+    );
+    // The unbounded sink kept everything, and the metrics counted every
+    // structural event the sink recorded.
+    assert_eq!(tracer.recorded(), events.len() as u64);
+    let enters = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::CompartmentEnter { .. }))
+        .count() as u64;
+    assert_eq!(tracer.metrics.counter("compartment_enter"), enters);
+}
+
+#[test]
+fn compartment_spans_nest_per_thread() {
+    // Replay the Enter/Exit stream with one stack per thread: every exit
+    // must match the innermost open span, and at the end of the run every
+    // stack must be empty (cross-compartment calls are synchronous).
+    let (_, tracer) = traced_run();
+    let mut stacks: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
+    let mut spans = 0u64;
+    for ev in tracer.events() {
+        match ev.kind {
+            EventKind::CompartmentEnter { thread, from, to } => {
+                stacks.entry(thread).or_default().push((from, to));
+                spans += 1;
+            }
+            EventKind::CompartmentExit { thread, from, to } => {
+                let top = stacks
+                    .entry(thread)
+                    .or_default()
+                    .pop()
+                    .unwrap_or_else(|| panic!("exit with no open span on thread {thread}"));
+                assert_eq!(top, (from, to), "exit must close the innermost span");
+            }
+            _ => {}
+        }
+    }
+    assert!(spans > 50, "expected many cross-compartment calls");
+    for (thread, stack) in &stacks {
+        assert!(
+            stack.is_empty(),
+            "thread {thread} ended with open spans: {stack:?}"
+        );
+    }
+    // Both application threads made cross-compartment calls.
+    assert!(stacks.len() >= 2, "expected spans on net and js threads");
+}
+
+#[test]
+fn cycle_attribution_sums_to_machine_cycles() {
+    let (report, tracer) = traced_run();
+    let m = &tracer.metrics;
+    assert_eq!(
+        m.attributed_cycles() + m.unattributed_cycles(),
+        report.cycles,
+        "every machine cycle lands in exactly one bucket"
+    );
+    // All five compartments of the application ran: the RTOS services
+    // (allocator) and the app pipeline (netstack, tls, mqtt, microvium).
+    let by_name: HashMap<String, u64> = m
+        .compartment_cycles()
+        .iter()
+        .map(|&(id, cycles)| (m.comp_name(id), cycles))
+        .collect();
+    for comp in ["allocator", "netstack", "tls", "mqtt", "microvium"] {
+        let cycles = by_name.get(comp).copied().unwrap_or(0);
+        assert!(cycles > 0, "compartment {comp} got no cycles: {by_name:?}");
+    }
+    // Both threads accumulated time.
+    let threads = m.thread_cycles();
+    assert!(threads.len() >= 2, "{threads:?}");
+    assert!(threads.iter().all(|&(_, c)| c > 0));
+}
+
+#[test]
+fn exports_are_well_formed() {
+    let (_, tracer) = traced_run();
+
+    let json = tracer.chrome_json();
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.trim_end().ends_with("]}"));
+    // Span begin/end markers balance and the compartment names label them.
+    let begins = json.matches("\"ph\":\"B\"").count();
+    let ends = json.matches("\"ph\":\"E\"").count();
+    assert!(begins > 0);
+    assert_eq!(begins, ends, "unbalanced B/E span markers");
+    for name in ["netstack", "tls", "mqtt", "microvium", "allocator"] {
+        assert!(json.contains(name), "missing span/metadata name {name}");
+    }
+
+    let csv = tracer.csv();
+    let mut lines = csv.lines();
+    assert_eq!(lines.next(), Some("cycles,event,args"));
+    let mut rows = 0u64;
+    for line in lines {
+        let mut cols = line.splitn(3, ',');
+        let cycles = cols.next().unwrap();
+        assert!(
+            cycles.chars().all(|c| c.is_ascii_digit()),
+            "bad cycles column in {line:?}"
+        );
+        let event = cols.next().expect("event column");
+        assert!(!event.is_empty());
+        rows += 1;
+    }
+    assert_eq!(rows, tracer.recorded(), "one CSV row per recorded event");
+}
