@@ -26,6 +26,10 @@ pub enum AllocError {
     /// A metered memory access faulted — the allocator's own capability was
     /// insufficient, indicating mis-configuration.
     Trap(TrapCause),
+    /// A revocation sweep never completed (the revoker device wedged or
+    /// was corrupted); the waiting thread gives up instead of spinning the
+    /// simulator forever.
+    RevokerStuck,
 }
 
 impl fmt::Display for AllocError {
@@ -37,6 +41,7 @@ impl fmt::Display for AllocError {
             AllocError::InvalidFree => write!(f, "invalid free"),
             AllocError::HeapCorruption => write!(f, "heap metadata corruption"),
             AllocError::Trap(t) => write!(f, "allocator trapped: {t}"),
+            AllocError::RevokerStuck => write!(f, "revocation sweep never completed"),
         }
     }
 }

@@ -141,7 +141,7 @@ impl HeapAllocator {
             live: BTreeMap::new(),
             stats: AllocStats::default(),
         };
-        a.init_heap(m);
+        a.init_heap(m).expect("fresh heap region initializes");
         a
     }
 
@@ -160,38 +160,56 @@ impl HeapAllocator {
         self.end - self.base - HDR
     }
 
-    fn init_heap(&mut self, m: &mut Machine) {
+    fn init_heap(&mut self, m: &mut Machine) -> Result<(), AllocError> {
         let total = self.end - self.base;
         let first_size = total - HDR; // reserve the end sentinel
                                       // End sentinel: an in-use zero-length chunk stopping coalescing.
-        self.write_hdr(m, self.end - HDR, HDR | F_INUSE);
-        self.insert_free(m, self.base, first_size, true);
+        self.write_hdr(m, self.end - HDR, HDR | F_INUSE)?;
+        self.insert_free(m, self.base, first_size, true)
     }
 
     // --- metered metadata accessors -------------------------------------
+    //
+    // All fallible: a corrupted header can send a computed address outside
+    // the heap capability, and a fault-injected heap must degrade to
+    // `AllocError::HeapCorruption`, never a host panic.
 
-    fn read_word(&self, m: &mut Machine, addr: u32) -> u32 {
+    fn read_word(&self, m: &mut Machine, addr: u32) -> Result<u32, AllocError> {
         m.meter()
             .load(self.heap_cap, addr, 4)
-            .expect("allocator metadata access within heap")
+            .map_err(|_| AllocError::HeapCorruption)
     }
 
-    fn write_word(&self, m: &mut Machine, addr: u32, v: u32) {
+    fn write_word(&self, m: &mut Machine, addr: u32, v: u32) -> Result<(), AllocError> {
         m.meter()
             .store(self.heap_cap, addr, 4, v)
-            .expect("allocator metadata access within heap");
+            .map_err(|_| AllocError::HeapCorruption)
     }
 
-    fn read_hdr(&self, m: &mut Machine, chunk: u32) -> u32 {
+    fn read_hdr(&self, m: &mut Machine, chunk: u32) -> Result<u32, AllocError> {
         self.read_word(m, chunk)
     }
 
-    fn write_hdr(&self, m: &mut Machine, chunk: u32, v: u32) {
-        self.write_word(m, chunk, v);
+    fn write_hdr(&self, m: &mut Machine, chunk: u32, v: u32) -> Result<(), AllocError> {
+        self.write_word(m, chunk, v)
     }
 
     fn size_of(hdr: u32) -> u32 {
         hdr & !FLAG_MASK
+    }
+
+    /// Validates a `(chunk, size)` pair read back from in-band metadata
+    /// before it is used in address arithmetic. Corrupted metadata fails
+    /// here instead of overflowing or escaping the heap.
+    fn check_chunk(&self, chunk: u32, size: u32) -> Result<(), AllocError> {
+        if chunk < self.base
+            || size < MIN_CHUNK
+            || !size.is_multiple_of(8)
+            || u64::from(chunk) + u64::from(size) > u64::from(self.end)
+        {
+            return Err(AllocError::HeapCorruption);
+        }
+        Ok(())
     }
 
     // --- free lists -------------------------------------------------------
@@ -222,43 +240,52 @@ impl HeapAllocator {
 
     /// Inserts a free chunk, writing its header, links and the neighbour's
     /// boundary tag. `prev_inuse` is the state of the chunk to the left.
-    fn insert_free(&mut self, m: &mut Machine, chunk: u32, size: u32, prev_inuse: bool) {
-        debug_assert!(size >= MIN_CHUNK && size.is_multiple_of(8));
+    fn insert_free(
+        &mut self,
+        m: &mut Machine,
+        chunk: u32,
+        size: u32,
+        prev_inuse: bool,
+    ) -> Result<(), AllocError> {
+        self.check_chunk(chunk, size)?;
         let flags = if prev_inuse { F_PREV_INUSE } else { 0 };
-        self.write_hdr(m, chunk, size | flags);
+        self.write_hdr(m, chunk, size | flags)?;
         // Boundary tag: the next chunk learns our size and clears its
         // PREV_INUSE bit.
         let next = chunk + size;
-        let nh = self.read_hdr(m, next);
-        self.write_hdr(m, next, nh & !F_PREV_INUSE);
-        self.write_word(m, next + 4, size);
+        let nh = self.read_hdr(m, next)?;
+        self.write_hdr(m, next, nh & !F_PREV_INUSE)?;
+        self.write_word(m, next + 4, size)?;
         // Link at the head of the bin.
         let old = self.head_of(size);
-        self.write_word(m, chunk + 8, old); // fd
-        self.write_word(m, chunk + 12, 0); // bk (0 = first)
+        self.write_word(m, chunk + 8, old)?; // fd
+        self.write_word(m, chunk + 12, 0)?; // bk (0 = first)
         if old != 0 {
-            self.write_word(m, old + 12, chunk);
+            self.write_word(m, old + 12, chunk)?;
         }
         self.set_head(m, size, chunk);
+        Ok(())
     }
 
     /// Unlinks a free chunk from its bin.
-    fn unlink(&mut self, m: &mut Machine, chunk: u32, size: u32) {
-        let fd = self.read_word(m, chunk + 8);
-        let bk = self.read_word(m, chunk + 12);
+    fn unlink(&mut self, m: &mut Machine, chunk: u32, size: u32) -> Result<(), AllocError> {
+        let fd = self.read_word(m, chunk + 8)?;
+        let bk = self.read_word(m, chunk + 12)?;
         if bk == 0 {
             self.set_head(m, size, fd);
         } else {
-            self.write_word(m, bk + 8, fd);
+            self.write_word(m, bk + 8, fd)?;
         }
         if fd != 0 {
-            self.write_word(m, fd + 12, bk);
+            self.write_word(m, fd + 12, bk)?;
         }
+        Ok(())
     }
 
     /// Finds and unlinks a chunk of at least `need` bytes, preferring small
-    /// bins, first-fit in the large list. Returns `(chunk, size)`.
-    fn take_fit(&mut self, m: &mut Machine, need: u32) -> Option<(u32, u32)> {
+    /// bins, first-fit in the large list. Returns `Ok(Some((chunk, size)))`
+    /// on a fit, `Ok(None)` when nothing fits.
+    fn take_fit(&mut self, m: &mut Machine, need: u32) -> Result<Option<(u32, u32)>, AllocError> {
         // Small bins are exact-size: scan upward from the first feasible.
         if need <= SMALL_MAX {
             let first = ((need.max(MIN_CHUNK) - MIN_CHUNK) / 8) as usize;
@@ -267,24 +294,32 @@ impl HeapAllocator {
                 let head = self.small_bins[i];
                 if head != 0 {
                     let size = (MIN_CHUNK as usize + i * 8) as u32;
-                    self.unlink(m, head, size);
-                    return Some((head, size));
+                    self.check_chunk(head, size)?;
+                    self.unlink(m, head, size)?;
+                    return Ok(Some((head, size)));
                 }
             }
         }
         // Large list: first fit.
         m.meter().charge(1);
         let mut cur = self.large_head;
+        let mut hops = 0u32;
         while cur != 0 {
-            let hdr = self.read_hdr(m, cur);
+            let hdr = self.read_hdr(m, cur)?;
             let size = Self::size_of(hdr);
             if size >= need {
-                self.unlink(m, cur, size);
-                return Some((cur, size));
+                self.check_chunk(cur, size)?;
+                self.unlink(m, cur, size)?;
+                return Ok(Some((cur, size)));
             }
-            cur = self.read_word(m, cur + 8);
+            cur = self.read_word(m, cur + 8)?;
+            hops += 1;
+            if hops > (self.end - self.base) / MIN_CHUNK {
+                // More hops than chunks can exist: a corrupted link cycle.
+                return Err(AllocError::HeapCorruption);
+            }
         }
-        None
+        Ok(None)
     }
 
     // --- allocation --------------------------------------------------------
@@ -305,7 +340,7 @@ impl HeapAllocator {
         // argument validation, size-class computation, capability
         // derivations, error-path setup.
         m.meter().charge(60);
-        self.drain_ready(m);
+        self.drain_ready(m)?;
         let user_len = len.max(8).next_multiple_of(8);
         let rep_len = representable_length(user_len) as u32;
         let align = (!representable_alignment_mask(user_len))
@@ -316,7 +351,7 @@ impl HeapAllocator {
 
         let mut attempts = 0;
         let (chunk, size) = loop {
-            if let Some(found) = self.take_fit(m, need) {
+            if let Some(found) = self.take_fit(m, need)? {
                 break found;
             }
             // Low on memory: force revocation cycles until quarantine is
@@ -325,9 +360,9 @@ impl HeapAllocator {
                 return Err(AllocError::OutOfMemory);
             }
             attempts += 1;
-            self.start_revocation(m);
-            self.wait_revocation_complete(m);
-            self.drain_ready(m);
+            self.start_revocation(m)?;
+            self.wait_revocation_complete(m)?;
+            self.drain_ready(m)?;
         };
 
         // Front padding for representable alignment.
@@ -337,21 +372,25 @@ impl HeapAllocator {
         if front != 0 && front < MIN_CHUNK {
             front += align;
         }
-        debug_assert!(front + rep_len + HDR <= size, "fit guarantee");
-        let hdr = self.read_hdr(m, chunk);
+        let hdr = self.read_hdr(m, chunk)?;
         let mut prev_inuse = hdr & F_PREV_INUSE != 0;
         let mut alloc_chunk = chunk;
         if front >= MIN_CHUNK {
-            self.insert_free(m, chunk, front, prev_inuse);
+            self.insert_free(m, chunk, front, prev_inuse)?;
             alloc_chunk = chunk + front;
             prev_inuse = false;
         }
         user = alloc_chunk + HDR;
 
         let mut alloc_size = rep_len + HDR;
-        let rem = size - front - alloc_size;
+        // `take_fit` guarantees size >= need = rep_len + HDR + slack and
+        // front <= slack; a checked subtraction keeps corrupted metadata
+        // from wrapping.
+        let rem = size
+            .checked_sub(front + alloc_size)
+            .ok_or(AllocError::HeapCorruption)?;
         if rem >= MIN_CHUNK {
-            self.insert_free(m, alloc_chunk + alloc_size, rem, true);
+            self.insert_free(m, alloc_chunk + alloc_size, rem, true)?;
         } else {
             alloc_size += rem;
         }
@@ -359,11 +398,11 @@ impl HeapAllocator {
             m,
             alloc_chunk,
             alloc_size | F_INUSE | if prev_inuse { F_PREV_INUSE } else { 0 },
-        );
+        )?;
         // The next chunk sees an in-use neighbour.
         let next = alloc_chunk + alloc_size;
-        let nh = self.read_hdr(m, next);
-        self.write_hdr(m, next, nh | F_PREV_INUSE);
+        let nh = self.read_hdr(m, next)?;
+        self.write_hdr(m, next, nh | F_PREV_INUSE)?;
 
         if matches!(self.policy, TemporalPolicy::MetadataOnly) {
             // Metadata config: bits were painted at free and are cleared on
@@ -477,7 +516,7 @@ impl HeapAllocator {
         let Some(&Shadow { chunk, size }) = self.live.get(&user) else {
             return Err(AllocError::InvalidFree);
         };
-        let hdr = self.read_hdr(m, chunk);
+        let hdr = self.read_hdr(m, chunk)?;
         if hdr & F_INUSE == 0 || Self::size_of(hdr) != size {
             return Err(AllocError::HeapCorruption);
         }
@@ -491,7 +530,7 @@ impl HeapAllocator {
 
         match self.policy {
             TemporalPolicy::None => {
-                self.release_chunk(m, chunk, size);
+                self.release_chunk(m, chunk, size)?;
             }
             TemporalPolicy::MetadataOnly => {
                 self.paint_bits(m, user, size - HDR);
@@ -499,7 +538,7 @@ impl HeapAllocator {
                 meter
                     .zero(self.heap_cap, user, size - HDR)
                     .map_err(AllocError::Trap)?;
-                self.release_chunk(m, chunk, size);
+                self.release_chunk(m, chunk, size)?;
             }
             TemporalPolicy::Quarantine(_) => {
                 self.paint_bits(m, user, size - HDR);
@@ -512,9 +551,9 @@ impl HeapAllocator {
                 self.stats.quarantined_bytes = self.quarantine.bytes();
                 m.meter().charge(8);
                 if self.quarantine.bytes() >= self.quarantine_threshold {
-                    self.start_revocation(m);
+                    self.start_revocation(m)?;
                 }
-                self.drain_ready(m);
+                self.drain_ready(m)?;
             }
         }
         Ok(())
@@ -522,30 +561,33 @@ impl HeapAllocator {
 
     /// Releases a (swept or never-quarantined) chunk back to the free
     /// lists, coalescing with neighbours.
-    fn release_chunk(&mut self, m: &mut Machine, chunk: u32, size: u32) {
+    fn release_chunk(&mut self, m: &mut Machine, chunk: u32, size: u32) -> Result<(), AllocError> {
         let mut chunk = chunk;
         let mut size = size;
-        let hdr = self.read_hdr(m, chunk);
+        self.check_chunk(chunk, size)?;
+        let hdr = self.read_hdr(m, chunk)?;
         let mut prev_inuse = hdr & F_PREV_INUSE != 0;
         // Coalesce right.
         let next = chunk + size;
-        let nh = self.read_hdr(m, next);
+        let nh = self.read_hdr(m, next)?;
         if nh & F_INUSE == 0 {
             let nsize = Self::size_of(nh);
-            self.unlink(m, next, nsize);
+            self.check_chunk(next, nsize)?;
+            self.unlink(m, next, nsize)?;
             size += nsize;
         }
         // Coalesce left.
         if !prev_inuse {
-            let psize = self.read_word(m, chunk + 4);
-            let prev = chunk - psize;
-            self.unlink(m, prev, psize);
-            let ph = self.read_hdr(m, prev);
+            let psize = self.read_word(m, chunk + 4)?;
+            let prev = chunk.checked_sub(psize).ok_or(AllocError::HeapCorruption)?;
+            self.check_chunk(prev, psize)?;
+            self.unlink(m, prev, psize)?;
+            let ph = self.read_hdr(m, prev)?;
             prev_inuse = ph & F_PREV_INUSE != 0;
             chunk = prev;
             size += psize;
         }
-        self.insert_free(m, chunk, size, prev_inuse);
+        self.insert_free(m, chunk, size, prev_inuse)
     }
 
     // --- revocation --------------------------------------------------------
@@ -587,11 +629,16 @@ impl HeapAllocator {
     /// sweeps synchronously (the caller is the allocator compartment,
     /// running the RTOS revoker loop); the hardware engine is kicked and
     /// proceeds in the background.
-    pub fn start_revocation(&mut self, m: &mut Machine) {
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::Trap`] if the software sweep's own accesses fault
+    /// (possible only under fault injection or misconfiguration).
+    pub fn start_revocation(&mut self, m: &mut Machine) -> Result<(), AllocError> {
         match self.policy {
             TemporalPolicy::Quarantine(RevokerKind::Hardware) => {
                 if m.revoker.in_progress() {
-                    return;
+                    return Ok(());
                 }
                 self.stats.revocation_passes += 1;
                 // Three MMIO register writes: start, end, kick.
@@ -612,7 +659,7 @@ impl HeapAllocator {
                     epoch: self.sw_epoch,
                 });
                 let strips_before = m.stats.filter_strips;
-                self.software_sweep(m);
+                self.software_sweep(m)?;
                 self.sw_epoch += 1;
                 m.trace_emit(EventKind::RevokerFinish {
                     epoch: self.sw_epoch,
@@ -621,6 +668,7 @@ impl HeapAllocator {
             }
             _ => {}
         }
+        Ok(())
     }
 
     /// The RTOS software revoker loop (paper §3.3.2): loads each capability
@@ -629,7 +677,7 @@ impl HeapAllocator {
     /// hide the load-to-use delay; interrupts are disabled per batch (the
     /// synchronous model here corresponds to the allocator waiting for the
     /// sweep).
-    fn software_sweep(&mut self, m: &mut Machine) {
+    fn software_sweep(&mut self, m: &mut Machine) -> Result<(), AllocError> {
         let mut addr = self.sweep_cap.base();
         let sweep_end = self.sweep_cap.top() as u32;
         while addr < sweep_end {
@@ -642,26 +690,32 @@ impl HeapAllocator {
                 }
                 let c = meter
                     .load_cap(self.sweep_cap, a)
-                    .expect("sweep within SRAM");
+                    .map_err(AllocError::Trap)?;
                 meter
                     .store_cap(self.sweep_cap, a, c)
-                    .expect("sweep within SRAM");
+                    .map_err(AllocError::Trap)?;
             }
             meter.charge_branch();
             addr += 16;
         }
+        Ok(())
     }
 
     /// Blocks until no revocation pass is in progress. With the hardware
     /// revoker this models the calling thread sleeping (interrupt
     /// completion) or polling (the Flute prototype, whose wake-up memory
     /// traffic steals revoker slots — paper §7.2.2).
-    pub fn wait_revocation_complete(&mut self, m: &mut Machine) {
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::RevokerStuck`] if the sweep never completes (a wedged
+    /// or corrupted revoker device under fault injection).
+    pub fn wait_revocation_complete(&mut self, m: &mut Machine) -> Result<(), AllocError> {
         if !matches!(
             self.policy,
             TemporalPolicy::Quarantine(RevokerKind::Hardware)
         ) {
-            return;
+            return Ok(());
         }
         let mut guard = 0u64;
         let ctx_pair = {
@@ -689,27 +743,31 @@ impl HeapAllocator {
                 m.advance(96, 88);
             }
             guard += 1;
-            assert!(guard < 100_000_000, "revoker never completed");
+            if guard >= 100_000_000 {
+                return Err(AllocError::RevokerStuck);
+            }
         }
         // The wake-up on completion.
         m.advance(ctx_pair.0, ctx_pair.1);
+        Ok(())
     }
 
     /// Releases every quarantine list that a completed sweep has covered.
-    fn drain_ready(&mut self, m: &mut Machine) {
+    fn drain_ready(&mut self, m: &mut Machine) -> Result<(), AllocError> {
         if !matches!(self.policy, TemporalPolicy::Quarantine(_)) {
-            return;
+            return Ok(());
         }
         let epoch = self.current_epoch(m);
         while let Some(list) = self.quarantine.pop_ready(epoch) {
             for (chunk, size) in list {
                 m.trace_emit(EventKind::QuarantineRelease { chunk, size });
                 self.clear_bits(m, chunk + HDR, size - HDR);
-                self.release_chunk(m, chunk, size);
+                self.release_chunk(m, chunk, size)?;
                 m.meter().charge(6);
             }
         }
         self.stats.quarantined_bytes = self.quarantine.bytes();
+        Ok(())
     }
 
     // --- introspection / test support ---------------------------------------
@@ -802,5 +860,31 @@ impl HeapAllocator {
     /// payload starts at `base`, if any. Used by the RTOS quota service.
     pub fn allocation_size(&self, base: u32) -> Option<u32> {
         self.live.get(&base).map(|s| s.size)
+    }
+
+    /// The heap region managed by this allocator as `(base, end)`.
+    pub fn heap_range(&self) -> (u32, u32) {
+        (self.base, self.end)
+    }
+
+    /// Every live allocation as a `(payload base, payload len)` span (the
+    /// span runs to the end of the backing chunk, covering representable-
+    /// bounds padding). Sorted by base. For external invariant checkers.
+    pub fn live_spans(&self) -> Vec<(u32, u32)> {
+        self.live
+            .iter()
+            .map(|(&user, s)| (user, s.chunk + s.size - user))
+            .collect()
+    }
+
+    /// Every quarantined chunk's payload as a `(payload base, payload len)`
+    /// span. For external invariant checkers: these bytes must stay
+    /// painted in the revocation bitmap, zeroed, and disjoint from every
+    /// live allocation until their epoch completes.
+    pub fn quarantined_spans(&self) -> Vec<(u32, u32)> {
+        self.quarantine
+            .chunks()
+            .map(|(chunk, size)| (chunk + HDR, size - HDR))
+            .collect()
     }
 }

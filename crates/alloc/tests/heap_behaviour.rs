@@ -119,7 +119,7 @@ fn no_temporal_aliasing_across_reuse() {
             .store_cap(globals, layout::SRAM_BASE + 128, a)
             .unwrap();
         h.free(&mut m, a).unwrap();
-        h.wait_revocation_complete(&mut m);
+        h.wait_revocation_complete(&mut m).unwrap();
         let b = h.malloc(&mut m, 96).unwrap();
         // If b reuses a's memory, the stale copy must by now be untagged.
         if b.base() == a.base() {
@@ -220,10 +220,10 @@ fn software_and_hardware_sweeps_agree_on_safety() {
             .store_cap(heap_cap, holder.base(), victim)
             .unwrap();
         h.free(&mut m, victim).unwrap();
-        h.wait_revocation_complete(&mut m);
+        h.wait_revocation_complete(&mut m).unwrap();
         // Force passes to complete for the software case too.
-        h.start_revocation(&mut m);
-        h.wait_revocation_complete(&mut m);
+        h.start_revocation(&mut m).unwrap();
+        h.wait_revocation_complete(&mut m).unwrap();
         let stale = m.meter().load_cap(heap_cap, holder.base()).unwrap();
         assert!(!stale.tag(), "{kind:?}: stale heap-internal cap survived");
     }
@@ -318,7 +318,7 @@ fn temporal_policies_cost_ordering() {
             h.free(&mut m, c).unwrap();
         }
         // Let any in-flight pass finish so costs are comparable.
-        h.wait_revocation_complete(&mut m);
+        h.wait_revocation_complete(&mut m).unwrap();
         costs.push(m.cycles - t0);
     }
     let (baseline, metadata, software, hardware) = (costs[0], costs[1], costs[2], costs[3]);

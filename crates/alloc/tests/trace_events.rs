@@ -40,7 +40,7 @@ fn hardware_revoker_event_sequence() {
     let a = h.malloc(&mut m, 64).unwrap();
     let a_user = a.base();
     h.free(&mut m, a).unwrap();
-    h.wait_revocation_complete(&mut m);
+    h.wait_revocation_complete(&mut m).unwrap();
     let b = h.malloc(&mut m, 64).unwrap();
     let b_user = b.base();
     h.free(&mut m, b).unwrap();

@@ -1,0 +1,224 @@
+//! Command-line flag parsing with contextual errors.
+//!
+//! Every failure names the offending flag and value — `cheriot-sim` never
+//! answers malformed input with a bare usage dump (and never panics). The
+//! parsers are plain functions over `&[String]` so they are directly unit
+//! testable without spawning the binary.
+
+use crate::runner::RunOptions;
+use cheriot_core::CoreKind;
+use cheriot_fault::{CampaignConfig, FaultClass};
+use std::path::PathBuf;
+
+/// Parsed `cheriot-sim run` invocation.
+#[derive(Clone, Debug)]
+pub struct RunArgs {
+    /// Program path (assembly source, or machine code with `--binary`).
+    pub path: String,
+    /// Execution options.
+    pub opts: RunOptions,
+    /// Treat the input as little-endian machine code.
+    pub binary: bool,
+}
+
+/// Parsed `cheriot-sim fault-campaign` invocation.
+#[derive(Clone, Debug)]
+pub struct CampaignArgs {
+    /// Campaign-suite configuration.
+    pub cfg: CampaignConfig,
+    /// Write the JSON report here.
+    pub json_out: Option<PathBuf>,
+    /// Write the text report here (it always also goes to stdout).
+    pub text_out: Option<PathBuf>,
+}
+
+fn value<'a>(flag: &str, it: &mut std::slice::Iter<'a, String>) -> Result<&'a str, String> {
+    it.next()
+        .map(String::as_str)
+        .ok_or_else(|| format!("flag `{flag}` expects a value"))
+}
+
+fn uint<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("flag `{flag}`: expected an unsigned integer, got `{v}`"))
+}
+
+/// Parses `run` arguments: `<prog> [flags...]`.
+///
+/// # Errors
+///
+/// A message naming the offending flag or value.
+pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let Some((path, flags)) = args.split_first() else {
+        return Err("`run` expects a program path as its first argument".into());
+    };
+    let mut opts = RunOptions::default();
+    let mut binary = false;
+    let mut it = flags.iter();
+    while let Some(f) = it.next() {
+        match f.as_str() {
+            "--core" => {
+                let v = value(f, &mut it)?;
+                opts.core = match v {
+                    "ibex" => CoreKind::Ibex,
+                    "flute" => CoreKind::Flute,
+                    _ => {
+                        return Err(format!(
+                            "flag `--core`: expected `ibex` or `flute`, got `{v}`"
+                        ))
+                    }
+                };
+            }
+            "--no-load-filter" => opts.load_filter = false,
+            "--trace" => opts.trace_depth = uint(f, value(f, &mut it)?)?,
+            "--max-cycles" => opts.max_cycles = uint(f, value(f, &mut it)?)?,
+            "--watchdog" => opts.watchdog = Some(uint(f, value(f, &mut it)?)?),
+            "--dump-regs" => opts.dump_regs = true,
+            "--heap" => opts.heap = true,
+            "--trace-out" => opts.trace_out = Some(PathBuf::from(value(f, &mut it)?)),
+            "--metrics" => opts.metrics = true,
+            "--binary" => binary = true,
+            other => return Err(format!("unknown flag `{other}` for `run`")),
+        }
+    }
+    Ok(RunArgs {
+        path: path.clone(),
+        opts,
+        binary,
+    })
+}
+
+/// Parses `fault-campaign` arguments.
+///
+/// # Errors
+///
+/// A message naming the offending flag or value (including unknown fault
+/// kinds in `--kinds`).
+pub fn parse_campaign_args(args: &[String]) -> Result<CampaignArgs, String> {
+    let mut cfg = CampaignConfig::default();
+    let mut json_out = None;
+    let mut text_out = None;
+    let mut it = args.iter();
+    while let Some(f) = it.next() {
+        match f.as_str() {
+            "--seed-base" => cfg.seed_base = uint(f, value(f, &mut it)?)?,
+            "--count" => cfg.count = uint(f, value(f, &mut it)?)?,
+            "--threads" => {
+                cfg.threads = uint(f, value(f, &mut it)?)?;
+                if cfg.threads == 0 {
+                    return Err("flag `--threads`: must be at least 1".into());
+                }
+            }
+            "--faults" => cfg.faults_per_run = uint(f, value(f, &mut it)?)?,
+            "--cadence" => cfg.cadence = uint(f, value(f, &mut it)?)?,
+            "--max-cycles" => cfg.max_cycles = uint(f, value(f, &mut it)?)?,
+            "--kinds" => {
+                let v = value(f, &mut it)?;
+                let mut classes = Vec::new();
+                for part in v.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+                    classes.push(
+                        part.parse::<FaultClass>()
+                            .map_err(|e| format!("flag `--kinds`: {e}"))?,
+                    );
+                }
+                if classes.is_empty() {
+                    return Err(
+                        "flag `--kinds`: expected a comma-separated list of fault kinds".into(),
+                    );
+                }
+                cfg.classes = classes;
+            }
+            "--json" => json_out = Some(PathBuf::from(value(f, &mut it)?)),
+            "--out" => text_out = Some(PathBuf::from(value(f, &mut it)?)),
+            other => return Err(format!("unknown flag `{other}` for `fault-campaign`")),
+        }
+    }
+    if cfg.count == 0 {
+        return Err("flag `--count`: must be at least 1".into());
+    }
+    Ok(CampaignArgs {
+        cfg,
+        json_out,
+        text_out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn run_args_happy_path() {
+        let a = parse_run_args(&v(&[
+            "prog.s",
+            "--core",
+            "flute",
+            "--watchdog",
+            "5000",
+            "--heap",
+            "--max-cycles",
+            "123",
+        ]))
+        .unwrap();
+        assert_eq!(a.path, "prog.s");
+        assert_eq!(a.opts.watchdog, Some(5000));
+        assert_eq!(a.opts.max_cycles, 123);
+        assert!(a.opts.heap);
+        assert!(!a.binary);
+    }
+
+    #[test]
+    fn run_errors_name_the_flag_and_value() {
+        let e = parse_run_args(&v(&["p.s", "--max-cycles", "soon"])).unwrap_err();
+        assert!(e.contains("--max-cycles") && e.contains("soon"), "{e}");
+        let e = parse_run_args(&v(&["p.s", "--core", "arm"])).unwrap_err();
+        assert!(e.contains("--core") && e.contains("arm"), "{e}");
+        let e = parse_run_args(&v(&["p.s", "--watchdog"])).unwrap_err();
+        assert!(
+            e.contains("--watchdog") && e.contains("expects a value"),
+            "{e}"
+        );
+        let e = parse_run_args(&v(&["p.s", "--frobnicate"])).unwrap_err();
+        assert!(e.contains("--frobnicate"), "{e}");
+        let e = parse_run_args(&[]).unwrap_err();
+        assert!(e.contains("program path"), "{e}");
+    }
+
+    #[test]
+    fn campaign_args_happy_path() {
+        let a = parse_campaign_args(&v(&[
+            "--seed-base",
+            "7",
+            "--count",
+            "128",
+            "--threads",
+            "4",
+            "--kinds",
+            "tag,bounds,bitmap",
+            "--json",
+            "out.json",
+        ]))
+        .unwrap();
+        assert_eq!(a.cfg.seed_base, 7);
+        assert_eq!(a.cfg.count, 128);
+        assert_eq!(a.cfg.threads, 4);
+        assert_eq!(a.cfg.classes.len(), 3);
+        assert_eq!(a.json_out, Some(PathBuf::from("out.json")));
+    }
+
+    #[test]
+    fn campaign_errors_name_the_flag_and_value() {
+        let e = parse_campaign_args(&v(&["--kinds", "tag,wibble"])).unwrap_err();
+        assert!(e.contains("--kinds") && e.contains("wibble"), "{e}");
+        let e = parse_campaign_args(&v(&["--count", "0"])).unwrap_err();
+        assert!(e.contains("--count"), "{e}");
+        let e = parse_campaign_args(&v(&["--threads", "0"])).unwrap_err();
+        assert!(e.contains("--threads"), "{e}");
+        let e = parse_campaign_args(&v(&["--seed-base", "x"])).unwrap_err();
+        assert!(e.contains("--seed-base") && e.contains("`x`"), "{e}");
+    }
+}

@@ -1,24 +1,45 @@
-//! `cheriot-sim`: assemble, disassemble and run CHERIoT guest programs.
+//! `cheriot-sim`: assemble, disassemble and run CHERIoT guest programs,
+//! and drive deterministic fault-injection campaigns against them.
 //!
 //! ```text
 //! cheriot-sim run  prog.s [--core ibex|flute] [--no-load-filter]
-//!                          [--trace N] [--max-cycles N] [--dump-regs]
-//!                          [--trace-out out.json] [--metrics]
+//!                          [--trace N] [--max-cycles N] [--watchdog N]
+//!                          [--dump-regs] [--heap] [--trace-out out.json]
+//!                          [--metrics] [--binary]
 //! cheriot-sim asm  prog.s -o prog.bin
 //! cheriot-sim disasm prog.bin
+//! cheriot-sim fault-campaign [--seed-base N] [--count K] [--threads T]
+//!                            [--kinds tag,bounds,bitmap,...] [--faults N]
+//!                            [--cadence N] [--max-cycles N]
+//!                            [--json out.json] [--out out.txt]
 //! ```
+//!
+//! Malformed flags produce a contextual error naming the flag and value;
+//! the binary never panics on user input.
 
-use cheriot_cli::{parse_program, run_source, RunOptions};
-use cheriot_core::CoreKind;
+use cheriot_cli::{parse_campaign_args, parse_program, parse_run_args, run_source};
 use std::process::ExitCode;
 
+const USAGE: &str = "usage:
+  cheriot-sim run <prog.s> [--core ibex|flute] [--no-load-filter] \
+[--trace N] [--max-cycles N] [--watchdog N] [--dump-regs] [--heap] \
+[--trace-out <out.json>] [--metrics] [--binary]
+  cheriot-sim asm <prog.s> -o <out.bin>
+  cheriot-sim disasm <prog.bin>
+  cheriot-sim fault-campaign [--seed-base N] [--count K] [--threads T] \
+[--kinds <k1,k2,...>] [--faults N] [--cadence N] [--max-cycles N] \
+[--json <out.json>] [--out <out.txt>]";
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage:\n  cheriot-sim run <prog.s> [--core ibex|flute] [--no-load-filter] \
-         [--trace N] [--max-cycles N] [--dump-regs] [--heap] \
-         [--trace-out <out.json>] [--metrics]\n  cheriot-sim asm <prog.s> -o <out.bin>\n  \
-         cheriot-sim disasm <prog.bin>"
-    );
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Reports a flag-parsing failure with the contextual message, then the
+/// usage summary for orientation.
+fn bad_args(cmd: &str, msg: &str) -> ExitCode {
+    eprintln!("cheriot-sim {cmd}: {msg}");
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
@@ -31,51 +52,21 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "asm" => cmd_asm(rest),
         "disasm" => cmd_disasm(rest),
-        _ => usage(),
+        "fault-campaign" => cmd_fault_campaign(rest),
+        other => {
+            eprintln!("cheriot-sim: unknown command `{other}`");
+            usage()
+        }
     }
 }
 
 fn cmd_run(args: &[String]) -> ExitCode {
-    let Some((path, flags)) = args.split_first() else {
-        return usage();
+    let parsed = match parse_run_args(args) {
+        Ok(p) => p,
+        Err(e) => return bad_args("run", &e),
     };
-    let mut opts = RunOptions::default();
-    let mut binary = false;
-    let mut it = flags.iter();
-    while let Some(f) = it.next() {
-        match f.as_str() {
-            "--core" => match it.next().map(String::as_str) {
-                Some("ibex") => opts.core = CoreKind::Ibex,
-                Some("flute") => opts.core = CoreKind::Flute,
-                _ => return usage(),
-            },
-            "--no-load-filter" => opts.load_filter = false,
-            "--trace" => {
-                opts.trace_depth = match it.next().and_then(|v| v.parse().ok()) {
-                    Some(n) => n,
-                    None => return usage(),
-                }
-            }
-            "--max-cycles" => {
-                opts.max_cycles = match it.next().and_then(|v| v.parse().ok()) {
-                    Some(n) => n,
-                    None => return usage(),
-                }
-            }
-            "--dump-regs" => opts.dump_regs = true,
-            "--heap" => opts.heap = true,
-            "--trace-out" => {
-                opts.trace_out = match it.next() {
-                    Some(p) => Some(std::path::PathBuf::from(p)),
-                    None => return usage(),
-                }
-            }
-            "--metrics" => opts.metrics = true,
-            "--binary" => binary = true,
-            _ => return usage(),
-        }
-    }
-    let outcome = if binary {
+    let path = &parsed.path;
+    let outcome = if parsed.binary {
         let bytes = match std::fs::read(path) {
             Ok(b) => b,
             Err(e) => {
@@ -87,7 +78,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
-        cheriot_cli::run_words(&words, &opts).map_err(|e| e.to_string())
+        cheriot_cli::run_words(&words, &parsed.opts)
     } else {
         let src = match std::fs::read_to_string(path) {
             Ok(s) => s,
@@ -96,7 +87,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        run_source(&src, &opts).map_err(|e| e.to_string())
+        run_source(&src, &parsed.opts)
     };
     match outcome {
         Ok(out) => {
@@ -111,6 +102,35 @@ fn cmd_run(args: &[String]) -> ExitCode {
             eprintln!("cheriot-sim: {path}: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+fn cmd_fault_campaign(args: &[String]) -> ExitCode {
+    let parsed = match parse_campaign_args(args) {
+        Ok(p) => p,
+        Err(e) => return bad_args("fault-campaign", &e),
+    };
+    let report = cheriot_fault::run_campaigns(&parsed.cfg);
+    let text = report.to_text();
+    print!("{text}");
+    if let Some(path) = &parsed.text_out {
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("cheriot-sim: {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote text report: {}", path.display());
+    }
+    if let Some(path) = &parsed.json_out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("cheriot-sim: {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote json report: {}", path.display());
+    }
+    if report.failed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

@@ -8,8 +8,10 @@
 
 #![warn(missing_docs)]
 
+pub mod args;
 pub mod parser;
 pub mod runner;
 
+pub use args::{parse_campaign_args, parse_run_args, CampaignArgs, RunArgs};
 pub use parser::{parse_program, ParseError};
-pub use runner::{run_source, run_words, RunOptions, RunOutcome};
+pub use runner::{run_source, run_words, RunError, RunOptions, RunOutcome};

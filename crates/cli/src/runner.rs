@@ -1,10 +1,54 @@
 //! Drives a parsed program on a configured machine.
 
 use crate::parser::{parse_program, ParseError};
+use cheriot_core::encoding::DecodeError;
 use cheriot_core::insn::Reg;
 use cheriot_core::trace::Tracer;
-use cheriot_core::{CoreKind, CoreModel, ExitReason, Machine, MachineConfig};
+use cheriot_core::{CoreKind, CoreModel, ExitReason, Machine, MachineConfig, SimError};
 use std::fmt::Write as _;
+
+/// Anything that can stop a `cheriot-sim run` before it produces an
+/// outcome. Each variant carries the structured error from the layer that
+/// rejected the input — nothing in this path panics.
+#[derive(Clone, Debug)]
+pub enum RunError {
+    /// The assembly source did not parse.
+    Parse(ParseError),
+    /// The machine-code words did not decode (`--binary`).
+    Decode(DecodeError),
+    /// The simulator refused the program (e.g. it overflows code memory).
+    Sim(SimError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Parse(e) => write!(f, "{e}"),
+            RunError::Decode(e) => write!(f, "{e}"),
+            RunError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<ParseError> for RunError {
+    fn from(e: ParseError) -> RunError {
+        RunError::Parse(e)
+    }
+}
+
+impl From<DecodeError> for RunError {
+    fn from(e: DecodeError) -> RunError {
+        RunError::Decode(e)
+    }
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> RunError {
+        RunError::Sim(e)
+    }
+}
 
 /// Options for `cheriot-sim run`.
 #[derive(Clone, Debug)]
@@ -27,6 +71,9 @@ pub struct RunOptions {
     pub trace_out: Option<std::path::PathBuf>,
     /// Append the metrics summary table to the report.
     pub metrics: bool,
+    /// Abort with [`ExitReason::Watchdog`] if any single `run` slice
+    /// retires this many instructions without exiting.
+    pub watchdog: Option<u64>,
 }
 
 impl Default for RunOptions {
@@ -40,6 +87,7 @@ impl Default for RunOptions {
             heap: false,
             trace_out: None,
             metrics: false,
+            watchdog: None,
         }
     }
 }
@@ -61,22 +109,28 @@ pub struct RunOutcome {
 ///
 /// # Errors
 ///
-/// Parse errors from the assembler dialect.
-pub fn run_source(src: &str, opts: &RunOptions) -> Result<RunOutcome, ParseError> {
+/// Parse errors from the assembler dialect, or a [`SimError`] when the
+/// simulator rejects the program.
+pub fn run_source(src: &str, opts: &RunOptions) -> Result<RunOutcome, RunError> {
     let prog = parse_program(src)?;
-    Ok(run_instructions(&prog, opts))
+    run_instructions(&prog, opts)
 }
 
 /// Runs a pre-decoded machine-code program (`cheriot-sim run --binary`).
-pub fn run_words(
-    words: &[u32],
-    opts: &RunOptions,
-) -> Result<RunOutcome, cheriot_core::encoding::DecodeError> {
+///
+/// # Errors
+///
+/// Decode errors from the word stream, or a [`SimError`] when the
+/// simulator rejects the program.
+pub fn run_words(words: &[u32], opts: &RunOptions) -> Result<RunOutcome, RunError> {
     let prog = cheriot_core::encoding::decode_program(words)?;
-    Ok(run_instructions(&prog, opts))
+    run_instructions(&prog, opts)
 }
 
-fn run_instructions(prog: &[cheriot_core::insn::Instr], opts: &RunOptions) -> RunOutcome {
+fn run_instructions(
+    prog: &[cheriot_core::insn::Instr],
+    opts: &RunOptions,
+) -> Result<RunOutcome, RunError> {
     let core = match opts.core {
         CoreKind::Ibex => CoreModel::ibex(),
         CoreKind::Flute => CoreModel::flute(),
@@ -95,8 +149,9 @@ fn run_instructions(prog: &[cheriot_core::insn::Instr], opts: &RunOptions) -> Ru
     } else if opts.trace_depth > 0 {
         m.enable_trace(opts.trace_depth);
     }
-    let entry = m.load_program(prog);
+    let entry = m.try_load_program(prog)?;
     m.set_entry(entry);
+    m.set_watchdog(opts.watchdog);
     let exit = if opts.heap {
         let mut heap = cheriot_alloc::HeapAllocator::new(
             &mut m,
@@ -108,6 +163,12 @@ fn run_instructions(prog: &[cheriot_core::insn::Instr], opts: &RunOptions) -> Ru
     };
 
     let mut report = String::new();
+    if exit == ExitReason::Watchdog {
+        // Surface the structured diagnosis (PC, cycle, last trap) plus a
+        // machine-state dump rather than leaving a bare exit reason.
+        let _ = writeln!(report, "{}", m.watchdog_error());
+        report.push_str(&cheriot_core::state_dump(&m));
+    }
     if !m.console.is_empty() {
         let _ = writeln!(report, "console: {}", String::from_utf8_lossy(&m.console));
     }
@@ -151,12 +212,12 @@ fn run_instructions(prog: &[cheriot_core::insn::Instr], opts: &RunOptions) -> Ru
             }
         }
     }
-    RunOutcome {
+    Ok(RunOutcome {
         exit,
         cycles: m.cycles,
         instructions: m.stats.instructions,
         report,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -168,6 +229,29 @@ mod tests {
         let out = run_source("li a0, 9\nhalt\n", &RunOptions::default()).unwrap();
         assert_eq!(out.exit, ExitReason::Halted(9));
         assert_eq!(out.instructions, 2);
+    }
+
+    #[test]
+    fn watchdog_stops_runaway_loop_with_diagnosis() {
+        let opts = RunOptions {
+            watchdog: Some(500),
+            ..RunOptions::default()
+        };
+        let out = run_source("loop:\nj loop\n", &opts).unwrap();
+        assert_eq!(out.exit, ExitReason::Watchdog);
+        assert!(out.report.contains("watchdog:"), "{}", out.report);
+        assert!(out.report.contains("pc"), "{}", out.report);
+    }
+
+    #[test]
+    fn oversized_program_is_a_sim_error_not_a_panic() {
+        // Code memory holds CODE_SIZE/4 = 262144 instructions.
+        let src = "nop\n".repeat(262_200);
+        let err = run_source(&src, &RunOptions::default()).unwrap_err();
+        assert!(
+            matches!(err, RunError::Sim(SimError::CodeOverflow { .. })),
+            "{err}"
+        );
     }
 
     #[test]

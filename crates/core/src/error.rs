@@ -1,0 +1,117 @@
+//! Structured, panic-free simulator errors.
+//!
+//! The modelled hardware traps on bad guest behaviour; the *simulator*
+//! must never fall over on it. Conditions that previously panicked the
+//! host process (wedged guests, code-region overflow, resuming a machine
+//! that is not parked on an `ecall`) surface as [`SimError`] values that
+//! carry enough machine state for a post-mortem dump.
+
+use crate::machine::{ExitReason, Machine};
+use crate::trap::TrapCause;
+use std::fmt;
+
+/// A non-architectural simulator failure.
+///
+/// Architectural misbehaviour (bad bounds, stale capabilities, …) traps
+/// inside the simulated machine and never produces a `SimError`; these
+/// variants cover the cases where the *simulation itself* cannot
+/// continue and must exit gracefully instead of panicking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The watchdog instruction budget expired before the guest halted.
+    Watchdog {
+        /// Program counter when the budget ran out.
+        pc: u32,
+        /// Cycle counter when the budget ran out.
+        cycle: u64,
+        /// Instructions retired (equals the configured budget).
+        instructions: u64,
+        /// The most recent trap taken before the watchdog fired, if any —
+        /// usually the fastest clue to why the guest wedged.
+        last_trap: Option<TrapCause>,
+    },
+    /// A program load would overflow the fixed code region.
+    CodeOverflow {
+        /// Instruction words already loaded.
+        loaded: usize,
+        /// Instruction words in the rejected program.
+        requested: usize,
+        /// Code-region capacity in instruction words.
+        capacity: usize,
+    },
+    /// `try_resume_from_syscall` was called on a machine that is not
+    /// parked on an unvectored `ecall`.
+    NotAtSyscall {
+        /// The machine's actual halt state (`None` = still running).
+        state: Option<ExitReason>,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Watchdog {
+                pc,
+                cycle,
+                instructions,
+                last_trap,
+            } => {
+                write!(
+                    f,
+                    "watchdog: {instructions} instructions retired without halting \
+                     (pc {pc:#010x}, cycle {cycle}, last trap: "
+                )?;
+                match last_trap {
+                    Some(t) => write!(f, "{t:?})"),
+                    None => write!(f, "none)"),
+                }
+            }
+            SimError::CodeOverflow {
+                loaded,
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "code region overflow: {loaded} words loaded + {requested} requested \
+                 > {capacity} capacity"
+            ),
+            SimError::NotAtSyscall { state } => write!(
+                f,
+                "resume_from_syscall: machine is not stopped at an ecall (state: {state:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Renders a post-mortem register/trap-state dump of `m`, suitable for
+/// appending to a [`SimError`] report.
+pub fn state_dump(m: &Machine) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "machine state: cycle {}  instructions {}  pc {:#010x}",
+        m.cycles,
+        m.stats.instructions,
+        m.cpu.pc()
+    );
+    let _ = writeln!(
+        out,
+        "  mcause {:#x}  mtval {:#x}  mepcc {}  last trap: {}",
+        m.cpu.mcause,
+        m.cpu.mtval,
+        m.cpu.mepcc,
+        match m.last_trap() {
+            Some(t) => format!("{t:?}"),
+            None => "none".to_string(),
+        }
+    );
+    let _ = writeln!(out, "  pcc  {}", m.cpu.pcc);
+    for i in 0..16u8 {
+        let r = crate::insn::Reg(i);
+        let _ = writeln!(out, "  {r:?}\t{}", m.cpu.read(r));
+    }
+    out
+}

@@ -39,6 +39,7 @@
 
 pub mod cpu;
 pub mod encoding;
+pub mod error;
 pub mod insn;
 pub mod machine;
 pub mod mem;
@@ -53,6 +54,7 @@ pub mod trap;
 pub use cheriot_trace as trace;
 
 pub use encoding::{decode, decode_program, encode, encode_program, DecodeError, EncodeError};
+pub use error::{state_dump, SimError};
 pub use machine::{layout, ExitReason, Machine, MachineConfig, Stats, TraceEntry};
 pub use meter::Meter;
 pub use pipeline::{CoreKind, CoreModel};

@@ -3,6 +3,7 @@
 //! [`CoreModel`].
 
 use crate::cpu::Cpu;
+use crate::error::SimError;
 use crate::insn::{AluOp, BranchCond, CapField, CsrId, CsrOp, Instr, MulOp, Reg};
 use crate::mem::{Sram, GRANULE};
 use crate::pipeline::CoreModel;
@@ -131,6 +132,8 @@ pub enum ExitReason {
     CycleLimit,
     /// `wfi` with no possible wake-up source.
     Idle,
+    /// The watchdog instruction budget expired ([`Machine::set_watchdog`]).
+    Watchdog,
 }
 
 /// The simulated SoC.
@@ -162,6 +165,11 @@ pub struct Machine {
     halted: Option<ExitReason>,
     pending_use: Option<(Reg, u64)>,
     tracer: Option<Box<Tracer>>,
+    /// Absolute retired-instruction count at which the watchdog fires
+    /// (`u64::MAX` = disabled, the default).
+    wd_limit: u64,
+    /// The most recent trap cause taken (synchronous or interrupt).
+    last_trap: Option<TrapCause>,
 }
 
 /// One retired-instruction trace record.
@@ -197,6 +205,8 @@ impl Clone for Machine {
             halted: self.halted,
             pending_use: self.pending_use,
             tracer: None,
+            wd_limit: self.wd_limit,
+            last_trap: self.last_trap,
         }
     }
 }
@@ -223,6 +233,8 @@ impl Machine {
             halted: None,
             pending_use: None,
             tracer: None,
+            wd_limit: u64::MAX,
+            last_trap: None,
         }
     }
 
@@ -303,15 +315,27 @@ impl Machine {
     ///
     /// # Panics
     ///
-    /// Panics if the code region overflows.
+    /// Panics if the code region overflows; [`Machine::try_load_program`]
+    /// is the non-panicking form.
     pub fn load_program(&mut self, instrs: &[Instr]) -> u32 {
+        self.try_load_program(instrs)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Appends a program to the code region, returning its start address,
+    /// or [`SimError::CodeOverflow`] if it does not fit.
+    pub fn try_load_program(&mut self, instrs: &[Instr]) -> Result<u32, SimError> {
+        let capacity = layout::CODE_SIZE as usize / 4;
+        if self.code.len() + instrs.len() > capacity {
+            return Err(SimError::CodeOverflow {
+                loaded: self.code.len(),
+                requested: instrs.len(),
+                capacity,
+            });
+        }
         let start = layout::CODE_BASE + 4 * self.code.len() as u32;
-        assert!(
-            (self.code.len() + instrs.len()) * 4 <= layout::CODE_SIZE as usize,
-            "code region overflow"
-        );
         self.code.extend_from_slice(instrs);
-        start
+        Ok(start)
     }
 
     /// Decodes and loads a binary (machine-code) program, returning its
@@ -358,16 +382,54 @@ impl Machine {
     ///
     /// # Panics
     ///
-    /// Panics if the machine is not stopped at an environment call.
+    /// Panics if the machine is not stopped at an environment call;
+    /// [`Machine::try_resume_from_syscall`] is the non-panicking form.
     pub fn resume_from_syscall(&mut self) {
-        assert_eq!(
-            self.halted,
-            Some(ExitReason::Fault(TrapCause::EnvironmentCall)),
-            "resume_from_syscall: not stopped at an ecall"
-        );
+        self.try_resume_from_syscall()
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Non-panicking [`Machine::resume_from_syscall`]: fails with
+    /// [`SimError::NotAtSyscall`] when the machine is not parked on an
+    /// unvectored `ecall`.
+    pub fn try_resume_from_syscall(&mut self) -> Result<(), SimError> {
+        if self.halted != Some(ExitReason::Fault(TrapCause::EnvironmentCall)) {
+            return Err(SimError::NotAtSyscall { state: self.halted });
+        }
         self.halted = None;
         let next = self.cpu.pc().wrapping_add(4);
         self.cpu.pcc = self.cpu.pcc.with_address(next);
+        Ok(())
+    }
+
+    // --- Watchdog -------------------------------------------------------------
+
+    /// Arms (or with `None` disarms) the watchdog: [`Machine::run`] returns
+    /// [`ExitReason::Watchdog`] once `budget` further instructions retire
+    /// without the guest halting. Costs one integer compare per retired
+    /// instruction in the run loop; disabled is the default.
+    pub fn set_watchdog(&mut self, budget: Option<u64>) {
+        self.wd_limit = match budget {
+            Some(b) => self.stats.instructions.saturating_add(b),
+            None => u64::MAX,
+        };
+    }
+
+    /// The most recent trap cause taken (synchronous or interrupt), for
+    /// post-mortem dumps.
+    pub fn last_trap(&self) -> Option<TrapCause> {
+        self.last_trap
+    }
+
+    /// Builds the structured [`SimError::Watchdog`] for the current state
+    /// (for callers that just observed [`ExitReason::Watchdog`]).
+    pub fn watchdog_error(&self) -> SimError {
+        SimError::Watchdog {
+            pc: self.cpu.pc(),
+            cycle: self.cycles,
+            instructions: self.stats.instructions,
+            last_trap: self.last_trap,
+        }
     }
 
     // --- Cycle accounting ----------------------------------------------------
@@ -531,6 +593,7 @@ impl Machine {
     // --- Traps and interrupts -------------------------------------------------
 
     fn enter_trap(&mut self, cause: TrapCause, epc: u32) {
+        self.last_trap = Some(cause);
         if self.tracer.is_some() {
             let kind = if cause.is_interrupt() {
                 EventKind::IrqDelivered {
@@ -601,13 +664,19 @@ impl Machine {
     /// instruction boundary (and cycle count) as the stepwise loop.
     pub fn run(&mut self, max_cycles: u64) -> ExitReason {
         let limit = self.cycles.saturating_add(max_cycles);
-        while self.halted.is_none() && self.cycles < limit {
+        while self.halted.is_none()
+            && self.cycles < limit
+            && self.stats.instructions < self.wd_limit
+        {
             if let Some(irq) = self.pending_interrupt() {
                 let pc = self.cpu.pc();
                 self.enter_trap(irq, pc);
                 continue;
             }
-            while self.halted.is_none() && self.cycles < limit {
+            while self.halted.is_none()
+                && self.cycles < limit
+                && self.stats.instructions < self.wd_limit
+            {
                 let enabled = self.cpu.interrupts_enabled;
                 self.step_instr();
                 if self.cpu.interrupts_enabled != enabled
@@ -617,7 +686,12 @@ impl Machine {
                 }
             }
         }
-        self.halted.unwrap_or(ExitReason::CycleLimit)
+        self.halted
+            .unwrap_or(if self.stats.instructions >= self.wd_limit {
+                ExitReason::Watchdog
+            } else {
+                ExitReason::CycleLimit
+            })
     }
 
     /// Executes one instruction (or delivers one interrupt).

@@ -1,0 +1,708 @@
+//! Seeded fault campaigns: reference run, faulted run, classification.
+//!
+//! A campaign takes one seed and answers one question: *when this exact
+//! sequence of faults strikes this exact guest, does anything escape?* The
+//! guest is a seed-parameterised malloc/store/load/free workload that
+//! finishes by exiting with a data checksum, so any unflagged corruption of
+//! its behaviour shows up as a fingerprint mismatch against a fault-free
+//! reference run of the same seed. Each campaign is classified:
+//!
+//! - **benign** — fingerprint identical to the reference; the fault landed
+//!   somewhere inert (or dissipated, e.g. no tagged granule in range).
+//! - **trapped-safely** — the modelled hardware converted the fault into a
+//!   CHERI trap before any corrupted access completed.
+//! - **invariant-violation** — the cadence checker caught the corruption
+//!   in machine state. For injected faults this is a *detection*, the
+//!   second line of defence the tentpole asks for.
+//! - **sim-error** — the simulator refused the run gracefully (watchdog,
+//!   cycle budget) instead of wedging.
+//! - **silent-divergence** — the fingerprint changed with no trap and no
+//!   violation: corruption escaped. The headline claim is that the
+//!   tag/bounds/bitmap classes never produce one.
+//! - **panicked** — the simulator itself fell over; always a bug.
+//!
+//! Campaigns run in parallel with `std::thread::scope`, each wrapped in
+//! `catch_unwind` so one panicking seed is reported, not fatal.
+
+use crate::inject::Injector;
+use crate::invariant::{InvariantChecker, InvariantViolation};
+use crate::plan::{FaultClass, FaultPlan, PlanConfig};
+use crate::rng::XorShift64;
+use cheriot_alloc::{HeapAllocator, RevokerKind, TemporalPolicy};
+use cheriot_asm::Asm;
+use cheriot_cap::Capability;
+use cheriot_core::insn::Reg;
+use cheriot_core::layout::SRAM_BASE;
+use cheriot_core::{CoreModel, ExitReason, Machine, MachineConfig};
+use cheriot_rtos::run_with_heap_service;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Directory of guest-held capabilities: base offset from SRAM start and
+/// slot count. It sits in the globals area below the heap and is watched
+/// strictly by the invariant checker (it only ever holds heap pointers).
+const DIR_OFFSET: u32 = 0x100;
+const DIR_SLOTS: u32 = 24;
+
+/// Classified result of one campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Outcome {
+    /// Fingerprint identical to the reference run.
+    Benign,
+    /// The fault became an architectural CHERI trap.
+    TrappedSafely,
+    /// The invariant checker flagged the corruption.
+    InvariantViolation,
+    /// Graceful simulator refusal (watchdog / cycle budget / load error).
+    SimError,
+    /// Corruption escaped: changed behaviour, no trap, no violation.
+    SilentDivergence,
+    /// The simulator panicked. Always a bug.
+    Panicked,
+}
+
+impl Outcome {
+    /// Every outcome, in report order.
+    pub const ALL: &'static [Outcome] = &[
+        Outcome::Benign,
+        Outcome::TrappedSafely,
+        Outcome::InvariantViolation,
+        Outcome::SimError,
+        Outcome::SilentDivergence,
+        Outcome::Panicked,
+    ];
+
+    /// Stable kebab-case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Benign => "benign",
+            Outcome::TrappedSafely => "trapped-safely",
+            Outcome::InvariantViolation => "invariant-violation",
+            Outcome::SimError => "sim-error",
+            Outcome::SilentDivergence => "silent-divergence",
+            Outcome::Panicked => "panicked",
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Campaign-suite parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Seed of the first campaign; campaign `i` uses `seed_base + i`.
+    pub seed_base: u64,
+    /// Number of campaigns.
+    pub count: u32,
+    /// Worker threads (clamped to `[1, count]`).
+    pub threads: u32,
+    /// Fault classes drawn from (uniformly) by each plan.
+    pub classes: Vec<FaultClass>,
+    /// Faults scheduled per campaign.
+    pub faults_per_run: u32,
+    /// Invariant-checker cadence in cycles.
+    pub cadence: u64,
+    /// Per-run cycle budget.
+    pub max_cycles: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            seed_base: 1,
+            count: 64,
+            threads: 1,
+            classes: FaultClass::HEADLINE.to_vec(),
+            faults_per_run: 3,
+            cadence: 2_000,
+            max_cycles: 30_000_000,
+        }
+    }
+}
+
+/// Result of one seeded campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// The campaign's seed.
+    pub seed: u64,
+    /// Classified outcome.
+    pub outcome: Outcome,
+    /// Faults that actually mutated state (skips excluded).
+    pub faults_applied: u32,
+    /// Cycles the faulted run consumed.
+    pub cycles: u64,
+    /// Outcome specifics (trap cause, first violation, divergence diff…).
+    pub detail: String,
+}
+
+/// Aggregated campaign-suite report.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The configuration the suite ran under.
+    pub config: CampaignConfig,
+    /// Per-seed results, sorted by seed.
+    pub results: Vec<CampaignResult>,
+    /// Violations flagged by the checker on the fault-free control run.
+    /// Any entry here means the checker itself (or the simulator) is
+    /// broken: a clean run must be invariant-silent.
+    pub control_violations: Vec<InvariantViolation>,
+}
+
+impl CampaignReport {
+    /// Count of campaigns with the given outcome.
+    pub fn count(&self, o: Outcome) -> u32 {
+        self.results.iter().filter(|r| r.outcome == o).count() as u32
+    }
+
+    /// True when the suite found a real problem: a simulator panic, a
+    /// silent divergence, or a spurious violation on the fault-free
+    /// control run. Checker detections of *injected* faults are successes
+    /// (the headline's "caught by the invariant checker") and do not fail
+    /// the suite.
+    pub fn failed(&self) -> bool {
+        self.count(Outcome::Panicked) > 0
+            || self.count(Outcome::SilentDivergence) > 0
+            || !self.control_violations.is_empty()
+    }
+
+    /// Plain-text report.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        let classes: Vec<&str> = self.config.classes.iter().map(|c| c.name()).collect();
+        s.push_str(&format!(
+            "fault campaign: {} seeds from {} | kinds: {} | {} faults/run | cadence {} cycles\n",
+            self.config.count,
+            self.config.seed_base,
+            classes.join(","),
+            self.config.faults_per_run,
+            self.config.cadence,
+        ));
+        for &o in Outcome::ALL {
+            s.push_str(&format!("  {:>20}: {}\n", o.name(), self.count(o)));
+        }
+        s.push_str(&format!(
+            "  control run violations: {}\n",
+            self.control_violations.len()
+        ));
+        for r in &self.results {
+            if matches!(
+                r.outcome,
+                Outcome::Panicked | Outcome::SilentDivergence | Outcome::SimError
+            ) {
+                s.push_str(&format!(
+                    "  seed {}: {} ({})\n",
+                    r.seed, r.outcome, r.detail
+                ));
+            }
+        }
+        s.push_str(if self.failed() {
+            "RESULT: FAIL\n"
+        } else {
+            "RESULT: PASS\n"
+        });
+        s
+    }
+
+    /// JSON report (hand-rolled; the build is offline and dependency-free).
+    pub fn to_json(&self) -> String {
+        let classes: Vec<String> = self
+            .config
+            .classes
+            .iter()
+            .map(|c| format!("\"{}\"", c.name()))
+            .collect();
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"seed_base\": {},\n", self.config.seed_base));
+        s.push_str(&format!("  \"count\": {},\n", self.config.count));
+        s.push_str(&format!("  \"threads\": {},\n", self.config.threads));
+        s.push_str(&format!("  \"kinds\": [{}],\n", classes.join(", ")));
+        s.push_str(&format!(
+            "  \"faults_per_run\": {},\n",
+            self.config.faults_per_run
+        ));
+        s.push_str(&format!("  \"cadence\": {},\n", self.config.cadence));
+        s.push_str("  \"outcomes\": {\n");
+        let tallies: Vec<String> = Outcome::ALL
+            .iter()
+            .map(|&o| format!("    \"{}\": {}", o.name(), self.count(o)))
+            .collect();
+        s.push_str(&tallies.join(",\n"));
+        s.push_str("\n  },\n");
+        s.push_str(&format!(
+            "  \"control_violations\": {},\n",
+            self.control_violations.len()
+        ));
+        s.push_str(&format!(
+            "  \"passed\": {},\n",
+            if self.failed() { "false" } else { "true" }
+        ));
+        s.push_str("  \"campaigns\": [\n");
+        let rows: Vec<String> = self
+            .results
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"seed\": {}, \"outcome\": \"{}\", \"faults\": {}, \
+                     \"cycles\": {}, \"detail\": \"{}\"}}",
+                    r.seed,
+                    r.outcome.name(),
+                    r.faults_applied,
+                    r.cycles,
+                    json_escape(&r.detail)
+                )
+            })
+            .collect();
+        s.push_str(&rows.join(",\n"));
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Behavioural fingerprint of a run: everything the outside world can see.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Fingerprint {
+    exit: ExitReason,
+    console: Vec<u8>,
+    gpio_out: u32,
+    gpio_writes: u64,
+}
+
+impl Fingerprint {
+    fn of(exit: ExitReason, m: &Machine) -> Fingerprint {
+        Fingerprint {
+            exit,
+            console: m.console.clone(),
+            gpio_out: m.gpio_out,
+            gpio_writes: m.gpio_writes,
+        }
+    }
+}
+
+/// A freshly booted machine + heap with the seeded workload loaded, or a
+/// structured error string if loading failed (never a panic).
+fn fresh_run(seed: u64) -> Result<(Machine, HeapAllocator, u32, u32), String> {
+    let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+    let heap = HeapAllocator::new(&mut m, TemporalPolicy::Quarantine(RevokerKind::Hardware));
+    let program = build_workload(seed);
+    let entry = m.try_load_program(&program).map_err(|e| e.to_string())?;
+    m.set_entry(entry);
+    let dir_lo = SRAM_BASE + DIR_OFFSET;
+    let dir_len = DIR_SLOTS * 8;
+    let dir_cap = Capability::root_mem_rw()
+        .with_address(dir_lo)
+        .set_bounds(u64::from(dir_len))
+        .ok_or_else(|| "directory capability is unrepresentable".to_string())?;
+    m.cpu.write(Reg::GP, dir_cap);
+    Ok((m, heap, dir_lo, dir_len))
+}
+
+/// Builds the seed-parameterised guest: an unrolled malloc/store/load/free
+/// churn over a capability directory, exiting with a running checksum.
+/// Everything the guest will do is decided here, host-side, from the seed
+/// alone — the instruction stream itself is deterministic and branch-free,
+/// so the only nondeterminism in a campaign is the injected faults.
+fn build_workload(seed: u64) -> Vec<cheriot_core::insn::Instr> {
+    let mut rng = XorShift64::new(seed ^ 0xC0FF_EE00_D15E_A5E5);
+    let mut a = Asm::new();
+    let rounds = 12 + rng.gen_range(0, 9) as u32; // 12..=20
+    a.li(Reg::A5, 0); // checksum accumulator
+                      // Host-side model of which directory slot holds a live allocation of
+                      // what size (so reads/frees only ever use valid slots in the
+                      // fault-free reference).
+    let mut slots: Vec<Option<u32>> = vec![None; DIR_SLOTS as usize];
+
+    for round in 0..rounds {
+        // size: 16..=256 bytes, 8-aligned.
+        let size = 16 + (rng.gen_range(0, 31) as u32) * 8;
+        let slot = (round % DIR_SLOTS) as usize;
+        let val = rng.next_u32() & 0x7fff_ffff;
+        // p = malloc(size)
+        a.li(Reg::A0, 1);
+        a.li(Reg::A1, size as i32);
+        a.ecall();
+        a.cmove(Reg::S0, Reg::A0);
+        // first and last word of the allocation, then read one back.
+        a.li(Reg::T0, val as i32);
+        a.sw(Reg::T0, 0, Reg::S0);
+        a.sw(Reg::T0, (size - 4) as i32, Reg::S0);
+        a.lw(Reg::T1, 0, Reg::S0);
+        a.add(Reg::A5, Reg::A5, Reg::T1);
+        // publish into the directory.
+        a.csc(Reg::S0, (slot * 8) as i32, Reg::GP);
+        slots[slot] = Some(size);
+        // Sometimes stash the new cap inside an older live allocation so
+        // the heap itself holds capabilities the checker must vet.
+        if rng.gen_range(0, 3) == 0 {
+            if let Some(prev) = pick_live(&mut rng, &slots, |sz| sz >= 16, slot) {
+                a.clc(Reg::S1, (prev * 8) as i32, Reg::GP);
+                a.csc(Reg::S0, 8, Reg::S1);
+            }
+        }
+        // Read back through an older live allocation.
+        if let Some(q) = pick_live(&mut rng, &slots, |_| true, usize::MAX) {
+            a.clc(Reg::S1, (q * 8) as i32, Reg::GP);
+            a.lw(Reg::T1, 0, Reg::S1);
+            a.add(Reg::A5, Reg::A5, Reg::T1);
+        }
+        // Free roughly a third of the time.
+        if rng.gen_range(0, 3) == 1 {
+            if let Some(f) = pick_live(&mut rng, &slots, |_| true, usize::MAX) {
+                a.li(Reg::A0, 2);
+                a.clc(Reg::A1, (f * 8) as i32, Reg::GP);
+                a.ecall();
+                slots[f] = None;
+            }
+        }
+    }
+    // exit(checksum)
+    a.li(Reg::A0, 3);
+    a.mv(Reg::A1, Reg::A5);
+    a.ecall();
+    a.assemble()
+}
+
+fn pick_live(
+    rng: &mut XorShift64,
+    slots: &[Option<u32>],
+    want: impl Fn(u32) -> bool,
+    exclude: usize,
+) -> Option<usize> {
+    let candidates: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter(|&(i, s)| i != exclude && s.map(&want).unwrap_or(false))
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates[rng.gen_range(0, candidates.len() as u64) as usize])
+    }
+}
+
+/// Runs one seeded campaign: reference run, then faulted run, then
+/// classification. Never panics on simulator errors — panics that do slip
+/// through are caught by the suite driver and classified [`Outcome::Panicked`].
+pub fn run_one(seed: u64, cfg: &CampaignConfig) -> CampaignResult {
+    let fail = |detail: String| CampaignResult {
+        seed,
+        outcome: Outcome::SimError,
+        faults_applied: 0,
+        cycles: 0,
+        detail,
+    };
+
+    // Reference (fault-free) run.
+    let (mut m, mut heap, dir_lo, dir_len) = match fresh_run(seed) {
+        Ok(v) => v,
+        Err(e) => return fail(format!("reference setup: {e}")),
+    };
+    let r_ref = run_with_heap_service(&mut m, &mut heap, cfg.max_cycles);
+    if !matches!(r_ref, ExitReason::Halted(_)) {
+        return fail(format!("reference run did not exit cleanly: {r_ref:?}"));
+    }
+    let reference = Fingerprint::of(r_ref, &m);
+    let ref_cycles = m.cycles.max(1);
+    let ref_instructions = m.stats.instructions;
+
+    // Faulted run.
+    let (mut m, mut heap, _, _) = match fresh_run(seed) {
+        Ok(v) => v,
+        Err(e) => return fail(format!("faulted setup: {e}")),
+    };
+    m.set_watchdog(Some(
+        ref_instructions.saturating_mul(4).saturating_add(100_000),
+    ));
+    let (hb, he) = heap.heap_range();
+    // The workload only churns the first few KiB of the heap; aiming the
+    // plan at that prefix (plus the directory) keeps the fault hit rate
+    // high instead of scattering targets across empty SRAM.
+    let used_he = he.min(hb + 32 * 1024);
+    let plan = FaultPlan::generate(
+        seed,
+        &PlanConfig {
+            classes: cfg.classes.clone(),
+            count: cfg.faults_per_run,
+            window: (ref_cycles / 10, ref_cycles.saturating_mul(9) / 10),
+            region: (dir_lo, used_he),
+            heap: (hb, used_he),
+        },
+    );
+    let mut injector = Injector::new(plan);
+    let mut checker = InvariantChecker::new(cfg.cadence.max(1));
+    checker.watch_region(dir_lo, dir_lo + dir_len);
+    let mut violations: Vec<InvariantViolation> = Vec::new();
+    let deadline = cfg.max_cycles;
+
+    let exit = loop {
+        let next_stop = injector
+            .next_cycle()
+            .unwrap_or(u64::MAX)
+            .min(checker.next_due())
+            .min(deadline)
+            .max(m.cycles + 1);
+        let budget = next_stop - m.cycles;
+        let r = run_with_heap_service(&mut m, &mut heap, budget);
+        injector.poll(&mut m);
+        if checker.due(m.cycles) {
+            violations.extend(checker.check(&m, &heap));
+        }
+        match r {
+            ExitReason::CycleLimit if m.cycles < deadline => continue,
+            other => break other,
+        }
+    };
+    // Final sweep: corruption planted just before exit must still be seen.
+    violations.extend(checker.check(&m, &heap));
+    if let Err(e) = heap.check_consistency(&m) {
+        violations.push(InvariantViolation {
+            kind: crate::invariant::InvariantKind::BoundsMonotonicity,
+            cycle: m.cycles,
+            addr: None,
+            detail: format!("allocator consistency: {e}"),
+        });
+    }
+
+    let faults_applied = injector.applied();
+    let cycles = m.cycles;
+    let (outcome, detail) = if !violations.is_empty() {
+        (
+            Outcome::InvariantViolation,
+            format!(
+                "{} violation(s); first: {}",
+                violations.len(),
+                violations[0]
+            ),
+        )
+    } else {
+        match exit {
+            ExitReason::Watchdog => (Outcome::SimError, format!("{}", m.watchdog_error())),
+            ExitReason::CycleLimit => (
+                Outcome::SimError,
+                format!("cycle budget ({deadline}) exhausted"),
+            ),
+            ExitReason::Fault(t) => (Outcome::TrappedSafely, format!("trap: {t:?}")),
+            ExitReason::Halted(code) => {
+                let faulted = Fingerprint::of(exit, &m);
+                if faulted == reference {
+                    (Outcome::Benign, String::new())
+                } else {
+                    (
+                        Outcome::SilentDivergence,
+                        format!(
+                            "exit {:?} vs reference {:?}; console {}B vs {}B; \
+                             gpio {:#x}/{} vs {:#x}/{}",
+                            code,
+                            reference.exit,
+                            faulted.console.len(),
+                            reference.console.len(),
+                            faulted.gpio_out,
+                            faulted.gpio_writes,
+                            reference.gpio_out,
+                            reference.gpio_writes,
+                        ),
+                    )
+                }
+            }
+            other => (Outcome::SimError, format!("unexpected exit: {other:?}")),
+        }
+    };
+    CampaignResult {
+        seed,
+        outcome,
+        faults_applied,
+        cycles,
+        detail,
+    }
+}
+
+/// A fault-free control run of `seed` under the cadence checker: returns
+/// any violations the checker reports. A clean simulator must return none;
+/// anything here is a checker false positive or a simulator bug, and fails
+/// the suite.
+fn run_control(seed: u64, cfg: &CampaignConfig) -> Vec<InvariantViolation> {
+    let Ok((mut m, mut heap, dir_lo, dir_len)) = fresh_run(seed) else {
+        return vec![InvariantViolation {
+            kind: crate::invariant::InvariantKind::TagProvenance,
+            cycle: 0,
+            addr: None,
+            detail: "control run failed to load".into(),
+        }];
+    };
+    let mut checker = InvariantChecker::new(cfg.cadence.max(1));
+    checker.watch_region(dir_lo, dir_lo + dir_len);
+    let mut violations = Vec::new();
+    loop {
+        let next_stop = checker.next_due().min(cfg.max_cycles).max(m.cycles + 1);
+        let budget = next_stop - m.cycles;
+        let r = run_with_heap_service(&mut m, &mut heap, budget);
+        violations.extend(checker.check(&m, &heap));
+        match r {
+            ExitReason::CycleLimit if m.cycles < cfg.max_cycles => continue,
+            _ => break,
+        }
+    }
+    violations
+}
+
+/// Runs the whole suite: one control run plus `count` seeded campaigns
+/// fanned out over `threads` workers, each campaign wrapped in
+/// `catch_unwind`.
+pub fn run_campaigns(cfg: &CampaignConfig) -> CampaignReport {
+    let control_violations = run_control(cfg.seed_base, cfg);
+    let threads = cfg.threads.clamp(1, cfg.count.max(1)) as usize;
+    let count = cfg.count as usize;
+    let mut results: Vec<CampaignResult> = Vec::with_capacity(count);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let cfg = &*cfg;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut i = w;
+                    while i < count {
+                        let seed = cfg.seed_base + i as u64;
+                        let r = catch_unwind(AssertUnwindSafe(|| run_one(seed, cfg)))
+                            .unwrap_or_else(|p| CampaignResult {
+                                seed,
+                                outcome: Outcome::Panicked,
+                                faults_applied: 0,
+                                cycles: 0,
+                                detail: panic_message(&p),
+                            });
+                        out.push(r);
+                        i += threads;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(mut v) => results.append(&mut v),
+                Err(p) => results.push(CampaignResult {
+                    seed: 0,
+                    outcome: Outcome::Panicked,
+                    faults_applied: 0,
+                    cycles: 0,
+                    detail: format!("worker thread died: {}", panic_message(&p)),
+                }),
+            }
+        }
+    });
+    results.sort_by_key(|r| r.seed);
+    CampaignReport {
+        config: cfg.clone(),
+        results,
+        control_violations,
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_reference_run_is_clean_and_deterministic() {
+        for seed in [1u64, 2, 3, 99] {
+            let (mut m, mut heap, _, _) = fresh_run(seed).unwrap();
+            let r1 = run_with_heap_service(&mut m, &mut heap, 30_000_000);
+            let ExitReason::Halted(c1) = r1 else {
+                panic!("seed {seed}: reference must halt, got {r1:?}");
+            };
+            heap.check_consistency(&m).unwrap();
+            let (mut m2, mut heap2, _, _) = fresh_run(seed).unwrap();
+            let r2 = run_with_heap_service(&mut m2, &mut heap2, 30_000_000);
+            assert_eq!(
+                r2,
+                ExitReason::Halted(c1),
+                "reference must be deterministic"
+            );
+            assert_eq!(m.cycles, m2.cycles);
+        }
+    }
+
+    #[test]
+    fn workloads_differ_across_seeds() {
+        let a = build_workload(1);
+        let b = build_workload(2);
+        assert_ne!(a.len(), 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn control_run_is_invariant_silent() {
+        let cfg = CampaignConfig::default();
+        let v = run_control(5, &cfg);
+        assert!(v.is_empty(), "control run must be clean: {v:?}");
+    }
+
+    #[test]
+    fn campaign_results_are_reproducible() {
+        let cfg = CampaignConfig {
+            count: 4,
+            ..CampaignConfig::default()
+        };
+        let a = run_one(cfg.seed_base + 2, &cfg);
+        let b = run_one(cfg.seed_base + 2, &cfg);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.faults_applied, b.faults_applied);
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn headline_smoke_no_panics_no_silent_divergence() {
+        let cfg = CampaignConfig {
+            seed_base: 100,
+            count: 16,
+            threads: 2,
+            ..CampaignConfig::default()
+        };
+        let report = run_campaigns(&cfg);
+        assert_eq!(report.results.len(), 16);
+        assert_eq!(report.count(Outcome::Panicked), 0, "{}", report.to_text());
+        assert_eq!(
+            report.count(Outcome::SilentDivergence),
+            0,
+            "{}",
+            report.to_text()
+        );
+        assert!(report.control_violations.is_empty());
+        assert!(!report.failed());
+        // JSON report parses at least superficially.
+        let json = report.to_json();
+        assert!(json.contains("\"campaigns\""));
+        assert!(json.contains("\"passed\": true"));
+    }
+}

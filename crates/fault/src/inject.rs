@@ -1,0 +1,412 @@
+//! Applies a [`FaultPlan`] to a live machine.
+//!
+//! The injector is polled from the campaign's run loop between execution
+//! chunks: every entry whose cycle has been reached is applied directly to
+//! the machine's SRAM / revocation bitmap / timer, mimicking a physical
+//! upset that the modelled hardware cannot see coming. Application is
+//! panic-free: a fault that lands on an address with no suitable target
+//! (for example a tag flip over a region holding no capabilities) is
+//! recorded as skipped rather than forced.
+
+use crate::plan::{FaultKind, FaultPlan};
+use cheriot_core::Machine;
+
+/// Granule size of tagged memory in bytes.
+const GRANULE: u32 = 8;
+
+/// How far (in granules, each direction) a [`FaultKind::TagFlip`] searches
+/// for a set tag around its target address. Covers a full 512 KiB SRAM
+/// bank so a planned tag fault lands on the *nearest* live capability
+/// rather than being skipped when the random target falls in empty memory.
+const TAG_SEARCH_GRANULES: u32 = 65_536;
+
+/// How far forward (in granules) a [`FaultKind::CapCorrupt`] scans for a
+/// tagged granule (same full-bank rationale as [`TAG_SEARCH_GRANULES`]).
+const CAP_SCAN_GRANULES: u32 = 65_536;
+
+/// What actually happened when a fault was applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectEffect {
+    /// A set tag bit was cleared at the address.
+    TagCleared(u32),
+    /// A capability word bit was XORed at the address.
+    CapBitFlipped {
+        /// Granule holding the corrupted capability.
+        addr: u32,
+        /// Bit position flipped.
+        bit: u32,
+    },
+    /// A revocation-bitmap granule bit was flipped (true = now set).
+    BitmapFlipped {
+        /// Heap address whose granule bit changed.
+        addr: u32,
+        /// New value of the bit.
+        now_set: bool,
+    },
+    /// A data-granule bit was XORed.
+    DataBitFlipped {
+        /// Granule address.
+        addr: u32,
+        /// Bit position flipped.
+        bit: u32,
+    },
+    /// An interrupt storm began (`mtimecmp` saved and forced to 0).
+    StormStarted,
+    /// A previously started storm ended (`mtimecmp` restored).
+    StormEnded,
+    /// `mtimecmp` was pushed to `u64::MAX`.
+    IrqDropped,
+    /// No viable target was found; the fault was a no-op.
+    Skipped,
+}
+
+/// A log record of one applied (or skipped) fault.
+#[derive(Debug, Clone)]
+pub struct Applied {
+    /// Cycle the injector applied the entry (>= its scheduled cycle).
+    pub cycle: u64,
+    /// The scheduled fault.
+    pub kind: FaultKind,
+    /// What happened.
+    pub effect: InjectEffect,
+}
+
+/// Applies the entries of a [`FaultPlan`] as the machine's cycle counter
+/// passes each entry's scheduled cycle.
+#[derive(Debug)]
+pub struct Injector {
+    plan: FaultPlan,
+    next: usize,
+    /// Active interrupt storm: `(end_cycle, saved_mtimecmp)`.
+    storm: Option<(u64, u64)>,
+    /// Log of everything applied so far.
+    pub log: Vec<Applied>,
+}
+
+impl Injector {
+    /// Wraps a plan for execution.
+    pub fn new(plan: FaultPlan) -> Injector {
+        Injector {
+            plan,
+            next: 0,
+            storm: None,
+            log: Vec::new(),
+        }
+    }
+
+    /// The next cycle at which [`Injector::poll`] has work to do, if any:
+    /// the next scheduled entry or the end of an active storm.
+    pub fn next_cycle(&self) -> Option<u64> {
+        let entry = self.plan.entries.get(self.next).map(|e| e.cycle);
+        let storm = self.storm.map(|(end, _)| end);
+        match (entry, storm) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// True once every entry has been applied and no storm is active.
+    pub fn done(&self) -> bool {
+        self.next >= self.plan.entries.len() && self.storm.is_none()
+    }
+
+    /// Number of faults that actually mutated machine state (skips
+    /// excluded).
+    pub fn applied(&self) -> u32 {
+        self.log
+            .iter()
+            .filter(|a| a.effect != InjectEffect::Skipped && a.effect != InjectEffect::StormEnded)
+            .count() as u32
+    }
+
+    /// Applies every entry whose cycle has been reached, and ends any
+    /// expired interrupt storm.
+    pub fn poll(&mut self, m: &mut Machine) {
+        if let Some((end, saved)) = self.storm {
+            if m.cycles >= end {
+                m.mtimecmp = saved;
+                self.storm = None;
+                self.log.push(Applied {
+                    cycle: m.cycles,
+                    kind: FaultKind::IrqStorm { cycles: 0 },
+                    effect: InjectEffect::StormEnded,
+                });
+            }
+        }
+        while let Some(entry) = self.plan.entries.get(self.next) {
+            if entry.cycle > m.cycles {
+                break;
+            }
+            let entry = *entry;
+            self.next += 1;
+            let effect = self.apply(m, entry.kind);
+            self.log.push(Applied {
+                cycle: m.cycles,
+                kind: entry.kind,
+                effect,
+            });
+        }
+    }
+
+    fn apply(&mut self, m: &mut Machine, kind: FaultKind) -> InjectEffect {
+        match kind {
+            FaultKind::TagFlip { addr } => Self::clear_nearest_tag(m, addr),
+            FaultKind::CapCorrupt { addr, bit, .. } => Self::flip_cap_bit(m, addr, bit),
+            FaultKind::BitmapFlip { addr } => {
+                if !m.bitmap.covers(addr) {
+                    return InjectEffect::Skipped;
+                }
+                let now_set = !m.bitmap.is_revoked(addr);
+                if now_set {
+                    m.bitmap.set_range(addr, 1);
+                } else {
+                    m.bitmap.clear_range(addr, 1);
+                }
+                InjectEffect::BitmapFlipped { addr, now_set }
+            }
+            FaultKind::DataFlip { addr, bit } => {
+                let addr = addr & !(GRANULE - 1);
+                if !m.sram.contains(addr, GRANULE) {
+                    return InjectEffect::Skipped;
+                }
+                match m.sram.read_cap_word(addr) {
+                    Ok((word, tag)) => {
+                        if m.sram.write_cap_word(addr, word ^ (1 << bit), tag).is_err() {
+                            return InjectEffect::Skipped;
+                        }
+                        InjectEffect::DataBitFlipped { addr, bit }
+                    }
+                    Err(_) => InjectEffect::Skipped,
+                }
+            }
+            FaultKind::IrqStorm { cycles } => {
+                // A storm while another storm is active just extends it;
+                // the original mtimecmp stays saved.
+                let saved = match self.storm {
+                    Some((_, s)) => s,
+                    None => m.mtimecmp,
+                };
+                self.storm = Some((m.cycles.saturating_add(cycles), saved));
+                m.mtimecmp = 0;
+                InjectEffect::StormStarted
+            }
+            FaultKind::IrqDrop => {
+                m.mtimecmp = u64::MAX;
+                InjectEffect::IrqDropped
+            }
+        }
+    }
+
+    /// Clears the tag of the tagged granule nearest `addr` (within the
+    /// search window). Clearing — never forging — keeps the fault inside
+    /// what tag-SRAM upsets do to real parts: a flipped set bit. If no
+    /// granule in the window holds a capability the fault dissipates.
+    fn clear_nearest_tag(m: &mut Machine, addr: u32) -> InjectEffect {
+        let addr = addr & !(GRANULE - 1);
+        for step in 0..=TAG_SEARCH_GRANULES {
+            let offsets: [Option<u32>; 2] = [
+                addr.checked_add(step * GRANULE),
+                addr.checked_sub(step * GRANULE),
+            ];
+            for candidate in offsets.into_iter().flatten() {
+                if m.sram.contains(candidate, GRANULE) && m.sram.tag_at(candidate) {
+                    if let Ok((word, _)) = m.sram.read_cap_word(candidate) {
+                        if m.sram.write_cap_word(candidate, word, false).is_ok() {
+                            return InjectEffect::TagCleared(candidate);
+                        }
+                    }
+                    return InjectEffect::Skipped;
+                }
+            }
+        }
+        InjectEffect::Skipped
+    }
+
+    /// XORs `bit` of the capability word held by the first tagged granule
+    /// at or after `addr` (tag preserved), so the corruption targets a
+    /// live capability rather than inert data.
+    fn flip_cap_bit(m: &mut Machine, addr: u32, bit: u32) -> InjectEffect {
+        let addr = addr & !(GRANULE - 1);
+        let mut a = addr;
+        for _ in 0..CAP_SCAN_GRANULES {
+            if !m.sram.contains(a, GRANULE) {
+                break;
+            }
+            if m.sram.tag_at(a) {
+                return match m.sram.read_cap_word(a) {
+                    Ok((word, _)) => {
+                        if m.sram.write_cap_word(a, word ^ (1 << bit), true).is_err() {
+                            return InjectEffect::Skipped;
+                        }
+                        InjectEffect::CapBitFlipped { addr: a, bit }
+                    }
+                    Err(_) => InjectEffect::Skipped,
+                };
+            }
+            match a.checked_add(GRANULE) {
+                Some(n) => a = n,
+                None => break,
+            }
+        }
+        InjectEffect::Skipped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{CapField, FaultEntry};
+    use cheriot_cap::Capability;
+    use cheriot_core::layout::SRAM_BASE;
+    use cheriot_core::{CoreModel, MachineConfig};
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::new(CoreModel::ibex()))
+    }
+
+    fn plan_of(entries: Vec<FaultEntry>) -> FaultPlan {
+        FaultPlan { seed: 0, entries }
+    }
+
+    fn store_cap(m: &mut Machine, addr: u32) -> Capability {
+        let cap = Capability::root_mem_rw()
+            .with_address(addr + 64)
+            .set_bounds(32)
+            .unwrap();
+        m.sram.write_cap(addr, cap).unwrap();
+        cap
+    }
+
+    #[test]
+    fn tag_flip_clears_nearest_tag() {
+        let mut m = machine();
+        let site = SRAM_BASE + 0x200;
+        store_cap(&mut m, site);
+        let mut inj = Injector::new(plan_of(vec![FaultEntry {
+            cycle: 0,
+            kind: FaultKind::TagFlip { addr: site + 0x40 },
+        }]));
+        inj.poll(&mut m);
+        assert_eq!(inj.log[0].effect, InjectEffect::TagCleared(site));
+        assert!(!m.sram.tag_at(site));
+        assert_eq!(inj.applied(), 1);
+    }
+
+    #[test]
+    fn tag_flip_with_no_target_skips() {
+        let mut m = machine();
+        let mut inj = Injector::new(plan_of(vec![FaultEntry {
+            cycle: 0,
+            kind: FaultKind::TagFlip { addr: SRAM_BASE },
+        }]));
+        inj.poll(&mut m);
+        assert_eq!(inj.log[0].effect, InjectEffect::Skipped);
+        assert_eq!(inj.applied(), 0);
+    }
+
+    #[test]
+    fn cap_corrupt_flips_exactly_one_bit_and_keeps_tag() {
+        let mut m = machine();
+        let site = SRAM_BASE + 0x300;
+        store_cap(&mut m, site);
+        let (before, _) = m.sram.read_cap_word(site).unwrap();
+        let bit = CapField::Bounds.bit_range().0; // bit 32
+        let mut inj = Injector::new(plan_of(vec![FaultEntry {
+            cycle: 0,
+            kind: FaultKind::CapCorrupt {
+                addr: SRAM_BASE,
+                field: CapField::Bounds,
+                bit,
+            },
+        }]));
+        inj.poll(&mut m);
+        let (after, tag) = m.sram.read_cap_word(site).unwrap();
+        assert!(tag, "corruption must preserve the tag");
+        assert_eq!(before ^ after, 1 << bit);
+    }
+
+    #[test]
+    fn bitmap_flip_toggles_bit_both_ways() {
+        let mut m = machine();
+        let heap = MachineConfig::new(CoreModel::ibex());
+        let addr = SRAM_BASE + heap.heap_offset;
+        assert!(m.bitmap.covers(addr));
+        let mut inj = Injector::new(plan_of(vec![
+            FaultEntry {
+                cycle: 0,
+                kind: FaultKind::BitmapFlip { addr },
+            },
+            FaultEntry {
+                cycle: 10,
+                kind: FaultKind::BitmapFlip { addr },
+            },
+        ]));
+        inj.poll(&mut m);
+        assert!(m.bitmap.is_revoked(addr));
+        m.cycles = 10;
+        inj.poll(&mut m);
+        assert!(!m.bitmap.is_revoked(addr));
+        assert_eq!(inj.applied(), 2);
+    }
+
+    #[test]
+    fn data_flip_preserves_tag_state() {
+        let mut m = machine();
+        let site = SRAM_BASE + 0x400;
+        m.sram.write_scalar(site, 4, 0xdead_beef).unwrap();
+        let mut inj = Injector::new(plan_of(vec![FaultEntry {
+            cycle: 0,
+            kind: FaultKind::DataFlip { addr: site, bit: 3 },
+        }]));
+        inj.poll(&mut m);
+        assert!(!m.sram.tag_at(site));
+        assert_eq!(m.sram.read_scalar(site, 4).unwrap(), 0xdead_beef ^ (1 << 3));
+    }
+
+    #[test]
+    fn irq_storm_saves_and_restores_mtimecmp() {
+        let mut m = machine();
+        m.mtimecmp = 0x1234;
+        let mut inj = Injector::new(plan_of(vec![FaultEntry {
+            cycle: 0,
+            kind: FaultKind::IrqStorm { cycles: 100 },
+        }]));
+        inj.poll(&mut m);
+        assert_eq!(m.mtimecmp, 0);
+        assert_eq!(inj.next_cycle(), Some(100));
+        m.cycles = 100;
+        inj.poll(&mut m);
+        assert_eq!(m.mtimecmp, 0x1234);
+        assert!(inj.done());
+    }
+
+    #[test]
+    fn irq_drop_pushes_mtimecmp_out() {
+        let mut m = machine();
+        m.mtimecmp = 500;
+        let mut inj = Injector::new(plan_of(vec![FaultEntry {
+            cycle: 0,
+            kind: FaultKind::IrqDrop,
+        }]));
+        inj.poll(&mut m);
+        assert_eq!(m.mtimecmp, u64::MAX);
+    }
+
+    #[test]
+    fn entries_wait_for_their_cycle() {
+        let mut m = machine();
+        let site = SRAM_BASE + 0x500;
+        store_cap(&mut m, site);
+        let mut inj = Injector::new(plan_of(vec![FaultEntry {
+            cycle: 1_000,
+            kind: FaultKind::TagFlip { addr: site },
+        }]));
+        inj.poll(&mut m);
+        assert!(inj.log.is_empty());
+        assert_eq!(inj.next_cycle(), Some(1_000));
+        m.cycles = 1_000;
+        inj.poll(&mut m);
+        assert_eq!(inj.applied(), 1);
+        assert!(inj.done());
+    }
+}

@@ -1,0 +1,355 @@
+//! Fault plans: what to break, where, and when.
+//!
+//! A [`FaultPlan`] is a deterministic schedule of `(cycle, kind, target)`
+//! entries generated from a seed — the moral equivalent of a particle-strike
+//! trace for the modelled SoC. The plan is pure data: generating it touches
+//! no machine state, so the same seed always yields the same plan and a
+//! campaign can be replayed bit-for-bit from its seed alone.
+
+use crate::rng::XorShift64;
+use std::fmt;
+use std::str::FromStr;
+
+/// Granule size of tagged memory (one capability) in bytes.
+const GRANULE: u32 = 8;
+
+/// A category of fault the planner can schedule. Selecting classes (rather
+/// than concrete faults) is how the CLI's `--kinds` flag scopes a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Clear a set capability tag bit in tagged SRAM (tag-SRAM upset).
+    Tag,
+    /// Flip one bit of the bounds metadata (exp/base/top) of an in-memory
+    /// capability.
+    Bounds,
+    /// Flip one bit of the object-type field of an in-memory capability.
+    Otype,
+    /// Flip one bit of the permissions field of an in-memory capability.
+    Perms,
+    /// Flip one bit of the address field of an in-memory capability.
+    Address,
+    /// Flip one revocation-bitmap granule bit.
+    Bitmap,
+    /// Flip one bit of a data granule (tag preserved).
+    Data,
+    /// Force the timer to fire continuously for a while (interrupt storm).
+    IrqStorm,
+    /// Push the timer compare register out to infinity (dropped interrupt).
+    IrqDrop,
+}
+
+impl FaultClass {
+    /// The headline campaign mix from the acceptance criteria: tag flips,
+    /// bounds corruption, and revocation-bitmap flips.
+    pub const HEADLINE: &'static [FaultClass] =
+        &[FaultClass::Tag, FaultClass::Bounds, FaultClass::Bitmap];
+
+    /// Every class the planner knows.
+    pub const ALL: &'static [FaultClass] = &[
+        FaultClass::Tag,
+        FaultClass::Bounds,
+        FaultClass::Otype,
+        FaultClass::Perms,
+        FaultClass::Address,
+        FaultClass::Bitmap,
+        FaultClass::Data,
+        FaultClass::IrqStorm,
+        FaultClass::IrqDrop,
+    ];
+
+    /// Stable lowercase name, used by the CLI and in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::Tag => "tag",
+            FaultClass::Bounds => "bounds",
+            FaultClass::Otype => "otype",
+            FaultClass::Perms => "perms",
+            FaultClass::Address => "address",
+            FaultClass::Bitmap => "bitmap",
+            FaultClass::Data => "data",
+            FaultClass::IrqStorm => "irq-storm",
+            FaultClass::IrqDrop => "irq-drop",
+        }
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for FaultClass {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<FaultClass, String> {
+        FaultClass::ALL
+            .iter()
+            .copied()
+            .find(|c| c.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = FaultClass::ALL.iter().map(|c| c.name()).collect();
+                format!(
+                    "unknown fault kind `{s}` (expected one of: {})",
+                    names.join(", ")
+                )
+            })
+    }
+}
+
+/// Which field of the 64-bit capability word a [`FaultKind::CapCorrupt`]
+/// targets. Bit positions follow the in-memory encoding:
+/// address `[0,32)`, top `[32,41)`, base `[41,50)`, exponent `[50,54)`,
+/// otype `[54,57)`, permissions `[57,63)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapField {
+    /// The 32-bit address field.
+    Address,
+    /// The compressed bounds (top ∪ base ∪ exponent), bits 32–53.
+    Bounds,
+    /// The 3-bit object type, bits 54–56.
+    Otype,
+    /// The 6-bit compressed permissions, bits 57–62.
+    Perms,
+}
+
+impl CapField {
+    /// `(first_bit, width)` of this field within the 64-bit memory word.
+    pub const fn bit_range(self) -> (u32, u32) {
+        match self {
+            CapField::Address => (0, 32),
+            CapField::Bounds => (32, 22),
+            CapField::Otype => (54, 3),
+            CapField::Perms => (57, 6),
+        }
+    }
+
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CapField::Address => "address",
+            CapField::Bounds => "bounds",
+            CapField::Otype => "otype",
+            CapField::Perms => "perms",
+        }
+    }
+}
+
+/// One concrete fault the injector knows how to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Clear the nearest set tag bit around `addr` (a tag-SRAM upset on a
+    /// granule that currently holds a capability).
+    TagFlip {
+        /// Granule-aligned centre of the search window.
+        addr: u32,
+    },
+    /// XOR bit `bit` of the capability word held by the first tagged
+    /// granule at or after `addr` (tag preserved).
+    CapCorrupt {
+        /// Granule-aligned scan start.
+        addr: u32,
+        /// Which encoding field `bit` falls in (for reporting).
+        field: CapField,
+        /// Absolute bit position in the 64-bit word.
+        bit: u32,
+    },
+    /// Flip the revocation-bitmap bit covering `addr`.
+    BitmapFlip {
+        /// Heap address whose granule bit is flipped.
+        addr: u32,
+    },
+    /// XOR bit `bit` of the data granule at `addr` (tag preserved).
+    DataFlip {
+        /// Granule-aligned target address.
+        addr: u32,
+        /// Bit position in the 64-bit granule.
+        bit: u32,
+    },
+    /// Pull `mtimecmp` to zero for `cycles` cycles, then restore it.
+    IrqStorm {
+        /// Storm duration in cycles.
+        cycles: u64,
+    },
+    /// Set `mtimecmp` to `u64::MAX`, suppressing the pending timer.
+    IrqDrop,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::TagFlip { addr } => write!(f, "tag-flip @ {addr:#010x}"),
+            FaultKind::CapCorrupt { addr, field, bit } => {
+                write!(f, "cap-corrupt {} bit {bit} @ {addr:#010x}", field.name())
+            }
+            FaultKind::BitmapFlip { addr } => write!(f, "bitmap-flip @ {addr:#010x}"),
+            FaultKind::DataFlip { addr, bit } => write!(f, "data-flip bit {bit} @ {addr:#010x}"),
+            FaultKind::IrqStorm { cycles } => write!(f, "irq-storm for {cycles} cycles"),
+            FaultKind::IrqDrop => write!(f, "irq-drop"),
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEntry {
+    /// Machine cycle at (or after) which the fault is applied.
+    pub cycle: u64,
+    /// What to break.
+    pub kind: FaultKind,
+}
+
+/// Parameters for plan generation.
+#[derive(Debug, Clone)]
+pub struct PlanConfig {
+    /// Fault classes to draw from (uniformly).
+    pub classes: Vec<FaultClass>,
+    /// Number of faults to schedule.
+    pub count: u32,
+    /// Half-open cycle window `[window.0, window.1)` faults land in.
+    pub window: (u64, u64),
+    /// Address region `[region.0, region.1)` tag/cap/data faults target
+    /// (granule-aligned internally).
+    pub region: (u32, u32),
+    /// Heap region `[heap.0, heap.1)` bitmap faults target (the revocation
+    /// bitmap only covers the heap).
+    pub heap: (u32, u32),
+}
+
+/// A deterministic, seed-reproducible schedule of faults.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// The seed the plan was generated from.
+    pub seed: u64,
+    /// Entries sorted by cycle (stable).
+    pub entries: Vec<FaultEntry>,
+}
+
+impl FaultPlan {
+    /// Generates the plan for `seed` under `cfg`. Pure: no machine state is
+    /// consulted, so equal `(seed, cfg)` always yield equal plans.
+    pub fn generate(seed: u64, cfg: &PlanConfig) -> FaultPlan {
+        let mut rng = XorShift64::new(seed);
+        let mut entries = Vec::with_capacity(cfg.count as usize);
+        if cfg.classes.is_empty() {
+            return FaultPlan { seed, entries };
+        }
+        for _ in 0..cfg.count {
+            let cycle = rng.gen_range(cfg.window.0, cfg.window.1.max(cfg.window.0 + 1));
+            let class = *rng.pick(&cfg.classes);
+            let addr_in = |rng: &mut XorShift64, (lo, hi): (u32, u32)| -> u32 {
+                let lo = lo & !(GRANULE - 1);
+                let granules = (hi.saturating_sub(lo) / GRANULE).max(1);
+                lo + (rng.gen_range(0, u64::from(granules)) as u32) * GRANULE
+            };
+            let kind = match class {
+                FaultClass::Tag => FaultKind::TagFlip {
+                    addr: addr_in(&mut rng, cfg.region),
+                },
+                FaultClass::Bounds
+                | FaultClass::Otype
+                | FaultClass::Perms
+                | FaultClass::Address => {
+                    let field = match class {
+                        FaultClass::Bounds => CapField::Bounds,
+                        FaultClass::Otype => CapField::Otype,
+                        FaultClass::Perms => CapField::Perms,
+                        _ => CapField::Address,
+                    };
+                    let (lo, width) = field.bit_range();
+                    FaultKind::CapCorrupt {
+                        addr: addr_in(&mut rng, cfg.region),
+                        field,
+                        bit: lo + rng.gen_range(0, u64::from(width)) as u32,
+                    }
+                }
+                FaultClass::Bitmap => FaultKind::BitmapFlip {
+                    addr: addr_in(&mut rng, cfg.heap),
+                },
+                FaultClass::Data => FaultKind::DataFlip {
+                    addr: addr_in(&mut rng, cfg.region),
+                    bit: rng.gen_range(0, 64) as u32,
+                },
+                FaultClass::IrqStorm => FaultKind::IrqStorm {
+                    cycles: rng.gen_range(1_000, 20_000),
+                },
+                FaultClass::IrqDrop => FaultKind::IrqDrop,
+            };
+            entries.push(FaultEntry { cycle, kind });
+        }
+        entries.sort_by_key(|e| e.cycle);
+        FaultPlan { seed, entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PlanConfig {
+        PlanConfig {
+            classes: FaultClass::ALL.to_vec(),
+            count: 32,
+            window: (1_000, 100_000),
+            region: (0x2000_0000, 0x2008_0000),
+            heap: (0x2004_0000, 0x2008_0000),
+        }
+    }
+
+    #[test]
+    fn plans_are_reproducible() {
+        let a = FaultPlan::generate(123, &cfg());
+        let b = FaultPlan::generate(123, &cfg());
+        assert_eq!(a.entries, b.entries);
+        assert_eq!(a.entries.len(), 32);
+    }
+
+    #[test]
+    fn plans_differ_across_seeds() {
+        let a = FaultPlan::generate(1, &cfg());
+        let b = FaultPlan::generate(2, &cfg());
+        assert_ne!(a.entries, b.entries);
+    }
+
+    #[test]
+    fn entries_sorted_and_in_window() {
+        let p = FaultPlan::generate(77, &cfg());
+        let mut last = 0;
+        for e in &p.entries {
+            assert!(e.cycle >= last, "entries must be cycle-sorted");
+            assert!((1_000..100_000).contains(&e.cycle));
+            last = e.cycle;
+        }
+    }
+
+    #[test]
+    fn cap_corrupt_bits_stay_in_field() {
+        let mut c = cfg();
+        c.classes = vec![
+            FaultClass::Bounds,
+            FaultClass::Otype,
+            FaultClass::Perms,
+            FaultClass::Address,
+        ];
+        c.count = 200;
+        let p = FaultPlan::generate(5, &c);
+        for e in &p.entries {
+            if let FaultKind::CapCorrupt { field, bit, .. } = e.kind {
+                let (lo, width) = field.bit_range();
+                assert!(
+                    (lo..lo + width).contains(&bit),
+                    "{field:?} bit {bit} outside [{lo},{})",
+                    lo + width
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn class_names_round_trip() {
+        for c in FaultClass::ALL {
+            assert_eq!(c.name().parse::<FaultClass>().unwrap(), *c);
+        }
+        assert!("bogus".parse::<FaultClass>().is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the headline fault-tolerance claim: a random
+//! single-bit corruption of any capability metadata field (bounds, otype,
+//! permissions) is always *detected* by the invariant checker or
+//! *architecturally trapped* when used — it is never silently usable to
+//! reach memory outside the original allocation.
+//!
+//! The probe mirrors what the injector does ([`cheriot_fault::Injector`]
+//! flips one bit of the in-memory word, preserving the tag) and what the
+//! hardware does (every dereference goes through
+//! [`Capability::check_access`]).
+
+use cheriot_alloc::{HeapAllocator, RevokerKind, TemporalPolicy};
+use cheriot_cap::{Capability, Permissions};
+use cheriot_core::layout::SRAM_BASE;
+use cheriot_core::{CoreModel, Machine, MachineConfig};
+use cheriot_fault::InvariantChecker;
+use proptest::prelude::*;
+
+/// Scratch slot outside the heap where the corrupted capability is
+/// parked; the checker watches it strictly, like the campaign workload's
+/// pointer directory.
+const SLOT: u32 = SRAM_BASE + 0x100;
+
+fn machine_with_heap() -> (Machine, HeapAllocator) {
+    let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+    let heap = HeapAllocator::new(&mut m, TemporalPolicy::Quarantine(RevokerKind::Hardware));
+    (m, heap)
+}
+
+/// Can `c` read or write at least one byte outside `[base, top)`?
+/// This is the "silent escape" the architecture must make impossible.
+fn grants_rogue_access(c: Capability, orig_base: u32, orig_top: u64) -> bool {
+    let rw = [Permissions::LD, Permissions::SD];
+    let mut probes = Vec::new();
+    if orig_base > 0 {
+        probes.push(orig_base - 1);
+    }
+    if orig_top < u64::from(u32::MAX) {
+        probes.push(orig_top as u32);
+    }
+    // The corrupted capability's own extremes, wherever they landed.
+    probes.push(c.base());
+    if c.top() > 0 && c.top() <= u64::from(u32::MAX) {
+        probes.push((c.top() - 1) as u32);
+    }
+    probes.into_iter().any(|addr| {
+        let outside = u64::from(addr) < u64::from(orig_base) || u64::from(addr) >= orig_top;
+        outside && rw.iter().any(|&p| c.check_access(addr, 1, p).is_ok())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Flip one bit in the bounds / otype / permissions fields (bits
+    /// 32..=62 of the memory word) of a live heap capability. The result
+    /// must be detected by the checker or unable to access anything
+    /// outside the original allocation.
+    #[test]
+    fn single_metadata_bit_flip_is_detected_or_trapped(
+        len in 8u32..512,
+        bit in 32u32..63,
+    ) {
+        let (mut m, mut heap) = machine_with_heap();
+        let cap = heap.malloc(&mut m, len).expect("allocation fits in a fresh heap");
+        let (orig_base, orig_top) = (cap.base(), cap.top());
+
+        let corrupted = Capability::from_word(cap.to_word() ^ (1u64 << bit), true);
+        m.sram.write_cap(SLOT, corrupted).expect("scratch slot is in SRAM");
+
+        let mut checker = InvariantChecker::new(1);
+        checker.watch_region(SLOT, SLOT + 8);
+        let violations = checker.check(&m, &heap);
+
+        let rogue = grants_rogue_access(corrupted, orig_base, orig_top);
+        prop_assert!(
+            !rogue || !violations.is_empty(),
+            "bit {bit} on {len}-byte alloc: corrupted cap {corrupted} escapes \
+             [{orig_base:#x}, {orig_top:#x}) yet no invariant fired"
+        );
+    }
+
+    /// Control: the uncorrupted capability in the same position raises no
+    /// violations — detection is not spurious.
+    #[test]
+    fn pristine_capability_raises_no_violation(len in 8u32..512) {
+        let (mut m, mut heap) = machine_with_heap();
+        let cap = heap.malloc(&mut m, len).expect("allocation fits in a fresh heap");
+        m.sram.write_cap(SLOT, cap).expect("scratch slot is in SRAM");
+
+        let mut checker = InvariantChecker::new(1);
+        checker.watch_region(SLOT, SLOT + 8);
+        let violations = checker.check(&m, &heap);
+        prop_assert!(violations.is_empty(), "spurious: {violations:?}");
+    }
+
+    /// Tag clears (what `FaultClass::Tag` injects) are always
+    /// architecturally fatal on use: an untagged capability can access
+    /// nothing at all.
+    #[test]
+    fn cleared_tag_traps_on_any_use(len in 8u32..512, off in 0u32..512) {
+        let (mut m, mut heap) = machine_with_heap();
+        let cap = heap.malloc(&mut m, len).expect("allocation fits in a fresh heap");
+        let untagged = Capability::from_word(cap.to_word(), false);
+        let addr = cap.base().wrapping_add(off % len.max(1));
+        prop_assert!(untagged.check_access(addr, 1, Permissions::LD).is_err());
+        prop_assert!(untagged.check_access(addr, 1, Permissions::SD).is_err());
+        // And the machine-level word store keeps the tag clear.
+        m.sram.write_cap_word(SLOT, untagged.to_word(), false)
+            .expect("scratch slot is in SRAM");
+        prop_assert!(!m.sram.tag_at(SLOT));
+    }
+}

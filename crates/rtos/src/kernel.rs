@@ -263,7 +263,15 @@ impl Rtos {
         callee_stack_use: u32,
         f: impl FnOnce(&mut Env<'_>) -> R,
     ) -> Result<R, TrapCause> {
-        assert!(to.0 < self.compartments.len(), "unknown compartment");
+        // An unknown compartment or thread id means a forged/corrupted
+        // export-table entry: the real switcher would take a seal fault on
+        // the import sentry, so model that rather than panicking.
+        if to.0 >= self.compartments.len() || tid.0 >= self.threads.len() {
+            return Err(TrapCause::Cheri {
+                fault: cheriot_cap::CapFault::SealViolation,
+                reg: cheriot_core::trap::PCC_REG_INDEX,
+            });
+        }
         let hwm = self.machine.cfg.hwm_enabled;
         let t = &mut self.threads[tid.0];
         let frame = Frame {

@@ -44,7 +44,7 @@ pub use compartment::{Compartment, CompartmentId, Export, ExportPosture};
 pub use guest_boot::{assert_no_root_authority, build_boot, BootTarget};
 pub use guest_switcher::{guest_compartment, GuestCompartment, GuestSwitcher};
 pub use kernel::{Env, Quota, Rtos, SchedStats, Slice, ThreadBody, ALLOC_STACK_USE};
-pub use queue::{MessageQueue, QueueError};
+pub use queue::{BadBuffer, MessageQueue, QueueError};
 pub use sealing::{SealError, SealingKey, SealingService};
 pub use semihost::run_with_heap_service;
 pub use switcher::{SwitchStats, Switcher, SwitcherCosts};

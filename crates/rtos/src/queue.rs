@@ -20,6 +20,31 @@ pub enum QueueError {
     Empty,
     /// A metered access faulted (mis-configured queue memory).
     Trap(TrapCause),
+    /// The buffer capability handed to [`MessageQueue::try_new`] cannot
+    /// back the requested queue. The buffer is caller- (often guest-)
+    /// controlled, so a bad one faults the *request*, not the simulator.
+    BadBuffer(BadBuffer),
+}
+
+/// What was wrong with a rejected queue buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BadBuffer {
+    /// The buffer capability is untagged (no authority at all).
+    Untagged,
+    /// A queue needs at least one slot.
+    ZeroSlots,
+    /// The buffer base is not capability-aligned.
+    Misaligned {
+        /// The rejected base address.
+        base: u32,
+    },
+    /// The buffer is smaller than `slots * 8` bytes.
+    TooSmall {
+        /// The buffer's length in bytes.
+        length: u64,
+        /// Bytes the requested slot count needs.
+        needed: u64,
+    },
 }
 
 impl core::fmt::Display for QueueError {
@@ -28,6 +53,18 @@ impl core::fmt::Display for QueueError {
             QueueError::Full => write!(f, "queue full"),
             QueueError::Empty => write!(f, "queue empty"),
             QueueError::Trap(t) => write!(f, "queue trapped: {t}"),
+            QueueError::BadBuffer(BadBuffer::Untagged) => {
+                write!(f, "queue buffer capability is untagged")
+            }
+            QueueError::BadBuffer(BadBuffer::ZeroSlots) => {
+                write!(f, "queue needs at least one slot")
+            }
+            QueueError::BadBuffer(BadBuffer::Misaligned { base }) => {
+                write!(f, "queue buffer base {base:#010x} is not 8-byte aligned")
+            }
+            QueueError::BadBuffer(BadBuffer::TooSmall { length, needed }) => {
+                write!(f, "queue buffer holds {length} bytes, needs {needed}")
+            }
         }
     }
 }
@@ -52,21 +89,43 @@ impl MessageQueue {
     ///
     /// # Panics
     ///
-    /// Panics if the buffer is too small or misaligned.
+    /// Panics if the buffer is too small or misaligned;
+    /// [`MessageQueue::try_new`] is the non-panicking form for buffers
+    /// that originate from untrusted (guest) callers.
     pub fn new(buf: Capability, slots: u32) -> MessageQueue {
-        assert!(slots > 0);
-        assert_eq!(buf.base() % 8, 0, "queue buffer must be aligned");
-        assert!(
-            buf.length() >= u64::from(slots) * 8,
-            "queue buffer too small"
-        );
-        MessageQueue {
+        Self::try_new(buf, slots).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a queue over a caller-supplied buffer, rejecting unusable
+    /// buffers with [`QueueError::BadBuffer`] instead of panicking —
+    /// CompartOS-style containment: a compartment passing garbage loses
+    /// its request, not the system.
+    pub fn try_new(buf: Capability, slots: u32) -> Result<MessageQueue, QueueError> {
+        if !buf.tag() {
+            return Err(QueueError::BadBuffer(BadBuffer::Untagged));
+        }
+        if slots == 0 {
+            return Err(QueueError::BadBuffer(BadBuffer::ZeroSlots));
+        }
+        if !buf.base().is_multiple_of(8) {
+            return Err(QueueError::BadBuffer(BadBuffer::Misaligned {
+                base: buf.base(),
+            }));
+        }
+        let needed = u64::from(slots) * 8;
+        if buf.length() < needed {
+            return Err(QueueError::BadBuffer(BadBuffer::TooSmall {
+                length: buf.length(),
+                needed,
+            }));
+        }
+        Ok(MessageQueue {
             buf,
             slots,
             head: 0,
             tail: 0,
             len: 0,
-        }
+        })
     }
 
     /// Number of queued messages.

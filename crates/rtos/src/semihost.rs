@@ -74,7 +74,11 @@ pub fn run_with_heap_service(
                 // Scrub the argument register, as the real service returns
                 // through the switcher with cleared registers.
                 m.cpu.write_int(Reg::A1, 0);
-                m.resume_from_syscall();
+                if m.try_resume_from_syscall().is_err() {
+                    // Unreachable given the match arm above, but a wedged
+                    // machine must surface as an exit, never a panic.
+                    return ExitReason::Fault(TrapCause::EnvironmentCall);
+                }
             }
             other => return other,
         }

@@ -47,8 +47,8 @@ fn main() {
 
     // Reuse: the chunk leaves quarantine only after a sweep has
     // invalidated every stale capability still in memory.
-    heap.start_revocation(&mut m);
-    heap.wait_revocation_complete(&mut m);
+    heap.start_revocation(&mut m).unwrap();
+    heap.wait_revocation_complete(&mut m).unwrap();
     let reused = heap.malloc(&mut m, 96).expect("reuse");
     println!(
         "reused chunk at {:#x} (original at {:#x})",

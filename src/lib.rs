@@ -9,6 +9,8 @@
 //! * [`asm`] — the program builder for guest code,
 //! * [`alloc`] — the quarantining heap allocator (§5.1),
 //! * [`rtos`] — compartments, the trusted switcher, threads (§2.6, §5.2),
+//! * [`fault`] — deterministic fault injection, invariant checking, and
+//!   campaign classification (DESIGN.md §10),
 //! * [`hwmodel`] — the Table 2 area/power composition model,
 //! * [`workloads`] — the evaluation workloads (§7.2),
 //! * [`trace`] — structured tracing, metrics, and profiling for the
@@ -31,6 +33,7 @@ pub use cheriot_alloc as alloc;
 pub use cheriot_asm as asm;
 pub use cheriot_cap as cap;
 pub use cheriot_core as core;
+pub use cheriot_fault as fault;
 pub use cheriot_hwmodel as hwmodel;
 pub use cheriot_rtos as rtos;
 pub use cheriot_trace as trace;

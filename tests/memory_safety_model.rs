@@ -104,8 +104,8 @@ fn g3_no_use_after_free() {
 
     // Even the still-tagged register copy cannot reach *reused* memory:
     // the chunk stays quarantined until a sweep invalidates all copies.
-    r.heap.start_revocation(&mut r.machine);
-    r.heap.wait_revocation_complete(&mut r.machine);
+    r.heap.start_revocation(&mut r.machine).unwrap();
+    r.heap.wait_revocation_complete(&mut r.machine).unwrap();
     let reuse = r.malloc(t, 48).unwrap();
     if reuse.base() == obj.base() {
         // Memory was reused: every in-memory copy of the old pointer has
