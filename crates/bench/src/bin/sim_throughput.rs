@@ -2,29 +2,68 @@
 //! host second the interpreter sustains on the CoreMark-class workload.
 //!
 //! Runs the capability+filter CoreMark kernel for a fixed
-//! *simulated-cycle* budget on both core models and reports host-side
-//! MIPS (simulated instructions / host wall second), then times a full
-//! `all_results` regeneration. Writes `results/sim_throughput.csv` and a
-//! repo-root `BENCH_simperf.json` trajectory file
-//! (`{"mips_ibex": .., "mips_flute": .., "wall_s_all_results": ..}`) so
-//! future changes have a perf baseline to beat.
+//! *simulated-cycle* budget on both core models — through both execution
+//! paths, the predecoded basic-block cache and the stepwise decode loop —
+//! and reports host-side MIPS (simulated instructions / host CPU
+//! second), then times a full `all_results` regeneration. Writes
+//! `results/sim_throughput.csv` and a repo-root `BENCH_simperf.json`
+//! trajectory file (`{"mips_ibex": .., "mips_flute": ..,
+//! "mips_ibex_nocache": .., "mips_flute_nocache": ..,
+//! "wall_s_all_results": ..}`) so future changes have a perf baseline to
+//! beat. The headline `mips_*` keys are the cache-on numbers (the
+//! default execution path).
+//!
+//! The MIPS loops are timed in *on-CPU* seconds (`/proc/self/schedstat`),
+//! not wall clock: on a shared host the benchmark can lose half its wall
+//! time to other tenants, which would fold scheduler luck into the
+//! tracked MIPS and the cache-on/off speedup ratio. The `all_results`
+//! regeneration is timed in wall seconds instead — its harness fans out
+//! to worker threads, whose CPU time the main thread's schedstat never
+//! sees.
 //!
 //! `--quick` shrinks the cycle budget and skips the `all_results` timing
 //! (writing 0.0 for it) — the CI smoke mode.
 //!
-//! `--check-baseline` compares the measured per-core MIPS against the
-//! *committed* `BENCH_simperf.json` and exits nonzero if either core
-//! regressed by more than 15% (the agreed noise band); in this mode the
-//! baseline file is left untouched so the committed numbers stay the
-//! reference.
+//! `--check-baseline` compares the measured numbers against the
+//! *committed* `BENCH_simperf.json` and exits nonzero on regression; in
+//! this mode the baseline file is left untouched so the committed
+//! numbers stay the reference. Two guards with different bands: absolute
+//! per-core MIPS (both modes) gets a wide 35% band — even on-CPU time
+//! swings with frequency scaling and cache pressure on a shared host —
+//! while the cache-on/off *speedup* gets a tight 20% band, because each
+//! trial's ratio is taken back-to-back under the same host conditions
+//! and medianed, making it robust to everything but a real slowdown.
+//! Baselines that predate a key skip its check.
 
 use cheriot_bench::write_csv;
 use cheriot_core::CoreModel;
-use cheriot_workloads::{run_coremark_for_cycles, CoreMarkConfig};
+use cheriot_workloads::{run_coremark_for_cycles_cached, CoreMarkConfig};
 use std::time::Instant;
 
-/// Allowed fractional MIPS regression vs the committed baseline.
-const NOISE_BAND: f64 = 0.15;
+/// Allowed fractional regression of absolute MIPS vs the committed
+/// baseline. Wide: absolute throughput folds in host frequency scaling
+/// and cache pressure, which on a shared 1-CPU host swing ±30%
+/// run-to-run even measured in on-CPU time.
+const MIPS_NOISE_BAND: f64 = 0.35;
+
+/// Allowed fractional regression of the cache-on/off speedup. Tight:
+/// each trial's ratio is measured back-to-back under the same host
+/// conditions and the median is reported, so only a real change to one
+/// of the two execution paths moves it.
+const SPEEDUP_NOISE_BAND: f64 = 0.20;
+
+/// On-CPU seconds this process has consumed, from the first field of
+/// Linux's `/proc/self/schedstat` (nanosecond resolution, excludes time
+/// stolen by other tenants of a shared host). Falls back to wall-clock
+/// time where the file is unavailable. The benchmark is single-threaded,
+/// so process time and loop time coincide.
+fn cpu_now(epoch: Instant) -> f64 {
+    std::fs::read_to_string("/proc/self/schedstat")
+        .ok()
+        .and_then(|s| s.split_whitespace().next()?.parse::<u64>().ok())
+        .map(|ns| ns as f64 / 1e9)
+        .unwrap_or_else(|| epoch.elapsed().as_secs_f64())
+}
 
 /// Pulls `"key": <number>` out of the baseline JSON (hand-rolled: the
 /// build environment has no JSON dependency and the file is one line).
@@ -41,86 +80,119 @@ fn json_number(text: &str, key: &str) -> Option<f64> {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let check_baseline = std::env::args().any(|a| a == "--check-baseline");
-    let budget: u64 = if quick { 4_000_000 } else { 80_000_000 };
+    let budget: u64 = if quick { 8_000_000 } else { 80_000_000 };
     let cfg = CoreMarkConfig::capabilities_with_filter();
-    let baseline = if check_baseline {
-        let text = std::fs::read_to_string("BENCH_simperf.json").unwrap_or_else(|e| {
-            eprintln!("--check-baseline: cannot read BENCH_simperf.json: {e}");
-            std::process::exit(2);
-        });
-        Some((
-            json_number(&text, "mips_ibex").unwrap_or(0.0),
-            json_number(&text, "mips_flute").unwrap_or(0.0),
-        ))
+    let baseline_text = if check_baseline {
+        Some(
+            std::fs::read_to_string("BENCH_simperf.json").unwrap_or_else(|e| {
+                eprintln!("--check-baseline: cannot read BENCH_simperf.json: {e}");
+                std::process::exit(2);
+            }),
+        )
     } else {
         None
     };
 
     println!("Simulator throughput (CoreMark kernel, capabilities + load filter)");
     println!(
-        "budget: {budget} simulated cycles per core{}\n",
+        "budget: {budget} simulated cycles per core and mode{}\n",
         if quick { " (--quick)" } else { "" }
     );
 
-    // Best-of-N wall times: the host may be shared and frequency-scaled,
-    // so a single trial can under-report throughput by 2x. The fastest
-    // trial is the closest estimate of what the interpreter sustains.
-    let trials = if quick { 1 } else { 3 };
+    // Each trial times the two execution paths back-to-back, so a trial's
+    // cache-on/off ratio sees (nearly) the same host frequency / cache
+    // state; the reported speedup is the *median* of the per-trial
+    // ratios, which a single slow or fast scheduling window cannot move.
+    // (Both paths retire bit-identical instruction streams, so the MIPS
+    // ratio reduces to the inverse time ratio.) The per-mode MIPS numbers
+    // are best-of-N, the closest estimate of what the interpreter
+    // sustains.
+    let trials = 5;
+    let epoch = Instant::now();
 
+    // Measured MIPS keyed as [(core, block_cache)] in emission order.
     let mut rows = Vec::new();
-    let mut mips_by_core = Vec::new();
+    let mut measured: Vec<(&'static str, bool, f64)> = Vec::new();
+    let mut speedups: Vec<(&'static str, f64)> = Vec::new();
     for core in [CoreModel::ibex(), CoreModel::flute()] {
-        // Warm-up pass: code/data caches, branch predictors, allocator.
-        run_coremark_for_cycles(core, &cfg, budget / 10);
-        let (mut cycles, mut instructions, mut wall) = (0, 0, f64::INFINITY);
-        for _ in 0..trials {
-            let t0 = Instant::now();
-            let (c, i) = run_coremark_for_cycles(core, &cfg, budget);
-            let w = t0.elapsed().as_secs_f64();
-            if w < wall {
-                (cycles, instructions, wall) = (c, i, w);
-            }
+        // Warm-up passes: code/data caches, branch predictors, allocator.
+        for cache in [true, false] {
+            run_coremark_for_cycles_cached(core, &cfg, budget / 10, cache);
         }
-        let mips = instructions as f64 / wall / 1e6;
+        // best[slot] = (cycles, instructions, cpu_seconds)
+        let mut best = [(0u64, 0u64, f64::INFINITY); 2];
+        let mut ratios = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let mut walls = [0.0f64; 2];
+            for (slot, cache) in [(0, true), (1, false)] {
+                let t0 = cpu_now(epoch);
+                let (c, i) = run_coremark_for_cycles_cached(core, &cfg, budget, cache);
+                let w = cpu_now(epoch) - t0;
+                walls[slot] = w;
+                if w < best[slot].2 {
+                    best[slot] = (c, i, w);
+                }
+            }
+            ratios.push(walls[1] / walls[0]);
+        }
+        ratios.sort_by(|a, b| a.total_cmp(b));
+        let speedup = ratios[trials / 2];
+        let name = if core.kind == CoreModel::ibex().kind {
+            "ibex"
+        } else {
+            "flute"
+        };
+        for (slot, cache) in [(0, true), (1, false)] {
+            let (cycles, instructions, wall) = best[slot];
+            let mips = instructions as f64 / wall / 1e6;
+            println!(
+                "{:<6}  {:<9}  {:>12} cycles  {:>12} instrs  {:>8.3} cpu-s  {:>8.2} MIPS",
+                format!("{}", core.kind),
+                if cache { "blocks" } else { "stepwise" },
+                cycles,
+                instructions,
+                wall,
+                mips
+            );
+            rows.push(vec![
+                format!("{}", core.kind),
+                "coremark_caps_filter".to_string(),
+                format!("{}", cache as u8),
+                format!("{cycles}"),
+                format!("{instructions}"),
+                format!("{wall:.4}"),
+                format!("{mips:.2}"),
+            ]);
+            measured.push((name, cache, mips));
+        }
         println!(
-            "{:<6}  {:>12} cycles  {:>12} instrs  {:>8.3} host-s  {:>8.2} MIPS",
+            "{:<6}  block-cache speedup: {:.2}x (median of {} back-to-back trials)\n",
             format!("{}", core.kind),
-            cycles,
-            instructions,
-            wall,
-            mips
+            speedup,
+            trials
         );
-        rows.push(vec![
-            format!("{}", core.kind),
-            "coremark_caps_filter".to_string(),
-            format!("{cycles}"),
-            format!("{instructions}"),
-            format!("{wall:.4}"),
-            format!("{mips:.2}"),
-        ]);
-        mips_by_core.push(mips);
+        speedups.push((name, speedup));
     }
 
     let wall_all = if quick {
         0.0
     } else {
-        println!("\ntiming all_results regeneration (output suppressed)...");
+        println!("timing all_results regeneration (output suppressed)...");
+        // Wall clock, not schedstat: the harness is multi-threaded.
         let t0 = Instant::now();
         let report = cheriot_bench::harness::run_all();
         let wall = t0.elapsed().as_secs_f64();
-        println!(
-            "all_results: {wall:.3} host-s ({} report bytes)",
-            report.len()
-        );
+        println!("all_results: {wall:.3} s ({} report bytes)", report.len());
         wall
     };
 
     let headers = [
         "core",
         "workload",
+        "block_cache",
         "sim_cycles",
         "instructions",
-        "host_wall_s",
+        "host_cpu_s",
         "mips",
     ];
     match write_csv("sim_throughput", &headers, &rows) {
@@ -128,38 +200,75 @@ fn main() {
         Err(e) => eprintln!("failed to write sim_throughput.csv: {e}"),
     }
 
-    if let Some((base_ibex, base_flute)) = baseline {
+    if let Some(text) = baseline_text {
         // Guard mode: compare, don't overwrite the committed reference.
         let mut failed = false;
-        for (name, measured, base) in [
-            ("ibex", mips_by_core[0], base_ibex),
-            ("flute", mips_by_core[1], base_flute),
-        ] {
-            let floor = base * (1.0 - NOISE_BAND);
-            let verdict = if base > 0.0 && measured < floor {
+        let mut check = |key: &str, value: f64, band: f64| {
+            let Some(base) = json_number(&text, key) else {
+                println!("baseline check {key:<20} no baseline key, skipped");
+                return;
+            };
+            let floor = base * (1.0 - band);
+            let verdict = if base > 0.0 && value < floor {
                 failed = true;
                 "REGRESSION"
             } else {
                 "ok"
             };
             println!(
-                "baseline check {name:<6} measured {measured:>8.2} MIPS  baseline {base:>8.2}  \
+                "baseline check {key:<20} measured {value:>8.2}  baseline {base:>8.2}  \
                  floor {floor:>8.2}  {verdict}"
             );
+        };
+        for (name, cache, mips) in &measured {
+            let key = if *cache {
+                format!("mips_{name}")
+            } else {
+                format!("mips_{name}_nocache")
+            };
+            check(&key, *mips, MIPS_NOISE_BAND);
+        }
+        for (name, speedup) in &speedups {
+            check(&format!("speedup_{name}"), *speedup, SPEEDUP_NOISE_BAND);
         }
         if failed {
             eprintln!(
-                "sim_throughput: host MIPS regressed more than {:.0}% vs BENCH_simperf.json",
-                NOISE_BAND * 100.0
+                "sim_throughput: regressed vs BENCH_simperf.json \
+                 (bands: MIPS {:.0}%, speedup {:.0}%)",
+                MIPS_NOISE_BAND * 100.0,
+                SPEEDUP_NOISE_BAND * 100.0
             );
             std::process::exit(1);
         }
         return;
     }
 
+    let by_key = |name: &str, cache: bool| {
+        measured
+            .iter()
+            .find(|(n, c, _)| *n == name && *c == cache)
+            .map(|(_, _, m)| *m)
+            .unwrap_or(0.0)
+    };
+    let speedup_of = |name: &str| {
+        speedups
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| *s)
+            .unwrap_or(0.0)
+    };
     let json = format!(
-        "{{\"mips_ibex\": {:.2}, \"mips_flute\": {:.2}, \"wall_s_all_results\": {:.3}}}\n",
-        mips_by_core[0], mips_by_core[1], wall_all
+        "{{\"mips_ibex\": {:.2}, \"mips_flute\": {:.2}, \
+         \"mips_ibex_nocache\": {:.2}, \"mips_flute_nocache\": {:.2}, \
+         \"speedup_ibex\": {:.2}, \"speedup_flute\": {:.2}, \
+         \"wall_s_all_results\": {:.3}}}\n",
+        by_key("ibex", true),
+        by_key("flute", true),
+        by_key("ibex", false),
+        by_key("flute", false),
+        speedup_of("ibex"),
+        speedup_of("flute"),
+        wall_all
     );
     match std::fs::write("BENCH_simperf.json", &json) {
         Ok(()) => println!("wrote BENCH_simperf.json: {}", json.trim()),

@@ -464,6 +464,21 @@ impl Capability {
         self.check_access(addr, 2, Permissions::EX)
     }
 
+    /// Batched fetch check for a straight-line code range: the bounds are
+    /// one interval, so a capability that covers the first and last
+    /// instruction of a basic block covers every fetch in between. Returns
+    /// whether `check_fetch` would succeed for the whole range — the hot
+    /// path of the block-cache dispatch loop, so it folds the tag, seal
+    /// and permission checks (shared by both endpoints) into one pass.
+    #[inline]
+    pub fn check_fetch_range(&self, start: u32, last: u32) -> bool {
+        if !self.tag || self.is_sealed() || !self.perms.contains(Permissions::EX) {
+            return false;
+        }
+        let b = self.bounds();
+        b.covers(start, 2) && b.covers(last, 2)
+    }
+
     /// `CTestSubset`: is `other` derivable from `self` (bounds and
     /// permissions both subsets, both tagged)?
     pub fn is_subset_of(self, other: Capability) -> bool {

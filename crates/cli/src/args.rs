@@ -70,6 +70,7 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 };
             }
             "--no-load-filter" => opts.load_filter = false,
+            "--no-block-cache" => opts.block_cache = false,
             "--trace" => opts.trace_depth = uint(f, value(f, &mut it)?)?,
             "--max-cycles" => opts.max_cycles = uint(f, value(f, &mut it)?)?,
             "--watchdog" => opts.watchdog = Some(uint(f, value(f, &mut it)?)?),
@@ -169,6 +170,14 @@ mod tests {
         assert_eq!(a.opts.max_cycles, 123);
         assert!(a.opts.heap);
         assert!(!a.binary);
+    }
+
+    #[test]
+    fn block_cache_on_by_default_and_disableable() {
+        let a = parse_run_args(&v(&["p.s"])).unwrap();
+        assert!(a.opts.block_cache);
+        let a = parse_run_args(&v(&["p.s", "--no-block-cache"])).unwrap();
+        assert!(!a.opts.block_cache);
     }
 
     #[test]

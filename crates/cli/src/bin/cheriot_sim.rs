@@ -3,9 +3,9 @@
 //!
 //! ```text
 //! cheriot-sim run  prog.s [--core ibex|flute] [--no-load-filter]
-//!                          [--trace N] [--max-cycles N] [--watchdog N]
-//!                          [--dump-regs] [--heap] [--trace-out out.json]
-//!                          [--metrics] [--binary]
+//!                          [--no-block-cache] [--trace N] [--max-cycles N]
+//!                          [--watchdog N] [--dump-regs] [--heap]
+//!                          [--trace-out out.json] [--metrics] [--binary]
 //! cheriot-sim asm  prog.s -o prog.bin
 //! cheriot-sim disasm prog.bin
 //! cheriot-sim fault-campaign [--seed-base N] [--count K] [--threads T]
@@ -22,8 +22,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   cheriot-sim run <prog.s> [--core ibex|flute] [--no-load-filter] \
-[--trace N] [--max-cycles N] [--watchdog N] [--dump-regs] [--heap] \
-[--trace-out <out.json>] [--metrics] [--binary]
+[--no-block-cache] [--trace N] [--max-cycles N] [--watchdog N] \
+[--dump-regs] [--heap] [--trace-out <out.json>] [--metrics] [--binary]
   cheriot-sim asm <prog.s> -o <out.bin>
   cheriot-sim disasm <prog.bin>
   cheriot-sim fault-campaign [--seed-base N] [--count K] [--threads T] \

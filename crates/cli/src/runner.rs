@@ -57,6 +57,10 @@ pub struct RunOptions {
     pub core: CoreKind,
     /// Enable the temporal-safety load filter.
     pub load_filter: bool,
+    /// Execute through the predecoded basic-block cache
+    /// (architecturally invisible; `--no-block-cache` forces the
+    /// per-instruction stepwise loop).
+    pub block_cache: bool,
     /// Keep the last N retired instructions for the post-run trace.
     pub trace_depth: usize,
     /// Cycle budget.
@@ -81,6 +85,7 @@ impl Default for RunOptions {
         RunOptions {
             core: CoreKind::Ibex,
             load_filter: true,
+            block_cache: true,
             trace_depth: 0,
             max_cycles: 100_000_000,
             dump_regs: false,
@@ -137,6 +142,7 @@ fn run_instructions(
     };
     let mut mc = MachineConfig::new(core);
     mc.load_filter = opts.load_filter;
+    mc.block_cache = opts.block_cache;
     let mut m = Machine::new(mc);
     if opts.trace_out.is_some() || opts.metrics {
         // One tracer serves all three outputs; buffer instruction retires
@@ -196,6 +202,14 @@ fn run_instructions(
     }
     if opts.trace_out.is_some() || opts.metrics {
         if let Some(mut tracer) = m.take_tracer() {
+            // Simulator-level counters (not architectural events): how the
+            // block cache behaved over the run.
+            let bs = m.block_stats();
+            tracer.metrics.add("block_cache_hits", bs.hits);
+            tracer.metrics.add("block_cache_misses", bs.misses);
+            tracer
+                .metrics
+                .add("block_cache_invalidations", bs.invalidated);
             let _ = tracer.finish(m.cycles);
             if let Some(path) = &opts.trace_out {
                 match std::fs::write(path, tracer.chrome_json()) {
@@ -306,6 +320,21 @@ mod tests {
         assert!(out.report.contains("malloc"));
         assert!(out.report.contains("bytes_allocated"));
         assert!(out.report.contains("instr_retired"));
+    }
+
+    #[test]
+    fn metrics_report_block_cache_counters_in_both_modes() {
+        for block_cache in [true, false] {
+            let opts = RunOptions {
+                metrics: true,
+                block_cache,
+                ..RunOptions::default()
+            };
+            let out = run_source("li a0, 9\nhalt\n", &opts).unwrap();
+            assert_eq!(out.exit, ExitReason::Halted(9));
+            assert!(out.report.contains("block_cache_hits"), "{}", out.report);
+            assert!(out.report.contains("block_cache_misses"), "{}", out.report);
+        }
     }
 
     #[test]

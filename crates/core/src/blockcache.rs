@@ -1,0 +1,419 @@
+//! Predecoded basic-block cache: decode-once execution for the run loop.
+//!
+//! The interpreter's per-instruction cost is dominated not by executing the
+//! instruction but by re-deriving everything around it: the PCC fetch
+//! check, the code-region range/alignment checks, the bounds-checked code
+//! lookup, and the cost-model matches (`instr_cycles`, `mem_beats`,
+//! `sources`) — all recomputed for the same loop body millions of times.
+//! This module caches that work per *basic block*: on first execution of a
+//! PC the machine decodes forward until a control-flow/trap-boundary
+//! instruction ([`crate::insn::Instr::is_block_boundary`]) and stores the
+//! run of [`PredecodedInsn`]s; subsequent visits dispatch straight down the
+//! block.
+//!
+//! Coherence is exact and conservative:
+//!
+//! * Any overwrite of loaded code ([`crate::machine::Machine::patch_code`]
+//!   — self-modifying code and `cheriot-fault` code-region injections)
+//!   invalidates every cached block covering the patched address.
+//! * Appending code ([`crate::machine::Machine::try_load_program`]) drops
+//!   blocks that ended exactly at the old end of code, so a block truncated
+//!   by running out of instructions re-extends over the new code.
+//! * Every invalidation bumps a generation counter
+//!   ([`BlockCacheStats::generation`]) that external layers (fault
+//!   campaigns, tests) can watch to confirm their mutations took effect.
+//!
+//! The cache stores `Arc<Block>` so a [`crate::machine::Machine`] stays
+//! `Send` (fault campaigns fan machines out across `thread::scope`) and so
+//! the run loop can hold a block while mutating the machine through
+//! `&mut self`.
+
+use crate::insn::{Instr, Reg};
+use crate::machine::layout;
+use crate::pipeline::CoreModel;
+use std::sync::Arc;
+
+/// Maximum instructions per cached block. Bounds both the invalidation
+/// scan window (a patch at `addr` can only be covered by blocks starting
+/// within `MAX_BLOCK_LEN - 1` slots before it) and the worst-case overrun
+/// of the batched PCC check.
+pub const MAX_BLOCK_LEN: usize = 64;
+
+/// One instruction with everything the dispatch loop needs precomputed.
+#[derive(Clone, Copy, Debug)]
+pub struct PredecodedInsn {
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// Base cycle cost from the core model, with the load-filter CLC
+    /// penalty already folded in (both are fixed at machine construction).
+    pub base_cycles: u64,
+    /// Memory-unit beats (cycles unavailable to the background revoker).
+    pub mem_beats: u64,
+    /// Source registers, for the load-to-use hazard check.
+    pub srcs: [Option<Reg>; 2],
+    /// Must the dispatch loop consult the pending load-to-use hazard
+    /// before this instruction? True only when the previous instruction in
+    /// the block is a load (the only setters of the hazard), or for the
+    /// first instruction (the hazard can cross a block entry).
+    pub check_hazard: bool,
+}
+
+/// A predecoded basic block: a straight run of instructions ending at a
+/// control-flow/trap boundary, the end of loaded code, or [`MAX_BLOCK_LEN`].
+#[derive(Debug)]
+pub struct Block {
+    /// Address of the first instruction.
+    pub start: u32,
+    /// Address one past the last instruction (exclusive).
+    pub end: u32,
+    /// The instructions, in program order. Never empty.
+    pub insns: Box<[PredecodedInsn]>,
+}
+
+impl Block {
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Blocks are never empty; this exists for clippy's `len`/`is_empty`
+    /// pairing convention.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+}
+
+/// Hit/miss/invalidation counters plus the coherence generation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockCacheStats {
+    /// Block dispatches served from the cache.
+    pub hits: u64,
+    /// Blocks built (first execution of a start PC).
+    pub misses: u64,
+    /// Cached blocks discarded by invalidation.
+    pub invalidated: u64,
+    /// Bumped on every invalidation event (patch, append, flush), even
+    /// when no cached block was affected: observers compare generations to
+    /// confirm a code mutation was seen by the cache.
+    pub generation: u64,
+}
+
+/// PC-indexed store of predecoded blocks (one slot per code word, keyed by
+/// the block's start address).
+#[derive(Debug, Default)]
+pub struct BlockCache {
+    slots: Vec<Option<Arc<Block>>>,
+    /// Counters; the machine exposes them via
+    /// [`crate::machine::Machine::block_stats`].
+    pub stats: BlockCacheStats,
+}
+
+impl BlockCache {
+    /// Slot index for a code address, if it is in the code region and
+    /// word-aligned.
+    fn slot_of(addr: u32) -> Option<usize> {
+        if addr < layout::CODE_BASE || !addr.is_multiple_of(4) {
+            return None;
+        }
+        Some(((addr - layout::CODE_BASE) / 4) as usize)
+    }
+
+    /// The cached block starting at slot `idx`, if any.
+    #[inline]
+    pub fn lookup(&self, idx: usize) -> Option<Arc<Block>> {
+        self.slots.get(idx)?.clone()
+    }
+
+    /// Moves the cached block starting at slot `idx` out of the table.
+    /// The dispatch loop owns the block while executing it — a move in
+    /// and out instead of an atomic refcount round-trip per executed
+    /// block — and returns it with [`BlockCache::restore`]. Nothing that
+    /// runs between the two can touch the cache (invalidation only
+    /// happens through external `Machine` APIs, never mid-run).
+    #[inline]
+    pub fn take(&mut self, idx: usize) -> Option<Arc<Block>> {
+        self.slots.get_mut(idx)?.take()
+    }
+
+    /// Returns a block taken by [`BlockCache::take`] (or freshly built by
+    /// the miss path) to its slot.
+    #[inline]
+    pub fn restore(&mut self, idx: usize, block: Arc<Block>) {
+        self.slots[idx] = Some(block);
+    }
+
+    /// Stores `block` at slot `idx`, growing the slot table to cover
+    /// `code_words` instruction words.
+    pub fn insert(&mut self, idx: usize, block: Arc<Block>, code_words: usize) {
+        if self.slots.len() < code_words {
+            self.slots.resize(code_words, None);
+        }
+        self.stats.misses += 1;
+        self.slots[idx] = Some(block);
+    }
+
+    /// Drops every cached block whose `[start, end)` range covers `addr`
+    /// (there can be several: slow-path entry mid-block builds overlapping
+    /// suffix blocks). Returns the number discarded. Always bumps the
+    /// generation: the *code* changed whether or not a block cached it.
+    pub fn invalidate_covering(&mut self, addr: u32) -> u64 {
+        self.stats.generation += 1;
+        let Some(slot) = Self::slot_of(addr & !3) else {
+            return 0;
+        };
+        if self.slots.is_empty() {
+            return 0;
+        }
+        let lo = slot.saturating_sub(MAX_BLOCK_LEN - 1);
+        let hi = slot.min(self.slots.len() - 1);
+        let mut removed = 0;
+        for s in lo..=hi {
+            if let Some(b) = &self.slots[s] {
+                if b.start <= addr && addr < b.end {
+                    self.slots[s] = None;
+                    removed += 1;
+                }
+            }
+        }
+        self.stats.invalidated += removed;
+        removed
+    }
+
+    /// Called after code is appended at `old_end` (the previous exclusive
+    /// end of the code region): drops blocks that ended exactly there, so a
+    /// block truncated by the end of loaded code is rebuilt over the new
+    /// instructions. Returns the number discarded.
+    pub fn on_append(&mut self, old_end: u32) -> u64 {
+        self.stats.generation += 1;
+        let Some(end_slot) = Self::slot_of(old_end) else {
+            return 0;
+        };
+        let lo = end_slot.saturating_sub(MAX_BLOCK_LEN);
+        let mut removed = 0;
+        for s in lo..end_slot.min(self.slots.len()) {
+            if let Some(b) = &self.slots[s] {
+                if b.end == old_end {
+                    self.slots[s] = None;
+                    removed += 1;
+                }
+            }
+        }
+        self.stats.invalidated += removed;
+        removed
+    }
+
+    /// Discards every cached block (full flush), bumping the generation.
+    pub fn clear(&mut self) {
+        let resident = self.resident() as u64;
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.stats.invalidated += resident;
+        self.stats.generation += 1;
+    }
+
+    /// Number of blocks currently cached.
+    pub fn resident(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// Decodes the block starting at code slot `start_idx`: forward until a
+/// control-flow/trap boundary, the end of `code`, or [`MAX_BLOCK_LEN`].
+/// `start_idx` must be within `code`.
+pub fn build_block(code: &[Instr], start_idx: usize, core: &CoreModel, load_filter: bool) -> Block {
+    let start = layout::CODE_BASE + 4 * start_idx as u32;
+    let mut insns = Vec::with_capacity(8);
+    let mut prev_is_load = true; // a hazard can cross the block entry
+    for &instr in code[start_idx..].iter().take(MAX_BLOCK_LEN) {
+        let mut base_cycles = core.instr_cycles(&instr);
+        if load_filter {
+            // Same folding as the stepwise loop: the revocation-bit lookup
+            // lengthens capability loads where the pipeline cannot hide it.
+            if let Instr::Clc { .. } = instr {
+                base_cycles += core.filter_load_to_use;
+            }
+        }
+        insns.push(PredecodedInsn {
+            instr,
+            base_cycles,
+            mem_beats: core.mem_beats(&instr),
+            srcs: instr.sources(),
+            check_hazard: prev_is_load,
+        });
+        prev_is_load = matches!(instr, Instr::Load { .. } | Instr::Clc { .. });
+        if instr.is_block_boundary() {
+            break;
+        }
+    }
+    let end = start + 4 * insns.len() as u32;
+    Block {
+        start,
+        end,
+        insns: insns.into_boxed_slice(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{AluOp, BranchCond};
+
+    fn nopish(n: usize) -> Vec<Instr> {
+        vec![Instr::NOP; n]
+    }
+
+    #[test]
+    fn block_ends_at_control_flow() {
+        let mut code = nopish(3);
+        code.push(Instr::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: -12,
+        });
+        code.extend(nopish(4));
+        let b = build_block(&code, 0, &CoreModel::ibex(), true);
+        assert_eq!(b.len(), 4, "three nops plus the branch");
+        assert_eq!(b.start, layout::CODE_BASE);
+        assert_eq!(b.end, layout::CODE_BASE + 16);
+    }
+
+    #[test]
+    fn block_truncates_at_code_end_and_max_len() {
+        let code = nopish(5);
+        let b = build_block(&code, 2, &CoreModel::flute(), false);
+        assert_eq!(b.len(), 3, "runs to the end of loaded code");
+        let long = nopish(MAX_BLOCK_LEN * 2);
+        let b = build_block(&long, 0, &CoreModel::flute(), false);
+        assert_eq!(b.len(), MAX_BLOCK_LEN);
+    }
+
+    #[test]
+    fn clc_filter_penalty_is_baked_in() {
+        let clc = Instr::Clc {
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            offset: 0,
+        };
+        let core = CoreModel::ibex();
+        let with = build_block(&[clc], 0, &core, true);
+        let without = build_block(&[clc], 0, &core, false);
+        assert_eq!(
+            with.insns[0].base_cycles,
+            without.insns[0].base_cycles + core.filter_load_to_use
+        );
+    }
+
+    #[test]
+    fn invalidate_covering_hits_overlapping_blocks() {
+        let mut cache = BlockCache::default();
+        let code = nopish(16);
+        let core = CoreModel::ibex();
+        // Two overlapping blocks: one from slot 0, a suffix from slot 2.
+        cache.insert(0, Arc::new(build_block(&code, 0, &core, true)), 16);
+        cache.insert(2, Arc::new(build_block(&code, 2, &core, true)), 16);
+        assert_eq!(cache.resident(), 2);
+        let removed = cache.invalidate_covering(layout::CODE_BASE + 3 * 4);
+        assert_eq!(removed, 2, "both blocks cover slot 3");
+        assert_eq!(cache.resident(), 0);
+        assert_eq!(cache.stats.invalidated, 2);
+        assert_eq!(cache.stats.generation, 1);
+    }
+
+    #[test]
+    fn invalidation_outside_any_block_still_bumps_generation() {
+        let mut cache = BlockCache::default();
+        assert_eq!(cache.invalidate_covering(layout::CODE_BASE), 0);
+        assert_eq!(cache.stats.generation, 1);
+        assert_eq!(cache.invalidate_covering(0x100), 0); // below code region
+        assert_eq!(cache.stats.generation, 2);
+    }
+
+    #[test]
+    fn on_append_drops_only_blocks_truncated_at_old_end() {
+        let mut cache = BlockCache::default();
+        let mut code = nopish(4);
+        code.push(Instr::Jal {
+            rd: Reg::ZERO,
+            offset: 0,
+        });
+        code.extend(nopish(3)); // slots 5..8 fall through to the code end
+        let core = CoreModel::ibex();
+        cache.insert(0, Arc::new(build_block(&code, 0, &core, true)), 8);
+        cache.insert(5, Arc::new(build_block(&code, 5, &core, true)), 8);
+        let old_end = layout::CODE_BASE + 4 * code.len() as u32;
+        let removed = cache.on_append(old_end);
+        assert_eq!(removed, 1, "only the block ending at the old code end");
+        assert!(cache.lookup(0).is_some());
+        assert!(cache.lookup(5).is_none());
+    }
+
+    #[test]
+    fn boundary_set_matches_issue_list() {
+        use Instr::*;
+        let enders = [
+            Branch {
+                cond: BranchCond::Eq,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                offset: 0,
+            },
+            Jal {
+                rd: Reg::RA,
+                offset: 8,
+            },
+            Jalr {
+                rd: Reg::RA,
+                rs1: Reg::A0,
+                offset: 0,
+            },
+            Mret,
+            Ecall,
+            Ebreak,
+            Wfi,
+            Fence,
+            Halt,
+            Csr {
+                op: crate::insn::CsrOp::Rw,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                csr: crate::insn::CsrId::Mcycle,
+            },
+            CSpecialRw {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                scr: crate::insn::ScrId::Mtcc,
+            },
+        ];
+        for i in enders {
+            assert!(i.is_block_boundary(), "{i:?} must end a block");
+        }
+        let straight = [
+            Instr::NOP,
+            Lui {
+                rd: Reg::A0,
+                imm: 1,
+            },
+            Op {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            },
+            Clc {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                offset: 0,
+            },
+            Csc {
+                rs2: Reg::A0,
+                rs1: Reg::A1,
+                offset: 0,
+            },
+        ];
+        for i in straight {
+            assert!(!i.is_block_boundary(), "{i:?} must not end a block");
+        }
+    }
+}

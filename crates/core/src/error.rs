@@ -45,6 +45,14 @@ pub enum SimError {
         /// The machine's actual halt state (`None` = still running).
         state: Option<ExitReason>,
     },
+    /// `patch_code` was asked to overwrite an address outside the loaded
+    /// (word-aligned) code region.
+    BadCodePatch {
+        /// The rejected address.
+        addr: u32,
+        /// End (exclusive) of the currently loaded code.
+        code_end: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -78,6 +86,11 @@ impl fmt::Display for SimError {
             SimError::NotAtSyscall { state } => write!(
                 f,
                 "resume_from_syscall: machine is not stopped at an ecall (state: {state:?})"
+            ),
+            SimError::BadCodePatch { addr, code_end } => write!(
+                f,
+                "patch_code: {addr:#010x} is not a word-aligned address of loaded code \
+                 (code ends at {code_end:#010x})"
             ),
         }
     }

@@ -343,6 +343,29 @@ impl Instr {
         )
     }
 
+    /// Does this instruction end a predecoded basic block? True for
+    /// everything that can redirect control flow, change the interrupt
+    /// posture, or observe state the block loop batches (branches, jumps,
+    /// sentry jumps, trap returns, environment calls, CSR/SCR accesses,
+    /// `wfi`, `fence` as an instruction barrier, and `halt`). The block
+    /// cache ([`crate::blockcache`]) decodes forward until one of these.
+    pub fn is_block_boundary(self) -> bool {
+        matches!(
+            self,
+            Instr::Branch { .. }
+                | Instr::Jal { .. }
+                | Instr::Jalr { .. }
+                | Instr::Mret
+                | Instr::Ecall
+                | Instr::Ebreak
+                | Instr::Wfi
+                | Instr::Fence
+                | Instr::Halt
+                | Instr::Csr { .. }
+                | Instr::CSpecialRw { .. }
+        )
+    }
+
     /// Registers this instruction reads (for load-to-use hazard modelling).
     pub fn sources(self) -> [Option<Reg>; 2] {
         use Instr::*;

@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod blockcache;
 pub mod cpu;
 pub mod encoding;
 pub mod error;
@@ -53,6 +54,7 @@ pub mod trap;
 /// without a direct dependency.
 pub use cheriot_trace as trace;
 
+pub use blockcache::BlockCacheStats;
 pub use encoding::{decode, decode_program, encode, encode_program, DecodeError, EncodeError};
 pub use error::{state_dump, SimError};
 pub use machine::{layout, ExitReason, Machine, MachineConfig, Stats, TraceEntry};

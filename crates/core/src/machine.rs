@@ -2,6 +2,7 @@
 //! timer + console, with per-instruction cycle accounting driven by a
 //! [`CoreModel`].
 
+use crate::blockcache::{build_block, Block, BlockCache, BlockCacheStats};
 use crate::cpu::Cpu;
 use crate::error::SimError;
 use crate::insn::{AluOp, BranchCond, CapField, CsrId, CsrOp, Instr, MulOp, Reg};
@@ -12,6 +13,7 @@ use crate::trap::{TrapCause, PCC_REG_INDEX};
 use cheriot_cap::bounds::{representable_alignment_mask, representable_length};
 use cheriot_cap::{Capability, InterruptPosture, OType, Permissions, SentryKind};
 use cheriot_trace::{EventKind, Tracer};
+use std::sync::Arc;
 
 /// Physical memory map of the simulated SoC.
 pub mod layout {
@@ -62,6 +64,11 @@ pub struct MachineConfig {
     /// with no capability checks (the Table 3 baseline). CHERI instructions
     /// are illegal in this mode.
     pub cheri_enabled: bool,
+    /// Execute through the predecoded basic-block cache
+    /// ([`crate::blockcache`]): decode-once dispatch with batched fetch
+    /// checks. Architecturally invisible — `false` forces the
+    /// per-instruction stepwise loop (CLI `--no-block-cache`).
+    pub block_cache: bool,
 }
 
 impl MachineConfig {
@@ -80,6 +87,7 @@ impl MachineConfig {
             revoker: RevokerConfig::default(),
             hwm_enabled: true,
             cheri_enabled: true,
+            block_cache: true,
         }
     }
 
@@ -162,6 +170,11 @@ pub struct Machine {
     /// Execution statistics.
     pub stats: Stats,
     code: Vec<Instr>,
+    /// Predecoded basic-block cache over `code` (see [`crate::blockcache`]).
+    blocks: BlockCache,
+    /// Emit `BlockCompiled`/`BlockInvalidated` trace events? Off by
+    /// default so trace output is byte-identical cache-on vs cache-off.
+    block_trace: bool,
     halted: Option<ExitReason>,
     pending_use: Option<(Reg, u64)>,
     tracer: Option<Box<Tracer>>,
@@ -187,7 +200,8 @@ impl Clone for Machine {
     /// Clones the architectural state. The tracer (if any) stays with the
     /// original: a trace is a log of one machine's history, and sinks may
     /// hold non-clonable resources such as open files. The clone starts
-    /// with tracing disabled.
+    /// with tracing disabled and a cold (empty) block cache — the cache is
+    /// pure derived state, rebuilt on demand.
     fn clone(&self) -> Machine {
         Machine {
             cfg: self.cfg,
@@ -202,6 +216,8 @@ impl Clone for Machine {
             gpio_writes: self.gpio_writes,
             stats: self.stats,
             code: self.code.clone(),
+            blocks: BlockCache::default(),
+            block_trace: self.block_trace,
             halted: self.halted,
             pending_use: self.pending_use,
             tracer: None,
@@ -230,6 +246,8 @@ impl Machine {
             gpio_writes: 0,
             stats: Stats::default(),
             code: Vec::new(),
+            blocks: BlockCache::default(),
+            block_trace: false,
             halted: None,
             pending_use: None,
             tracer: None,
@@ -335,6 +353,18 @@ impl Machine {
         }
         let start = layout::CODE_BASE + 4 * self.code.len() as u32;
         self.code.extend_from_slice(instrs);
+        if !instrs.is_empty() {
+            // Blocks truncated at the old end of code must re-extend over
+            // the new instructions; the generation bump lets observers see
+            // that the cache noticed the load.
+            let dropped = self.blocks.on_append(start) as u32;
+            if self.block_trace {
+                self.trace_emit(EventKind::BlockInvalidated {
+                    addr: start,
+                    blocks: dropped,
+                });
+            }
+        }
         Ok(start)
     }
 
@@ -352,6 +382,75 @@ impl Machine {
     /// End of the currently loaded code (exclusive).
     pub fn code_end(&self) -> u32 {
         layout::CODE_BASE + 4 * self.code.len() as u32
+    }
+
+    // --- Block cache & self-modifying code ------------------------------------
+
+    /// The instruction currently loaded at code address `addr`, if any.
+    pub fn code_at(&self, addr: u32) -> Option<Instr> {
+        if addr < layout::CODE_BASE || !addr.is_multiple_of(4) {
+            return None;
+        }
+        let idx = ((addr - layout::CODE_BASE) / 4) as usize;
+        self.code.get(idx).copied()
+    }
+
+    /// Overwrites one already-loaded instruction (self-modifying code, or
+    /// a fault-injection flip into the code region), returning the
+    /// replaced instruction. Every predecoded block covering `addr` is
+    /// invalidated and the coherence generation bumped
+    /// ([`Machine::code_generation`]), so the next execution of the
+    /// patched address re-decodes.
+    pub fn patch_code(&mut self, addr: u32, instr: Instr) -> Result<Instr, SimError> {
+        let idx = (addr.is_multiple_of(4) && addr >= layout::CODE_BASE)
+            .then(|| ((addr - layout::CODE_BASE) / 4) as usize)
+            .filter(|&i| i < self.code.len())
+            .ok_or(SimError::BadCodePatch {
+                addr,
+                code_end: self.code_end(),
+            })?;
+        let old = core::mem::replace(&mut self.code[idx], instr);
+        let dropped = self.blocks.invalidate_covering(addr) as u32;
+        if self.block_trace {
+            self.trace_emit(EventKind::BlockInvalidated {
+                addr,
+                blocks: dropped,
+            });
+        }
+        Ok(old)
+    }
+
+    /// Block-cache hit/miss/invalidation counters plus the coherence
+    /// generation.
+    pub fn block_stats(&self) -> BlockCacheStats {
+        self.blocks.stats
+    }
+
+    /// The block-cache coherence generation: bumped by every invalidation
+    /// event (code patch, program append, flush), whether or not a cached
+    /// block was affected. External mutators of code memory (e.g.
+    /// `cheriot-fault` code flips) compare generations across their write
+    /// to confirm the cache saw it.
+    pub fn code_generation(&self) -> u64 {
+        self.blocks.stats.generation
+    }
+
+    /// Number of predecoded blocks currently resident.
+    pub fn blocks_resident(&self) -> usize {
+        self.blocks.resident()
+    }
+
+    /// Discards every predecoded block. Architecturally invisible —
+    /// execution re-decodes on demand.
+    pub fn flush_block_cache(&mut self) {
+        self.blocks.clear();
+    }
+
+    /// Enables emission of [`EventKind::BlockCompiled`] /
+    /// [`EventKind::BlockInvalidated`] trace events. Off by default so
+    /// trace output is byte-identical with the cache on or off.
+    pub fn set_block_trace(&mut self, on: bool) {
+        self.block_trace = on;
     }
 
     /// An executable capability covering all loaded code, for use as a boot
@@ -437,6 +536,7 @@ impl Machine {
     /// Advances time by `cycles`, of which `mem_beats` used the load/store
     /// unit; the background revoker consumes the remaining slots. This is
     /// also the charging entry point for natively-modelled (RTOS) code.
+    #[inline]
     pub fn advance(&mut self, cycles: u64, mem_beats: u64) {
         self.cycles += cycles;
         if self.cfg.hw_revoker && self.revoker.in_progress() {
@@ -668,24 +768,44 @@ impl Machine {
             && self.cycles < limit
             && self.stats.instructions < self.wd_limit
         {
-            if let Some(irq) = self.pending_interrupt() {
-                let pc = self.cpu.pc();
-                self.enter_trap(irq, pc);
+            if self.deliver_pending_interrupt() {
                 continue;
             }
-            while self.halted.is_none()
-                && self.cycles < limit
-                && self.stats.instructions < self.wd_limit
-            {
-                let enabled = self.cpu.interrupts_enabled;
-                self.step_instr();
-                if self.cpu.interrupts_enabled != enabled
-                    || (enabled && (self.cycles >= self.mtimecmp || self.revoker.irq_pending()))
-                {
-                    break;
-                }
+            if self.cfg.block_cache {
+                self.run_blocks(limit);
+            } else {
+                self.run_stepwise(limit);
             }
         }
+        self.exit_reason()
+    }
+
+    /// Delivers a pending interrupt (if any) at the current PC. One shared
+    /// helper so [`Machine::step`] and [`Machine::run`] cannot diverge on
+    /// delivery conditions. Returns whether a trap was entered.
+    fn deliver_pending_interrupt(&mut self) -> bool {
+        match self.pending_interrupt() {
+            Some(irq) => {
+                let pc = self.cpu.pc();
+                self.enter_trap(irq, pc);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The batched-loop boundary check, shared by the stepwise and block
+    /// loops: did the last instruction change the interrupt posture, or
+    /// (posture permitting) make an interrupt deliverable? Only when this
+    /// holds does the run loop re-poll [`Machine::pending_interrupt`].
+    #[inline]
+    fn irq_boundary(&self, was_enabled: bool) -> bool {
+        self.cpu.interrupts_enabled != was_enabled
+            || (was_enabled && (self.cycles >= self.mtimecmp || self.revoker.irq_pending()))
+    }
+
+    /// Why the run loop stopped (shared by both loop bodies).
+    fn exit_reason(&self) -> ExitReason {
         self.halted
             .unwrap_or(if self.stats.instructions >= self.wd_limit {
                 ExitReason::Watchdog
@@ -694,14 +814,351 @@ impl Machine {
             })
     }
 
+    /// The per-instruction inner loop (`block_cache: false`, and the
+    /// reference semantics the block loop must match exactly).
+    fn run_stepwise(&mut self, limit: u64) {
+        let wd = self.wd_limit;
+        while self.halted.is_none() && self.cycles < limit && self.stats.instructions < wd {
+            let enabled = self.cpu.interrupts_enabled;
+            self.step_instr();
+            if self.irq_boundary(enabled) {
+                return;
+            }
+        }
+    }
+
+    /// The predecoded-block inner loop: dispatches whole cached basic
+    /// blocks with no fetch/decode, re-checking the cycle/watchdog budget
+    /// and interrupt arrival between instructions at exactly the points
+    /// [`Machine::run_stepwise`] would, so delivery boundaries, trap PCs
+    /// and cycle counts are identical.
+    fn run_blocks(&mut self, limit: u64) {
+        let wd = self.wd_limit;
+        while self.halted.is_none() && self.cycles < limit && self.stats.instructions < wd {
+            let enabled = self.cpu.interrupts_enabled;
+            let Some((idx, block)) = self.block_take(self.cpu.pc()) else {
+                // Out-of-range/unaligned PCs, PCCs narrower than the whole
+                // block, and fetch faults take the exact per-instruction
+                // path (including its trap reporting).
+                self.step_instr();
+                if self.irq_boundary(enabled) {
+                    return;
+                }
+                continue;
+            };
+            // The block is *moved* out of its cache slot for the duration
+            // of its execution and moved back after — no refcount traffic
+            // on the hot path. Nothing in between can touch the cache:
+            // invalidation only happens through external `Machine` APIs
+            // (`patch_code`, `flush_block_cache`, program loads), never
+            // from `exec`.
+            let exit = self.exec_block(&block, limit, wd, enabled);
+            self.blocks.restore(idx, block);
+            if exit == BlockExit::Stop {
+                return;
+            }
+        }
+    }
+
+    /// Executes one predecoded block, starting at its first instruction
+    /// (the caller verified the PC). Returns whether the outer run loop
+    /// should stop (budget, halt, interrupt boundary) or dispatch the
+    /// next block.
+    fn exec_block(&mut self, block: &Block, limit: u64, wd: u64, enabled: bool) -> BlockExit {
+        {
+            // The PCC address is materialised lazily: the loop tracks `pc`
+            // locally and writes the PCC only at block exits (every path
+            // below that leaves the loop syncs first). All fall-through
+            // addresses are inside the PCC bounds — `block_at` checked the
+            // whole interval — so the skipped per-instruction
+            // `with_address` calls were pure address updates.
+            let has_tracer = self.tracer.is_some();
+            // With no hardware revoker configured, `advance` is a bare
+            // cycle bump; hoisting the config load lets the hot arm skip
+            // the call entirely. (`cfg.hw_revoker` never changes mid-run.)
+            let plain_cycles = !self.cfg.hw_revoker;
+            // Register-resident loop state. `cyc`/`ins` are the
+            // authoritative cycle/instruction counters inside the loop;
+            // they are written back to `self` before every operation that
+            // could observe them (tracing, `advance`, the general `exec`
+            // path, every exit) and re-read after every operation that
+            // could move them. `mtimecmp`/`irq_pend` can only change
+            // through general-path instructions (MMIO stores, revoker
+            // stepping under `advance`), so they are re-read exactly
+            // there; across inline ALU stretches the cached values are
+            // exact.
+            let mut cyc = self.cycles;
+            let mut ins = self.stats.instructions;
+            let mut mtimecmp = self.mtimecmp;
+            let mut irq_pend = self.revoker.irq_pending();
+            let mut pc = block.start;
+            let mut jumped = false;
+            for (i, d) in block.insns.iter().enumerate() {
+                if i != 0 && (cyc >= limit || ins >= wd) {
+                    // Budget boundary mid-block: stop exactly where the
+                    // stepwise loop would, PC on the next instruction.
+                    self.cycles = cyc;
+                    self.stats.instructions = ins;
+                    self.finish_jump(pc);
+                    return BlockExit::Stop;
+                }
+                // Load-to-use hazard from the previous instruction; only
+                // loads set it, so predecode marks the instructions that
+                // could observe one.
+                if d.check_hazard {
+                    if let Some((r, penalty)) = self.pending_use.take() {
+                        if d.srcs.iter().flatten().any(|&s| s == r) {
+                            self.stats.stall_cycles += penalty;
+                            self.cycles = cyc;
+                            self.advance(penalty, 0);
+                            cyc = self.cycles;
+                            irq_pend = self.revoker.irq_pending();
+                        }
+                    }
+                }
+                ins += 1;
+                if has_tracer {
+                    self.cycles = cyc; // event timestamp
+                    self.trace_emit(EventKind::InstrRetired { pc });
+                }
+                // The scalar ALU forms and well-behaved loads dispatch
+                // inline: on the `true` arms nothing traps, halts or jumps
+                // and no penalty cycles accrue, so they skip the general
+                // `exec` call and its outcome plumbing. Each arm mirrors
+                // its `exec` arm exactly.
+                let fast = match d.instr {
+                    Instr::Lui { rd, imm } => {
+                        self.cpu.write_int(rd, imm << 12);
+                        true
+                    }
+                    Instr::OpImm { op, rd, rs1, imm } => {
+                        let a = self.cpu.read_int(rs1);
+                        self.cpu.write_int(rd, alu(op, a, imm as u32));
+                        true
+                    }
+                    Instr::Op { op, rd, rs1, rs2 } => {
+                        let a = self.cpu.read_int(rs1);
+                        let b = self.cpu.read_int(rs2);
+                        self.cpu.write_int(rd, alu(op, a, b));
+                        true
+                    }
+                    Instr::MulDiv { op, rd, rs1, rs2 } => {
+                        let a = self.cpu.read_int(rs1);
+                        let b = self.cpu.read_int(rs2);
+                        self.cpu.write_int(rd, muldiv(op, a, b));
+                        true
+                    }
+                    // Loads dispatch inline too (a quarter of the CoreMark
+                    // mix), mirroring their `exec` arms, but bail to the
+                    // general path for anything unusual: MMIO (the timer
+                    // reads `self.cycles`, register-resident here),
+                    // capability faults and bus errors (trap bookkeeping).
+                    // Bailing re-executes through `exec` from scratch —
+                    // sound because nothing mutates before the first
+                    // fallible step.
+                    Instr::Load {
+                        width,
+                        signed,
+                        rd,
+                        rs1,
+                        offset,
+                    } => {
+                        let auth = self.cpu.read(rs1);
+                        let addr = auth.address().wrapping_add(offset as u32);
+                        if self.is_sram(addr, width.bytes())
+                            && (!self.cfg.cheri_enabled
+                                || auth
+                                    .check_access(addr, width.bytes(), Permissions::LD)
+                                    .is_ok())
+                        {
+                            if let Ok(raw) = self.sram.read_scalar(addr, width.bytes()) {
+                                let v = if signed {
+                                    sign_extend(raw, width.bytes())
+                                } else {
+                                    raw
+                                };
+                                self.cpu.write_int(rd, v);
+                                self.stats.loads += 1;
+                                self.pending_use = Some((rd, self.cfg.core.load_to_use));
+                                true
+                            } else {
+                                false
+                            }
+                        } else {
+                            false
+                        }
+                    }
+                    Instr::Clc { rd, rs1, offset } => {
+                        let auth = self.cpu.read(rs1);
+                        let addr = auth.address().wrapping_add(offset as u32);
+                        // `bus_read_cap`'s filter-strip trace event is
+                        // exact here: with a tracer installed the loop
+                        // synced `self.cycles` for this instruction above.
+                        if auth
+                            .check_access(addr, GRANULE, Permissions::LD | Permissions::MC)
+                            .is_ok()
+                        {
+                            if let Ok(c) = self.bus_read_cap(addr) {
+                                self.cpu.write(rd, c.attenuated_on_load(auth));
+                                self.stats.cap_loads += 1;
+                                self.pending_use = Some((rd, self.cfg.core.load_to_use));
+                                true
+                            } else {
+                                false
+                            }
+                        } else {
+                            false
+                        }
+                    }
+                    _ => false,
+                };
+                if fast {
+                    if plain_cycles {
+                        cyc += d.base_cycles;
+                    } else {
+                        self.cycles = cyc;
+                        self.advance(d.base_cycles, d.mem_beats);
+                        cyc = self.cycles;
+                        irq_pend = self.revoker.irq_pending();
+                    }
+                    pc = pc.wrapping_add(4);
+                    // Fast arms cannot halt, so only the interrupt-arrival
+                    // check applies before the next instruction.
+                    if enabled && (cyc >= mtimecmp || irq_pend) {
+                        self.cycles = cyc;
+                        self.stats.instructions = ins;
+                        self.finish_jump(pc);
+                        return BlockExit::Stop;
+                    }
+                    continue;
+                }
+                self.cycles = cyc;
+                self.stats.instructions = ins;
+                match self.exec(d.instr, pc) {
+                    Ok((extra, out)) => {
+                        if plain_cycles {
+                            self.cycles += d.base_cycles + extra;
+                        } else {
+                            self.advance(d.base_cycles + extra, d.mem_beats);
+                        }
+                        cyc = self.cycles;
+                        mtimecmp = self.mtimecmp;
+                        irq_pend = self.revoker.irq_pending();
+                        match out {
+                            PcOutcome::Advance => {}
+                            PcOutcome::Jumped => {
+                                jumped = true;
+                                break;
+                            }
+                            PcOutcome::Stay => {
+                                // `halt`: the PCC parks on the instruction.
+                                self.finish_jump(pc);
+                                return BlockExit::Stop;
+                            }
+                        }
+                    }
+                    Err(t) => {
+                        // The trap reports the PC of the *offending*
+                        // instruction, not the block start. Sync the PCC
+                        // first: a double fault halts inside `enter_trap`
+                        // and leaves the PCC for post-mortem inspection.
+                        self.advance(d.base_cycles, 0);
+                        self.finish_jump(pc);
+                        self.enter_trap(t, pc);
+                        jumped = true;
+                        break;
+                    }
+                }
+                pc = pc.wrapping_add(4);
+                if self.halted.is_some() {
+                    // Idle `wfi` with interrupts off: retires, PC advances.
+                    self.finish_jump(pc);
+                    return BlockExit::Stop;
+                }
+                // Mid-block the posture cannot change (posture-changing
+                // instructions end blocks; traps break out above), so the
+                // boundary check reduces to interrupt arrival.
+                if enabled && (cyc >= mtimecmp || irq_pend) {
+                    self.finish_jump(pc);
+                    return BlockExit::Stop;
+                }
+            }
+            if !jumped {
+                // Jumped/trapped paths flushed the counters before `exec`
+                // and left `self` authoritative; only fall-through exits
+                // still carry them in locals.
+                self.cycles = cyc;
+                self.stats.instructions = ins;
+                self.finish_jump(pc);
+            }
+            if self.irq_boundary(enabled) {
+                BlockExit::Stop
+            } else {
+                BlockExit::Continue
+            }
+        }
+    }
+
+    /// The predecoded block starting at `pc`, building and caching it on
+    /// first sight. The block is *moved* out of its slot — the caller
+    /// executes it and hands it back with `self.blocks.restore(idx, ..)`
+    /// — so the hot path pays no `Arc` refcount traffic. `None` sends the
+    /// caller to the per-instruction slow path (the slot is always left
+    /// populated in that case): PC outside loaded code, misaligned, or a
+    /// PCC that does not cover the whole block (the batched fetch check
+    /// needs bounds over `[start, end)` — one interval, so checking the
+    /// first and last instruction covers every one in between).
+    fn block_take(&mut self, pc: u32) -> Option<(usize, Arc<Block>)> {
+        if pc < layout::CODE_BASE || !pc.is_multiple_of(4) {
+            return None;
+        }
+        let idx = ((pc - layout::CODE_BASE) / 4) as usize;
+        if idx >= self.code.len() {
+            return None;
+        }
+        if let Some(b) = self.blocks.take(idx) {
+            if self
+                .cpu
+                .pcc
+                .check_fetch_range(b.start, b.end.wrapping_sub(4))
+            {
+                self.blocks.stats.hits += 1;
+                return Some((idx, b));
+            }
+            self.blocks.restore(idx, b);
+            return None;
+        }
+        let block = Arc::new(build_block(
+            &self.code,
+            idx,
+            &self.cfg.core,
+            self.cfg.load_filter,
+        ));
+        let code_words = self.code.len();
+        // The miss path caches a clone and returns the original; after
+        // execution `restore` replaces the clone with it (same block).
+        self.blocks.insert(idx, Arc::clone(&block), code_words);
+        if self.block_trace {
+            let (pc, len) = (block.start, block.insns.len() as u32);
+            self.trace_emit(EventKind::BlockCompiled { pc, len });
+        }
+        if self
+            .cpu
+            .pcc
+            .check_fetch_range(block.start, block.end.wrapping_sub(4))
+        {
+            Some((idx, block))
+        } else {
+            None
+        }
+    }
+
     /// Executes one instruction (or delivers one interrupt).
     pub fn step(&mut self) {
         if self.halted.is_some() {
             return;
         }
-        if let Some(irq) = self.pending_interrupt() {
-            let pc = self.cpu.pc();
-            self.enter_trap(irq, pc);
+        if self.deliver_pending_interrupt() {
             return;
         }
         self.step_instr();
@@ -739,8 +1196,11 @@ impl Machine {
         }
         let mem_beats = self.cfg.core.mem_beats(&instr);
         match self.exec(instr, pc) {
-            Ok(extra) => {
+            Ok((extra, out)) => {
                 self.advance(base_cycles + extra, mem_beats);
+                if out == PcOutcome::Advance {
+                    self.finish_jump(pc.wrapping_add(4));
+                }
             }
             Err(t) => {
                 self.advance(base_cycles, 0);
@@ -767,8 +1227,11 @@ impl Machine {
             .ok_or(TrapCause::BusError { addr: pc })
     }
 
-    /// Executes `instr` at `pc`, returning extra (penalty) cycles.
-    fn exec(&mut self, instr: Instr, pc: u32) -> Result<u64, TrapCause> {
+    /// Executes `instr` at `pc`, returning extra (penalty) cycles and how
+    /// the PC moved. On [`PcOutcome::Advance`] the PCC has *not* been
+    /// touched — the caller owns the `pc + 4` update, which lets the block
+    /// loop batch consecutive updates into one write at the block exit.
+    fn exec(&mut self, instr: Instr, pc: u32) -> Result<(u64, PcOutcome), TrapCause> {
         let next = pc.wrapping_add(4);
         let mut extra = 0;
         let mut next_pc = next;
@@ -825,8 +1288,7 @@ impl Machine {
                         self.cpu.write_int(rd, next);
                     }
                     self.cpu.pcc = self.cpu.pcc.with_address(addr);
-                    self.finish_jump(addr);
-                    return Ok(extra + self.cfg.core.jump_penalty);
+                    return Ok((extra + self.cfg.core.jump_penalty, PcOutcome::Jumped));
                 }
                 if !target.tag() {
                     return Err(cheri(rs1, cheriot_cap::CapFault::TagViolation));
@@ -874,10 +1336,7 @@ impl Machine {
                 let addr = tc.address().wrapping_add(offset as u32) & !1;
                 self.cpu.pcc = tc.with_address(addr);
                 extra += self.cfg.core.jump_penalty;
-                next_pc = addr;
-                // pcc already set; skip the common path below.
-                self.finish_jump(next_pc);
-                return Ok(extra);
+                return Ok((extra, PcOutcome::Jumped));
             }
             Instr::Load {
                 width,
@@ -1115,8 +1574,12 @@ impl Machine {
                 }
                 self.cpu.pcc = self.cpu.mepcc;
                 extra += self.cfg.core.jump_penalty;
+                // Load-bearing: `mepcc` may be sealed (installed raw via
+                // `CSpecialRw`), and `with_address` on a sealed capability
+                // clears the tag, turning the next fetch into a
+                // `TagViolation` — exactly the architected behaviour.
                 self.finish_jump(self.cpu.pc());
-                return Ok(extra);
+                return Ok((extra, PcOutcome::Jumped));
             }
             Instr::Wfi => {
                 self.wait_for_interrupt();
@@ -1127,11 +1590,15 @@ impl Machine {
             Instr::Fence => {}
             Instr::Halt => {
                 self.halted = Some(ExitReason::Halted(self.cpu.read_int(Reg::A0)));
-                return Ok(0);
+                return Ok((0, PcOutcome::Stay));
             }
         }
-        self.finish_jump(next_pc);
-        Ok(extra)
+        if next_pc == next {
+            Ok((extra, PcOutcome::Advance))
+        } else {
+            self.finish_jump(next_pc);
+            Ok((extra, PcOutcome::Jumped))
+        }
     }
 
     fn finish_jump(&mut self, next_pc: u32) {
@@ -1193,6 +1660,27 @@ impl Machine {
             self.stats.idle_cycles += skip;
         }
     }
+}
+
+/// How [`Machine::exec`] left the PC. `Advance` means the instruction fell
+/// through and the *caller* must move the PCC to `pc + 4` — deferring that
+/// write is what lets the block loop touch the PCC once per block instead
+/// of once per instruction. `Jumped` means `exec` already installed the
+/// target PCC; `Stay` means the PCC must stay on the instruction (`halt`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PcOutcome {
+    Advance,
+    Jumped,
+    Stay,
+}
+
+/// How [`Machine::exec_block`] left the run loop: `Stop` ends the run
+/// (budget, halt, interrupt boundary), `Continue` dispatches the next
+/// block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BlockExit {
+    Stop,
+    Continue,
 }
 
 fn cheri(reg: impl Into<RegIndex>, fault: cheriot_cap::CapFault) -> TrapCause {

@@ -32,7 +32,7 @@ use cheriot_alloc::{HeapAllocator, RevokerKind, TemporalPolicy};
 use cheriot_asm::Asm;
 use cheriot_cap::Capability;
 use cheriot_core::insn::Reg;
-use cheriot_core::layout::SRAM_BASE;
+use cheriot_core::layout::{CODE_BASE, SRAM_BASE};
 use cheriot_core::{CoreModel, ExitReason, Machine, MachineConfig};
 use cheriot_rtos::run_with_heap_service;
 use std::fmt;
@@ -301,8 +301,14 @@ impl Fingerprint {
 
 /// A freshly booted machine + heap with the seeded workload loaded, or a
 /// structured error string if loading failed (never a panic).
-fn fresh_run(seed: u64) -> Result<(Machine, HeapAllocator, u32, u32), String> {
-    let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+/// `block_cache` selects the execution path: the campaign runs its
+/// reference cache-off and its faulted run cache-on, so every campaign is
+/// also a cross-check that the predecoded-block cache is architecturally
+/// invisible (any cycle or behaviour drift shows up as a divergence).
+fn fresh_run(seed: u64, block_cache: bool) -> Result<(Machine, HeapAllocator, u32, u32), String> {
+    let mut mc = MachineConfig::new(CoreModel::ibex());
+    mc.block_cache = block_cache;
+    let mut m = Machine::new(mc);
     let heap = HeapAllocator::new(&mut m, TemporalPolicy::Quarantine(RevokerKind::Hardware));
     let program = build_workload(seed);
     let entry = m.try_load_program(&program).map_err(|e| e.to_string())?;
@@ -413,8 +419,10 @@ pub fn run_one(seed: u64, cfg: &CampaignConfig) -> CampaignResult {
         detail,
     };
 
-    // Reference (fault-free) run.
-    let (mut m, mut heap, dir_lo, dir_len) = match fresh_run(seed) {
+    // Reference (fault-free) run, executed cache-off: its fingerprint and
+    // cycle count anchor both the fault classification and the block
+    // cache's exactness (the faulted run below executes cache-on).
+    let (mut m, mut heap, dir_lo, dir_len) = match fresh_run(seed, false) {
         Ok(v) => v,
         Err(e) => return fail(format!("reference setup: {e}")),
     };
@@ -426,8 +434,8 @@ pub fn run_one(seed: u64, cfg: &CampaignConfig) -> CampaignResult {
     let ref_cycles = m.cycles.max(1);
     let ref_instructions = m.stats.instructions;
 
-    // Faulted run.
-    let (mut m, mut heap, _, _) = match fresh_run(seed) {
+    // Faulted run (cache-on).
+    let (mut m, mut heap, _, _) = match fresh_run(seed, true) {
         Ok(v) => v,
         Err(e) => return fail(format!("faulted setup: {e}")),
     };
@@ -447,6 +455,7 @@ pub fn run_one(seed: u64, cfg: &CampaignConfig) -> CampaignResult {
             window: (ref_cycles / 10, ref_cycles.saturating_mul(9) / 10),
             region: (dir_lo, used_he),
             heap: (hb, used_he),
+            code: (CODE_BASE, m.code_end()),
         },
     );
     let mut injector = Injector::new(plan);
@@ -542,7 +551,7 @@ pub fn run_one(seed: u64, cfg: &CampaignConfig) -> CampaignResult {
 /// anything here is a checker false positive or a simulator bug, and fails
 /// the suite.
 fn run_control(seed: u64, cfg: &CampaignConfig) -> Vec<InvariantViolation> {
-    let Ok((mut m, mut heap, dir_lo, dir_len)) = fresh_run(seed) else {
+    let Ok((mut m, mut heap, dir_lo, dir_len)) = fresh_run(seed, true) else {
         return vec![InvariantViolation {
             kind: crate::invariant::InvariantKind::TagProvenance,
             cycle: 0,
@@ -635,14 +644,16 @@ mod tests {
 
     #[test]
     fn workload_reference_run_is_clean_and_deterministic() {
+        // The second run executes cache-on: determinism across the two
+        // execution paths, not just across repetitions, is the contract.
         for seed in [1u64, 2, 3, 99] {
-            let (mut m, mut heap, _, _) = fresh_run(seed).unwrap();
+            let (mut m, mut heap, _, _) = fresh_run(seed, false).unwrap();
             let r1 = run_with_heap_service(&mut m, &mut heap, 30_000_000);
             let ExitReason::Halted(c1) = r1 else {
                 panic!("seed {seed}: reference must halt, got {r1:?}");
             };
             heap.check_consistency(&m).unwrap();
-            let (mut m2, mut heap2, _, _) = fresh_run(seed).unwrap();
+            let (mut m2, mut heap2, _, _) = fresh_run(seed, true).unwrap();
             let r2 = run_with_heap_service(&mut m2, &mut heap2, 30_000_000);
             assert_eq!(
                 r2,
@@ -650,6 +661,14 @@ mod tests {
                 "reference must be deterministic"
             );
             assert_eq!(m.cycles, m2.cycles);
+            assert_eq!(m.stats.instructions, m2.stats.instructions);
+            // The workload is straight-line code, so blocks are compiled
+            // and executed once each (misses, not hits) — what matters is
+            // that the cache-on path was actually taken.
+            assert!(
+                m2.block_stats().misses > 0,
+                "cache-on run should actually exercise the block cache"
+            );
         }
     }
 
@@ -679,6 +698,99 @@ mod tests {
         assert_eq!(a.outcome, b.outcome);
         assert_eq!(a.faults_applied, b.faults_applied);
         assert_eq!(a.cycles, b.cycles);
+    }
+
+    /// Mirrors `run_one`'s faulted loop with the block cache forced to the
+    /// given mode, returning the full behavioural fingerprint plus cycle and
+    /// instruction counts.
+    fn faulted_run(
+        seed: u64,
+        classes: &[FaultClass],
+        block_cache: bool,
+    ) -> (Fingerprint, u64, u64) {
+        let deadline = 30_000_000u64;
+        let (mut m, mut heap, dir_lo, _) = fresh_run(seed, false).unwrap();
+        let r = run_with_heap_service(&mut m, &mut heap, deadline);
+        assert!(matches!(r, ExitReason::Halted(_)), "seed {seed}: {r:?}");
+        let ref_cycles = m.cycles.max(1);
+        let wd = m.stats.instructions.saturating_mul(4) + 100_000;
+
+        let (mut m, mut heap, _, _) = fresh_run(seed, block_cache).unwrap();
+        m.set_watchdog(Some(wd));
+        let (hb, he) = heap.heap_range();
+        let used_he = he.min(hb + 32 * 1024);
+        let plan = FaultPlan::generate(
+            seed,
+            &PlanConfig {
+                classes: classes.to_vec(),
+                count: 6,
+                window: (ref_cycles / 10, ref_cycles.saturating_mul(9) / 10),
+                region: (dir_lo, used_he),
+                heap: (hb, used_he),
+                code: (CODE_BASE, m.code_end()),
+            },
+        );
+        let mut injector = Injector::new(plan);
+        let exit = loop {
+            let next_stop = injector
+                .next_cycle()
+                .unwrap_or(u64::MAX)
+                .min(deadline)
+                .max(m.cycles + 1);
+            let budget = next_stop - m.cycles;
+            let r = run_with_heap_service(&mut m, &mut heap, budget);
+            injector.poll(&mut m);
+            match r {
+                ExitReason::CycleLimit if m.cycles < deadline => continue,
+                other => break other,
+            }
+        };
+        (Fingerprint::of(exit, &m), m.cycles, m.stats.instructions)
+    }
+
+    #[test]
+    fn faulted_runs_identical_cache_on_vs_off() {
+        // The strongest exactness check: the faulted run (including code
+        // bit-flips, which rewrite instructions mid-run and must invalidate
+        // predecoded blocks) produces a byte-identical fingerprint and the
+        // same cycle/instruction counts in both execution modes. Injection
+        // points land at the same slice boundaries only if the cache is
+        // architecturally invisible.
+        let classes = vec![
+            FaultClass::Tag,
+            FaultClass::Bounds,
+            FaultClass::Bitmap,
+            FaultClass::Code,
+        ];
+        for seed in [7u64, 8, 9, 10, 11, 12] {
+            let on = faulted_run(seed, &classes, true);
+            let off = faulted_run(seed, &classes, false);
+            assert_eq!(on, off, "seed {seed} diverged between cache modes");
+        }
+    }
+
+    #[test]
+    fn block_cache_smoke_64_seeds_zero_silent_divergence() {
+        // Satellite check: a 64-seed headline campaign where every faulted
+        // run executes through the block cache while the reference
+        // fingerprint comes from a cache-off run (see `fresh_run`). Any
+        // cache-induced drift would surface as SilentDivergence.
+        let cfg = CampaignConfig {
+            seed_base: 1,
+            count: 64,
+            threads: 4,
+            ..CampaignConfig::default()
+        };
+        let report = run_campaigns(&cfg);
+        assert_eq!(report.results.len(), 64);
+        assert_eq!(report.count(Outcome::Panicked), 0, "{}", report.to_text());
+        assert_eq!(
+            report.count(Outcome::SilentDivergence),
+            0,
+            "{}",
+            report.to_text()
+        );
+        assert!(!report.failed());
     }
 
     #[test]

@@ -56,6 +56,14 @@ pub enum InjectEffect {
     StormEnded,
     /// `mtimecmp` was pushed to `u64::MAX`.
     IrqDropped,
+    /// An instruction word bit was XORed in the code region (and the block
+    /// cache's covering blocks invalidated).
+    CodeBitFlipped {
+        /// Code address of the rewritten instruction.
+        addr: u32,
+        /// Bit position flipped in the 32-bit encoding.
+        bit: u32,
+    },
     /// No viable target was found; the fault was a no-op.
     Skipped,
 }
@@ -194,7 +202,36 @@ impl Injector {
                 m.mtimecmp = u64::MAX;
                 InjectEffect::IrqDropped
             }
+            FaultKind::CodeFlip { addr, bit } => Self::flip_code_bit(m, addr, bit),
         }
+    }
+
+    /// Re-encodes the instruction at `addr`, XORs `bit`, and patches the
+    /// decoded result back through [`Machine::patch_code`] — which
+    /// invalidates every cached predecoded block covering the address, so
+    /// the next execution sees the corrupted instruction. Skipped when the
+    /// address holds no instruction or the flipped word no longer decodes.
+    /// Debug-asserts that the patch bumped the machine's block-cache
+    /// coherence generation.
+    fn flip_code_bit(m: &mut Machine, addr: u32, bit: u32) -> InjectEffect {
+        let Some(old) = m.code_at(addr) else {
+            return InjectEffect::Skipped;
+        };
+        let Ok(word) = cheriot_core::encode(&old) else {
+            return InjectEffect::Skipped;
+        };
+        let Ok(new) = cheriot_core::decode(word ^ (1 << (bit & 31))) else {
+            return InjectEffect::Skipped;
+        };
+        let generation = m.code_generation();
+        if m.patch_code(addr, new).is_err() {
+            return InjectEffect::Skipped;
+        }
+        debug_assert!(
+            m.code_generation() > generation,
+            "patch_code must bump the block-cache generation"
+        );
+        InjectEffect::CodeBitFlipped { addr, bit }
     }
 
     /// Clears the tag of the tagged granule nearest `addr` (within the
@@ -390,6 +427,55 @@ mod tests {
         }]));
         inj.poll(&mut m);
         assert_eq!(m.mtimecmp, u64::MAX);
+    }
+
+    #[test]
+    fn code_flip_rewrites_instruction_and_bumps_generation() {
+        use cheriot_core::insn::Instr;
+        let mut m = machine();
+        let entry = m.load_program(&[Instr::NOP, Instr::Halt]);
+        let word = cheriot_core::encode(&Instr::NOP).unwrap();
+        // Pick a bit host-side whose flip still decodes, so the injection
+        // is guaranteed to apply rather than skip.
+        let bit = (0..32u32)
+            .find(|b| {
+                cheriot_core::decode(word ^ (1 << b))
+                    .map(|i| i != Instr::NOP)
+                    .unwrap_or(false)
+            })
+            .expect("some single-bit flip of nop must decode");
+        let expect = cheriot_core::decode(word ^ (1 << bit)).unwrap();
+        let gen0 = m.code_generation();
+        let mut inj = Injector::new(plan_of(vec![FaultEntry {
+            cycle: 0,
+            kind: FaultKind::CodeFlip { addr: entry, bit },
+        }]));
+        inj.poll(&mut m);
+        assert_eq!(
+            inj.log[0].effect,
+            InjectEffect::CodeBitFlipped { addr: entry, bit }
+        );
+        assert_eq!(m.code_at(entry), Some(expect));
+        assert!(
+            m.code_generation() > gen0,
+            "code patch must advance the block-cache generation"
+        );
+        assert_eq!(inj.applied(), 1);
+    }
+
+    #[test]
+    fn code_flip_outside_loaded_code_skips() {
+        let mut m = machine();
+        let mut inj = Injector::new(plan_of(vec![FaultEntry {
+            cycle: 0,
+            kind: FaultKind::CodeFlip {
+                addr: SRAM_BASE,
+                bit: 0,
+            },
+        }]));
+        inj.poll(&mut m);
+        assert_eq!(inj.log[0].effect, InjectEffect::Skipped);
+        assert_eq!(inj.applied(), 0);
     }
 
     #[test]

@@ -36,6 +36,11 @@ pub enum FaultClass {
     IrqStorm,
     /// Push the timer compare register out to infinity (dropped interrupt).
     IrqDrop,
+    /// Flip one bit of an instruction word in the code region (instruction
+    /// ROM/flash upset). Exercises the block cache's coherence path: the
+    /// injector rewrites the decoded instruction through
+    /// `Machine::patch_code`, which invalidates covering blocks.
+    Code,
 }
 
 impl FaultClass {
@@ -55,6 +60,7 @@ impl FaultClass {
         FaultClass::Data,
         FaultClass::IrqStorm,
         FaultClass::IrqDrop,
+        FaultClass::Code,
     ];
 
     /// Stable lowercase name, used by the CLI and in reports.
@@ -69,6 +75,7 @@ impl FaultClass {
             FaultClass::Data => "data",
             FaultClass::IrqStorm => "irq-storm",
             FaultClass::IrqDrop => "irq-drop",
+            FaultClass::Code => "code",
         }
     }
 }
@@ -173,6 +180,17 @@ pub enum FaultKind {
     },
     /// Set `mtimecmp` to `u64::MAX`, suppressing the pending timer.
     IrqDrop,
+    /// XOR bit `bit` of the encoded instruction word at code address
+    /// `addr`, then re-decode and patch it back. Skipped when the flipped
+    /// word no longer decodes (the modelled core would take an
+    /// illegal-instruction trap the simulator's decoded-form code region
+    /// cannot represent).
+    CodeFlip {
+        /// Word-aligned code address.
+        addr: u32,
+        /// Bit position in the 32-bit instruction word.
+        bit: u32,
+    },
 }
 
 impl fmt::Display for FaultKind {
@@ -186,6 +204,7 @@ impl fmt::Display for FaultKind {
             FaultKind::DataFlip { addr, bit } => write!(f, "data-flip bit {bit} @ {addr:#010x}"),
             FaultKind::IrqStorm { cycles } => write!(f, "irq-storm for {cycles} cycles"),
             FaultKind::IrqDrop => write!(f, "irq-drop"),
+            FaultKind::CodeFlip { addr, bit } => write!(f, "code-flip bit {bit} @ {addr:#010x}"),
         }
     }
 }
@@ -214,6 +233,9 @@ pub struct PlanConfig {
     /// Heap region `[heap.0, heap.1)` bitmap faults target (the revocation
     /// bitmap only covers the heap).
     pub heap: (u32, u32),
+    /// Code region `[code.0, code.1)` code-flip faults target
+    /// (word-aligned internally).
+    pub code: (u32, u32),
 }
 
 /// A deterministic, seed-reproducible schedule of faults.
@@ -274,6 +296,14 @@ impl FaultPlan {
                     cycles: rng.gen_range(1_000, 20_000),
                 },
                 FaultClass::IrqDrop => FaultKind::IrqDrop,
+                FaultClass::Code => {
+                    let lo = cfg.code.0 & !3;
+                    let words = (cfg.code.1.saturating_sub(lo) / 4).max(1);
+                    FaultKind::CodeFlip {
+                        addr: lo + (rng.gen_range(0, u64::from(words)) as u32) * 4,
+                        bit: rng.gen_range(0, 32) as u32,
+                    }
+                }
             };
             entries.push(FaultEntry { cycle, kind });
         }
@@ -293,6 +323,7 @@ mod tests {
             window: (1_000, 100_000),
             region: (0x2000_0000, 0x2008_0000),
             heap: (0x2004_0000, 0x2008_0000),
+            code: (0x1000_0000, 0x1000_1000),
         }
     }
 

@@ -132,6 +132,23 @@ pub enum EventKind {
         /// Address the capability was loaded from.
         addr: u32,
     },
+    /// The simulator predecoded a basic block on first execution (emitted
+    /// only when the machine's block-trace flag is set).
+    BlockCompiled {
+        /// Start address of the block.
+        pc: u32,
+        /// Instructions in the block.
+        len: u32,
+    },
+    /// Code memory changed (self-modifying store, fault injection, or
+    /// program append) and cached blocks were discarded (emitted only when
+    /// the machine's block-trace flag is set).
+    BlockInvalidated {
+        /// The mutated code address (for appends, the old end of code).
+        addr: u32,
+        /// Number of cached blocks discarded.
+        blocks: u32,
+    },
 }
 
 impl EventKind {
@@ -154,6 +171,8 @@ impl EventKind {
             EventKind::RevokerStart { .. } => "revoker_start",
             EventKind::RevokerFinish { .. } => "revoker_finish",
             EventKind::FilterStrip { .. } => "filter_strip",
+            EventKind::BlockCompiled { .. } => "block_compiled",
+            EventKind::BlockInvalidated { .. } => "block_invalidated",
         }
     }
 
@@ -211,6 +230,12 @@ impl EventKind {
                 ("words_invalidated", words_invalidated),
             ],
             EventKind::FilterStrip { addr } => vec![("addr", addr as u64)],
+            EventKind::BlockCompiled { pc, len } => {
+                vec![("pc", pc as u64), ("len", len as u64)]
+            }
+            EventKind::BlockInvalidated { addr, blocks } => {
+                vec![("addr", addr as u64), ("blocks", blocks as u64)]
+            }
         }
     }
 }

@@ -516,9 +516,10 @@ pub fn code_size_bytes(cfg: &CoreMarkConfig) -> u32 {
 
 /// Builds a machine with the benchmark program loaded and its data-region
 /// pointer installed, ready to run.
-fn setup_machine(core: CoreModel, cfg: &CoreMarkConfig) -> Machine {
+fn setup_machine(core: CoreModel, cfg: &CoreMarkConfig, block_cache: bool) -> Machine {
     let mut mc = MachineConfig::new(core);
     mc.load_filter = cfg.load_filter;
+    mc.block_cache = block_cache;
     mc.hw_revoker = false;
     mc.hwm_enabled = false;
     mc.cheri_enabled = cfg.mode == PtrMode::Capability;
@@ -557,13 +558,31 @@ fn setup_machine(core: CoreModel, cfg: &CoreMarkConfig) -> Machine {
 /// Panics if the program faults or halts before the budget expires (a
 /// generator bug, or a budget large enough to drain the iteration count).
 pub fn run_coremark_for_cycles(core: CoreModel, cfg: &CoreMarkConfig, budget: u64) -> (u64, u64) {
+    run_coremark_for_cycles_cached(core, cfg, budget, true)
+}
+
+/// [`run_coremark_for_cycles`] with explicit control over the simulator's
+/// predecoded basic-block cache, so `sim_throughput` can report host MIPS
+/// for both execution paths. The simulated `(cycles, instructions)` result
+/// must not depend on `block_cache` — the cache is architecturally
+/// invisible and only changes host wall time.
+///
+/// # Panics
+///
+/// Panics if the program faults or halts before the budget expires.
+pub fn run_coremark_for_cycles_cached(
+    core: CoreModel,
+    cfg: &CoreMarkConfig,
+    budget: u64,
+    block_cache: bool,
+) -> (u64, u64) {
     let cfg = CoreMarkConfig {
         // ~26k cycles per iteration: 50M iterations outlasts any budget
         // below ~10^12 cycles while staying in `li`'s i32 range.
         iterations: 50_000_000,
         ..*cfg
     };
-    let mut m = setup_machine(core, &cfg);
+    let mut m = setup_machine(core, &cfg, block_cache);
     let reason = m.run(budget);
     assert!(
         matches!(reason, ExitReason::CycleLimit),
@@ -579,7 +598,7 @@ pub fn run_coremark_for_cycles(core: CoreModel, cfg: &CoreMarkConfig, budget: u6
 ///
 /// Panics if the generated program faults (a bug in the generator).
 pub fn run_coremark(core: CoreModel, cfg: &CoreMarkConfig) -> CoreMarkResult {
-    let mut m = setup_machine(core, cfg);
+    let mut m = setup_machine(core, cfg, true);
     let reason = m.run(2_000_000_000);
     let ExitReason::Halted(checksum) = reason else {
         panic!(
@@ -628,6 +647,23 @@ mod tests {
         let capf = quick(PtrMode::Capability, true);
         assert!(cap.cycles > int.cycles);
         assert!(capf.cycles > cap.cycles, "filter must add Ibex cycles");
+    }
+
+    #[test]
+    fn block_cache_is_invisible_to_coremark() {
+        // Same simulated cycle and retirement counts through the cached
+        // and stepwise execution paths, on both core models.
+        let cfg = CoreMarkConfig {
+            iterations: 5,
+            list_nodes: 24,
+            find_passes: 2,
+            ..CoreMarkConfig::capabilities_with_filter()
+        };
+        for core in [CoreModel::ibex(), CoreModel::flute()] {
+            let on = run_coremark_for_cycles_cached(core, &cfg, 100_000, true);
+            let off = run_coremark_for_cycles_cached(core, &cfg, 100_000, false);
+            assert_eq!(on, off, "block cache must not change simulated time");
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub use allocbench::{
     overhead_pct, run_alloc_bench, AllocBenchParams, AllocBenchResult, AllocConfig,
 };
 pub use coremark::{
-    run_coremark, run_coremark_for_cycles, CompilerQuirks, CoreMarkConfig, CoreMarkResult, PtrMode,
+    run_coremark, run_coremark_for_cycles, run_coremark_for_cycles_cached, CompilerQuirks,
+    CoreMarkConfig, CoreMarkResult, PtrMode,
 };
 pub use iot::{run_iot_app, IotConfig, IotReport};
