@@ -10,8 +10,8 @@ use cheriot_workloads::{overhead_pct, run_alloc_bench, AllocBenchParams, AllocCo
 /// printable report.
 ///
 /// Each allocation size's row is independent of the others, so the sweep
-/// fans out across sizes with `std::thread::scope`; rows are joined back
-/// in size order, keeping the output deterministic.
+/// fans out across sizes on the work-stealing pool; rows come back in
+/// size order, keeping the output deterministic.
 pub fn report(core: CoreModel, name: &str) -> String {
     let mut out = format!(
         "Allocator benchmark overheads relative to Baseline ({})\n\n",
@@ -26,34 +26,28 @@ pub fn report(core: CoreModel, name: &str) -> String {
         "Hardware(S)%",
     ];
     let sizes = AllocBenchParams::paper_sizes();
-    let rows: Vec<Vec<String>> = std::thread::scope(|s| {
-        let handles: Vec<_> = sizes
-            .iter()
-            .map(|&size| {
-                s.spawn(move || {
-                    let base = run_alloc_bench(&AllocBenchParams::paper(
-                        core,
-                        AllocConfig::Baseline,
-                        false,
-                        size,
-                    ));
-                    let cell = |config, hwm| {
-                        let r = run_alloc_bench(&AllocBenchParams::paper(core, config, hwm, size));
-                        format!("{:.1}", overhead_pct(&r, &base))
-                    };
-                    vec![
-                        format!("{size}"),
-                        cell(AllocConfig::Metadata, false),
-                        cell(AllocConfig::Software, false),
-                        cell(AllocConfig::Software, true),
-                        cell(AllocConfig::Hardware, false),
-                        cell(AllocConfig::Hardware, true),
-                    ]
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
+    let rows: Vec<Vec<String>> =
+        cheriot_core::sched::work_steal(sizes.len(), crate::harness::pool_threads(), |i| {
+            let size = sizes[i];
+            let base = run_alloc_bench(&AllocBenchParams::paper(
+                core,
+                AllocConfig::Baseline,
+                false,
+                size,
+            ));
+            let cell = |config, hwm| {
+                let r = run_alloc_bench(&AllocBenchParams::paper(core, config, hwm, size));
+                format!("{:.1}", overhead_pct(&r, &base))
+            };
+            vec![
+                format!("{size}"),
+                cell(AllocConfig::Metadata, false),
+                cell(AllocConfig::Software, false),
+                cell(AllocConfig::Software, true),
+                cell(AllocConfig::Hardware, false),
+                cell(AllocConfig::Hardware, true),
+            ]
+        });
     out.push_str(&render_table(&headers, &rows));
     if let Ok(p) = write_csv(name, &headers, &rows) {
         out.push_str(&format!("\nwrote {}\n", p.display()));

@@ -2,15 +2,25 @@
 //!
 //! Every table/figure of the evaluation is a pure function of the
 //! simulator configuration, so independent (core model × configuration ×
-//! workload) runs fan out with `std::thread::scope` — no extra
-//! dependencies, which matters in this offline build environment. Each
-//! section returns its report as a `String`; callers print the sections in
-//! a fixed order, so output stays byte-identical to the sequential
-//! harness regardless of scheduling.
+//! workload) runs fan out over [`cheriot_core::sched::work_steal`] — no
+//! extra dependencies, which matters in this offline build environment,
+//! and no thread idles on a straggler the way the old one-thread-per-item
+//! split did. Each section returns its report as a `String` and
+//! `work_steal` returns results in item order, so output stays
+//! byte-identical to the sequential harness regardless of scheduling.
 
 use crate::{figures, render_table, write_csv};
+use cheriot_core::sched::work_steal;
 use cheriot_core::CoreModel;
 use cheriot_workloads::{run_coremark, CoreMarkConfig, CoreMarkResult};
+
+/// Worker count for fan-outs: the machine's parallelism, so nested
+/// sections don't multiply into oversubscription.
+pub(crate) fn pool_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
 
 /// Table 2: area and power of the Ibex variants (analytical model; cheap).
 pub fn table2_report() -> String {
@@ -53,26 +63,21 @@ pub fn table3_runs() -> Vec<(CoreModel, [CoreMarkResult; 3])> {
         CoreMarkConfig::capabilities(),
         CoreMarkConfig::capabilities_with_filter(),
     ];
-    std::thread::scope(|s| {
-        let handles: Vec<_> = cores
-            .iter()
-            .map(|&core| {
-                configs
-                    .iter()
-                    .map(|cfg| s.spawn(move || run_coremark(core, cfg)))
-                    .collect::<Vec<_>>()
-            })
-            .collect();
-        cores
-            .iter()
-            .zip(handles)
-            .map(|(&core, hs)| {
-                let mut it = hs.into_iter().map(|h| h.join().unwrap());
-                let results = [it.next().unwrap(), it.next().unwrap(), it.next().unwrap()];
-                (core, results)
-            })
-            .collect()
+    let mut flat = work_steal(cores.len() * configs.len(), pool_threads(), |i| {
+        run_coremark(cores[i / configs.len()], &configs[i % configs.len()])
     })
+    .into_iter();
+    cores
+        .iter()
+        .map(|&core| {
+            let results = [
+                flat.next().unwrap(),
+                flat.next().unwrap(),
+                flat.next().unwrap(),
+            ];
+            (core, results)
+        })
+        .collect()
 }
 
 /// Table 3: CoreMark score and overhead per core/configuration.
@@ -102,11 +107,12 @@ pub fn table3_report() -> String {
 /// Table 4 + Figures 5/6: the allocator sweeps for both cores, run
 /// concurrently (each figure also fans out internally across sizes).
 pub fn figures_report() -> String {
-    let (fig5, fig6) = std::thread::scope(|s| {
-        let h5 = s.spawn(|| figures::report(CoreModel::flute(), "fig5_alloc_flute"));
-        let h6 = s.spawn(|| figures::report(CoreModel::ibex(), "fig6_alloc_ibex"));
-        (h5.join().unwrap(), h6.join().unwrap())
-    });
+    let mut figs = work_steal(2, 2, |i| match i {
+        0 => figures::report(CoreModel::flute(), "fig5_alloc_flute"),
+        _ => figures::report(CoreModel::ibex(), "fig6_alloc_ibex"),
+    })
+    .into_iter();
+    let (fig5, fig6) = (figs.next().unwrap(), figs.next().unwrap());
     format!("{fig5}\n{fig6}")
 }
 
@@ -147,20 +153,15 @@ pub fn encoding_report() -> String {
 /// Runs every section concurrently and returns the combined report in the
 /// fixed section order `all_results` has always printed.
 pub fn run_all() -> String {
-    let [t2, t3, figs, e2e, enc] = std::thread::scope(|s| {
-        let h2 = s.spawn(table2_report);
-        let h3 = s.spawn(table3_report);
-        let hf = s.spawn(figures_report);
-        let he = s.spawn(e2e_report);
-        let hn = s.spawn(encoding_report);
-        [
-            h2.join().unwrap(),
-            h3.join().unwrap(),
-            hf.join().unwrap(),
-            he.join().unwrap(),
-            hn.join().unwrap(),
-        ]
-    });
+    let sections: [fn() -> String; 5] = [
+        table2_report,
+        table3_report,
+        figures_report,
+        e2e_report,
+        encoding_report,
+    ];
+    let mut reports = work_steal(sections.len(), sections.len(), |i| sections[i]()).into_iter();
+    let [t2, t3, figs, e2e, enc] = std::array::from_fn(|_| reports.next().unwrap());
     format!(
         "=== Table 2: area and power ===\n\n{t2}\n=== Table 3: CoreMark ===\n\n{t3}\n=== Table 4 + Figures 5/6: allocator ===\n\n{figs}\n=== §7.2.3: end-to-end IoT application ===\n\n{e2e}\n=== §3.2: encoding quality ===\n\n{enc}\nall results written to results/\n"
     )

@@ -129,6 +129,7 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignArgs, String> {
                 }
                 cfg.classes = classes;
             }
+            "--no-snapshot" => cfg.use_snapshot = false,
             "--json" => json_out = Some(PathBuf::from(value(f, &mut it)?)),
             "--out" => text_out = Some(PathBuf::from(value(f, &mut it)?)),
             other => return Err(format!("unknown flag `{other}` for `fault-campaign`")),
@@ -217,6 +218,13 @@ mod tests {
         assert_eq!(a.cfg.threads, 4);
         assert_eq!(a.cfg.classes.len(), 3);
         assert_eq!(a.json_out, Some(PathBuf::from("out.json")));
+        assert!(a.cfg.use_snapshot, "snapshot engine is the default");
+    }
+
+    #[test]
+    fn no_snapshot_selects_the_reboot_path() {
+        let a = parse_campaign_args(&v(&["--count", "2", "--no-snapshot"])).unwrap();
+        assert!(!a.cfg.use_snapshot);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! cheriot-sim disasm prog.bin
 //! cheriot-sim fault-campaign [--seed-base N] [--count K] [--threads T]
 //!                            [--kinds tag,bounds,bitmap,...] [--faults N]
-//!                            [--cadence N] [--max-cycles N]
+//!                            [--cadence N] [--max-cycles N] [--no-snapshot]
 //!                            [--json out.json] [--out out.txt]
 //! ```
 //!
@@ -28,7 +28,7 @@ const USAGE: &str = "usage:
   cheriot-sim disasm <prog.bin>
   cheriot-sim fault-campaign [--seed-base N] [--count K] [--threads T] \
 [--kinds <k1,k2,...>] [--faults N] [--cadence N] [--max-cycles N] \
-[--json <out.json>] [--out <out.txt>]";
+[--no-snapshot] [--json <out.json>] [--out <out.txt>]";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");

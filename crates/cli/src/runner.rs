@@ -210,6 +210,9 @@ fn run_instructions(
             tracer
                 .metrics
                 .add("block_cache_invalidations", bs.invalidated);
+            let ss = m.snapshot_stats();
+            tracer.metrics.add("snapshot_restores", ss.restores);
+            tracer.metrics.add("dirty_pages_copied", ss.pages_copied);
             let _ = tracer.finish(m.cycles);
             if let Some(path) = &opts.trace_out {
                 match std::fs::write(path, tracer.chrome_json()) {

@@ -100,7 +100,12 @@ pub struct BlockCacheStats {
 
 /// PC-indexed store of predecoded blocks (one slot per code word, keyed by
 /// the block's start address).
-#[derive(Debug, Default)]
+///
+/// `Clone` is cheap sharing, not duplication: the slot table holds
+/// `Arc<Block>`, so a clone bumps one refcount per resident block and the
+/// decoded instructions themselves are shared. Snapshots rely on this so
+/// forked machines inherit predecoded blocks instead of re-decoding.
+#[derive(Clone, Debug, Default)]
 pub struct BlockCache {
     slots: Vec<Option<Arc<Block>>>,
     /// Counters; the machine exposes them via

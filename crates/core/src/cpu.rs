@@ -6,7 +6,7 @@ use crate::insn::{Reg, ScrId};
 use cheriot_cap::Capability;
 
 /// Architectural state of a CHERIoT hart.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Cpu {
     regs: [Capability; 16],
     /// Program counter capability. Its address is the PC.

@@ -47,6 +47,7 @@ pub mod mem;
 pub mod meter;
 pub mod pipeline;
 pub mod revocation;
+pub mod sched;
 pub mod trap;
 
 /// The structured tracing/metrics subsystem (the `cheriot-trace` crate),
@@ -57,7 +58,9 @@ pub use cheriot_trace as trace;
 pub use blockcache::BlockCacheStats;
 pub use encoding::{decode, decode_program, encode, encode_program, DecodeError, EncodeError};
 pub use error::{state_dump, SimError};
-pub use machine::{layout, ExitReason, Machine, MachineConfig, Stats, TraceEntry};
+pub use machine::{
+    layout, ExitReason, Machine, MachineConfig, Snapshot, SnapshotStats, Stats, TraceEntry,
+};
 pub use meter::Meter;
 pub use pipeline::{CoreKind, CoreModel};
 pub use trap::TrapCause;

@@ -170,6 +170,12 @@ pub struct Machine {
     /// Execution statistics.
     pub stats: Stats,
     code: Vec<Instr>,
+    /// Content-identity stamp of `code`: refreshed on every mutation
+    /// (append, patch), zero only while the code region is empty. Two
+    /// machines/snapshots with equal stamps hold identical code, letting
+    /// [`Machine::restore_from`] skip the code copy and keep resident
+    /// predecoded blocks.
+    code_content: u64,
     /// Predecoded basic-block cache over `code` (see [`crate::blockcache`]).
     blocks: BlockCache,
     /// Emit `BlockCompiled`/`BlockInvalidated` trace events? Off by
@@ -183,6 +189,112 @@ pub struct Machine {
     wd_limit: u64,
     /// The most recent trap cause taken (synchronous or interrupt).
     last_trap: Option<TrapCause>,
+    /// Host-side snapshot/restore counters (not architectural state;
+    /// never captured or restored by snapshots).
+    snap_stats: SnapshotStats,
+}
+
+/// Host-side counters for the snapshot/restore engine, exposed via
+/// [`Machine::snapshot_stats`]. A rising `pages_copied`-per-restore ratio
+/// (or any `full_restores` in a loop that should stay in lineage) flags a
+/// regression in dirty-tracking precision.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Calls to [`Machine::restore_from`].
+    pub restores: u64,
+    /// SRAM pages copied across all restores (dirty pages only, when the
+    /// lineage fast path applies).
+    pub pages_copied: u64,
+    /// Restores that fell off the lineage fast path and copied the whole
+    /// bank.
+    pub full_restores: u64,
+}
+
+/// A point-in-time capture of a machine's full architectural state: CPU,
+/// SRAM bytes + tags, revocation bitmap, background revoker, timers,
+/// console, GPIO, statistics, the code region, and the (Arc-shared)
+/// predecoded block table.
+///
+/// Captured with [`Machine::snapshot`] / [`Machine::snapshot_into`],
+/// applied with [`Machine::restore_from`], or turned into an independent
+/// machine with [`Snapshot::to_machine`] (a *fork* — the new machine
+/// shares the snapshot's decoded blocks but no mutable state). Host-side
+/// observers (tracer, block-trace flag, snapshot counters) are not part
+/// of a snapshot.
+#[derive(Clone)]
+pub struct Snapshot {
+    cfg: MachineConfig,
+    cpu: Cpu,
+    sram: Sram,
+    bitmap: RevocationBitmap,
+    revoker: BackgroundRevoker,
+    cycles: u64,
+    mtimecmp: u64,
+    console: Vec<u8>,
+    gpio_out: u32,
+    gpio_writes: u64,
+    stats: Stats,
+    code: Vec<Instr>,
+    code_content: u64,
+    blocks: BlockCache,
+    halted: Option<ExitReason>,
+    pending_use: Option<(Reg, u64)>,
+    wd_limit: u64,
+    last_trap: Option<TrapCause>,
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("cycles", &self.cycles)
+            .field("code_words", &self.code.len())
+            .field("sram", &self.sram)
+            .finish()
+    }
+}
+
+impl Snapshot {
+    /// An all-default snapshot for `cfg`, used as the initial capture
+    /// target (the first [`Machine::snapshot_into`] fills it wholesale).
+    fn empty(cfg: MachineConfig) -> Snapshot {
+        Snapshot {
+            cfg,
+            cpu: Cpu::at_reset(),
+            // Zero-size bank: the first capture's slow path sizes it to
+            // the machine's shape without paying a throwaway allocation
+            // (snapshot banks never carry the decoded-cap side cache).
+            sram: Sram::new(layout::SRAM_BASE, 0),
+            bitmap: RevocationBitmap::new(cfg.heap_base(), cfg.heap_end()),
+            revoker: BackgroundRevoker::new(cfg.revoker),
+            cycles: 0,
+            mtimecmp: u64::MAX,
+            console: Vec::new(),
+            gpio_out: 0,
+            gpio_writes: 0,
+            stats: Stats::default(),
+            code: Vec::new(),
+            code_content: 0,
+            blocks: BlockCache::default(),
+            halted: None,
+            pending_use: None,
+            wd_limit: u64::MAX,
+            last_trap: None,
+        }
+    }
+
+    /// Builds an independent machine in this snapshot's state (a fork).
+    /// The fork shares the snapshot's predecoded blocks (`Arc`), so it
+    /// starts with a warm block cache and re-decodes nothing.
+    pub fn to_machine(&self) -> Machine {
+        let mut m = Machine::new(self.cfg);
+        m.restore_from(self);
+        m
+    }
+
+    /// Cycle count at capture time.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
 }
 
 /// One retired-instruction trace record.
@@ -216,6 +328,7 @@ impl Clone for Machine {
             gpio_writes: self.gpio_writes,
             stats: self.stats,
             code: self.code.clone(),
+            code_content: self.code_content,
             blocks: BlockCache::default(),
             block_trace: self.block_trace,
             halted: self.halted,
@@ -223,6 +336,7 @@ impl Clone for Machine {
             tracer: None,
             wd_limit: self.wd_limit,
             last_trap: self.last_trap,
+            snap_stats: SnapshotStats::default(),
         }
     }
 }
@@ -246,6 +360,7 @@ impl Machine {
             gpio_writes: 0,
             stats: Stats::default(),
             code: Vec::new(),
+            code_content: 0,
             blocks: BlockCache::default(),
             block_trace: false,
             halted: None,
@@ -253,6 +368,7 @@ impl Machine {
             tracer: None,
             wd_limit: u64::MAX,
             last_trap: None,
+            snap_stats: SnapshotStats::default(),
         }
     }
 
@@ -354,6 +470,7 @@ impl Machine {
         let start = layout::CODE_BASE + 4 * self.code.len() as u32;
         self.code.extend_from_slice(instrs);
         if !instrs.is_empty() {
+            self.code_content = crate::mem::fresh_content_id();
             // Blocks truncated at the old end of code must re-extend over
             // the new instructions; the generation bump lets observers see
             // that the cache noticed the load.
@@ -410,6 +527,7 @@ impl Machine {
                 code_end: self.code_end(),
             })?;
         let old = core::mem::replace(&mut self.code[idx], instr);
+        self.code_content = crate::mem::fresh_content_id();
         let dropped = self.blocks.invalidate_covering(addr) as u32;
         if self.block_trace {
             self.trace_emit(EventKind::BlockInvalidated {
@@ -451,6 +569,102 @@ impl Machine {
     /// trace output is byte-identical with the cache on or off.
     pub fn set_block_trace(&mut self, on: bool) {
         self.block_trace = on;
+    }
+
+    // --- Snapshot / fork ------------------------------------------------------
+
+    /// Captures the machine's full architectural state into a fresh
+    /// [`Snapshot`]. Prefer [`Machine::snapshot_into`] in loops — it
+    /// reuses the snapshot's buffers and copies only pages dirtied since
+    /// the previous capture.
+    pub fn snapshot(&mut self) -> Snapshot {
+        let mut snap = Snapshot::empty(self.cfg);
+        self.snapshot_into(&mut snap);
+        snap
+    }
+
+    /// Re-captures the machine's state into an existing snapshot.
+    ///
+    /// SRAM moves through the dirty-page engine: when `snap` already holds
+    /// this machine's last-stamped SRAM content, only pages written since
+    /// that stamp are copied — O(dirty). The code region and (Arc-shared)
+    /// predecoded block table are only cloned when the code actually
+    /// changed since `snap` was last captured.
+    pub fn snapshot_into(&mut self, snap: &mut Snapshot) {
+        snap.cfg = self.cfg;
+        snap.cpu = self.cpu.clone();
+        self.sram.capture_into(&mut snap.sram);
+        snap.bitmap.copy_from(&self.bitmap);
+        snap.revoker = self.revoker.clone();
+        snap.cycles = self.cycles;
+        snap.mtimecmp = self.mtimecmp;
+        snap.console.clear();
+        snap.console.extend_from_slice(&self.console);
+        snap.gpio_out = self.gpio_out;
+        snap.gpio_writes = self.gpio_writes;
+        snap.stats = self.stats;
+        if snap.code_content != self.code_content {
+            snap.code.clone_from(&self.code);
+            snap.blocks = self.blocks.clone();
+            snap.code_content = self.code_content;
+        }
+        snap.halted = self.halted;
+        snap.pending_use = self.pending_use;
+        snap.wd_limit = self.wd_limit;
+        snap.last_trap = self.last_trap;
+    }
+
+    /// Restores the machine to the state captured in `snap`.
+    ///
+    /// O(dirty): SRAM pages not written since this machine's last
+    /// snapshot/restore stamp of the same content are guaranteed unchanged
+    /// and skipped; without a lineage match the whole bank is copied (and
+    /// counted in [`SnapshotStats::full_restores`]). When the code region
+    /// already matches (`code_content` stamps equal), resident predecoded
+    /// blocks are left in place, so a run forked after a reference run
+    /// inherits its decoded blocks; otherwise the snapshot's Arc-shared
+    /// block table is installed alongside the code copy.
+    ///
+    /// The tracer and `block_trace` flag are host-side observers and are
+    /// left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snap` was captured from a machine with a different SRAM
+    /// configuration.
+    pub fn restore_from(&mut self, snap: &Snapshot) {
+        self.cfg = snap.cfg;
+        self.cpu = snap.cpu.clone();
+        let pages = self.sram.dirty_pages();
+        let copied = self.sram.restore_page_wise(&snap.sram);
+        self.bitmap.copy_from(&snap.bitmap);
+        self.revoker = snap.revoker.clone();
+        self.cycles = snap.cycles;
+        self.mtimecmp = snap.mtimecmp;
+        self.console.clear();
+        self.console.extend_from_slice(&snap.console);
+        self.gpio_out = snap.gpio_out;
+        self.gpio_writes = snap.gpio_writes;
+        self.stats = snap.stats;
+        if self.code_content != snap.code_content {
+            self.code.clone_from(&snap.code);
+            self.blocks = snap.blocks.clone();
+            self.code_content = snap.code_content;
+        }
+        self.halted = snap.halted;
+        self.pending_use = snap.pending_use;
+        self.wd_limit = snap.wd_limit;
+        self.last_trap = snap.last_trap;
+        self.snap_stats.restores += 1;
+        self.snap_stats.pages_copied += u64::from(copied);
+        if copied > pages {
+            self.snap_stats.full_restores += 1;
+        }
+    }
+
+    /// Host-side snapshot/restore counters (see [`SnapshotStats`]).
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        self.snap_stats
     }
 
     /// An executable capability covering all loaded code, for use as a boot

@@ -19,9 +19,26 @@
 
 use crate::trap::TrapCause;
 use cheriot_cap::Capability;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Capability-granule size: 8 bytes (a 64-bit capability).
 pub const GRANULE: u32 = 8;
+
+/// Dirty-tracking page size: 4 KiB. A page is 512 granules, which is an
+/// exact multiple of the 64-granule tag words, so page-wise copies move
+/// whole tag words and whole side-cache runs.
+pub const PAGE_SIZE: u32 = 4096;
+
+/// Granules per dirty-tracking page.
+const PAGE_GRANULES: usize = (PAGE_SIZE / GRANULE) as usize;
+
+/// Globally unique content-identity stamps for snapshot lineage. Never
+/// zero (zero means "unstamped").
+static CONTENT_IDS: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn fresh_content_id() -> u64 {
+    CONTENT_IDS.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A bank of byte-addressable tagged SRAM.
 #[derive(Clone)]
@@ -35,6 +52,17 @@ pub struct Sram {
     /// when the granule's tag is set and `c` equals
     /// `Capability::from_word(word, true)` for the granule's current word.
     caps: Vec<Option<Capability>>,
+    /// Dirty-page bitmap: bit `p % 64` of word `p / 64` is set when page
+    /// `p` may have been written since the last snapshot/restore stamp.
+    /// Maintained conservatively on every store/zero path (never on
+    /// reads — side-cache fills are derived state), so a clear bit
+    /// *guarantees* the page still holds the stamped content.
+    dirty: Vec<u64>,
+    /// Content-identity stamp the dirty bitmap is relative to: the bank
+    /// held exactly the content identified by this id when the bitmap was
+    /// last cleared. Zero means unstamped (no lineage; restores fall back
+    /// to full copies).
+    content: u64,
 }
 
 impl std::fmt::Debug for Sram {
@@ -56,11 +84,14 @@ impl Sram {
         assert_eq!(base % GRANULE, 0, "SRAM base must be granule-aligned");
         assert_eq!(size % GRANULE, 0, "SRAM size must be granule-aligned");
         let granules = (size / GRANULE) as usize;
+        let pages = (size as usize).div_ceil(PAGE_SIZE as usize);
         Sram {
             base,
             bytes: vec![0; size as usize],
             tags: vec![0; granules.div_ceil(64)],
             caps: vec![None; granules],
+            dirty: vec![0; pages.div_ceil(64)],
+            content: 0,
         }
     }
 
@@ -105,6 +136,24 @@ impl Sram {
             self.tags[g >> 6] |= mask;
         } else {
             self.tags[g >> 6] &= !mask;
+        }
+    }
+
+    /// Marks the page containing byte offset `o` dirty. All aligned
+    /// scalar/capability stores stay within one page, so the single-page
+    /// form covers every store path except [`Sram::zero_range`].
+    #[inline]
+    fn mark_dirty(&mut self, o: usize) {
+        let p = o / PAGE_SIZE as usize;
+        self.dirty[p >> 6] |= 1u64 << (p & 63);
+    }
+
+    /// Marks every page overlapping `[o, o+len)` dirty (`len > 0`).
+    fn mark_dirty_range(&mut self, o: usize, len: usize) {
+        let p0 = o / PAGE_SIZE as usize;
+        let p1 = (o + len - 1) / PAGE_SIZE as usize;
+        for p in p0..=p1 {
+            self.dirty[p >> 6] |= 1u64 << (p & 63);
         }
     }
 
@@ -153,6 +202,7 @@ impl Sram {
         let g = self.granule(addr);
         self.tag_set(g, false);
         self.caps[g] = None;
+        self.mark_dirty(o);
         Ok(())
     }
 
@@ -183,6 +233,7 @@ impl Sram {
         let g = self.granule(addr);
         self.tag_set(g, tag);
         self.caps[g] = None;
+        self.mark_dirty(o);
         Ok(())
     }
 
@@ -200,6 +251,7 @@ impl Sram {
         let g = self.granule(addr);
         self.tag_set(g, c.tag());
         self.caps[g] = if c.tag() { Some(c) } else { None };
+        self.mark_dirty(o);
         Ok(())
     }
 
@@ -241,6 +293,7 @@ impl Sram {
         }
         let o = self.offset(addr);
         self.bytes[o..o + len as usize].fill(0);
+        self.mark_dirty_range(o, len as usize);
         let g0 = o / GRANULE as usize;
         let g1 = (o + len as usize - 1) / GRANULE as usize;
         self.caps[g0..=g1].fill(None);
@@ -312,6 +365,144 @@ impl Sram {
             g = (g & !63) + 64;
         }
         (limit - g0) as u32
+    }
+
+    /// Number of dirty-tracking pages in the bank.
+    pub fn num_pages(&self) -> u32 {
+        self.bytes.len().div_ceil(PAGE_SIZE as usize) as u32
+    }
+
+    /// Number of pages currently marked dirty (written since the last
+    /// snapshot/restore stamp).
+    pub fn dirty_pages(&self) -> u32 {
+        self.dirty.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Is the page containing `addr` marked dirty? False outside the bank.
+    pub fn page_is_dirty(&self, addr: u32) -> bool {
+        if !self.contains(addr, 1) {
+            return false;
+        }
+        let p = self.offset(addr) / PAGE_SIZE as usize;
+        self.dirty[p >> 6] & (1u64 << (p & 63)) != 0
+    }
+
+    /// Architectural-content equality: same base and identical bytes and
+    /// tags. The decoded side cache and dirty bookkeeping are derived
+    /// state and deliberately excluded.
+    pub fn content_eq(&self, other: &Sram) -> bool {
+        self.base == other.base && self.bytes == other.bytes && self.tags == other.tags
+    }
+
+    fn clear_dirty(&mut self) {
+        self.dirty.fill(0);
+    }
+
+    fn same_shape(&self, other: &Sram) -> bool {
+        self.base == other.base && self.bytes.len() == other.bytes.len()
+    }
+
+    /// Copies page `p` of `src` (bytes and tags) into `self`. Pages start
+    /// word-aligned in the tag array (512 granules = 8 tag words), so
+    /// whole words move; a partial final page owns the trailing bits of
+    /// its last word.
+    ///
+    /// The decoded-cap side cache is *derived* state: snapshot banks
+    /// don't carry one at all, and a restored page just drops its entries
+    /// — they re-derive on the next tagged load. Copying them would more
+    /// than triple restore traffic for state a single decode rebuilds.
+    fn copy_page_from(&mut self, src: &Sram, p: usize) {
+        let b0 = p * PAGE_SIZE as usize;
+        let b1 = (b0 + PAGE_SIZE as usize).min(self.bytes.len());
+        self.bytes[b0..b1].copy_from_slice(&src.bytes[b0..b1]);
+        let g0 = p * PAGE_GRANULES;
+        let g1 = b1 / GRANULE as usize;
+        if !self.caps.is_empty() {
+            self.caps[g0..g1].fill(None);
+        }
+        let w0 = g0 >> 6;
+        let w1 = g1.div_ceil(64);
+        self.tags[w0..w1].copy_from_slice(&src.tags[w0..w1]);
+    }
+
+    /// Captures the bank's current content into `dst`, stamping both with
+    /// the content id of the captured state.
+    ///
+    /// When `dst` already holds this bank's last-stamped content (their
+    /// content ids match), only pages dirtied since that stamp are copied
+    /// — O(dirty). Otherwise `dst` is overwritten wholesale. Both dirty
+    /// bitmaps are cleared; returns the number of pages copied.
+    pub(crate) fn capture_into(&mut self, dst: &mut Sram) -> u32 {
+        let copied;
+        let any_dirty = self.dirty.iter().any(|&w| w != 0);
+        if self.content != 0 && dst.content == self.content && self.same_shape(dst) {
+            let mut n = 0;
+            for wi in 0..self.dirty.len() {
+                let mut w = self.dirty[wi];
+                while w != 0 {
+                    let p = (wi << 6) + w.trailing_zeros() as usize;
+                    dst.copy_page_from(self, p);
+                    w &= w - 1;
+                    n += 1;
+                }
+            }
+            copied = n;
+        } else {
+            dst.base = self.base;
+            dst.bytes.clone_from(&self.bytes);
+            dst.tags.clone_from(&self.tags);
+            // Snapshot banks never carry the derived side cache (see
+            // `copy_page_from`); drop the allocation, not just the entries.
+            dst.caps = Vec::new();
+            dst.dirty.resize(self.dirty.len(), 0);
+            copied = self.num_pages();
+        }
+        if self.content == 0 || any_dirty {
+            self.content = fresh_content_id();
+        }
+        dst.content = self.content;
+        self.clear_dirty();
+        dst.clear_dirty();
+        copied
+    }
+
+    /// Restores the bank to the content of `src` (a snapshot's bank).
+    ///
+    /// When this bank's last stamp matches `src`'s content id, every page
+    /// not marked dirty is *guaranteed* unchanged since that stamp, so
+    /// only dirty pages are copied back — O(dirty). Without a lineage
+    /// match the whole bank is copied. Clears the dirty bitmap and adopts
+    /// `src`'s content id; returns the number of pages copied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the banks have different bases or sizes.
+    pub(crate) fn restore_page_wise(&mut self, src: &Sram) -> u32 {
+        assert!(
+            self.same_shape(src),
+            "snapshot restore across differently-shaped SRAM banks"
+        );
+        let copied = if src.content != 0 && self.content == src.content {
+            let mut n = 0;
+            for wi in 0..self.dirty.len() {
+                let mut w = self.dirty[wi];
+                while w != 0 {
+                    let p = (wi << 6) + w.trailing_zeros() as usize;
+                    self.copy_page_from(src, p);
+                    w &= w - 1;
+                    n += 1;
+                }
+            }
+            n
+        } else {
+            self.bytes.copy_from_slice(&src.bytes);
+            self.tags.copy_from_slice(&src.tags);
+            self.caps.fill(None);
+            self.num_pages()
+        };
+        self.content = src.content;
+        self.clear_dirty();
+        copied
     }
 }
 
@@ -460,6 +651,98 @@ mod tests {
         assert_eq!(back.bounds(), c.bounds());
         // The raw word view agrees with the cached view.
         assert_eq!(m.read_cap_word(0x2000_0010).unwrap(), (c.to_word(), true));
+    }
+
+    #[test]
+    fn dirty_tracking_marks_exactly_the_touched_pages() {
+        let mut m = Sram::new(0x2000_0000, 0x4000); // 4 pages
+        let mut snap = Sram::new(0x2000_0000, 0x4000);
+        m.capture_into(&mut snap);
+        assert_eq!(m.dirty_pages(), 0);
+        m.write_scalar(0x2000_0004, 1, 0xaa).unwrap();
+        assert_eq!(m.dirty_pages(), 1);
+        assert!(m.page_is_dirty(0x2000_0004));
+        assert!(!m.page_is_dirty(0x2000_1000));
+        m.write_cap_word(0x2000_2000, 1, true).unwrap();
+        assert_eq!(m.dirty_pages(), 2);
+        // A zero spanning the page-1/page-2 boundary dirties both.
+        m.zero_range(0x2000_1ff8, 16).unwrap();
+        assert_eq!(m.dirty_pages(), 3);
+        assert!(m.page_is_dirty(0x2000_1ff8));
+    }
+
+    #[test]
+    fn dirty_tracking_never_under_reports() {
+        // Restore correctness under targeted single-page stores: every
+        // store path must mark its page, or the page-wise restore would
+        // silently keep the new bytes. Restoring after each kind of store
+        // must reproduce the snapshot content exactly.
+        let c = Capability::root_mem_rw()
+            .with_address(0x2000_0100)
+            .set_bounds(64)
+            .unwrap();
+        type Store = Box<dyn Fn(&mut Sram)>;
+        let stores: Vec<Store> = vec![
+            Box::new(|s| s.write_scalar(0x2000_0abc, 4, 0xdead_beef).unwrap()),
+            Box::new(|s| s.write_scalar(0x2000_1fff, 1, 0x55).unwrap()),
+            Box::new(|s| s.write_cap_word(0x2000_2ff8, 0x0123, true).unwrap()),
+            Box::new(move |s| s.write_cap(0x2000_3008, c).unwrap()),
+            Box::new(|s| s.zero_range(0x2000_0ff0, 0x20).unwrap()),
+        ];
+        for store in &stores {
+            let mut m = Sram::new(0x2000_0000, 0x4000);
+            // Pre-populate so zeroing/overwrites actually change content.
+            for a in (0x2000_0000u32..0x2000_4000).step_by(64) {
+                m.write_cap_word(a, u64::from(a), true).unwrap();
+            }
+            let mut snap = Sram::new(0x2000_0000, 0x4000);
+            m.capture_into(&mut snap);
+            store(&mut m);
+            let dirty = m.dirty_pages();
+            assert!(dirty > 0, "store path failed to mark any page");
+            assert_eq!(m.restore_page_wise(&snap), dirty);
+            assert!(m.content_eq(&snap), "restore missed a dirtied page");
+        }
+    }
+
+    #[test]
+    fn page_wise_restore_copies_only_dirty_pages() {
+        let mut m = Sram::new(0x2000_0000, 0x8000); // 8 pages
+        m.write_cap_word(0x2000_4000, 7, true).unwrap();
+        let mut snap = Sram::new(0x2000_0000, 0x8000);
+        let first = m.capture_into(&mut snap);
+        assert_eq!(first, 8, "first capture into a fresh bank is a full copy");
+        m.write_scalar(0x2000_0000, 4, 1).unwrap();
+        m.write_scalar(0x2000_7ffc, 4, 2).unwrap();
+        assert_eq!(m.restore_page_wise(&snap), 2);
+        assert!(m.content_eq(&snap));
+        assert!(m.tag_at(0x2000_4000));
+        // Re-capture with no divergence copies nothing and keeps lineage.
+        assert_eq!(m.capture_into(&mut snap), 0);
+        // A foreign bank has no lineage: full copy.
+        let mut other = Sram::new(0x2000_0000, 0x8000);
+        assert_eq!(other.restore_page_wise(&snap), 8);
+        assert!(other.content_eq(&snap));
+    }
+
+    #[test]
+    fn side_cache_coherent_after_page_wise_restore() {
+        let c = Capability::root_mem_rw()
+            .with_address(0x2000_0040)
+            .set_bounds(32)
+            .unwrap();
+        let mut m = Sram::new(0x2000_0000, 0x2000);
+        m.write_cap(0x2000_0040, c).unwrap();
+        let mut snap = Sram::new(0x2000_0000, 0x2000);
+        m.capture_into(&mut snap);
+        // Overwrite the capability, then restore: the read-back must be
+        // the snapshot's capability, not the overwrite or a stale decode.
+        m.write_cap_word(0x2000_0040, 0xffff_ffff_ffff_ffff, false)
+            .unwrap();
+        m.restore_page_wise(&snap);
+        let back = m.read_cap(0x2000_0040).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.bounds(), c.bounds());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use cheriot_cap::Capability;
 ///
 /// Memory-mapped so that (only) the allocator compartment can paint bits;
 /// consulted combinationally by the load filter.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RevocationBitmap {
     heap_base: u32,
     heap_end: u32,
@@ -56,6 +56,18 @@ impl RevocationBitmap {
     /// Is `addr` within the revocable region?
     pub fn covers(&self, addr: u32) -> bool {
         addr >= self.heap_base && addr < self.heap_end
+    }
+
+    /// Overwrites this bitmap with `src`'s content (snapshot restore).
+    /// Allocation-free when both already cover regions of the same size.
+    pub fn copy_from(&mut self, src: &RevocationBitmap) {
+        self.heap_base = src.heap_base;
+        self.heap_end = src.heap_end;
+        if self.bits.len() == src.bits.len() {
+            self.bits.copy_from_slice(&src.bits);
+        } else {
+            self.bits.clone_from(&src.bits);
+        }
     }
 
     /// SRAM overhead of the bitmap in bytes (paper: 1/65 ≈ 1.56% of heap).

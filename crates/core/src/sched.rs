@@ -1,0 +1,138 @@
+//! Fleet scheduling: a chunked work-stealing loop for embarrassingly
+//! parallel item lists (campaign seeds, benchmark experiments).
+//!
+//! The previous fan-outs divided work *statically* — seed striding in the
+//! fault campaign, one thread per experiment in the bench harness — so one
+//! straggler item (a slow seed, the biggest allocation size) idled a whole
+//! thread while its siblings finished. Here workers instead claim items
+//! from a shared atomic cursor until the list is drained: no thread goes
+//! idle while work remains, and the results still come back in item order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f(item_index)` for every index in `0..items` across `threads`
+/// worker threads, returning the results in item order.
+///
+/// Workers claim indices from a shared atomic cursor (work stealing), so
+/// uneven item costs never idle a thread while work remains. With
+/// `threads <= 1` (or a single item) everything runs inline on the caller.
+/// Panics in `f` propagate to the caller after the scope joins.
+pub fn work_steal<T, F>(items: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    work_steal_with(items, threads, || (), |(), i| f(i))
+}
+
+/// [`work_steal`] with per-worker scratch state: each worker thread calls
+/// `init` once and threads the resulting state through every item it
+/// claims. The fault campaign uses this to keep one reusable machine (and
+/// its snapshot buffers) per worker instead of booting per seed.
+pub fn work_steal_with<S, T, F, I>(items: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if items == 0 {
+        return Vec::new();
+    }
+    let workers = threads.max(1).min(items);
+    if workers == 1 {
+        let mut state = init();
+        return (0..items).map(|i| f(&mut state, i)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(items));
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items {
+                            break;
+                        }
+                        local.push((i, f(&mut state, i)));
+                    }
+                    collected.lock().unwrap().extend(local);
+                })
+            })
+            .collect();
+        for h in handles {
+            // Propagate worker panics (poisoning the results mutex is
+            // irrelevant past this point — we unwind out of the scope).
+            if let Err(e) = h.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+    });
+    let mut results = collected.into_inner().unwrap();
+    results.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(results.len(), items);
+    results.into_iter().map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        for threads in [1, 2, 4, 7] {
+            let out = work_steal(23, threads, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_oversubscribed_edges() {
+        assert!(work_steal(0, 4, |i| i).is_empty());
+        assert_eq!(work_steal(1, 16, |i| i + 1), vec![1]);
+        assert_eq!(work_steal(3, 0, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let hits = AtomicU64::new(0);
+        let out = work_steal(100, 4, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_within_a_worker() {
+        // Single worker: the counter threads through all items.
+        let out = work_steal_with(
+            5,
+            1,
+            || 0u64,
+            |state, _| {
+                *state += 1;
+                *state
+            },
+        );
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            work_steal(8, 2, |i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(r.is_err());
+    }
+}

@@ -21,8 +21,13 @@
 //!   tag/bounds/bitmap classes never produce one.
 //! - **panicked** — the simulator itself fell over; always a bug.
 //!
-//! Campaigns run in parallel with `std::thread::scope`, each wrapped in
-//! `catch_unwind` so one panicking seed is reported, not fatal.
+//! Campaigns run in parallel on a work-stealing pool
+//! ([`cheriot_core::sched::work_steal_with`]), each seed wrapped in
+//! `catch_unwind` so one panicking seed is reported, not fatal. By default
+//! each worker keeps one reusable machine and forks every run from an
+//! O(dirty) snapshot restore ([`SeedWorker`]); `use_snapshot = false`
+//! selects the legacy per-seed-reboot path, which produces byte-identical
+//! results (asserted by `snapshot_and_reboot_paths_agree_exactly`).
 
 use crate::inject::Injector;
 use crate::invariant::{InvariantChecker, InvariantViolation};
@@ -33,10 +38,12 @@ use cheriot_asm::Asm;
 use cheriot_cap::Capability;
 use cheriot_core::insn::Reg;
 use cheriot_core::layout::{CODE_BASE, SRAM_BASE};
-use cheriot_core::{CoreModel, ExitReason, Machine, MachineConfig};
+use cheriot_core::sched::work_steal_with;
+use cheriot_core::{CoreModel, ExitReason, Machine, MachineConfig, Snapshot, SnapshotStats};
 use cheriot_rtos::run_with_heap_service;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Directory of guest-held capabilities: base offset from SRAM start and
 /// slot count. It sits in the globals area below the heap and is watched
@@ -108,6 +115,12 @@ pub struct CampaignConfig {
     pub cadence: u64,
     /// Per-run cycle budget.
     pub max_cycles: u64,
+    /// Run seeds through the snapshot/fork engine (the default): each
+    /// worker keeps one machine and forks every run from an O(dirty)
+    /// restore instead of booting per seed. `false` is the legacy
+    /// per-seed-reboot path (`fault-campaign --no-snapshot`), kept as a
+    /// cross-check — both paths produce byte-identical results.
+    pub use_snapshot: bool,
 }
 
 impl Default for CampaignConfig {
@@ -120,12 +133,13 @@ impl Default for CampaignConfig {
             faults_per_run: 3,
             cadence: 2_000,
             max_cycles: 30_000_000,
+            use_snapshot: true,
         }
     }
 }
 
 /// Result of one seeded campaign.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignResult {
     /// The campaign's seed.
     pub seed: u64,
@@ -150,6 +164,12 @@ pub struct CampaignReport {
     /// Any entry here means the checker itself (or the simulator) is
     /// broken: a clean run must be invariant-silent.
     pub control_violations: Vec<InvariantViolation>,
+    /// Snapshot restores performed by the fork engine (0 on the legacy
+    /// per-seed-reboot path).
+    pub snapshot_restores: u64,
+    /// SRAM pages copied across those restores. A rising pages-per-restore
+    /// ratio flags a regression in dirty-tracking precision.
+    pub dirty_pages_copied: u64,
 }
 
 impl CampaignReport {
@@ -188,6 +208,12 @@ impl CampaignReport {
             "  control run violations: {}\n",
             self.control_violations.len()
         ));
+        if self.config.use_snapshot {
+            s.push_str(&format!(
+                "  snapshot engine: {} restores, {} dirty pages copied\n",
+                self.snapshot_restores, self.dirty_pages_copied
+            ));
+        }
         for r in &self.results {
             if matches!(
                 r.outcome,
@@ -226,6 +252,18 @@ impl CampaignReport {
             self.config.faults_per_run
         ));
         s.push_str(&format!("  \"cadence\": {},\n", self.config.cadence));
+        s.push_str(&format!(
+            "  \"use_snapshot\": {},\n",
+            self.config.use_snapshot
+        ));
+        s.push_str(&format!(
+            "  \"snapshot_restores\": {},\n",
+            self.snapshot_restores
+        ));
+        s.push_str(&format!(
+            "  \"dirty_pages_copied\": {},\n",
+            self.dirty_pages_copied
+        ));
         s.push_str("  \"outcomes\": {\n");
         let tallies: Vec<String> = Outcome::ALL
             .iter()
@@ -289,10 +327,14 @@ struct Fingerprint {
 }
 
 impl Fingerprint {
-    fn of(exit: ExitReason, m: &Machine) -> Fingerprint {
+    /// Builds the fingerprint by *stealing* the console buffer from the
+    /// finished machine — the machine is dropped or restored from a
+    /// snapshot right after, so cloning the buffer would be a pure
+    /// per-run allocation.
+    fn take(exit: ExitReason, m: &mut Machine) -> Fingerprint {
         Fingerprint {
             exit,
-            console: m.console.clone(),
+            console: std::mem::take(&mut m.console),
             gpio_out: m.gpio_out,
             gpio_writes: m.gpio_writes,
         }
@@ -328,7 +370,10 @@ fn fresh_run(seed: u64, block_cache: bool) -> Result<(Machine, HeapAllocator, u3
 /// Everything the guest will do is decided here, host-side, from the seed
 /// alone — the instruction stream itself is deterministic and branch-free,
 /// so the only nondeterminism in a campaign is the injected faults.
-fn build_workload(seed: u64) -> Vec<cheriot_core::insn::Instr> {
+///
+/// Public so property tests and benches can run campaign-grade guests
+/// without reimplementing the generator.
+pub fn build_workload(seed: u64) -> Vec<cheriot_core::insn::Instr> {
     let mut rng = XorShift64::new(seed ^ 0xC0FF_EE00_D15E_A5E5);
     let mut a = Asm::new();
     let rounds = 12 + rng.gen_range(0, 9) as u32; // 12..=20
@@ -430,7 +475,7 @@ pub fn run_one(seed: u64, cfg: &CampaignConfig) -> CampaignResult {
     if !matches!(r_ref, ExitReason::Halted(_)) {
         return fail(format!("reference run did not exit cleanly: {r_ref:?}"));
     }
-    let reference = Fingerprint::of(r_ref, &m);
+    let reference = Fingerprint::take(r_ref, &mut m);
     let ref_cycles = m.cycles.max(1);
     let ref_instructions = m.stats.instructions;
 
@@ -439,6 +484,36 @@ pub fn run_one(seed: u64, cfg: &CampaignConfig) -> CampaignResult {
         Ok(v) => v,
         Err(e) => return fail(format!("faulted setup: {e}")),
     };
+    run_faulted_phase(
+        &mut m,
+        &mut heap,
+        seed,
+        cfg,
+        dir_lo,
+        dir_len,
+        &reference,
+        ref_cycles,
+        ref_instructions,
+    )
+}
+
+/// The faulted half of a campaign, starting from a machine in post-load
+/// state (however it got there — fresh boot or snapshot fork): arm the
+/// watchdog, generate and inject the plan, run the cadence checker, and
+/// classify against the reference fingerprint. Shared verbatim by the
+/// per-seed-reboot and snapshot/fork paths so the two cannot drift.
+#[allow(clippy::too_many_arguments)]
+fn run_faulted_phase(
+    m: &mut Machine,
+    heap: &mut HeapAllocator,
+    seed: u64,
+    cfg: &CampaignConfig,
+    dir_lo: u32,
+    dir_len: u32,
+    reference: &Fingerprint,
+    ref_cycles: u64,
+    ref_instructions: u64,
+) -> CampaignResult {
     m.set_watchdog(Some(
         ref_instructions.saturating_mul(4).saturating_add(100_000),
     ));
@@ -472,10 +547,10 @@ pub fn run_one(seed: u64, cfg: &CampaignConfig) -> CampaignResult {
             .min(deadline)
             .max(m.cycles + 1);
         let budget = next_stop - m.cycles;
-        let r = run_with_heap_service(&mut m, &mut heap, budget);
-        injector.poll(&mut m);
+        let r = run_with_heap_service(m, heap, budget);
+        injector.poll(m);
         if checker.due(m.cycles) {
-            violations.extend(checker.check(&m, &heap));
+            violations.extend(checker.check(m, heap));
         }
         match r {
             ExitReason::CycleLimit if m.cycles < deadline => continue,
@@ -483,8 +558,8 @@ pub fn run_one(seed: u64, cfg: &CampaignConfig) -> CampaignResult {
         }
     };
     // Final sweep: corruption planted just before exit must still be seen.
-    violations.extend(checker.check(&m, &heap));
-    if let Err(e) = heap.check_consistency(&m) {
+    violations.extend(checker.check(m, heap));
+    if let Err(e) = heap.check_consistency(m) {
         violations.push(InvariantViolation {
             kind: crate::invariant::InvariantKind::BoundsMonotonicity,
             cycle: m.cycles,
@@ -513,8 +588,8 @@ pub fn run_one(seed: u64, cfg: &CampaignConfig) -> CampaignResult {
             ),
             ExitReason::Fault(t) => (Outcome::TrappedSafely, format!("trap: {t:?}")),
             ExitReason::Halted(code) => {
-                let faulted = Fingerprint::of(exit, &m);
-                if faulted == reference {
+                let faulted = Fingerprint::take(exit, m);
+                if faulted == *reference {
                     (Outcome::Benign, String::new())
                 } else {
                     (
@@ -543,6 +618,117 @@ pub fn run_one(seed: u64, cfg: &CampaignConfig) -> CampaignResult {
         faults_applied,
         cycles,
         detail,
+    }
+}
+
+/// Per-worker state for the snapshot/fork engine: one reusable machine,
+/// the post-boot snapshot every seed starts from, a reusable post-load
+/// snapshot buffer, and the boot-state allocator to clone per run.
+///
+/// The per-seed flow replaces two `Machine::new` boots (≈3.5 MB of
+/// allocation + zeroing each) and a duplicate workload build with two
+/// O(dirty) restores and one `HeapAllocator` clone per run. The reference
+/// runs cache-on (legacy runs it cache-off): the block cache is
+/// architecturally invisible — cycles, fingerprints and trap PCs are
+/// identical either way, which `faulted_runs_identical_cache_on_vs_off`
+/// and the cross-path smoke test assert — and the faulted fork then
+/// inherits the reference run's decoded blocks through the snapshot.
+struct SeedWorker {
+    m: Machine,
+    boot_heap: HeapAllocator,
+    boot_snap: Snapshot,
+    seed_snap: Snapshot,
+    dir_lo: u32,
+    dir_len: u32,
+    /// Snapshot counters already harvested into the suite totals.
+    harvested: SnapshotStats,
+}
+
+impl SeedWorker {
+    fn new() -> Result<SeedWorker, String> {
+        let mc = MachineConfig::new(CoreModel::ibex());
+        let mut m = Machine::new(mc);
+        let boot_heap =
+            HeapAllocator::new(&mut m, TemporalPolicy::Quarantine(RevokerKind::Hardware));
+        let dir_lo = SRAM_BASE + DIR_OFFSET;
+        let dir_len = DIR_SLOTS * 8;
+        let dir_cap = Capability::root_mem_rw()
+            .with_address(dir_lo)
+            .set_bounds(u64::from(dir_len))
+            .ok_or_else(|| "directory capability is unrepresentable".to_string())?;
+        m.cpu.write(Reg::GP, dir_cap);
+        let boot_snap = m.snapshot();
+        let seed_snap = boot_snap.clone();
+        Ok(SeedWorker {
+            m,
+            boot_heap,
+            boot_snap,
+            seed_snap,
+            dir_lo,
+            dir_len,
+            harvested: SnapshotStats::default(),
+        })
+    }
+
+    /// One campaign through the fork engine. State-identical to the
+    /// legacy path at every phase boundary: the restored machine is
+    /// byte-identical to a fresh boot (asserted by the core snapshot
+    /// tests), so reference cycles, plan windows, and classifications
+    /// match the per-seed-reboot path exactly.
+    fn run_seed(&mut self, seed: u64, cfg: &CampaignConfig) -> CampaignResult {
+        let fail = |detail: String| CampaignResult {
+            seed,
+            outcome: Outcome::SimError,
+            faults_applied: 0,
+            cycles: 0,
+            detail,
+        };
+        // Back to the (program-free) boot state: O(dirty from last run).
+        self.m.restore_from(&self.boot_snap);
+        let program = build_workload(seed);
+        let entry = match self.m.try_load_program(&program) {
+            Ok(e) => e,
+            Err(e) => return fail(format!("reference setup: {e}")),
+        };
+        self.m.set_entry(entry);
+        // Capture the post-load fork point. Loading touches only the code
+        // region, so the SRAM side of this capture copies zero pages.
+        self.m.snapshot_into(&mut self.seed_snap);
+        // Reference run.
+        let mut heap = self.boot_heap.clone();
+        let r_ref = run_with_heap_service(&mut self.m, &mut heap, cfg.max_cycles);
+        if !matches!(r_ref, ExitReason::Halted(_)) {
+            return fail(format!("reference run did not exit cleanly: {r_ref:?}"));
+        }
+        let reference = Fingerprint::take(r_ref, &mut self.m);
+        let ref_cycles = self.m.cycles.max(1);
+        let ref_instructions = self.m.stats.instructions;
+        // Fork the faulted run from the post-load snapshot; it inherits
+        // every block the reference run decoded.
+        self.m.restore_from(&self.seed_snap);
+        let mut heap = self.boot_heap.clone();
+        run_faulted_phase(
+            &mut self.m,
+            &mut heap,
+            seed,
+            cfg,
+            self.dir_lo,
+            self.dir_len,
+            &reference,
+            ref_cycles,
+            ref_instructions,
+        )
+    }
+
+    /// Snapshot-counter deltas since the last harvest.
+    fn harvest(&mut self) -> (u64, u64) {
+        let s = self.m.snapshot_stats();
+        let d = (
+            s.restores - self.harvested.restores,
+            s.pages_copied - self.harvested.pages_copied,
+        );
+        self.harvested = s;
+        d
     }
 }
 
@@ -576,55 +762,64 @@ fn run_control(seed: u64, cfg: &CampaignConfig) -> Vec<InvariantViolation> {
 }
 
 /// Runs the whole suite: one control run plus `count` seeded campaigns
-/// fanned out over `threads` workers, each campaign wrapped in
-/// `catch_unwind`.
+/// fanned out over a work-stealing pool of `threads` workers, each campaign
+/// wrapped in `catch_unwind`.
+///
+/// With `cfg.use_snapshot` (the default) each worker carries a
+/// [`SeedWorker`] — one reusable machine forked per seed from an O(dirty)
+/// snapshot restore — otherwise every seed reboots from scratch through
+/// [`run_one`]. Workers claim seeds from a shared cursor, so one slow seed
+/// never idles the rest of the pool the way the old fixed stride did.
 pub fn run_campaigns(cfg: &CampaignConfig) -> CampaignReport {
     let control_violations = run_control(cfg.seed_base, cfg);
     let threads = cfg.threads.clamp(1, cfg.count.max(1)) as usize;
     let count = cfg.count as usize;
-    let mut results: Vec<CampaignResult> = Vec::with_capacity(count);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|w| {
-                let cfg = &*cfg;
-                s.spawn(move || {
-                    let mut out = Vec::new();
-                    let mut i = w;
-                    while i < count {
-                        let seed = cfg.seed_base + i as u64;
-                        let r = catch_unwind(AssertUnwindSafe(|| run_one(seed, cfg)))
-                            .unwrap_or_else(|p| CampaignResult {
-                                seed,
-                                outcome: Outcome::Panicked,
-                                faults_applied: 0,
-                                cycles: 0,
-                                detail: panic_message(&p),
-                            });
-                        out.push(r);
-                        i += threads;
+    let restores = AtomicU64::new(0);
+    let pages_copied = AtomicU64::new(0);
+    let results = work_steal_with(
+        count,
+        threads,
+        // `None` state = legacy per-seed-reboot path.
+        || cfg.use_snapshot.then(SeedWorker::new),
+        |state, i| {
+            let seed = cfg.seed_base + i as u64;
+            let r = match state {
+                Some(Ok(worker)) => {
+                    let r = catch_unwind(AssertUnwindSafe(|| worker.run_seed(seed, cfg)));
+                    let (dr, dp) = worker.harvest();
+                    restores.fetch_add(dr, Ordering::Relaxed);
+                    pages_copied.fetch_add(dp, Ordering::Relaxed);
+                    if r.is_err() {
+                        // The worker machine may be wedged mid-run; rebuild
+                        // it so subsequent seeds start from a clean boot.
+                        *state = Some(SeedWorker::new());
                     }
-                    out
-                })
-            })
-            .collect();
-        for h in handles {
-            match h.join() {
-                Ok(mut v) => results.append(&mut v),
-                Err(p) => results.push(CampaignResult {
-                    seed: 0,
-                    outcome: Outcome::Panicked,
+                    r
+                }
+                Some(Err(e)) => Ok(CampaignResult {
+                    seed,
+                    outcome: Outcome::SimError,
                     faults_applied: 0,
                     cycles: 0,
-                    detail: format!("worker thread died: {}", panic_message(&p)),
+                    detail: format!("snapshot worker setup: {e}"),
                 }),
-            }
-        }
-    });
-    results.sort_by_key(|r| r.seed);
+                None => catch_unwind(AssertUnwindSafe(|| run_one(seed, cfg))),
+            };
+            r.unwrap_or_else(|p| CampaignResult {
+                seed,
+                outcome: Outcome::Panicked,
+                faults_applied: 0,
+                cycles: 0,
+                detail: panic_message(&p),
+            })
+        },
+    );
     CampaignReport {
         config: cfg.clone(),
         results,
         control_violations,
+        snapshot_restores: restores.into_inner(),
+        dirty_pages_copied: pages_copied.into_inner(),
     }
 }
 
@@ -745,7 +940,11 @@ mod tests {
                 other => break other,
             }
         };
-        (Fingerprint::of(exit, &m), m.cycles, m.stats.instructions)
+        (
+            Fingerprint::take(exit, &mut m),
+            m.cycles,
+            m.stats.instructions,
+        )
     }
 
     #[test]
@@ -791,6 +990,67 @@ mod tests {
             report.to_text()
         );
         assert!(!report.failed());
+    }
+
+    #[test]
+    fn snapshot_and_reboot_paths_agree_exactly() {
+        // The acceptance gate for the fork engine: the snapshot path must be
+        // bit-for-bit equivalent to the per-seed-reboot path — identical
+        // outcomes, fault counts, cycle counts, and detail strings (which
+        // embed trap causes and divergence fingerprint summaries).
+        let base = CampaignConfig {
+            seed_base: 40,
+            count: 20,
+            threads: 3,
+            classes: vec![
+                FaultClass::Tag,
+                FaultClass::Bounds,
+                FaultClass::Bitmap,
+                FaultClass::Code,
+            ],
+            ..CampaignConfig::default()
+        };
+        let snap = run_campaigns(&CampaignConfig {
+            use_snapshot: true,
+            ..base.clone()
+        });
+        let reboot = run_campaigns(&CampaignConfig {
+            use_snapshot: false,
+            ..base
+        });
+        assert_eq!(
+            snap.results,
+            reboot.results,
+            "snapshot path diverged from per-seed reboot:\n{}\nvs\n{}",
+            snap.to_text(),
+            reboot.to_text()
+        );
+        assert_eq!(
+            snap.control_violations.len(),
+            reboot.control_violations.len()
+        );
+        assert!(
+            snap.snapshot_restores >= 2 * u64::from(snap.config.count),
+            "snapshot path should restore at least twice per seed, saw {}",
+            snap.snapshot_restores
+        );
+        assert_eq!(reboot.snapshot_restores, 0, "legacy path never restores");
+    }
+
+    #[test]
+    fn snapshot_path_is_deterministic_across_runs() {
+        // Reusing machines across seeds must not leak state between seeds:
+        // the same campaign run twice (different work-stealing interleavings
+        // and worker/seed assignments) yields identical results.
+        let cfg = CampaignConfig {
+            seed_base: 200,
+            count: 12,
+            threads: 4,
+            ..CampaignConfig::default()
+        };
+        let a = run_campaigns(&cfg);
+        let b = run_campaigns(&cfg);
+        assert_eq!(a.results, b.results);
     }
 
     #[test]

@@ -177,11 +177,13 @@ impl InvariantChecker {
         }
 
         // Heap tag scan: provenance plus per-capability checks.
-        self.scan_region(m, hb, he, false, &live, &quar, (hb, he), &mut out);
+        Self::scan_region(m, hb, he, false, &live, &quar, (hb, he), &mut out);
         // Watched (strict) regions: every resident cap must be a
-        // well-formed heap pointer.
-        for &(lo, hi) in &self.watched.clone() {
-            self.scan_region(m, lo, hi, true, &live, &quar, (hb, he), &mut out);
+        // well-formed heap pointer. `scan_region` is an associated function
+        // precisely so this loop can iterate `watched` by reference — this
+        // runs every cadence tick and must not allocate.
+        for &(lo, hi) in &self.watched {
+            Self::scan_region(m, lo, hi, true, &live, &quar, (hb, he), &mut out);
         }
         out
     }
@@ -193,7 +195,6 @@ impl InvariantChecker {
 
     #[allow(clippy::too_many_arguments)]
     fn scan_region(
-        &self,
         m: &Machine,
         lo: u32,
         hi: u32,
@@ -231,7 +232,7 @@ impl InvariantChecker {
                     detail: "tagged granule outside any live allocation".into(),
                 });
             } else {
-                self.check_cap_at(m, a, strict, live, quar, heap_range, out);
+                Self::check_cap_at(m, a, strict, live, quar, heap_range, out);
             }
             a = a.saturating_add(GRANULE);
         }
@@ -239,7 +240,6 @@ impl InvariantChecker {
 
     #[allow(clippy::too_many_arguments)]
     fn check_cap_at(
-        &self,
         m: &Machine,
         addr: u32,
         strict: bool,

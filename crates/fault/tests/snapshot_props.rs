@@ -1,0 +1,102 @@
+//! Property tests for the snapshot/fork engine under campaign-grade
+//! guests: restoring a snapshot after an *arbitrary* run prefix — any
+//! cycle count, so mid-block, mid-ecall-return, mid-revoker-sweep — must
+//! put the machine in a state whose subsequent execution is byte-identical
+//! to a fresh boot running the same workload, in both block-cache modes.
+//!
+//! This is the exact contract the campaign engine leans on when it forks
+//! every faulted run from the post-load snapshot instead of rebooting.
+
+use cheriot_alloc::{HeapAllocator, RevokerKind, TemporalPolicy};
+use cheriot_cap::Capability;
+use cheriot_core::insn::Reg;
+use cheriot_core::layout::SRAM_BASE;
+use cheriot_core::{CoreModel, ExitReason, Machine, MachineConfig};
+use cheriot_fault::campaign::build_workload;
+use cheriot_rtos::run_with_heap_service;
+use proptest::prelude::*;
+
+const BUDGET: u64 = 30_000_000;
+
+/// Boots a machine with a campaign-style workload loaded: program from
+/// `build_workload(seed)`, a capability directory at `SRAM_BASE + 0x100`
+/// in `GP`, and a quarantine-policy heap.
+fn setup(seed: u64, block_cache: bool) -> (Machine, HeapAllocator) {
+    let mut mc = MachineConfig::new(CoreModel::ibex());
+    mc.block_cache = block_cache;
+    let mut m = Machine::new(mc);
+    let heap = HeapAllocator::new(&mut m, TemporalPolicy::Quarantine(RevokerKind::Hardware));
+    let entry = m.try_load_program(&build_workload(seed)).unwrap();
+    m.set_entry(entry);
+    let dir = Capability::root_mem_rw()
+        .with_address(SRAM_BASE + 0x100)
+        .set_bounds(24 * 8)
+        .unwrap();
+    m.cpu.write(Reg::GP, dir);
+    (m, heap)
+}
+
+/// Everything observable about a finished run.
+#[derive(Debug, PartialEq, Eq)]
+struct Final {
+    exit: ExitReason,
+    cycles: u64,
+    instructions: u64,
+    console: Vec<u8>,
+    gpio_out: u32,
+    gpio_writes: u64,
+}
+
+fn run_to_end(m: &mut Machine, heap: &mut HeapAllocator) -> Final {
+    let exit = run_with_heap_service(m, heap, BUDGET);
+    Final {
+        exit,
+        cycles: m.cycles,
+        instructions: m.stats.instructions,
+        console: m.console.clone(),
+        gpio_out: m.gpio_out,
+        gpio_writes: m.gpio_writes,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn restore_after_arbitrary_prefix_matches_fresh_boot(
+        seed in 1u64..400,
+        prefix in 1u64..150_000,
+    ) {
+        for cache in [true, false] {
+            // Fresh boot, straight through to the end: the ground truth.
+            let (mut fresh, mut fresh_heap) = setup(seed, cache);
+            let want = run_to_end(&mut fresh, &mut fresh_heap);
+            prop_assert!(
+                matches!(want.exit, ExitReason::Halted(_)),
+                "cache={cache}: workload must halt, got {:?}", want.exit
+            );
+
+            // Same boot, but: snapshot, run an arbitrary prefix (which
+            // dirties heap pages, consumes ecalls, advances the revoker),
+            // restore, then run to the end from the restored state.
+            let (mut m, boot_heap) = setup(seed, cache);
+            let snap = m.snapshot();
+            let mut prefix_heap = boot_heap.clone();
+            let _ = run_with_heap_service(&mut m, &mut prefix_heap, prefix);
+            m.restore_from(&snap);
+            let mut heap = boot_heap.clone();
+            let got = run_to_end(&mut m, &mut heap);
+
+            prop_assert_eq!(
+                &got, &want,
+                "cache={}: post-restore execution diverged from fresh boot \
+                 (seed {}, prefix {})", cache, seed, prefix
+            );
+            // And the restored machine's memory ends content-identical too.
+            prop_assert!(
+                m.sram.content_eq(&fresh.sram),
+                "cache={cache}: final SRAM diverged (seed {seed}, prefix {prefix})"
+            );
+        }
+    }
+}
