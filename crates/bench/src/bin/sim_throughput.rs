@@ -2,19 +2,25 @@
 //! host second the interpreter sustains on the CoreMark-class workload.
 //!
 //! Runs the capability+filter CoreMark kernel for a fixed
-//! *simulated-cycle* budget on both core models — through both execution
-//! paths, the predecoded basic-block cache and the stepwise decode loop —
-//! and reports host-side MIPS (simulated instructions / host CPU
-//! second), then measures fault-campaign throughput (seeds per CPU
-//! second through the snapshot/fork engine, and its speedup over the
-//! per-seed-reboot path), then times a full `all_results` regeneration.
-//! Writes `results/sim_throughput.csv` and a repo-root
-//! `BENCH_simperf.json` trajectory file (`{"mips_ibex": ..,
+//! *simulated-cycle* budget on both core models — through all three
+//! dispatch modes: the stepwise decode loop, the predecoded basic-block
+//! cache, and the chained cache (block chaining + superblocks + sentry
+//! inline caches, DESIGN.md §13) — and reports host-side MIPS (simulated
+//! instructions / host CPU second), then measures fault-campaign
+//! throughput (seeds per CPU second through the snapshot/fork engine,
+//! and its speedup over the per-seed-reboot path), then times a full
+//! `all_results` regeneration. Writes `results/sim_throughput.csv` and a
+//! repo-root `BENCH_simperf.json` trajectory file (`{"mips_ibex": ..,
 //! "mips_flute": .., "mips_ibex_nocache": .., "mips_flute_nocache": ..,
-//! "speedup_ibex": .., "speedup_flute": .., "campaign_seeds_per_s": ..,
-//! "campaign_speedup": .., "wall_s_all_results": ..}`) so future changes
-//! have a perf baseline to beat. The headline `mips_*` keys are the
-//! cache-on numbers (the default execution path).
+//! "mips_ibex_chain": .., "mips_flute_chain": .., "speedup_ibex": ..,
+//! "speedup_flute": .., "speedup_chain_ibex": .., "speedup_chain_flute":
+//! .., "campaign_seeds_per_s": .., "campaign_speedup": ..,
+//! "wall_s_all_results": ..}`) so future changes have a perf baseline to
+//! beat. Key semantics are stable across the chaining change: `mips_*`
+//! still means cache-on-chain-off, `mips_*_nocache` stepwise, and the
+//! new `mips_*_chain` keys are the chained path (the default execution
+//! path). `speedup_*` is cached-over-stepwise; `speedup_chain_*` is
+//! chained-over-cached, both medians of back-to-back trials.
 //!
 //! The MIPS loops are timed in *on-CPU* seconds (`/proc/self/schedstat`),
 //! not wall clock: on a shared host the benchmark can lose half its wall
@@ -31,9 +37,9 @@
 //! *committed* `BENCH_simperf.json` and exits nonzero on regression; in
 //! this mode the baseline file is left untouched so the committed
 //! numbers stay the reference. The guards use different bands: absolute
-//! per-core MIPS (both modes) gets a wide 35% band — even on-CPU time
+//! per-core MIPS (all modes) gets a wide 35% band — even on-CPU time
 //! swings with frequency scaling and cache pressure on a shared host —
-//! while the cache-on/off *speedup* gets a tight 20% band, because each
+//! while the dispatch-mode *speedups* get a tight 20% band, because each
 //! trial's ratio is taken back-to-back under the same host conditions
 //! and medianed, making it robust to everything but a real slowdown.
 //! Campaign seeds/s gets a 50% band (it folds in allocator cost, which
@@ -44,8 +50,37 @@
 
 use cheriot_bench::write_csv;
 use cheriot_core::CoreModel;
-use cheriot_workloads::{run_coremark_for_cycles_cached, CoreMarkConfig};
+use cheriot_workloads::{run_coremark_for_cycles_dispatch, CoreMarkConfig, DispatchMode};
 use std::time::Instant;
+
+/// The three dispatch modes in emission order: slot index doubles as the
+/// `walls`/`best` array index for each trial.
+const MODES: [DispatchMode; 3] = [
+    DispatchMode::Chained,
+    DispatchMode::Cached,
+    DispatchMode::Stepwise,
+];
+
+/// Short label for a dispatch mode, used in console rows, the CSV
+/// `dispatch` column and (via [`mips_key`]) the baseline JSON keys.
+fn mode_label(mode: DispatchMode) -> &'static str {
+    match mode {
+        DispatchMode::Stepwise => "stepwise",
+        DispatchMode::Cached => "blocks",
+        DispatchMode::Chained => "chained",
+    }
+}
+
+/// The `BENCH_simperf.json` key a (core, mode) MIPS measurement is
+/// tracked under. `mips_*` keeps its pre-chaining meaning (the plain
+/// block cache) so trajectories stay comparable across the change.
+fn mips_key(name: &str, mode: DispatchMode) -> String {
+    match mode {
+        DispatchMode::Stepwise => format!("mips_{name}_nocache"),
+        DispatchMode::Cached => format!("mips_{name}"),
+        DispatchMode::Chained => format!("mips_{name}_chain"),
+    }
+}
 
 /// Allowed fractional regression of absolute MIPS vs the committed
 /// baseline. Wide: absolute throughput folds in host frequency scaling
@@ -124,56 +159,60 @@ fn main() {
         if quick { " (--quick)" } else { "" }
     );
 
-    // Each trial times the two execution paths back-to-back, so a trial's
-    // cache-on/off ratio sees (nearly) the same host frequency / cache
-    // state; the reported speedup is the *median* of the per-trial
-    // ratios, which a single slow or fast scheduling window cannot move.
-    // (Both paths retire bit-identical instruction streams, so the MIPS
-    // ratio reduces to the inverse time ratio.) The per-mode MIPS numbers
-    // are best-of-N, the closest estimate of what the interpreter
-    // sustains.
+    // Each trial times the three dispatch modes back-to-back, so a
+    // trial's mode/mode ratios see (nearly) the same host frequency /
+    // cache state; each reported speedup is the *median* of the
+    // per-trial ratios, which a single slow or fast scheduling window
+    // cannot move. (All modes retire bit-identical instruction streams,
+    // so the MIPS ratios reduce to inverse time ratios.) The per-mode
+    // MIPS numbers are best-of-N, the closest estimate of what the
+    // interpreter sustains.
     let trials = 5;
     let epoch = Instant::now();
 
-    // Measured MIPS keyed as [(core, block_cache)] in emission order.
     let mut rows = Vec::new();
-    let mut measured: Vec<(&'static str, bool, f64)> = Vec::new();
-    let mut speedups: Vec<(&'static str, f64)> = Vec::new();
+    let mut measured: Vec<(&'static str, DispatchMode, f64)> = Vec::new();
+    // (core, cached-over-stepwise, chained-over-cached)
+    let mut speedups: Vec<(&'static str, f64, f64)> = Vec::new();
     for core in [CoreModel::ibex(), CoreModel::flute()] {
         // Warm-up passes: code/data caches, branch predictors, allocator.
-        for cache in [true, false] {
-            run_coremark_for_cycles_cached(core, &cfg, budget / 10, cache);
+        for mode in MODES {
+            run_coremark_for_cycles_dispatch(core, &cfg, budget / 10, mode);
         }
         // best[slot] = (cycles, instructions, cpu_seconds)
-        let mut best = [(0u64, 0u64, f64::INFINITY); 2];
-        let mut ratios = Vec::with_capacity(trials);
+        let mut best = [(0u64, 0u64, f64::INFINITY); 3];
+        let mut cache_ratios = Vec::with_capacity(trials);
+        let mut chain_ratios = Vec::with_capacity(trials);
         for _ in 0..trials {
-            let mut walls = [0.0f64; 2];
-            for (slot, cache) in [(0, true), (1, false)] {
+            let mut walls = [0.0f64; 3];
+            for (slot, mode) in MODES.into_iter().enumerate() {
                 let t0 = cpu_now(epoch);
-                let (c, i) = run_coremark_for_cycles_cached(core, &cfg, budget, cache);
+                let (c, i) = run_coremark_for_cycles_dispatch(core, &cfg, budget, mode);
                 let w = cpu_now(epoch) - t0;
                 walls[slot] = w;
                 if w < best[slot].2 {
                     best[slot] = (c, i, w);
                 }
             }
-            ratios.push(walls[1] / walls[0]);
+            cache_ratios.push(walls[2] / walls[1]);
+            chain_ratios.push(walls[1] / walls[0]);
         }
-        ratios.sort_by(|a, b| a.total_cmp(b));
-        let speedup = ratios[trials / 2];
+        cache_ratios.sort_by(|a, b| a.total_cmp(b));
+        chain_ratios.sort_by(|a, b| a.total_cmp(b));
+        let cache_speedup = cache_ratios[trials / 2];
+        let chain_speedup = chain_ratios[trials / 2];
         let name = if core.kind == CoreModel::ibex().kind {
             "ibex"
         } else {
             "flute"
         };
-        for (slot, cache) in [(0, true), (1, false)] {
+        for (slot, mode) in MODES.into_iter().enumerate() {
             let (cycles, instructions, wall) = best[slot];
             let mips = instructions as f64 / wall / 1e6;
             println!(
                 "{:<6}  {:<9}  {:>12} cycles  {:>12} instrs  {:>8.3} cpu-s  {:>8.2} MIPS",
                 format!("{}", core.kind),
-                if cache { "blocks" } else { "stepwise" },
+                mode_label(mode),
                 cycles,
                 instructions,
                 wall,
@@ -182,21 +221,23 @@ fn main() {
             rows.push(vec![
                 format!("{}", core.kind),
                 "coremark_caps_filter".to_string(),
-                format!("{}", cache as u8),
+                mode_label(mode).to_string(),
                 format!("{cycles}"),
                 format!("{instructions}"),
                 format!("{wall:.4}"),
                 format!("{mips:.2}"),
             ]);
-            measured.push((name, cache, mips));
+            measured.push((name, mode, mips));
         }
         println!(
-            "{:<6}  block-cache speedup: {:.2}x (median of {} back-to-back trials)\n",
+            "{:<6}  block-cache speedup: {:.2}x, chaining speedup: {:.2}x \
+             (medians of {} back-to-back trials)\n",
             format!("{}", core.kind),
-            speedup,
+            cache_speedup,
+            chain_speedup,
             trials
         );
-        speedups.push((name, speedup));
+        speedups.push((name, cache_speedup, chain_speedup));
     }
 
     // Fault-campaign throughput: seeds per on-CPU second through the
@@ -259,7 +300,7 @@ fn main() {
     let headers = [
         "core",
         "workload",
-        "block_cache",
+        "dispatch",
         "sim_cycles",
         "instructions",
         "host_cpu_s",
@@ -290,16 +331,20 @@ fn main() {
                  floor {floor:>8.2}  {verdict}"
             );
         };
-        for (name, cache, mips) in &measured {
-            let key = if *cache {
-                format!("mips_{name}")
-            } else {
-                format!("mips_{name}_nocache")
-            };
-            check(&key, *mips, MIPS_NOISE_BAND);
+        for (name, mode, mips) in &measured {
+            check(&mips_key(name, *mode), *mips, MIPS_NOISE_BAND);
         }
-        for (name, speedup) in &speedups {
-            check(&format!("speedup_{name}"), *speedup, SPEEDUP_NOISE_BAND);
+        for (name, cache_speedup, chain_speedup) in &speedups {
+            check(
+                &format!("speedup_{name}"),
+                *cache_speedup,
+                SPEEDUP_NOISE_BAND,
+            );
+            check(
+                &format!("speedup_chain_{name}"),
+                *chain_speedup,
+                SPEEDUP_NOISE_BAND,
+            );
         }
         check(
             "campaign_seeds_per_s",
@@ -331,32 +376,37 @@ fn main() {
         return;
     }
 
-    let by_key = |name: &str, cache: bool| {
+    let by_key = |name: &str, mode: DispatchMode| {
         measured
             .iter()
-            .find(|(n, c, _)| *n == name && *c == cache)
-            .map(|(_, _, m)| *m)
+            .find(|(n, m, _)| *n == name && *m == mode)
+            .map(|(_, _, v)| *v)
             .unwrap_or(0.0)
     };
     let speedup_of = |name: &str| {
         speedups
             .iter()
-            .find(|(n, _)| *n == name)
-            .map(|(_, s)| *s)
-            .unwrap_or(0.0)
+            .find(|(n, _, _)| *n == name)
+            .map(|(_, cache, chain)| (*cache, *chain))
+            .unwrap_or((0.0, 0.0))
     };
+    let (speedup_ibex, speedup_chain_ibex) = speedup_of("ibex");
+    let (speedup_flute, speedup_chain_flute) = speedup_of("flute");
     let json = format!(
         "{{\"mips_ibex\": {:.2}, \"mips_flute\": {:.2}, \
          \"mips_ibex_nocache\": {:.2}, \"mips_flute_nocache\": {:.2}, \
-         \"speedup_ibex\": {:.2}, \"speedup_flute\": {:.2}, \
+         \"mips_ibex_chain\": {:.2}, \"mips_flute_chain\": {:.2}, \
+         \"speedup_ibex\": {speedup_ibex:.2}, \"speedup_flute\": {speedup_flute:.2}, \
+         \"speedup_chain_ibex\": {speedup_chain_ibex:.2}, \
+         \"speedup_chain_flute\": {speedup_chain_flute:.2}, \
          \"campaign_seeds_per_s\": {:.2}, \"campaign_speedup\": {:.2}, \
          \"wall_s_all_results\": {:.3}}}\n",
-        by_key("ibex", true),
-        by_key("flute", true),
-        by_key("ibex", false),
-        by_key("flute", false),
-        speedup_of("ibex"),
-        speedup_of("flute"),
+        by_key("ibex", DispatchMode::Cached),
+        by_key("flute", DispatchMode::Cached),
+        by_key("ibex", DispatchMode::Stepwise),
+        by_key("flute", DispatchMode::Stepwise),
+        by_key("ibex", DispatchMode::Chained),
+        by_key("flute", DispatchMode::Chained),
         campaign_seeds_per_s,
         campaign_speedup,
         wall_all

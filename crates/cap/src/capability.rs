@@ -479,6 +479,24 @@ impl Capability {
         b.covers(start, 2) && b.covers(last, 2)
     }
 
+    /// The fetch *fingerprint* of an executable capability: the exact
+    /// inputs of [`Capability::check_fetch_range`] beyond the range itself.
+    /// `None` when the capability could never authorise a fetch (untagged,
+    /// sealed, or no `EX`); otherwise the decoded `(base, top)` interval.
+    ///
+    /// Two capabilities with equal fingerprints give identical
+    /// `check_fetch_range` answers for every range, which is what lets the
+    /// block-chaining dispatch loop skip re-verifying a successor block
+    /// already verified under the same fingerprint (DESIGN.md §13).
+    #[inline]
+    pub fn fetch_fingerprint(&self) -> Option<(u32, u64)> {
+        if !self.tag || self.is_sealed() || !self.perms.contains(Permissions::EX) {
+            return None;
+        }
+        let b = self.bounds();
+        Some((b.base, b.top))
+    }
+
     /// `CTestSubset`: is `other` derivable from `self` (bounds and
     /// permissions both subsets, both tagged)?
     pub fn is_subset_of(self, other: Capability) -> bool {

@@ -71,6 +71,7 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             }
             "--no-load-filter" => opts.load_filter = false,
             "--no-block-cache" => opts.block_cache = false,
+            "--no-block-chain" => opts.block_chain = false,
             "--trace" => opts.trace_depth = uint(f, value(f, &mut it)?)?,
             "--max-cycles" => opts.max_cycles = uint(f, value(f, &mut it)?)?,
             "--watchdog" => opts.watchdog = Some(uint(f, value(f, &mut it)?)?),
@@ -179,6 +180,17 @@ mod tests {
         assert!(a.opts.block_cache);
         let a = parse_run_args(&v(&["p.s", "--no-block-cache"])).unwrap();
         assert!(!a.opts.block_cache);
+    }
+
+    #[test]
+    fn block_chain_on_by_default_and_composes_with_cache_flag() {
+        let a = parse_run_args(&v(&["p.s"])).unwrap();
+        assert!(a.opts.block_chain);
+        let a = parse_run_args(&v(&["p.s", "--no-block-chain"])).unwrap();
+        assert!(!a.opts.block_chain);
+        assert!(a.opts.block_cache, "chain-off keeps the cache on");
+        let a = parse_run_args(&v(&["p.s", "--no-block-cache", "--no-block-chain"])).unwrap();
+        assert!(!a.opts.block_cache && !a.opts.block_chain);
     }
 
     #[test]

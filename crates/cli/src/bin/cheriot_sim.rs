@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cheriot-sim run  prog.s [--core ibex|flute] [--no-load-filter]
-//!                          [--no-block-cache] [--trace N] [--max-cycles N]
+//!                          [--no-block-cache] [--no-block-chain]
+//!                          [--trace N] [--max-cycles N]
 //!                          [--watchdog N] [--dump-regs] [--heap]
 //!                          [--trace-out out.json] [--metrics] [--binary]
 //! cheriot-sim asm  prog.s -o prog.bin
@@ -22,8 +23,9 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   cheriot-sim run <prog.s> [--core ibex|flute] [--no-load-filter] \
-[--no-block-cache] [--trace N] [--max-cycles N] [--watchdog N] \
-[--dump-regs] [--heap] [--trace-out <out.json>] [--metrics] [--binary]
+[--no-block-cache] [--no-block-chain] [--trace N] [--max-cycles N] \
+[--watchdog N] [--dump-regs] [--heap] [--trace-out <out.json>] \
+[--metrics] [--binary]
   cheriot-sim asm <prog.s> -o <out.bin>
   cheriot-sim disasm <prog.bin>
   cheriot-sim fault-campaign [--seed-base N] [--count K] [--threads T] \

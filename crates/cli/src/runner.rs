@@ -61,6 +61,10 @@ pub struct RunOptions {
     /// (architecturally invisible; `--no-block-cache` forces the
     /// per-instruction stepwise loop).
     pub block_cache: bool,
+    /// Chain predecoded blocks directly: successor links, superblocks,
+    /// and sentry inline caches (architecturally invisible;
+    /// `--no-block-chain` returns to the dispatcher between blocks).
+    pub block_chain: bool,
     /// Keep the last N retired instructions for the post-run trace.
     pub trace_depth: usize,
     /// Cycle budget.
@@ -86,6 +90,7 @@ impl Default for RunOptions {
             core: CoreKind::Ibex,
             load_filter: true,
             block_cache: true,
+            block_chain: true,
             trace_depth: 0,
             max_cycles: 100_000_000,
             dump_regs: false,
@@ -143,6 +148,7 @@ fn run_instructions(
     let mut mc = MachineConfig::new(core);
     mc.load_filter = opts.load_filter;
     mc.block_cache = opts.block_cache;
+    mc.block_chain = opts.block_chain;
     let mut m = Machine::new(mc);
     if opts.trace_out.is_some() || opts.metrics {
         // One tracer serves all three outputs; buffer instruction retires
@@ -210,6 +216,10 @@ fn run_instructions(
             tracer
                 .metrics
                 .add("block_cache_invalidations", bs.invalidated);
+            tracer.metrics.add("block_chain_hits", bs.chain_hits);
+            tracer.metrics.add("block_chain_links", bs.chain_links);
+            tracer.metrics.add("sentry_ic_hits", bs.sentry_ic_hits);
+            tracer.metrics.add("sentry_ic_misses", bs.sentry_ic_misses);
             let ss = m.snapshot_stats();
             tracer.metrics.add("snapshot_restores", ss.restores);
             tracer.metrics.add("dirty_pages_copied", ss.pages_copied);
@@ -326,18 +336,58 @@ mod tests {
     }
 
     #[test]
-    fn metrics_report_block_cache_counters_in_both_modes() {
-        for block_cache in [true, false] {
+    fn metrics_report_block_cache_counters_in_all_dispatch_modes() {
+        for (block_cache, block_chain) in [(true, true), (true, false), (false, false)] {
             let opts = RunOptions {
                 metrics: true,
                 block_cache,
+                block_chain,
                 ..RunOptions::default()
             };
             let out = run_source("li a0, 9\nhalt\n", &opts).unwrap();
             assert_eq!(out.exit, ExitReason::Halted(9));
             assert!(out.report.contains("block_cache_hits"), "{}", out.report);
             assert!(out.report.contains("block_cache_misses"), "{}", out.report);
+            assert!(out.report.contains("block_chain_hits"), "{}", out.report);
+            assert!(out.report.contains("block_chain_links"), "{}", out.report);
+            assert!(out.report.contains("sentry_ic_hits"), "{}", out.report);
+            assert!(out.report.contains("sentry_ic_misses"), "{}", out.report);
         }
+    }
+
+    #[test]
+    fn chained_run_links_blocks_and_matches_unchained() {
+        // A two-block loop: the chain records links and the architectural
+        // outcome is identical with chaining off.
+        let prog = "
+            li a0, 0
+            li a1, 40
+        loop:
+            addi a0, a0, 1
+            bne a0, a1, loop
+            halt
+        ";
+        let mut outs = Vec::new();
+        for block_chain in [true, false] {
+            let opts = RunOptions {
+                metrics: true,
+                block_chain,
+                ..RunOptions::default()
+            };
+            let out = run_source(prog, &opts).unwrap();
+            assert_eq!(out.exit, ExitReason::Halted(40));
+            outs.push(out);
+        }
+        assert_eq!(outs[0].cycles, outs[1].cycles);
+        assert_eq!(outs[0].instructions, outs[1].instructions);
+        let hits: u64 = outs[0]
+            .report
+            .lines()
+            .find(|l| l.contains("block_chain_hits"))
+            .and_then(|l| l.split_whitespace().last())
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert!(hits > 30, "hot loop should chain: {}", outs[0].report);
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! timer + console, with per-instruction cycle accounting driven by a
 //! [`CoreModel`].
 
-use crate::blockcache::{build_block, Block, BlockCache, BlockCacheStats};
+use crate::blockcache::{
+    build_block, Block, BlockCache, BlockCacheStats, PredecodedInsn, SentryIc,
+};
 use crate::cpu::Cpu;
 use crate::error::SimError;
 use crate::insn::{AluOp, BranchCond, CapField, CsrId, CsrOp, Instr, MulOp, Reg};
@@ -69,6 +71,13 @@ pub struct MachineConfig {
     /// checks. Architecturally invisible — `false` forces the
     /// per-instruction stepwise loop (CLI `--no-block-cache`).
     pub block_cache: bool,
+    /// Chain predecoded blocks directly (DESIGN.md §13): successor links
+    /// that skip the dispatcher and the PCC fetch re-check, superblocks
+    /// across unconditional forward jumps, and sentry inline caches for
+    /// `cjalr` call sites. Architecturally invisible — `false` keeps the
+    /// PR-4 one-block-per-dispatch loop (CLI `--no-block-chain`). Only
+    /// meaningful when `block_cache` is on.
+    pub block_chain: bool,
 }
 
 impl MachineConfig {
@@ -88,6 +97,7 @@ impl MachineConfig {
             hwm_enabled: true,
             cheri_enabled: true,
             block_cache: true,
+            block_chain: true,
         }
     }
 
@@ -1065,251 +1075,749 @@ impl Machine {
             // on the hot path. Nothing in between can touch the cache:
             // invalidation only happens through external `Machine` APIs
             // (`patch_code`, `flush_block_cache`, program loads), never
-            // from `exec`.
-            let exit = self.exec_block(&block, limit, wd, enabled);
-            self.blocks.restore(idx, block);
+            // from `exec`. `exec_chain` owns the restore: with chaining it
+            // keeps dispatching successor blocks until a stop boundary.
+            let exit = self.exec_chain(idx, block, limit, wd, enabled);
             if exit == BlockExit::Stop {
                 return;
             }
         }
     }
 
-    /// Executes one predecoded block, starting at its first instruction
-    /// (the caller verified the PC). Returns whether the outer run loop
-    /// should stop (budget, halt, interrupt boundary) or dispatch the
-    /// next block.
-    fn exec_block(&mut self, block: &Block, limit: u64, wd: u64, enabled: bool) -> BlockExit {
-        {
-            // The PCC address is materialised lazily: the loop tracks `pc`
-            // locally and writes the PCC only at block exits (every path
-            // below that leaves the loop syncs first). All fall-through
-            // addresses are inside the PCC bounds — `block_at` checked the
-            // whole interval — so the skipped per-instruction
-            // `with_address` calls were pure address updates.
-            let has_tracer = self.tracer.is_some();
-            // With no hardware revoker configured, `advance` is a bare
-            // cycle bump; hoisting the config load lets the hot arm skip
-            // the call entirely. (`cfg.hw_revoker` never changes mid-run.)
-            let plain_cycles = !self.cfg.hw_revoker;
-            // Register-resident loop state. `cyc`/`ins` are the
-            // authoritative cycle/instruction counters inside the loop;
-            // they are written back to `self` before every operation that
-            // could observe them (tracing, `advance`, the general `exec`
-            // path, every exit) and re-read after every operation that
-            // could move them. `mtimecmp`/`irq_pend` can only change
-            // through general-path instructions (MMIO stores, revoker
-            // stepping under `advance`), so they are re-read exactly
-            // there; across inline ALU stretches the cached values are
-            // exact.
-            let mut cyc = self.cycles;
-            let mut ins = self.stats.instructions;
-            let mut mtimecmp = self.mtimecmp;
-            let mut irq_pend = self.revoker.irq_pending();
-            let mut pc = block.start;
-            let mut jumped = false;
-            for (i, d) in block.insns.iter().enumerate() {
-                if i != 0 && (cyc >= limit || ins >= wd) {
-                    // Budget boundary mid-block: stop exactly where the
-                    // stepwise loop would, PC on the next instruction.
-                    self.cycles = cyc;
-                    self.stats.instructions = ins;
-                    self.finish_jump(pc);
-                    return BlockExit::Stop;
-                }
-                // Load-to-use hazard from the previous instruction; only
-                // loads set it, so predecode marks the instructions that
-                // could observe one.
-                if d.check_hazard {
-                    if let Some((r, penalty)) = self.pending_use.take() {
-                        if d.srcs.iter().flatten().any(|&s| s == r) {
-                            self.stats.stall_cycles += penalty;
-                            self.cycles = cyc;
-                            self.advance(penalty, 0);
-                            cyc = self.cycles;
-                            irq_pend = self.revoker.irq_pending();
-                        }
-                    }
-                }
-                ins += 1;
-                if has_tracer {
-                    self.cycles = cyc; // event timestamp
-                    self.trace_emit(EventKind::InstrRetired { pc });
-                }
-                // The scalar ALU forms and well-behaved loads dispatch
-                // inline: on the `true` arms nothing traps, halts or jumps
-                // and no penalty cycles accrue, so they skip the general
-                // `exec` call and its outcome plumbing. Each arm mirrors
-                // its `exec` arm exactly.
-                let fast = match d.instr {
-                    Instr::Lui { rd, imm } => {
-                        self.cpu.write_int(rd, imm << 12);
-                        true
-                    }
-                    Instr::OpImm { op, rd, rs1, imm } => {
-                        let a = self.cpu.read_int(rs1);
-                        self.cpu.write_int(rd, alu(op, a, imm as u32));
-                        true
-                    }
-                    Instr::Op { op, rd, rs1, rs2 } => {
-                        let a = self.cpu.read_int(rs1);
-                        let b = self.cpu.read_int(rs2);
-                        self.cpu.write_int(rd, alu(op, a, b));
-                        true
-                    }
-                    Instr::MulDiv { op, rd, rs1, rs2 } => {
-                        let a = self.cpu.read_int(rs1);
-                        let b = self.cpu.read_int(rs2);
-                        self.cpu.write_int(rd, muldiv(op, a, b));
-                        true
-                    }
-                    // Loads dispatch inline too (a quarter of the CoreMark
-                    // mix), mirroring their `exec` arms, but bail to the
-                    // general path for anything unusual: MMIO (the timer
-                    // reads `self.cycles`, register-resident here),
-                    // capability faults and bus errors (trap bookkeeping).
-                    // Bailing re-executes through `exec` from scratch —
-                    // sound because nothing mutates before the first
-                    // fallible step.
-                    Instr::Load {
-                        width,
-                        signed,
-                        rd,
-                        rs1,
-                        offset,
-                    } => {
-                        let auth = self.cpu.read(rs1);
-                        let addr = auth.address().wrapping_add(offset as u32);
-                        if self.is_sram(addr, width.bytes())
-                            && (!self.cfg.cheri_enabled
-                                || auth
-                                    .check_access(addr, width.bytes(), Permissions::LD)
-                                    .is_ok())
-                        {
-                            if let Ok(raw) = self.sram.read_scalar(addr, width.bytes()) {
-                                let v = if signed {
-                                    sign_extend(raw, width.bytes())
-                                } else {
-                                    raw
-                                };
-                                self.cpu.write_int(rd, v);
-                                self.stats.loads += 1;
-                                self.pending_use = Some((rd, self.cfg.core.load_to_use));
-                                true
-                            } else {
-                                false
-                            }
+    /// Dispatches one predecoded instruction through the inline fast
+    /// arms, mirroring each `exec` arm exactly. Returns whether the
+    /// instruction was handled: on `true` nothing trapped, halted or
+    /// jumped, no penalty cycles accrued beyond `base_cycles`, and
+    /// neither `mtimecmp` nor the revoker IRQ line moved — the guarantees
+    /// the chained dispatch loop's register-resident counters and its
+    /// unchecked inner loop (DESIGN.md §13) rely on. On `false` nothing
+    /// was mutated and the caller re-executes through the general `exec`
+    /// path from scratch. `interior` is true when another predecoded
+    /// instruction follows in the same block (it gates the chased-jump
+    /// arm, whose penalty was folded in at decode).
+    #[inline(always)]
+    fn exec_fast(&mut self, d: &PredecodedInsn, interior: bool) -> bool {
+        match d.instr {
+            Instr::Lui { rd, imm } => {
+                self.cpu.write_int(rd, imm << 12);
+                true
+            }
+            Instr::OpImm { op, rd, rs1, imm } => {
+                let a = self.cpu.read_int(rs1);
+                self.cpu.write_int(rd, alu(op, a, imm as u32));
+                true
+            }
+            Instr::Op { op, rd, rs1, rs2 } => {
+                let a = self.cpu.read_int(rs1);
+                let b = self.cpu.read_int(rs2);
+                self.cpu.write_int(rd, alu(op, a, b));
+                true
+            }
+            Instr::MulDiv { op, rd, rs1, rs2 } => {
+                let a = self.cpu.read_int(rs1);
+                let b = self.cpu.read_int(rs2);
+                self.cpu.write_int(rd, muldiv(op, a, b));
+                true
+            }
+            // Loads dispatch inline too (a quarter of the CoreMark
+            // mix), mirroring their `exec` arms, but bail to the
+            // general path for anything unusual: MMIO (the timer
+            // reads `self.cycles`, register-resident here),
+            // capability faults and bus errors (trap bookkeeping).
+            // Bailing re-executes through `exec` from scratch —
+            // sound because nothing mutates before the first
+            // fallible step.
+            Instr::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let auth = self.cpu.read(rs1);
+                let addr = auth.address().wrapping_add(offset as u32);
+                if self.is_sram(addr, width.bytes())
+                    && (!self.cfg.cheri_enabled
+                        || auth
+                            .check_access(addr, width.bytes(), Permissions::LD)
+                            .is_ok())
+                {
+                    if let Ok(raw) = self.sram.read_scalar(addr, width.bytes()) {
+                        let v = if signed {
+                            sign_extend(raw, width.bytes())
                         } else {
-                            false
-                        }
-                    }
-                    Instr::Clc { rd, rs1, offset } => {
-                        let auth = self.cpu.read(rs1);
-                        let addr = auth.address().wrapping_add(offset as u32);
-                        // `bus_read_cap`'s filter-strip trace event is
-                        // exact here: with a tracer installed the loop
-                        // synced `self.cycles` for this instruction above.
-                        if auth
-                            .check_access(addr, GRANULE, Permissions::LD | Permissions::MC)
-                            .is_ok()
-                        {
-                            if let Ok(c) = self.bus_read_cap(addr) {
-                                self.cpu.write(rd, c.attenuated_on_load(auth));
-                                self.stats.cap_loads += 1;
-                                self.pending_use = Some((rd, self.cfg.core.load_to_use));
-                                true
-                            } else {
-                                false
-                            }
-                        } else {
-                            false
-                        }
-                    }
-                    _ => false,
-                };
-                if fast {
-                    if plain_cycles {
-                        cyc += d.base_cycles;
+                            raw
+                        };
+                        self.cpu.write_int(rd, v);
+                        self.stats.loads += 1;
+                        self.pending_use = Some((rd, self.cfg.core.load_to_use));
+                        true
                     } else {
-                        self.cycles = cyc;
-                        self.advance(d.base_cycles, d.mem_beats);
-                        cyc = self.cycles;
-                        irq_pend = self.revoker.irq_pending();
+                        false
                     }
-                    pc = pc.wrapping_add(4);
-                    // Fast arms cannot halt, so only the interrupt-arrival
-                    // check applies before the next instruction.
-                    if enabled && (cyc >= mtimecmp || irq_pend) {
+                } else {
+                    false
+                }
+            }
+            Instr::Clc { rd, rs1, offset } => {
+                let auth = self.cpu.read(rs1);
+                let addr = auth.address().wrapping_add(offset as u32);
+                // `bus_read_cap`'s filter-strip trace event is
+                // exact here: with a tracer installed the loop
+                // synced `self.cycles` for this instruction above.
+                if auth
+                    .check_access(addr, GRANULE, Permissions::LD | Permissions::MC)
+                    .is_ok()
+                {
+                    if let Ok(c) = self.bus_read_cap(addr) {
+                        self.cpu.write(rd, c.attenuated_on_load(auth));
+                        self.stats.cap_loads += 1;
+                        self.pending_use = Some((rd, self.cfg.core.load_to_use));
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    false
+                }
+            }
+            // Stores dispatch inline under the same rules as
+            // loads: SRAM hit with a passing capability check.
+            // MMIO stores (timer compare, revocation bitmap) bail
+            // to the general path, which is what lets the loop
+            // keep `mtimecmp` register-resident across inline
+            // stretches. `write_scalar`/`write_cap` check before
+            // mutating, so a bail re-executes from scratch with
+            // nothing to undo; the high-water-mark note is
+            // idempotent either way.
+            Instr::Store {
+                width,
+                rs2,
+                rs1,
+                offset,
+            } => {
+                let auth = self.cpu.read(rs1);
+                let addr = auth.address().wrapping_add(offset as u32);
+                if self.is_sram(addr, width.bytes())
+                    && (!self.cfg.cheri_enabled
+                        || auth
+                            .check_access(addr, width.bytes(), Permissions::SD)
+                            .is_ok())
+                {
+                    let v = self.cpu.read_int(rs2);
+                    if self.sram.write_scalar(addr, width.bytes(), v).is_ok() {
+                        if self.cfg.hwm_enabled {
+                            self.cpu.note_store(addr);
+                        }
+                        self.revoker.snoop_store(addr);
+                        self.stats.stores += 1;
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    false
+                }
+            }
+            Instr::Csc { rs2, rs1, offset } => {
+                let auth = self.cpu.read(rs1);
+                let addr = auth.address().wrapping_add(offset as u32);
+                if auth
+                    .check_access(addr, GRANULE, Permissions::SD | Permissions::MC)
+                    .is_ok()
+                {
+                    let c = self.cpu.read(rs2);
+                    // Local caps need SL on the authority (the
+                    // trapping case bails).
+                    if (!c.tag() || c.is_global() || auth.perms().contains(Permissions::SL))
+                        && self.sram.write_cap(addr, c).is_ok()
+                    {
+                        if self.cfg.hwm_enabled {
+                            self.cpu.note_store(addr);
+                        }
+                        self.revoker.snoop_store(addr);
+                        self.stats.cap_stores += 1;
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    false
+                }
+            }
+            // The pure-register capability ALU: never traps (CHERIoT
+            // monotonicity failures detag instead), never jumps,
+            // touches no counters or MMIO. Each arm mirrors its
+            // `exec` arm exactly. These dominate the capability
+            // CoreMark mix (pointer derivation and arithmetic).
+            Instr::CGet { field, rd, rs1 } => {
+                let c = self.cpu.read(rs1);
+                let v = match field {
+                    CapField::Perm => u32::from(c.perms().bits()),
+                    CapField::Type => u32::from(c.otype().field()),
+                    CapField::Base => c.base(),
+                    CapField::Len => c.length().min(u64::from(u32::MAX)) as u32,
+                    CapField::Tag => u32::from(c.tag()),
+                    CapField::Addr => c.address(),
+                    CapField::High => (c.to_word() >> 32) as u32,
+                };
+                self.cpu.write_int(rd, v);
+                true
+            }
+            Instr::CSetAddr { rd, rs1, rs2 } => {
+                let c = self.cpu.read(rs1);
+                let a = self.cpu.read_int(rs2);
+                self.cpu.write(rd, c.with_address(a));
+                true
+            }
+            Instr::CIncAddr { rd, rs1, rs2 } => {
+                let c = self.cpu.read(rs1);
+                let a = self.cpu.read_int(rs2);
+                self.cpu.write(rd, c.incremented(a as i32));
+                true
+            }
+            Instr::CIncAddrImm { rd, rs1, imm } => {
+                let c = self.cpu.read(rs1);
+                self.cpu.write(rd, c.incremented(imm));
+                true
+            }
+            Instr::CSetBounds {
+                rd,
+                rs1,
+                rs2,
+                exact,
+            } => {
+                let c = self.cpu.read(rs1);
+                let len = u64::from(self.cpu.read_int(rs2));
+                let out = if exact {
+                    c.set_bounds_exact(len)
+                } else {
+                    c.set_bounds(len)
+                };
+                self.cpu.write(rd, out.unwrap_or_else(|| c.cleared()));
+                true
+            }
+            Instr::CSetBoundsImm { rd, rs1, imm } => {
+                let c = self.cpu.read(rs1);
+                let out = c.set_bounds(u64::from(imm));
+                self.cpu.write(rd, out.unwrap_or_else(|| c.cleared()));
+                true
+            }
+            Instr::CAndPerm { rd, rs1, rs2 } => {
+                let c = self.cpu.read(rs1);
+                let mask = Permissions::from_bits(self.cpu.read_int(rs2) as u16);
+                self.cpu.write(rd, c.and_perms(mask));
+                true
+            }
+            Instr::CClearTag { rd, rs1 } => {
+                let c = self.cpu.read(rs1);
+                self.cpu.write(rd, c.cleared());
+                true
+            }
+            Instr::CMove { rd, rs1 } => {
+                let c = self.cpu.read(rs1);
+                self.cpu.write(rd, c);
+                true
+            }
+            // An *interior* `j` is a chased superblock edge: rd is
+            // x0 (no state change), the jump penalty was folded
+            // into `base_cycles` at decode, and the next
+            // predecoded instruction's `pc` is the target. A `j`
+            // in last position was *not* chased and takes the
+            // inline exit arm below instead (charging the penalty
+            // here and there would double-count it).
+            Instr::Jal { rd, .. } if rd == Reg::ZERO && interior => true,
+            _ => false,
+        }
+    }
+
+    /// Executes the predecoded block at slot `idx` (taken by the caller
+    /// via [`Machine::block_take`]) and — with chaining enabled — keeps
+    /// dispatching successor blocks through the successor-link and
+    /// sentry-inline-cache fast paths until a stop boundary, never
+    /// returning to the dispatcher in between (DESIGN.md §13). The block
+    /// in hand is always returned to its slot before this function
+    /// returns. Returns whether the outer run loop should stop (budget,
+    /// halt, interrupt boundary) or re-dispatch.
+    fn exec_chain(
+        &mut self,
+        mut idx: usize,
+        mut block: Arc<Block>,
+        limit: u64,
+        wd: u64,
+        enabled: bool,
+    ) -> BlockExit {
+        /// How one block's instruction loop ended.
+        #[derive(Clone, Copy)]
+        enum BodyExit {
+            /// A path inside the loop already synced counters + PCC and
+            /// the run must stop (budget boundary, halt, mid-block IRQ).
+            Stop,
+            /// Fell off the end of the block, or an inline branch/jump
+            /// arm resolved the next PC: counters live in locals and the
+            /// PCC address is *not* yet written (same bounds, so the
+            /// fingerprint is unchanged).
+            Fall(u32),
+            /// The general `exec` path jumped or trapped: the PCC is
+            /// fully installed and `self`'s counters are authoritative.
+            Jumped,
+            /// The sentry inline cache jumped: the successor slot and the
+            /// fingerprint it was fetch-verified under are already known.
+            JumpedIc { slot: usize, fp: (u32, u64) },
+        }
+
+        let chain = self.cfg.block_chain;
+        // Successor links and inline caches embed the generation they
+        // were recorded under. It cannot move mid-chain — invalidation
+        // only happens through external `Machine` APIs (`patch_code`,
+        // program loads, `flush_block_cache`), never from `exec` — so one
+        // load covers the whole chain.
+        let gen = self.blocks.stats.generation;
+        // The PCC address is materialised lazily: the loop reads each
+        // instruction's predecoded `pc` and writes the PCC only at stop
+        // boundaries and real jumps (every path below that leaves the
+        // loop syncs first). Chained fall-through edges keep the stale
+        // address: it stays inside the PCC bounds (every chained block
+        // was verified under the same fingerprint), so the deferred
+        // `with_address` calls are pure address updates and any later
+        // out-of-bounds move decodes identically (see
+        // `Capability::with_address`).
+        let has_tracer = self.tracer.is_some();
+        // With no hardware revoker configured, `advance` is a bare
+        // cycle bump; hoisting the config load lets the hot arm skip
+        // the call entirely. (`cfg.hw_revoker` never changes mid-run.)
+        let plain_cycles = !self.cfg.hw_revoker;
+        // Register-resident loop state. `cyc`/`ins` are the
+        // authoritative cycle/instruction counters inside the loop;
+        // they are written back to `self` before every operation that
+        // could observe them (tracing, `advance`, the general `exec`
+        // path, every exit) and re-read after every operation that
+        // could move them. `mtimecmp`/`irq_pend` can only change
+        // through general-path instructions (MMIO stores, revoker
+        // stepping under `advance`), so they are re-read exactly
+        // there; across inline ALU stretches the cached values are
+        // exact.
+        let mut cyc = self.cycles;
+        let mut ins = self.stats.instructions;
+        let mut mtimecmp = self.mtimecmp;
+        let mut irq_pend = self.revoker.irq_pending();
+        // Fingerprint of the PCC bounds the held block was fetch-verified
+        // under (`block_take` just verified it, so the fingerprint
+        // exists; the `else` is defensive). Links are keyed on it: a
+        // matching link proves its target block was verified under these
+        // exact bounds, which is what makes skipping
+        // `verify_block_fetch` on chained edges sound.
+        let Some(mut fp) = self.cpu.pcc.fetch_fingerprint() else {
+            self.blocks.restore(idx, block);
+            return BlockExit::Continue;
+        };
+        'chain: loop {
+            // Pending sentry-inline-cache install: set when the block
+            // ends in a `cjalr` that missed the cache, consumed once its
+            // successful jump resolves a successor block.
+            let mut ic_pending: Option<(u64, Option<bool>)> = None;
+            let n = block.insns.len();
+            let out = 'body: {
+                // Unchecked inner loop (DESIGN.md §13): `block.worst_cycles`
+                // bounds what one full non-trapping pass can accrue, so when
+                // `cyc + worst_cycles` clears both the budget limit and the
+                // timer compare (and the instruction budget covers the whole
+                // block, no tracer wants per-instruction events, and cycles
+                // are plain bumps), none of the per-instruction boundary
+                // checks below can fire — run the block's *fast stream*
+                // (chased jumps pre-folded into their successors at decode)
+                // without them. Fast arms cannot move `mtimecmp`, the
+                // interrupt posture or the halt latch, and without a hardware
+                // revoker `irq_pend` is constant across the stretch, so every
+                // skipped check would have evaluated false. An element the
+                // fast path refuses falls through to the checked loop at its
+                // `resume` index with nothing executed twice: `ins`/`cyc` are
+                // charged only after `exec_fast` succeeds, and a hazard stall
+                // consumed here stays consumed (`pending_use.take()`),
+                // matching the stepwise order of charge-then-execute.
+                let mut skip = 0usize;
+                if plain_cycles
+                    && !has_tracer
+                    && ins + n as u64 <= wd
+                    && cyc.saturating_add(block.worst_cycles) < limit
+                    && (!enabled
+                        || (!irq_pend && cyc.saturating_add(block.worst_cycles) < mtimecmp))
+                {
+                    skip = block.fast_end as usize;
+                    for f in block.fast.iter() {
+                        if f.check_hazard {
+                            if let Some((r, penalty)) = self.pending_use.take() {
+                                if f.srcs.iter().flatten().any(|&s| s == r) {
+                                    self.stats.stall_cycles += penalty;
+                                    cyc += penalty;
+                                }
+                            }
+                        }
+                        if !self.exec_fast(&f.d, true) {
+                            skip = f.resume as usize;
+                            break;
+                        }
+                        ins += u64::from(f.retires);
+                        cyc += f.cycles;
+                    }
+                }
+                for (i, d) in block.insns.iter().enumerate().skip(skip) {
+                    let pc = d.pc;
+                    if i != 0 && (cyc >= limit || ins >= wd) {
+                        // Budget boundary mid-block: stop exactly where the
+                        // stepwise loop would, PC on the next instruction.
                         self.cycles = cyc;
                         self.stats.instructions = ins;
                         self.finish_jump(pc);
-                        return BlockExit::Stop;
+                        break 'body BodyExit::Stop;
                     }
-                    continue;
-                }
-                self.cycles = cyc;
-                self.stats.instructions = ins;
-                match self.exec(d.instr, pc) {
-                    Ok((extra, out)) => {
+                    // Load-to-use hazard from the previous instruction; only
+                    // loads set it, so predecode marks the instructions that
+                    // could observe one.
+                    if d.check_hazard {
+                        if let Some((r, penalty)) = self.pending_use.take() {
+                            if d.srcs.iter().flatten().any(|&s| s == r) {
+                                self.stats.stall_cycles += penalty;
+                                if plain_cycles {
+                                    cyc += penalty;
+                                } else {
+                                    self.cycles = cyc;
+                                    self.advance(penalty, 0);
+                                    cyc = self.cycles;
+                                    irq_pend = self.revoker.irq_pending();
+                                }
+                            }
+                        }
+                    }
+                    ins += 1;
+                    if has_tracer {
+                        self.cycles = cyc; // event timestamp
+                        self.trace_emit(EventKind::InstrRetired { pc });
+                    }
+                    let fast = self.exec_fast(d, i + 1 < n);
+                    if fast {
                         if plain_cycles {
-                            self.cycles += d.base_cycles + extra;
+                            cyc += d.base_cycles;
                         } else {
-                            self.advance(d.base_cycles + extra, d.mem_beats);
+                            self.cycles = cyc;
+                            self.advance(d.base_cycles, d.mem_beats);
+                            cyc = self.cycles;
+                            irq_pend = self.revoker.irq_pending();
                         }
-                        cyc = self.cycles;
-                        mtimecmp = self.mtimecmp;
-                        irq_pend = self.revoker.irq_pending();
-                        match out {
-                            PcOutcome::Advance => {}
-                            PcOutcome::Jumped => {
-                                jumped = true;
-                                break;
+                        // Fast arms cannot halt, so only the interrupt-arrival
+                        // check applies before the next instruction. (A fast
+                        // arm can sit in last position when a block was
+                        // truncated at the length cap, hence the `get`.)
+                        if enabled && (cyc >= mtimecmp || irq_pend) {
+                            let npc = block.insns.get(i + 1).map_or(pc.wrapping_add(4), |x| x.pc);
+                            self.cycles = cyc;
+                            self.stats.instructions = ins;
+                            self.finish_jump(npc);
+                            break 'body BodyExit::Stop;
+                        }
+                        continue;
+                    }
+                    // Inline block-ender arms: the dominant control-flow exits
+                    // dispatch without the general `exec` round trip. Each
+                    // replicates its `exec` arm exactly but defers the PCC
+                    // address write to the chain boundary.
+                    match d.instr {
+                        Instr::Branch {
+                            cond,
+                            rs1,
+                            rs2,
+                            offset,
+                        } => {
+                            let a = self.cpu.read_int(rs1);
+                            let b = self.cpu.read_int(rs2);
+                            let (npc, extra) = if branch_taken(cond, a, b) {
+                                self.stats.taken_branches += 1;
+                                (
+                                    pc.wrapping_add(offset as u32),
+                                    self.cfg.core.branch_taken_penalty,
+                                )
+                            } else {
+                                (pc.wrapping_add(4), 0)
+                            };
+                            if plain_cycles {
+                                cyc += d.base_cycles + extra;
+                            } else {
+                                self.cycles = cyc;
+                                self.advance(d.base_cycles + extra, d.mem_beats);
+                                cyc = self.cycles;
+                                irq_pend = self.revoker.irq_pending();
                             }
-                            PcOutcome::Stay => {
-                                // `halt`: the PCC parks on the instruction.
-                                self.finish_jump(pc);
-                                return BlockExit::Stop;
+                            break 'body BodyExit::Fall(npc);
+                        }
+                        Instr::Jal { rd, offset } if rd == Reg::ZERO => {
+                            // A last-position `j` (interior ones were chased
+                            // at decode and took the fast arm): the x0 link is
+                            // a no-op and nothing can trap.
+                            if plain_cycles {
+                                cyc += d.base_cycles + self.cfg.core.jump_penalty;
+                            } else {
+                                self.cycles = cyc;
+                                self.advance(
+                                    d.base_cycles + self.cfg.core.jump_penalty,
+                                    d.mem_beats,
+                                );
+                                cyc = self.cycles;
+                                irq_pend = self.revoker.irq_pending();
                             }
+                            break 'body BodyExit::Fall(pc.wrapping_add(offset as u32));
+                        }
+                        Instr::Jalr { rd, rs1, .. } if chain && self.cfg.cheri_enabled => {
+                            // Sentry inline cache (DESIGN.md §13): a call
+                            // site's `cjalr` keeps seeing the same sentry on
+                            // the RTOS cross-call path, and the target's
+                            // memory word + tag fully determine the
+                            // validation outcome. A word match on a tagged
+                            // target replays the jump — link, posture effect,
+                            // installed PCC — without re-running it.
+                            let target = self.cpu.read(rs1);
+                            if target.tag() {
+                                if let Some(ic) = self.blocks.ic_lookup(idx, gen, target.to_word())
+                                {
+                                    self.blocks.stats.sentry_ic_hits += 1;
+                                    // Same order as `exec`: the return-sentry
+                                    // link can trap, and then nothing else
+                                    // must have happened yet.
+                                    if let Err(t) = self.link(rd, pc.wrapping_add(4)) {
+                                        self.cycles = cyc;
+                                        self.stats.instructions = ins;
+                                        self.advance(d.base_cycles, 0);
+                                        self.finish_jump(pc);
+                                        self.enter_trap(t, pc);
+                                        cyc = self.cycles;
+                                        mtimecmp = self.mtimecmp;
+                                        irq_pend = self.revoker.irq_pending();
+                                        break 'body BodyExit::Jumped;
+                                    }
+                                    if let Some(en) = ic.posture {
+                                        if self.cpu.interrupts_enabled != en {
+                                            self.cpu.interrupts_enabled = en;
+                                            self.cycles = cyc;
+                                            self.trace_emit(EventKind::InterruptPosture {
+                                                enabled: en,
+                                            });
+                                        }
+                                    }
+                                    if self.block_trace {
+                                        self.cycles = cyc;
+                                        self.trace_emit(EventKind::SentryIcHit {
+                                            pc,
+                                            target: ic.target_pcc.address(),
+                                        });
+                                    }
+                                    self.cpu.pcc = ic.target_pcc;
+                                    if plain_cycles {
+                                        cyc += d.base_cycles + self.cfg.core.jump_penalty;
+                                    } else {
+                                        self.cycles = cyc;
+                                        self.advance(
+                                            d.base_cycles + self.cfg.core.jump_penalty,
+                                            d.mem_beats,
+                                        );
+                                        cyc = self.cycles;
+                                        irq_pend = self.revoker.irq_pending();
+                                    }
+                                    break 'body BodyExit::JumpedIc {
+                                        slot: ic.target_slot as usize,
+                                        fp: ic.fp,
+                                    };
+                                }
+                                // Miss: remember the key; the general path
+                                // below validates the jump, and its success
+                                // installs the cache entry at the chain
+                                // boundary.
+                                self.blocks.stats.sentry_ic_misses += 1;
+                                ic_pending =
+                                    Some((target.to_word(), sentry_posture_effect(&target)));
+                            }
+                        }
+                        _ => {}
+                    }
+                    self.cycles = cyc;
+                    self.stats.instructions = ins;
+                    match self.exec(d.instr, pc) {
+                        Ok((extra, out)) => {
+                            if plain_cycles {
+                                self.cycles += d.base_cycles + extra;
+                            } else {
+                                self.advance(d.base_cycles + extra, d.mem_beats);
+                            }
+                            cyc = self.cycles;
+                            mtimecmp = self.mtimecmp;
+                            irq_pend = self.revoker.irq_pending();
+                            match out {
+                                PcOutcome::Advance => {}
+                                PcOutcome::Jumped => break 'body BodyExit::Jumped,
+                                PcOutcome::Stay => {
+                                    // `halt`: the PCC parks on the instruction.
+                                    self.finish_jump(pc);
+                                    break 'body BodyExit::Stop;
+                                }
+                            }
+                        }
+                        Err(t) => {
+                            // The trap reports the PC of the *offending*
+                            // instruction, not the block start. Sync the PCC
+                            // first: a double fault halts inside `enter_trap`
+                            // and leaves the PCC for post-mortem inspection.
+                            self.advance(d.base_cycles, 0);
+                            self.finish_jump(pc);
+                            self.enter_trap(t, pc);
+                            cyc = self.cycles;
+                            mtimecmp = self.mtimecmp;
+                            irq_pend = self.revoker.irq_pending();
+                            ic_pending = None;
+                            break 'body BodyExit::Jumped;
                         }
                     }
-                    Err(t) => {
-                        // The trap reports the PC of the *offending*
-                        // instruction, not the block start. Sync the PCC
-                        // first: a double fault halts inside `enter_trap`
-                        // and leaves the PCC for post-mortem inspection.
-                        self.advance(d.base_cycles, 0);
-                        self.finish_jump(pc);
-                        self.enter_trap(t, pc);
-                        jumped = true;
-                        break;
+                    let npc = block.insns.get(i + 1).map_or(pc.wrapping_add(4), |x| x.pc);
+                    if self.halted.is_some() {
+                        // Idle `wfi` with interrupts off: retires, PC advances.
+                        self.finish_jump(npc);
+                        break 'body BodyExit::Stop;
+                    }
+                    // Mid-block the posture cannot change (posture-changing
+                    // instructions end blocks; traps break out above), so the
+                    // boundary check reduces to interrupt arrival.
+                    if enabled && (cyc >= mtimecmp || irq_pend) {
+                        self.finish_jump(npc);
+                        break 'body BodyExit::Stop;
                     }
                 }
-                pc = pc.wrapping_add(4);
-                if self.halted.is_some() {
-                    // Idle `wfi` with interrupts off: retires, PC advances.
-                    self.finish_jump(pc);
+                BodyExit::Fall(block.end)
+            };
+            // --- chain boundary ---
+            let (next_pc, pcc_synced) = match out {
+                BodyExit::Stop => {
+                    self.blocks.restore(idx, block);
                     return BlockExit::Stop;
                 }
-                // Mid-block the posture cannot change (posture-changing
-                // instructions end blocks; traps break out above), so the
-                // boundary check reduces to interrupt arrival.
-                if enabled && (cyc >= mtimecmp || irq_pend) {
-                    self.finish_jump(pc);
-                    return BlockExit::Stop;
-                }
-            }
-            if !jumped {
-                // Jumped/trapped paths flushed the counters before `exec`
-                // and left `self` authoritative; only fall-through exits
-                // still carry them in locals.
+                BodyExit::Fall(npc) => (npc, false),
+                BodyExit::Jumped | BodyExit::JumpedIc { .. } => (self.cpu.pc(), true),
+            };
+            // Locals are current on every non-`Stop` exit (jumped/trapped
+            // paths reloaded them), so the interrupt-boundary test the
+            // dispatcher would run reads them directly.
+            let irq_stop = self.cpu.interrupts_enabled != enabled
+                || (enabled && (cyc >= mtimecmp || irq_pend));
+            if !chain || irq_stop || self.halted.is_some() || cyc >= limit || ins >= wd {
                 self.cycles = cyc;
                 self.stats.instructions = ins;
-                self.finish_jump(pc);
+                if !pcc_synced {
+                    self.finish_jump(next_pc);
+                }
+                self.blocks.restore(idx, block);
+                return if irq_stop {
+                    BlockExit::Stop
+                } else {
+                    BlockExit::Continue
+                };
             }
-            if self.irq_boundary(enabled) {
-                BlockExit::Stop
-            } else {
-                BlockExit::Continue
+            // Resolve the successor without returning to the dispatcher:
+            // inline-cache target, then the successor links, then the full
+            // verified lookup (which also records the missing link).
+            if let BodyExit::JumpedIc { slot, fp: nfp } = out {
+                // The cache recorded the slot and the fingerprint its
+                // block was verified under; the PCC just installed is the
+                // capability that fingerprint came from.
+                fp = nfp;
+                if slot == idx {
+                    // Self-call: the held block is its own successor.
+                    self.blocks.stats.chain_hits += 1;
+                    continue 'chain;
+                }
+                if let Some(nb) = self.blocks.take(slot) {
+                    self.blocks.stats.chain_hits += 1;
+                    if self.block_trace {
+                        self.cycles = cyc;
+                        let (from, to) = (block.start, nb.start);
+                        self.trace_emit(EventKind::BlockChained { from, to });
+                    }
+                    self.blocks.restore(idx, block);
+                    idx = slot;
+                    block = nb;
+                    continue 'chain;
+                }
+                // Defensive only — under an unmoved generation the slot
+                // cannot have been emptied; fall through to the verified
+                // lookup.
+            } else if matches!(out, BodyExit::Jumped) {
+                // The jump installed a fresh PCC whose bounds may differ
+                // (cjalr, mret, trap vector). Re-fingerprint; a PCC that
+                // cannot fetch at all goes back to the dispatcher for
+                // exact per-instruction fault reporting.
+                match self.cpu.pcc.fetch_fingerprint() {
+                    Some(nfp) => fp = nfp,
+                    None => {
+                        self.cycles = cyc;
+                        self.stats.instructions = ins;
+                        self.blocks.restore(idx, block);
+                        return BlockExit::Continue;
+                    }
+                }
             }
+            if let Some(slot) = self.blocks.link_lookup(idx, gen, next_pc, fp) {
+                // Link hit: the target block was verified for fetch under
+                // this exact fingerprint when the link was recorded, so
+                // the per-dispatch `verify_block_fetch` is elided.
+                if slot == idx {
+                    // Self-loop (a one-block spin): the held block is its
+                    // own successor.
+                    self.blocks.stats.chain_hits += 1;
+                    continue 'chain;
+                }
+                if let Some(nb) = self.blocks.take(slot) {
+                    self.blocks.stats.chain_hits += 1;
+                    if self.block_trace {
+                        self.cycles = cyc;
+                        let (from, to) = (block.start, nb.start);
+                        self.trace_emit(EventKind::BlockChained { from, to });
+                    }
+                    self.blocks.restore(idx, block);
+                    idx = slot;
+                    block = nb;
+                    continue 'chain;
+                }
+            }
+            // Link miss: sync the PCC, return the held block, and take
+            // the successor through the verified lookup; record the edge
+            // (and any pending sentry inline-cache entry) for next time.
+            self.cycles = cyc;
+            self.stats.instructions = ins;
+            if !pcc_synced {
+                self.finish_jump(next_pc);
+            }
+            let from_start = block.start;
+            self.blocks.restore(idx, block);
+            let Some((nidx, nb)) = self.block_take(next_pc) else {
+                return BlockExit::Continue;
+            };
+            self.blocks.link_insert(idx, gen, next_pc, fp, nidx);
+            if let Some((word, posture)) = ic_pending {
+                self.blocks.ic_insert(
+                    idx,
+                    gen,
+                    SentryIc {
+                        cap_word: word,
+                        target_pcc: self.cpu.pcc,
+                        posture,
+                        target_slot: nidx as u32,
+                        fp,
+                    },
+                );
+            }
+            if self.block_trace {
+                self.trace_emit(EventKind::BlockLinked {
+                    from: from_start,
+                    to: next_pc,
+                });
+            }
+            idx = nidx;
+            block = nb;
         }
     }
 
@@ -1331,11 +1839,7 @@ impl Machine {
             return None;
         }
         if let Some(b) = self.blocks.take(idx) {
-            if self
-                .cpu
-                .pcc
-                .check_fetch_range(b.start, b.end.wrapping_sub(4))
-            {
+            if self.verify_block_fetch(&b) {
                 self.blocks.stats.hits += 1;
                 return Some((idx, b));
             }
@@ -1347,6 +1851,7 @@ impl Machine {
             idx,
             &self.cfg.core,
             self.cfg.load_filter,
+            self.cfg.block_chain,
         ));
         let code_words = self.code.len();
         // The miss path caches a clone and returns the original; after
@@ -1356,15 +1861,25 @@ impl Machine {
             let (pc, len) = (block.start, block.insns.len() as u32);
             self.trace_emit(EventKind::BlockCompiled { pc, len });
         }
-        if self
-            .cpu
-            .pcc
-            .check_fetch_range(block.start, block.end.wrapping_sub(4))
-        {
+        if self.verify_block_fetch(&block) {
             Some((idx, block))
         } else {
             None
         }
+    }
+
+    /// Can the current PCC fetch every instruction of `block`? The single
+    /// audit point for batched fetch verification: each covered segment
+    /// is one contiguous interval, so checking its first and last
+    /// instruction covers every one in between, and the chained dispatch
+    /// loop may elide this check entirely on edges recorded under the
+    /// same PCC [`Capability::fetch_fingerprint`] — equal fingerprints
+    /// give identical answers here (DESIGN.md §13).
+    fn verify_block_fetch(&self, block: &Block) -> bool {
+        block
+            .ranges
+            .iter()
+            .all(|&(s, e)| self.cpu.pcc.check_fetch_range(s, e.wrapping_sub(4)))
     }
 
     /// Executes one instruction (or delivers one interrupt).
@@ -1888,13 +2403,32 @@ enum PcOutcome {
     Stay,
 }
 
-/// How [`Machine::exec_block`] left the run loop: `Stop` ends the run
+/// How `Machine::exec_chain` left the run loop: `Stop` ends the run
 /// (budget, halt, interrupt boundary), `Continue` dispatches the next
 /// block.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum BlockExit {
     Stop,
     Continue,
+}
+
+/// The interrupt-posture effect of jumping to `target` via `cjalr`,
+/// mirroring the sentry decoding in `exec`'s `Jalr` arm: `Some(enable)`
+/// switches the posture, `None` leaves it alone (unsealed targets and
+/// inherit sentries). Only consulted for targets whose jump succeeded —
+/// the sentry inline cache never caches faulting jumps.
+fn sentry_posture_effect(target: &Capability) -> Option<bool> {
+    if !target.is_sealed() {
+        return None;
+    }
+    match target.otype().sentry_kind() {
+        Some(SentryKind::Forward(InterruptPosture::Enabled))
+        | Some(SentryKind::Return(InterruptPosture::Enabled)) => Some(true),
+        Some(SentryKind::Forward(InterruptPosture::Disabled)) | Some(SentryKind::Return(_)) => {
+            Some(false)
+        }
+        Some(SentryKind::Forward(InterruptPosture::Inherit)) | None => None,
+    }
 }
 
 fn cheri(reg: impl Into<RegIndex>, fault: cheriot_cap::CapFault) -> TrapCause {

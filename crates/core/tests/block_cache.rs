@@ -16,6 +16,17 @@ fn machine_with(block_cache: bool) -> Machine {
     Machine::new(mc)
 }
 
+/// The three dispatch modes under test: the stepwise interpreter, the
+/// block cache with chaining off, and the fully chained dispatch loop.
+const MODES: [(bool, bool); 3] = [(false, false), (true, false), (true, true)];
+
+fn machine_mode((block_cache, block_chain): (bool, bool)) -> Machine {
+    let mut mc = MachineConfig::new(CoreModel::ibex());
+    mc.block_cache = block_cache;
+    mc.block_chain = block_chain;
+    Machine::new(mc)
+}
+
 fn addi(rd: Reg, rs1: Reg, imm: i32) -> Instr {
     Instr::OpImm {
         op: AluOp::Add,
@@ -321,6 +332,180 @@ fn watchdog_fires_at_same_instruction_cache_on_vs_off() {
     assert_eq!(off.run(1_000_000), ExitReason::Watchdog);
     assert_same_state(&on, &off, "watchdog");
     assert_eq!(on.stats.instructions, 1_001);
+}
+
+#[test]
+fn smc_patch_of_linked_successor_takes_effect_in_all_modes() {
+    // Two blocks ping-pong through always-taken branches, so with chaining
+    // on the A→B and B→A successor links go hot and dispatch never returns
+    // to the dispatcher. Patching an instruction inside the linked
+    // successor must still take effect on the very next iteration: the
+    // patch bumps the generation, which kills every link at once.
+    let prog = vec![
+        addi(Reg::A0, Reg::A0, 1), // e+0  block A
+        Instr::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::A2,
+            rs2: Reg::A2,
+            offset: 12,
+        }, // e+4  always taken → e+16
+        Instr::Halt,               // e+8  (dead)
+        Instr::Halt,               // e+12 (dead)
+        addi(Reg::A1, Reg::A1, 1), // e+16 block B (patched below)
+        Instr::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::A2,
+            rs2: Reg::A2,
+            offset: -16,
+        }, // e+20 always taken → e+0
+    ];
+    let run_with_patch = |mode: (bool, bool)| -> Machine {
+        let mut m = machine_mode(mode);
+        let e = m.load_program(&prog);
+        m.set_entry(e);
+        assert_eq!(m.run(2_000), ExitReason::CycleLimit);
+        if mode == (true, true) {
+            let st = m.block_stats();
+            assert!(
+                st.chain_links >= 2 && st.chain_hits > 10,
+                "A↔B must be chained before the patch (links={}, hits={})",
+                st.chain_links,
+                st.chain_hits
+            );
+        }
+        m.patch_code(e + 16, addi(Reg::A1, Reg::A1, 1000)).unwrap();
+        assert_eq!(m.run(2_000), ExitReason::CycleLimit);
+        m
+    };
+    let a1 = run_with_patch(MODES[0]).cpu.read_int(Reg::A1);
+    assert!(a1 >= 1000, "patched increment must apply (a1={a1})");
+    for mode in [MODES[1], MODES[2]] {
+        let m = run_with_patch(mode);
+        let s = run_with_patch(MODES[0]);
+        assert_same_state(&m, &s, &format!("mode {mode:?} vs stepwise"));
+    }
+}
+
+#[test]
+fn mid_superblock_trap_reports_pc_in_chased_segment() {
+    // The faulting load sits *after* a chased `jal x0` — in the second
+    // segment of a superblock, and behind a fast-stream element whose
+    // folded jump already retired. Every mode must attribute the trap to
+    // the load's own PC, with identical cycle and retirement counts.
+    let prog = vec![
+        addi(Reg::A0, Reg::A0, 1), // e+0
+        Instr::Jal {
+            rd: Reg::ZERO,
+            offset: 8,
+        }, // e+4  chased → e+12
+        Instr::Halt,               // e+8  (skipped)
+        addi(Reg::A0, Reg::A0, 1), // e+12
+        Instr::Load {
+            width: MemWidth::W,
+            signed: false,
+            rd: Reg::A2,
+            rs1: Reg::A1, // null capability: tag violation
+            offset: 0,
+        }, // e+16  faults
+        Instr::Halt,               // e+20
+    ];
+    let mut results = Vec::new();
+    for mode in MODES {
+        let mut m = machine_mode(mode);
+        let e = m.load_program(&prog);
+        m.set_entry(e);
+        m.set_tracer(Tracer::timeline());
+        let exit = m.run(1_000);
+        assert!(
+            matches!(exit, ExitReason::Fault(_)),
+            "mode {mode:?}: expected a fault, got {exit:?}"
+        );
+        let traps: Vec<u32> = m
+            .tracer()
+            .unwrap()
+            .events()
+            .iter()
+            .filter_map(|ev| match ev.kind {
+                EventKind::Trap { pc, .. } => Some(pc),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            traps,
+            vec![e + 16],
+            "mode {mode:?}: trap must report the faulting instruction's PC"
+        );
+        results.push(m);
+    }
+    let (s, rest) = results.split_first().unwrap();
+    for (m, mode) in rest.iter().zip(&MODES[1..]) {
+        assert_same_state(m, s, &format!("mode {mode:?} vs stepwise"));
+    }
+}
+
+#[test]
+fn sentry_inline_cache_invalidated_by_target_patch() {
+    // A hot `cjalr` call site installs a sentry inline cache; patching the
+    // callee's code bumps the generation, so the next call must miss the
+    // cache, re-validate, and execute the patched callee — in lockstep
+    // with the stepwise interpreter.
+    use cheriot_cap::OType;
+    let callee = vec![
+        addi(Reg::A1, Reg::A1, 7), // h+0 (patched below)
+        Instr::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            offset: 0,
+        }, // h+4 return through the return sentry
+    ];
+    let caller = vec![
+        Instr::Jalr {
+            rd: Reg::RA,
+            rs1: Reg::A5,
+            offset: 0,
+        }, // e+0 call the forward sentry
+        Instr::Jal {
+            rd: Reg::ZERO,
+            offset: -4,
+        }, // e+4 backward (not chased): call again
+    ];
+    let run_with_patch = |mode: (bool, bool)| -> Machine {
+        let mut m = machine_mode(mode);
+        let h = m.load_program(&callee);
+        let e = m.load_program(&caller);
+        m.set_entry(e);
+        let sentry = m
+            .boot_pcc(h)
+            .seal_as_sentry(OType::Executable(1)) // forward, inherit posture
+            .unwrap();
+        m.cpu.write(Reg::A5, sentry);
+        assert_eq!(m.run(2_000), ExitReason::CycleLimit);
+        if mode == (true, true) {
+            let st = m.block_stats();
+            assert!(
+                st.sentry_ic_hits > 10,
+                "call site must be served by the inline cache (hits={})",
+                st.sentry_ic_hits
+            );
+        }
+        let misses_before = m.block_stats().sentry_ic_misses;
+        m.patch_code(h, addi(Reg::A1, Reg::A1, 1000)).unwrap();
+        assert_eq!(m.run(2_000), ExitReason::CycleLimit);
+        if mode == (true, true) {
+            assert!(
+                m.block_stats().sentry_ic_misses > misses_before,
+                "the patch must force an inline-cache re-install"
+            );
+        }
+        m
+    };
+    let a1 = run_with_patch(MODES[0]).cpu.read_int(Reg::A1);
+    assert!(a1 >= 1000, "patched callee must run (a1={a1})");
+    for mode in [MODES[1], MODES[2]] {
+        let m = run_with_patch(mode);
+        let s = run_with_patch(MODES[0]);
+        assert_same_state(&m, &s, &format!("mode {mode:?} vs stepwise"));
+    }
 }
 
 #[test]

@@ -214,6 +214,80 @@ fn batched_run_matches_stepwise_loop_with_timer_interrupts() {
     assert_eq!(batched.mtimecmp, stepwise.mtimecmp);
 }
 
+/// `timer_machine` with an explicit dispatch mode: stepwise, block cache
+/// without chaining, or the fully chained dispatch loop.
+fn timer_machine_mode((block_cache, block_chain): (bool, bool)) -> Machine {
+    let mut m = timer_machine();
+    m.cfg.block_cache = block_cache;
+    m.cfg.block_chain = block_chain;
+    m
+}
+
+#[test]
+fn three_way_dispatch_equivalence_with_timer_interrupts() {
+    // The full observable record — cycle counts, retirement counts, every
+    // register, interrupt delivery points, trace event streams — must be
+    // byte-identical across all three dispatch modes, under live timer
+    // interrupts re-armed from the handler (so the run repeatedly crosses
+    // trap entry, `mret`, and mid-block interrupt boundaries).
+    use cheriot_core::trace::Tracer;
+    let modes = [(false, false), (true, false), (true, true)];
+    let mut machines: Vec<Machine> = modes
+        .iter()
+        .map(|&mode| {
+            let mut m = timer_machine_mode(mode);
+            m.set_tracer(Tracer::timeline());
+            m
+        })
+        .collect();
+    let exits: Vec<ExitReason> = machines.iter_mut().map(|m| m.run(20_000)).collect();
+    assert_eq!(exits[0], exits[1]);
+    assert_eq!(exits[0], exits[2]);
+    let (s, rest) = machines.split_first().unwrap();
+    assert!(
+        s.stats.interrupts > 10,
+        "test must actually deliver interrupts (got {})",
+        s.stats.interrupts
+    );
+    for (m, mode) in rest.iter().zip(&modes[1..]) {
+        assert_eq!(m.cycles, s.cycles, "mode {mode:?}: cycles diverged");
+        assert_eq!(m.stats, s.stats, "mode {mode:?}: stats diverged");
+        assert_eq!(m.cpu.pc(), s.cpu.pc(), "mode {mode:?}: PC diverged");
+        assert_eq!(m.mtimecmp, s.mtimecmp, "mode {mode:?}: mtimecmp diverged");
+        for i in 0..16u8 {
+            let r = Reg(i);
+            assert_eq!(
+                m.cpu.read(r),
+                s.cpu.read(r),
+                "mode {mode:?}: register c{i} diverged"
+            );
+        }
+        assert_eq!(
+            m.tracer().unwrap().events(),
+            s.tracer().unwrap().events(),
+            "mode {mode:?}: trace event streams diverged"
+        );
+    }
+}
+
+#[test]
+fn three_way_dispatch_equivalence_across_sliced_budgets() {
+    // Odd budget slices land boundary checks at different points of the
+    // dispatch loops (mid-block stops, chain-boundary stops); the final
+    // state must not depend on the slicing in any mode.
+    for mode in [(false, false), (true, false), (true, true)] {
+        let mut whole = timer_machine_mode(mode);
+        let mut sliced = timer_machine_mode(mode);
+        whole.run(20_000);
+        while sliced.cycles < whole.cycles {
+            sliced.run((whole.cycles - sliced.cycles).min(117));
+        }
+        assert_eq!(whole.cycles, sliced.cycles, "mode {mode:?}");
+        assert_eq!(whole.stats, sliced.stats, "mode {mode:?}");
+        assert_eq!(whole.cpu.pc(), sliced.cpu.pc(), "mode {mode:?}");
+    }
+}
+
 #[test]
 fn batched_run_resumes_across_cycle_limit_slices() {
     // Slicing the budget must not change behavior: many small run() calls

@@ -343,13 +343,27 @@ impl Fingerprint {
 
 /// A freshly booted machine + heap with the seeded workload loaded, or a
 /// structured error string if loading failed (never a panic).
-/// `block_cache` selects the execution path: the campaign runs its
-/// reference cache-off and its faulted run cache-on, so every campaign is
-/// also a cross-check that the predecoded-block cache is architecturally
+/// Dispatch modes for [`fresh_run`]: `(block_cache, block_chain)`.
+const STEPWISE: (bool, bool) = (false, false);
+/// Block cache on, chaining off. Only the cross-mode equivalence tests
+/// exercise this middle mode; the campaign proper uses the two extremes.
+#[cfg(test)]
+const CACHED: (bool, bool) = (true, false);
+/// Block cache + chaining + sentry inline caches — the default path.
+const CHAINED: (bool, bool) = (true, true);
+
+/// `dispatch` is `(block_cache, block_chain)` and selects the execution
+/// path: the campaign runs its reference stepwise ([`STEPWISE`]) and its
+/// faulted run through the fully chained dispatch loop ([`CHAINED`]), so
+/// every campaign is also a cross-check that the predecoded-block cache,
+/// block chaining and the sentry inline caches are architecturally
 /// invisible (any cycle or behaviour drift shows up as a divergence).
-fn fresh_run(seed: u64, block_cache: bool) -> Result<(Machine, HeapAllocator, u32, u32), String> {
+fn fresh_run(
+    seed: u64,
+    dispatch: (bool, bool),
+) -> Result<(Machine, HeapAllocator, u32, u32), String> {
     let mut mc = MachineConfig::new(CoreModel::ibex());
-    mc.block_cache = block_cache;
+    (mc.block_cache, mc.block_chain) = dispatch;
     let mut m = Machine::new(mc);
     let heap = HeapAllocator::new(&mut m, TemporalPolicy::Quarantine(RevokerKind::Hardware));
     let program = build_workload(seed);
@@ -467,7 +481,7 @@ pub fn run_one(seed: u64, cfg: &CampaignConfig) -> CampaignResult {
     // Reference (fault-free) run, executed cache-off: its fingerprint and
     // cycle count anchor both the fault classification and the block
     // cache's exactness (the faulted run below executes cache-on).
-    let (mut m, mut heap, dir_lo, dir_len) = match fresh_run(seed, false) {
+    let (mut m, mut heap, dir_lo, dir_len) = match fresh_run(seed, STEPWISE) {
         Ok(v) => v,
         Err(e) => return fail(format!("reference setup: {e}")),
     };
@@ -480,7 +494,7 @@ pub fn run_one(seed: u64, cfg: &CampaignConfig) -> CampaignResult {
     let ref_instructions = m.stats.instructions;
 
     // Faulted run (cache-on).
-    let (mut m, mut heap, _, _) = match fresh_run(seed, true) {
+    let (mut m, mut heap, _, _) = match fresh_run(seed, CHAINED) {
         Ok(v) => v,
         Err(e) => return fail(format!("faulted setup: {e}")),
     };
@@ -737,7 +751,7 @@ impl SeedWorker {
 /// anything here is a checker false positive or a simulator bug, and fails
 /// the suite.
 fn run_control(seed: u64, cfg: &CampaignConfig) -> Vec<InvariantViolation> {
-    let Ok((mut m, mut heap, dir_lo, dir_len)) = fresh_run(seed, true) else {
+    let Ok((mut m, mut heap, dir_lo, dir_len)) = fresh_run(seed, CHAINED) else {
         return vec![InvariantViolation {
             kind: crate::invariant::InvariantKind::TagProvenance,
             cycle: 0,
@@ -842,13 +856,13 @@ mod tests {
         // The second run executes cache-on: determinism across the two
         // execution paths, not just across repetitions, is the contract.
         for seed in [1u64, 2, 3, 99] {
-            let (mut m, mut heap, _, _) = fresh_run(seed, false).unwrap();
+            let (mut m, mut heap, _, _) = fresh_run(seed, STEPWISE).unwrap();
             let r1 = run_with_heap_service(&mut m, &mut heap, 30_000_000);
             let ExitReason::Halted(c1) = r1 else {
                 panic!("seed {seed}: reference must halt, got {r1:?}");
             };
             heap.check_consistency(&m).unwrap();
-            let (mut m2, mut heap2, _, _) = fresh_run(seed, true).unwrap();
+            let (mut m2, mut heap2, _, _) = fresh_run(seed, CHAINED).unwrap();
             let r2 = run_with_heap_service(&mut m2, &mut heap2, 30_000_000);
             assert_eq!(
                 r2,
@@ -901,16 +915,16 @@ mod tests {
     fn faulted_run(
         seed: u64,
         classes: &[FaultClass],
-        block_cache: bool,
+        dispatch: (bool, bool),
     ) -> (Fingerprint, u64, u64) {
         let deadline = 30_000_000u64;
-        let (mut m, mut heap, dir_lo, _) = fresh_run(seed, false).unwrap();
+        let (mut m, mut heap, dir_lo, _) = fresh_run(seed, STEPWISE).unwrap();
         let r = run_with_heap_service(&mut m, &mut heap, deadline);
         assert!(matches!(r, ExitReason::Halted(_)), "seed {seed}: {r:?}");
         let ref_cycles = m.cycles.max(1);
         let wd = m.stats.instructions.saturating_mul(4) + 100_000;
 
-        let (mut m, mut heap, _, _) = fresh_run(seed, block_cache).unwrap();
+        let (mut m, mut heap, _, _) = fresh_run(seed, dispatch).unwrap();
         m.set_watchdog(Some(wd));
         let (hb, he) = heap.heap_range();
         let used_he = he.min(hb + 32 * 1024);
@@ -948,13 +962,14 @@ mod tests {
     }
 
     #[test]
-    fn faulted_runs_identical_cache_on_vs_off() {
+    fn faulted_runs_identical_across_dispatch_modes() {
         // The strongest exactness check: the faulted run (including code
         // bit-flips, which rewrite instructions mid-run and must invalidate
-        // predecoded blocks) produces a byte-identical fingerprint and the
-        // same cycle/instruction counts in both execution modes. Injection
-        // points land at the same slice boundaries only if the cache is
-        // architecturally invisible.
+        // predecoded blocks, successor links and sentry inline caches)
+        // produces a byte-identical fingerprint and the same cycle and
+        // instruction counts in all three dispatch modes. Injection points
+        // land at the same slice boundaries only if the whole dispatch
+        // stack is architecturally invisible.
         let classes = vec![
             FaultClass::Tag,
             FaultClass::Bounds,
@@ -962,9 +977,26 @@ mod tests {
             FaultClass::Code,
         ];
         for seed in [7u64, 8, 9, 10, 11, 12] {
-            let on = faulted_run(seed, &classes, true);
-            let off = faulted_run(seed, &classes, false);
-            assert_eq!(on, off, "seed {seed} diverged between cache modes");
+            let chained = faulted_run(seed, &classes, CHAINED);
+            let cached = faulted_run(seed, &classes, CACHED);
+            let stepwise = faulted_run(seed, &classes, STEPWISE);
+            assert_eq!(chained, cached, "seed {seed}: chained vs cached");
+            assert_eq!(cached, stepwise, "seed {seed}: cached vs stepwise");
+        }
+    }
+
+    #[test]
+    fn chain_mode_smoke_64_seeds_faulted_runs_identical() {
+        // Satellite smoke: 64 seeds of code/tag fault campaigns executed
+        // through the chained dispatch loop and through the unchained
+        // block cache must fingerprint identically (the per-seed stepwise
+        // reference inside `faulted_run` anchors both). Code faults make
+        // this a stress of link/IC invalidation under mid-run patching.
+        let classes = vec![FaultClass::Tag, FaultClass::Code];
+        for seed in 1u64..=64 {
+            let chained = faulted_run(seed, &classes, CHAINED);
+            let cached = faulted_run(seed, &classes, CACHED);
+            assert_eq!(chained, cached, "seed {seed}: chained vs cached");
         }
     }
 

@@ -149,6 +149,32 @@ pub enum EventKind {
         /// Number of cached blocks discarded.
         blocks: u32,
     },
+    /// The chained dispatch loop recorded a successor link between two
+    /// predecoded blocks (emitted only when the machine's block-trace
+    /// flag is set).
+    BlockLinked {
+        /// Start address of the departing block.
+        from: u32,
+        /// Start address of the successor block.
+        to: u32,
+    },
+    /// A block-to-block transition was taken through a successor link or
+    /// the sentry inline cache — no dispatcher return, no PCC fetch
+    /// re-check (emitted only when the machine's block-trace flag is set).
+    BlockChained {
+        /// Start address of the departing block.
+        from: u32,
+        /// Start address of the successor block.
+        to: u32,
+    },
+    /// A `cjalr` dispatch was served by its call site's sentry inline
+    /// cache (emitted only when the machine's block-trace flag is set).
+    SentryIcHit {
+        /// Address of the `cjalr`.
+        pc: u32,
+        /// Resolved target address.
+        target: u32,
+    },
 }
 
 impl EventKind {
@@ -173,6 +199,9 @@ impl EventKind {
             EventKind::FilterStrip { .. } => "filter_strip",
             EventKind::BlockCompiled { .. } => "block_compiled",
             EventKind::BlockInvalidated { .. } => "block_invalidated",
+            EventKind::BlockLinked { .. } => "block_linked",
+            EventKind::BlockChained { .. } => "block_chained",
+            EventKind::SentryIcHit { .. } => "sentry_ic_hit",
         }
     }
 
@@ -235,6 +264,12 @@ impl EventKind {
             }
             EventKind::BlockInvalidated { addr, blocks } => {
                 vec![("addr", addr as u64), ("blocks", blocks as u64)]
+            }
+            EventKind::BlockLinked { from, to } | EventKind::BlockChained { from, to } => {
+                vec![("from", from as u64), ("to", to as u64)]
+            }
+            EventKind::SentryIcHit { pc, target } => {
+                vec![("pc", pc as u64), ("target", target as u64)]
             }
         }
     }

@@ -514,12 +514,40 @@ pub fn code_size_bytes(cfg: &CoreMarkConfig) -> u32 {
     4 * words.len() as u32
 }
 
+/// Which simulator dispatch path executes the workload. All three are
+/// architecturally invisible (DESIGN.md §11, §13) — they only change host
+/// wall time, which is exactly what `sim_throughput` measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Per-instruction fetch/decode/execute.
+    Stepwise,
+    /// Predecoded block cache, returning to the dispatcher every block.
+    Cached,
+    /// Block cache plus chained dispatch: successor links, superblocks,
+    /// and sentry inline caches.
+    Chained,
+}
+
+impl DispatchMode {
+    /// `(block_cache, block_chain)` machine-config pair for this mode.
+    #[must_use]
+    pub fn config_flags(self) -> (bool, bool) {
+        match self {
+            DispatchMode::Stepwise => (false, false),
+            DispatchMode::Cached => (true, false),
+            DispatchMode::Chained => (true, true),
+        }
+    }
+}
+
 /// Builds a machine with the benchmark program loaded and its data-region
 /// pointer installed, ready to run.
-fn setup_machine(core: CoreModel, cfg: &CoreMarkConfig, block_cache: bool) -> Machine {
+fn setup_machine(core: CoreModel, cfg: &CoreMarkConfig, dispatch: DispatchMode) -> Machine {
+    let (block_cache, block_chain) = dispatch.config_flags();
     let mut mc = MachineConfig::new(core);
     mc.load_filter = cfg.load_filter;
     mc.block_cache = block_cache;
+    mc.block_chain = block_chain;
     mc.hw_revoker = false;
     mc.hwm_enabled = false;
     mc.cheri_enabled = cfg.mode == PtrMode::Capability;
@@ -558,14 +586,13 @@ fn setup_machine(core: CoreModel, cfg: &CoreMarkConfig, block_cache: bool) -> Ma
 /// Panics if the program faults or halts before the budget expires (a
 /// generator bug, or a budget large enough to drain the iteration count).
 pub fn run_coremark_for_cycles(core: CoreModel, cfg: &CoreMarkConfig, budget: u64) -> (u64, u64) {
-    run_coremark_for_cycles_cached(core, cfg, budget, true)
+    run_coremark_for_cycles_dispatch(core, cfg, budget, DispatchMode::Chained)
 }
 
 /// [`run_coremark_for_cycles`] with explicit control over the simulator's
-/// predecoded basic-block cache, so `sim_throughput` can report host MIPS
-/// for both execution paths. The simulated `(cycles, instructions)` result
-/// must not depend on `block_cache` — the cache is architecturally
-/// invisible and only changes host wall time.
+/// block cache (chaining stays off either way), kept for callers that
+/// predate [`DispatchMode`]; `sim_throughput` uses
+/// [`run_coremark_for_cycles_dispatch`] to measure all three paths.
 ///
 /// # Panics
 ///
@@ -576,13 +603,36 @@ pub fn run_coremark_for_cycles_cached(
     budget: u64,
     block_cache: bool,
 ) -> (u64, u64) {
+    let mode = if block_cache {
+        DispatchMode::Cached
+    } else {
+        DispatchMode::Stepwise
+    };
+    run_coremark_for_cycles_dispatch(core, cfg, budget, mode)
+}
+
+/// [`run_coremark_for_cycles`] with explicit control over the simulator's
+/// dispatch path, so `sim_throughput` can report host MIPS for all three.
+/// The simulated `(cycles, instructions)` result must not depend on
+/// `dispatch` — every path is architecturally invisible and only changes
+/// host wall time.
+///
+/// # Panics
+///
+/// Panics if the program faults or halts before the budget expires.
+pub fn run_coremark_for_cycles_dispatch(
+    core: CoreModel,
+    cfg: &CoreMarkConfig,
+    budget: u64,
+    dispatch: DispatchMode,
+) -> (u64, u64) {
     let cfg = CoreMarkConfig {
         // ~26k cycles per iteration: 50M iterations outlasts any budget
         // below ~10^12 cycles while staying in `li`'s i32 range.
         iterations: 50_000_000,
         ..*cfg
     };
-    let mut m = setup_machine(core, &cfg, block_cache);
+    let mut m = setup_machine(core, &cfg, dispatch);
     let reason = m.run(budget);
     assert!(
         matches!(reason, ExitReason::CycleLimit),
@@ -598,7 +648,7 @@ pub fn run_coremark_for_cycles_cached(
 ///
 /// Panics if the generated program faults (a bug in the generator).
 pub fn run_coremark(core: CoreModel, cfg: &CoreMarkConfig) -> CoreMarkResult {
-    let mut m = setup_machine(core, cfg, true);
+    let mut m = setup_machine(core, cfg, DispatchMode::Chained);
     let reason = m.run(2_000_000_000);
     let ExitReason::Halted(checksum) = reason else {
         panic!(
@@ -651,8 +701,8 @@ mod tests {
 
     #[test]
     fn block_cache_is_invisible_to_coremark() {
-        // Same simulated cycle and retirement counts through the cached
-        // and stepwise execution paths, on both core models.
+        // Same simulated cycle and retirement counts through the chained,
+        // cached and stepwise execution paths, on both core models.
         let cfg = CoreMarkConfig {
             iterations: 5,
             list_nodes: 24,
@@ -660,9 +710,11 @@ mod tests {
             ..CoreMarkConfig::capabilities_with_filter()
         };
         for core in [CoreModel::ibex(), CoreModel::flute()] {
-            let on = run_coremark_for_cycles_cached(core, &cfg, 100_000, true);
-            let off = run_coremark_for_cycles_cached(core, &cfg, 100_000, false);
-            assert_eq!(on, off, "block cache must not change simulated time");
+            let off = run_coremark_for_cycles_dispatch(core, &cfg, 100_000, DispatchMode::Stepwise);
+            for mode in [DispatchMode::Cached, DispatchMode::Chained] {
+                let on = run_coremark_for_cycles_dispatch(core, &cfg, 100_000, mode);
+                assert_eq!(on, off, "{mode:?} must not change simulated time");
+            }
         }
     }
 
