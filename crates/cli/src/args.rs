@@ -78,6 +78,7 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--dump-regs" => opts.dump_regs = true,
             "--heap" => opts.heap = true,
             "--trace-out" => opts.trace_out = Some(PathBuf::from(value(f, &mut it)?)),
+            "--machine" => opts.machine = Some(PathBuf::from(value(f, &mut it)?)),
             "--metrics" => opts.metrics = true,
             "--binary" => binary = true,
             other => return Err(format!("unknown flag `{other}` for `run`")),
@@ -172,6 +173,19 @@ mod tests {
         assert_eq!(a.opts.max_cycles, 123);
         assert!(a.opts.heap);
         assert!(!a.binary);
+    }
+
+    #[test]
+    fn machine_manifest_flag_takes_a_path() {
+        let a = parse_run_args(&v(&["p.s", "--machine", "soc/iot.toml"])).unwrap();
+        assert_eq!(a.opts.machine, Some(PathBuf::from("soc/iot.toml")));
+        let a = parse_run_args(&v(&["p.s"])).unwrap();
+        assert_eq!(a.opts.machine, None, "default platform without --machine");
+        let e = parse_run_args(&v(&["p.s", "--machine"])).unwrap_err();
+        assert!(
+            e.contains("--machine") && e.contains("expects a value"),
+            "{e}"
+        );
     }
 
     #[test]

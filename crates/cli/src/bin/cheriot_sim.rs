@@ -2,7 +2,8 @@
 //! and drive deterministic fault-injection campaigns against them.
 //!
 //! ```text
-//! cheriot-sim run  prog.s [--core ibex|flute] [--no-load-filter]
+//! cheriot-sim run  prog.s [--core ibex|flute] [--machine soc.toml]
+//!                          [--no-load-filter]
 //!                          [--no-block-cache] [--no-block-chain]
 //!                          [--trace N] [--max-cycles N]
 //!                          [--watchdog N] [--dump-regs] [--heap]
@@ -22,10 +23,10 @@ use cheriot_cli::{parse_campaign_args, parse_program, parse_run_args, run_source
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
-  cheriot-sim run <prog.s> [--core ibex|flute] [--no-load-filter] \
-[--no-block-cache] [--no-block-chain] [--trace N] [--max-cycles N] \
-[--watchdog N] [--dump-regs] [--heap] [--trace-out <out.json>] \
-[--metrics] [--binary]
+  cheriot-sim run <prog.s> [--core ibex|flute] [--machine <soc.toml>] \
+[--no-load-filter] [--no-block-cache] [--no-block-chain] [--trace N] \
+[--max-cycles N] [--watchdog N] [--dump-regs] [--heap] \
+[--trace-out <out.json>] [--metrics] [--binary]
   cheriot-sim asm <prog.s> -o <out.bin>
   cheriot-sim disasm <prog.bin>
   cheriot-sim fault-campaign [--seed-base N] [--count K] [--threads T] \

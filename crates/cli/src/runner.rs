@@ -18,6 +18,9 @@ pub enum RunError {
     Decode(DecodeError),
     /// The simulator refused the program (e.g. it overflows code memory).
     Sim(SimError),
+    /// The machine manifest (`--machine`) could not be read, parsed, or
+    /// built.
+    Manifest(cheriot_soc::ManifestError),
 }
 
 impl std::fmt::Display for RunError {
@@ -26,6 +29,7 @@ impl std::fmt::Display for RunError {
             RunError::Parse(e) => write!(f, "{e}"),
             RunError::Decode(e) => write!(f, "{e}"),
             RunError::Sim(e) => write!(f, "{e}"),
+            RunError::Manifest(e) => write!(f, "{e}"),
         }
     }
 }
@@ -82,6 +86,11 @@ pub struct RunOptions {
     /// Abort with [`ExitReason::Watchdog`] if any single `run` slice
     /// retires this many instructions without exiting.
     pub watchdog: Option<u64>,
+    /// Build the machine from this SoC manifest (TOML or JSON,
+    /// `cheriot_soc::MachineSpec`) instead of the default platform. The
+    /// manifest's core selection overrides `--core`; the dispatch-mode
+    /// flags still apply.
+    pub machine: Option<std::path::PathBuf>,
 }
 
 impl Default for RunOptions {
@@ -98,6 +107,7 @@ impl Default for RunOptions {
             trace_out: None,
             metrics: false,
             watchdog: None,
+            machine: None,
         }
     }
 }
@@ -141,15 +151,29 @@ fn run_instructions(
     prog: &[cheriot_core::insn::Instr],
     opts: &RunOptions,
 ) -> Result<RunOutcome, RunError> {
-    let core = match opts.core {
-        CoreKind::Ibex => CoreModel::ibex(),
-        CoreKind::Flute => CoreModel::flute(),
+    let mut m = match &opts.machine {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| {
+                RunError::Manifest(cheriot_soc::ManifestError {
+                    msg: format!("{}: {e}", path.display()),
+                    line: None,
+                })
+            })?;
+            cheriot_soc::MachineSpec::parse(&text)
+                .and_then(|spec| spec.build())
+                .map_err(RunError::Manifest)?
+        }
+        None => {
+            let core = match opts.core {
+                CoreKind::Ibex => CoreModel::ibex(),
+                CoreKind::Flute => CoreModel::flute(),
+            };
+            Machine::new(MachineConfig::new(core))
+        }
     };
-    let mut mc = MachineConfig::new(core);
-    mc.load_filter = opts.load_filter;
-    mc.block_cache = opts.block_cache;
-    mc.block_chain = opts.block_chain;
-    let mut m = Machine::new(mc);
+    m.cfg.load_filter = opts.load_filter;
+    m.cfg.block_cache = opts.block_cache;
+    m.cfg.block_chain = opts.block_chain;
     if opts.trace_out.is_some() || opts.metrics {
         // One tracer serves all three outputs; buffer instruction retires
         // only when the post-run instruction trace also needs them.
@@ -223,6 +247,9 @@ fn run_instructions(
             let ss = m.snapshot_stats();
             tracer.metrics.add("snapshot_restores", ss.restores);
             tracer.metrics.add("dirty_pages_copied", ss.pages_copied);
+            for (id, name) in m.bus.device_names() {
+                tracer.metrics.set_device_name(id, name);
+            }
             let _ = tracer.finish(m.cycles);
             if let Some(path) = &opts.trace_out {
                 match std::fs::write(path, tracer.chrome_json()) {
@@ -388,6 +415,71 @@ mod tests {
             .and_then(|v| v.parse().ok())
             .unwrap();
         assert!(hits > 30, "hot loop should chain: {}", outs[0].report);
+    }
+
+    /// Drives the iot.toml platform: a UART store, then a DMA copy kicked
+    /// through the engine's registers, halting with the copied word.
+    const SOC_PROG: &str = r"
+        li t2, 0x82000000
+        csetaddr t2, t0, t2
+        li t1, 65
+        sw t1, 0(t2)            // UART TX 'A'
+        li t2, 0x20001000
+        csetaddr t2, t0, t2
+        li t1, 1234
+        sw t1, 0(t2)            // source word
+        li t2, 0x87000000
+        csetaddr t2, t0, t2     // DMA engine
+        li t1, 0x20001000
+        sw t1, 0(t2)            // SRC
+        li t1, 0x20002000
+        sw t1, 4(t2)            // DST
+        li t1, 4
+        sw t1, 8(t2)            // LEN
+        li t1, 1
+        sw t1, 12(t2)           // CTRL: kick
+        li t2, 0x20002000
+        csetaddr t2, t0, t2
+        lw a0, 0(t2)
+        halt
+    ";
+
+    #[test]
+    fn machine_manifest_builds_the_declared_platform() {
+        let opts = RunOptions {
+            machine: Some(std::path::PathBuf::from(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../soc/manifests/iot.toml"
+            ))),
+            metrics: true,
+            ..RunOptions::default()
+        };
+        let out = run_source(SOC_PROG, &opts).unwrap();
+        assert_eq!(out.exit, ExitReason::Halted(1234));
+        assert!(out.report.contains("console: A"), "{}", out.report);
+        // Per-device attribution made it into the metrics summary.
+        assert!(out.report.contains("device activity"), "{}", out.report);
+        assert!(out.report.contains("uart"), "{}", out.report);
+        assert!(out.report.contains("dma"), "{}", out.report);
+    }
+
+    #[test]
+    fn missing_or_bad_manifest_is_a_manifest_error_not_a_panic() {
+        let opts = RunOptions {
+            machine: Some(std::path::PathBuf::from("/nonexistent/soc.toml")),
+            ..RunOptions::default()
+        };
+        let err = run_source("halt\n", &opts).unwrap_err();
+        assert!(matches!(err, RunError::Manifest(_)), "{err}");
+
+        // Without a manifest the same program runs on the default machine
+        // — and the DMA window is unmapped there.
+        let out = run_source(SOC_PROG, &RunOptions::default()).unwrap();
+        assert!(
+            matches!(out.exit, ExitReason::Fault(_)),
+            "DMA window must not exist on the default platform: {:?}",
+            out.exit
+        );
     }
 
     #[test]

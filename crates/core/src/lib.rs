@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod blockcache;
+pub mod bus;
 pub mod cpu;
 pub mod encoding;
 pub mod error;
@@ -56,6 +57,7 @@ pub mod trap;
 pub use cheriot_trace as trace;
 
 pub use blockcache::BlockCacheStats;
+pub use bus::{BusError, DeviceBus, IrqController, MmioDevice, Uart, INTC_DEV_ID};
 pub use encoding::{decode, decode_program, encode, encode_program, DecodeError, EncodeError};
 pub use error::{state_dump, SimError};
 pub use machine::{

@@ -5,6 +5,7 @@
 use crate::blockcache::{
     build_block, Block, BlockCache, BlockCacheStats, PredecodedInsn, SentryIc,
 };
+use crate::bus::{DeviceBus, Uart};
 use crate::cpu::Cpu;
 use crate::error::SimError;
 use crate::insn::{AluOp, BranchCond, CapField, CsrId, CsrOp, Instr, MulOp, Reg};
@@ -38,6 +39,9 @@ pub mod layout {
     /// GPIO block: `+0` LED output register (RW bitmask) — the paper's
     /// demo application animates the dev-board LEDs from JavaScript.
     pub const GPIO_BASE: u32 = 0x8400_0000;
+    /// External-interrupt controller (see [`crate::bus::IrqController`]):
+    /// `+0` pending (R/W1C), `+4` mask, `+8` claim.
+    pub const INTC_BASE: u32 = 0x8500_0000;
     /// Size of each MMIO window.
     pub const MMIO_SIZE: u32 = 0x1000;
 }
@@ -177,6 +181,9 @@ pub struct Machine {
     pub gpio_out: u32,
     /// Number of writes to the LED register (demo-app statistics).
     pub gpio_writes: u64,
+    /// The pluggable device bus ([`crate::bus`]): UART, timers, DMA,
+    /// network interfaces, and the external-interrupt controller.
+    pub bus: DeviceBus,
     /// Execution statistics.
     pub stats: Stats,
     code: Vec<Instr>,
@@ -202,6 +209,10 @@ pub struct Machine {
     /// Host-side snapshot/restore counters (not architectural state;
     /// never captured or restored by snapshots).
     snap_stats: SnapshotStats,
+    /// Device id of the in-flight bus dispatch, for `DmaTransfer` trace
+    /// attribution (set by [`DeviceBus`] before each device call; not
+    /// architectural state).
+    pub(crate) active_dev: u32,
 }
 
 /// Host-side counters for the snapshot/restore engine, exposed via
@@ -243,6 +254,7 @@ pub struct Snapshot {
     console: Vec<u8>,
     gpio_out: u32,
     gpio_writes: u64,
+    bus: DeviceBus,
     stats: Stats,
     code: Vec<Instr>,
     code_content: u64,
@@ -281,6 +293,7 @@ impl Snapshot {
             console: Vec::new(),
             gpio_out: 0,
             gpio_writes: 0,
+            bus: DeviceBus::default(),
             stats: Stats::default(),
             code: Vec::new(),
             code_content: 0,
@@ -336,6 +349,7 @@ impl Clone for Machine {
             console: self.console.clone(),
             gpio_out: self.gpio_out,
             gpio_writes: self.gpio_writes,
+            bus: self.bus.clone(),
             stats: self.stats,
             code: self.code.clone(),
             code_content: self.code_content,
@@ -347,6 +361,7 @@ impl Clone for Machine {
             wd_limit: self.wd_limit,
             last_trap: self.last_trap,
             snap_stats: SnapshotStats::default(),
+            active_dev: crate::bus::INTC_DEV_ID,
         }
     }
 }
@@ -368,6 +383,7 @@ impl Machine {
             console: Vec::new(),
             gpio_out: 0,
             gpio_writes: 0,
+            bus: DeviceBus::with_defaults(),
             stats: Stats::default(),
             code: Vec::new(),
             code_content: 0,
@@ -379,6 +395,7 @@ impl Machine {
             wd_limit: u64::MAX,
             last_trap: None,
             snap_stats: SnapshotStats::default(),
+            active_dev: crate::bus::INTC_DEV_ID,
         }
     }
 
@@ -612,6 +629,7 @@ impl Machine {
         snap.console.extend_from_slice(&self.console);
         snap.gpio_out = self.gpio_out;
         snap.gpio_writes = self.gpio_writes;
+        snap.bus = self.bus.clone();
         snap.stats = self.stats;
         if snap.code_content != self.code_content {
             snap.code.clone_from(&self.code);
@@ -655,6 +673,7 @@ impl Machine {
         self.console.extend_from_slice(&snap.console);
         self.gpio_out = snap.gpio_out;
         self.gpio_writes = snap.gpio_writes;
+        self.bus = snap.bus.clone();
         self.stats = snap.stats;
         if self.code_content != snap.code_content {
             self.code.clone_from(&snap.code);
@@ -794,11 +813,7 @@ impl Machine {
         if self.is_sram(addr, size) {
             return self.sram.read_scalar(addr, size);
         }
-        if size == 4 && addr.is_multiple_of(4) {
-            self.mmio_read(addr)
-        } else {
-            Err(TrapCause::BusError { addr })
-        }
+        self.mmio_read(addr, size)
     }
 
     /// Raw scalar bus write (no capability check). Clears the granule tag,
@@ -812,14 +827,7 @@ impl Machine {
             self.revoker.snoop_store(addr);
             return Ok(());
         }
-        if size == 4 && addr.is_multiple_of(4) {
-            self.mmio_write(addr, value)
-        } else if (layout::CONSOLE_BASE..layout::CONSOLE_BASE + 4).contains(&addr) {
-            self.console.push(value as u8);
-            Ok(())
-        } else {
-            Err(TrapCause::BusError { addr })
-        }
+        self.mmio_write(addr, size, value)
     }
 
     /// Raw capability bus read, applying the load filter and recording the
@@ -851,11 +859,27 @@ impl Machine {
         Ok(())
     }
 
-    fn mmio_read(&mut self, addr: u32) -> Result<u32, TrapCause> {
+    /// Is `base` one of the hardwired (non-bus) SoC windows? Those are on
+    /// hot paths or architecturally entangled with the core and keep their
+    /// legacy word-aligned-only access contract.
+    fn hardwired_window(base: u32) -> bool {
+        matches!(
+            base,
+            layout::REV_BITMAP_BASE | layout::TIMER_BASE | layout::REVOKER_BASE | layout::GPIO_BASE
+        )
+    }
+
+    fn mmio_read(&mut self, addr: u32, size: u32) -> Result<u32, TrapCause> {
         let (base, off) = (
             addr & !(layout::MMIO_SIZE - 1),
             addr & (layout::MMIO_SIZE - 1),
         );
+        if !Machine::hardwired_window(base) {
+            return self.device_read(addr, size);
+        }
+        if size != 4 || !addr.is_multiple_of(4) {
+            return Err(TrapCause::BusError { addr });
+        }
         match base {
             layout::REV_BITMAP_BASE => Ok(self.bitmap.read_word32(off / 4)),
             layout::TIMER_BASE => Ok(match off {
@@ -866,34 +890,28 @@ impl Machine {
                 _ => 0,
             }),
             layout::REVOKER_BASE => Ok(self.revoker.mmio_read(off)),
-            layout::CONSOLE_BASE => Ok(0),
-            layout::GPIO_BASE => Ok(if off == 0 { self.gpio_out } else { 0 }),
-            _ => Err(TrapCause::BusError { addr }),
+            _ => Ok(if off == 0 { self.gpio_out } else { 0 }),
         }
     }
 
-    fn mmio_write(&mut self, addr: u32, value: u32) -> Result<(), TrapCause> {
+    fn mmio_write(&mut self, addr: u32, size: u32, value: u32) -> Result<(), TrapCause> {
         let (base, off) = (
             addr & !(layout::MMIO_SIZE - 1),
             addr & (layout::MMIO_SIZE - 1),
         );
+        if !Machine::hardwired_window(base) {
+            return self.device_write(addr, size, value);
+        }
+        if size != 4 || !addr.is_multiple_of(4) {
+            return Err(TrapCause::BusError { addr });
+        }
         match base {
-            layout::REV_BITMAP_BASE => {
-                self.bitmap.write_word32(off / 4, value);
-                Ok(())
-            }
-            layout::TIMER_BASE => {
-                match off {
-                    0x8 => self.mtimecmp = (self.mtimecmp & !0xffff_ffff) | u64::from(value),
-                    0xc => self.mtimecmp = (self.mtimecmp & 0xffff_ffff) | (u64::from(value) << 32),
-                    _ => {}
-                }
-                Ok(())
-            }
-            layout::CONSOLE_BASE => {
-                self.console.push(value as u8);
-                Ok(())
-            }
+            layout::REV_BITMAP_BASE => self.bitmap.write_word32(off / 4, value),
+            layout::TIMER_BASE => match off {
+                0x8 => self.mtimecmp = (self.mtimecmp & !0xffff_ffff) | u64::from(value),
+                0xc => self.mtimecmp = (self.mtimecmp & 0xffff_ffff) | (u64::from(value) << 32),
+                _ => {}
+            },
             layout::REVOKER_BASE => {
                 let epoch_before = self.revoker.epoch();
                 self.revoker.mmio_write(off, value);
@@ -901,17 +919,198 @@ impl Machine {
                     let epoch = self.revoker.epoch();
                     self.trace_emit(EventKind::RevokerStart { epoch });
                 }
-                Ok(())
             }
-            layout::GPIO_BASE => {
+            _ => {
                 if off == 0 {
                     self.gpio_out = value;
                     self.gpio_writes += 1;
                 }
-                Ok(())
             }
-            _ => Err(TrapCause::BusError { addr }),
         }
+        Ok(())
+    }
+
+    /// Routes an MMIO read outside the hardwired windows to the device
+    /// bus. The bus is detached (`mem::take`) around the device call so
+    /// the device can reach the rest of the machine (DMA, console)
+    /// without aliasing it; afterwards device IRQ levels are re-sampled
+    /// and newly-risen lines latched into the interrupt controller.
+    fn device_read(&mut self, addr: u32, size: u32) -> Result<u32, TrapCause> {
+        let mut bus = std::mem::take(&mut self.bus);
+        let r = bus.read(self, addr, size);
+        let newly = bus.poll_irqs();
+        self.bus = bus;
+        self.note_device_irqs(newly);
+        let (dev, value) = r.map_err(|crate::bus::BusError| TrapCause::BusError { addr })?;
+        if self.tracer.is_some() {
+            self.trace_emit(EventKind::MmioRead { dev, addr, value });
+        }
+        Ok(value)
+    }
+
+    /// Routes an MMIO write outside the hardwired windows to the device
+    /// bus (see [`Machine::device_read`] for the detach/latch protocol).
+    fn device_write(&mut self, addr: u32, size: u32, value: u32) -> Result<(), TrapCause> {
+        let mut bus = std::mem::take(&mut self.bus);
+        let r = bus.write(self, addr, size, value);
+        let newly = bus.poll_irqs();
+        self.bus = bus;
+        self.note_device_irqs(newly);
+        let dev = r.map_err(|crate::bus::BusError| TrapCause::BusError { addr })?;
+        if self.tracer.is_some() {
+            self.trace_emit(EventKind::MmioWrite { dev, addr, value });
+        }
+        Ok(())
+    }
+
+    /// Emits one `DeviceIrq` trace event per newly-latched interrupt line.
+    fn note_device_irqs(&mut self, newly: u32) {
+        if newly == 0 || self.tracer.is_none() {
+            return;
+        }
+        let mut lines = newly;
+        while lines != 0 {
+            let line = lines.trailing_zeros();
+            lines &= lines - 1;
+            let dev = self.bus.line_owner(line);
+            self.trace_emit(EventKind::DeviceIrq { dev, line });
+        }
+    }
+
+    /// Re-samples device IRQ levels outside an MMIO access (host-side
+    /// mutation: RX injection, fault hooks). Latches rising edges exactly
+    /// as a bus access would.
+    pub fn poll_device_irqs(&mut self) {
+        let newly = self.bus.poll_irqs();
+        self.note_device_irqs(newly);
+    }
+
+    // --- DMA ------------------------------------------------------------------
+
+    /// A device-initiated read of `buf.len()` bytes from `src`. SRAM
+    /// serves raw bytes (tags are *not* readable this way — DMA moves
+    /// data, never capabilities); the code region re-encodes loaded
+    /// instructions to words (4-aligned ranges only). Anything else is a
+    /// bus error.
+    ///
+    /// # Errors
+    ///
+    /// Bus error when the range is unmapped or (for code) misaligned.
+    pub fn dma_read(&mut self, src: u32, buf: &mut [u8]) -> Result<(), TrapCause> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        if self.sram.contains(src, buf.len() as u32) {
+            return self.sram.read_bytes(src, buf);
+        }
+        let end = u64::from(src) + buf.len() as u64;
+        if src >= layout::CODE_BASE
+            && end <= u64::from(self.code_end())
+            && src.is_multiple_of(4)
+            && buf.len().is_multiple_of(4)
+        {
+            for (i, chunk) in buf.chunks_exact_mut(4).enumerate() {
+                let addr = src + 4 * i as u32;
+                let instr = self.code_at(addr).ok_or(TrapCause::BusError { addr })?;
+                let word =
+                    crate::encoding::encode(&instr).map_err(|_| TrapCause::BusError { addr })?;
+                chunk.copy_from_slice(&word.to_le_bytes());
+            }
+            return Ok(());
+        }
+        Err(TrapCause::BusError { addr: src })
+    }
+
+    /// A device-initiated write of `buf` at `dst`, preserving every
+    /// memory-safety invariant a DMA master must: SRAM stores clear all
+    /// covered capability tags, mark the covered pages dirty for
+    /// snapshot/fork, and snoop the in-flight revoker sweep; code-region
+    /// stores decode each word and go through [`Machine::patch_code`], so
+    /// covering predecoded blocks are invalidated and the coherence
+    /// generation bumps (retiring chained successor links). Emits a
+    /// `DmaTransfer` trace event attributed to the dispatching device.
+    ///
+    /// # Errors
+    ///
+    /// Bus error when the range is unmapped, a code store is misaligned,
+    /// or a stored word does not decode to an instruction (the code
+    /// region holds predecoded instructions, not bytes).
+    pub fn dma_write(&mut self, dst: u32, buf: &[u8]) -> Result<(), TrapCause> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        if self.sram.contains(dst, buf.len() as u32) {
+            self.sram.write_bytes(dst, buf)?;
+            let mut g = dst & !(GRANULE - 1);
+            let end = dst + buf.len() as u32;
+            while g < end {
+                self.revoker.snoop_store(g);
+                g += GRANULE;
+            }
+            self.emit_dma(dst, buf.len() as u32);
+            return Ok(());
+        }
+        let end = u64::from(dst) + buf.len() as u64;
+        if dst >= layout::CODE_BASE
+            && end <= u64::from(self.code_end())
+            && dst.is_multiple_of(4)
+            && buf.len().is_multiple_of(4)
+        {
+            for (i, chunk) in buf.chunks_exact(4).enumerate() {
+                let addr = dst + 4 * i as u32;
+                let word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+                let instr =
+                    crate::encoding::decode(word).map_err(|_| TrapCause::BusError { addr })?;
+                self.patch_code(addr, instr)
+                    .map_err(|_| TrapCause::BusError { addr })?;
+            }
+            self.emit_dma(dst, buf.len() as u32);
+            return Ok(());
+        }
+        Err(TrapCause::BusError { addr: dst })
+    }
+
+    fn emit_dma(&mut self, dst: u32, len: u32) {
+        if self.tracer.is_some() {
+            let dev = self.active_dev;
+            self.trace_emit(EventKind::DmaTransfer { dev, dst, len });
+        }
+    }
+
+    // --- Host-side device access ----------------------------------------------
+
+    /// Queues `bytes` into the first attached [`Uart`]'s RX FIFO and
+    /// re-samples IRQ levels (so an enabled RX interrupt latches
+    /// immediately). Returns `false` when no UART is attached.
+    pub fn uart_inject_rx(&mut self, bytes: &[u8]) -> bool {
+        match self.bus.device_mut::<Uart>() {
+            Some(u) => {
+                u.inject_rx(bytes);
+                self.poll_device_irqs();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Latches `lines` directly into the interrupt controller's pending
+    /// register (spurious-IRQ fault injection, host-raised interrupts).
+    pub fn raise_device_irq(&mut self, lines: u32) {
+        let newly = lines & !self.bus.intc.pending;
+        self.bus.intc.pending |= lines;
+        self.note_device_irqs(newly);
+    }
+
+    /// Clears pending interrupt lines (dropped-IRQ fault injection).
+    pub fn drop_device_irq(&mut self, lines: u32) {
+        self.bus.intc.pending &= !lines;
+    }
+
+    /// First DMA descriptor anchor advertised by any attached device
+    /// (fault-injection target; `None` when no DMA-capable device is
+    /// configured).
+    pub fn dma_desc_addr(&self) -> Option<u32> {
+        self.bus.dma_desc_addr()
     }
 
     // --- Traps and interrupts -------------------------------------------------
@@ -971,7 +1170,21 @@ impl Machine {
         if self.revoker.take_irq() {
             return Some(TrapCause::RevokerInterrupt);
         }
+        if self.bus.irq_asserted() {
+            // Level-triggered and non-consuming: the guest acks via the
+            // interrupt controller's CLAIM/W1C registers. Trap entry
+            // disables interrupts, so an unacked level cannot storm.
+            return Some(TrapCause::ExternalInterrupt);
+        }
         None
+    }
+
+    /// Any non-timer IRQ line pending (revoker completion or an unmasked
+    /// device line)? The batched dispatch loops use this as the boundary
+    /// condition alongside the `mtimecmp` comparison.
+    #[inline]
+    fn irq_lines_pending(&self) -> bool {
+        self.revoker.irq_pending() || self.bus.irq_asserted()
     }
 
     // --- Execution -------------------------------------------------------------
@@ -1025,7 +1238,7 @@ impl Machine {
     #[inline]
     fn irq_boundary(&self, was_enabled: bool) -> bool {
         self.cpu.interrupts_enabled != was_enabled
-            || (was_enabled && (self.cycles >= self.mtimecmp || self.revoker.irq_pending()))
+            || (was_enabled && (self.cycles >= self.mtimecmp || self.irq_lines_pending()))
     }
 
     /// Why the run loop stopped (shared by both loop bodies).
@@ -1400,7 +1613,7 @@ impl Machine {
         let mut cyc = self.cycles;
         let mut ins = self.stats.instructions;
         let mut mtimecmp = self.mtimecmp;
-        let mut irq_pend = self.revoker.irq_pending();
+        let mut irq_pend = self.irq_lines_pending();
         // Fingerprint of the PCC bounds the held block was fetch-verified
         // under (`block_take` just verified it, so the fingerprint
         // exists; the `else` is defensive). Links are keyed on it: a
@@ -1484,7 +1697,7 @@ impl Machine {
                                     self.cycles = cyc;
                                     self.advance(penalty, 0);
                                     cyc = self.cycles;
-                                    irq_pend = self.revoker.irq_pending();
+                                    irq_pend = self.irq_lines_pending();
                                 }
                             }
                         }
@@ -1502,7 +1715,7 @@ impl Machine {
                             self.cycles = cyc;
                             self.advance(d.base_cycles, d.mem_beats);
                             cyc = self.cycles;
-                            irq_pend = self.revoker.irq_pending();
+                            irq_pend = self.irq_lines_pending();
                         }
                         // Fast arms cannot halt, so only the interrupt-arrival
                         // check applies before the next instruction. (A fast
@@ -1545,7 +1758,7 @@ impl Machine {
                                 self.cycles = cyc;
                                 self.advance(d.base_cycles + extra, d.mem_beats);
                                 cyc = self.cycles;
-                                irq_pend = self.revoker.irq_pending();
+                                irq_pend = self.irq_lines_pending();
                             }
                             break 'body BodyExit::Fall(npc);
                         }
@@ -1562,7 +1775,7 @@ impl Machine {
                                     d.mem_beats,
                                 );
                                 cyc = self.cycles;
-                                irq_pend = self.revoker.irq_pending();
+                                irq_pend = self.irq_lines_pending();
                             }
                             break 'body BodyExit::Fall(pc.wrapping_add(offset as u32));
                         }
@@ -1590,7 +1803,7 @@ impl Machine {
                                         self.enter_trap(t, pc);
                                         cyc = self.cycles;
                                         mtimecmp = self.mtimecmp;
-                                        irq_pend = self.revoker.irq_pending();
+                                        irq_pend = self.irq_lines_pending();
                                         break 'body BodyExit::Jumped;
                                     }
                                     if let Some(en) = ic.posture {
@@ -1619,7 +1832,7 @@ impl Machine {
                                             d.mem_beats,
                                         );
                                         cyc = self.cycles;
-                                        irq_pend = self.revoker.irq_pending();
+                                        irq_pend = self.irq_lines_pending();
                                     }
                                     break 'body BodyExit::JumpedIc {
                                         slot: ic.target_slot as usize,
@@ -1648,7 +1861,7 @@ impl Machine {
                             }
                             cyc = self.cycles;
                             mtimecmp = self.mtimecmp;
-                            irq_pend = self.revoker.irq_pending();
+                            irq_pend = self.irq_lines_pending();
                             match out {
                                 PcOutcome::Advance => {}
                                 PcOutcome::Jumped => break 'body BodyExit::Jumped,
@@ -1669,7 +1882,7 @@ impl Machine {
                             self.enter_trap(t, pc);
                             cyc = self.cycles;
                             mtimecmp = self.mtimecmp;
-                            irq_pend = self.revoker.irq_pending();
+                            irq_pend = self.irq_lines_pending();
                             ic_pending = None;
                             break 'body BodyExit::Jumped;
                         }
@@ -2357,7 +2570,7 @@ impl Machine {
     fn wait_for_interrupt(&mut self) {
         // `wfi` retires immediately if an interrupt is already pending.
         loop {
-            if self.cycles >= self.mtimecmp || self.revoker.irq_pending() {
+            if self.cycles >= self.mtimecmp || self.irq_lines_pending() {
                 return;
             }
             if self.cfg.hw_revoker && self.revoker.in_progress() {

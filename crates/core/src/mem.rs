@@ -311,6 +311,61 @@ impl Sram {
         Ok(())
     }
 
+    /// Copies `[addr, addr+len)` out of the bank (DMA read side). No
+    /// alignment requirement; tags are not readable this way (DMA moves
+    /// data, never capabilities).
+    ///
+    /// # Errors
+    ///
+    /// Bus error if the range leaves the bank.
+    pub fn read_bytes(&self, addr: u32, buf: &mut [u8]) -> Result<(), TrapCause> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        if !self.contains(addr, buf.len() as u32) {
+            return Err(TrapCause::BusError { addr });
+        }
+        let o = self.offset(addr);
+        buf.copy_from_slice(&self.bytes[o..o + buf.len()]);
+        Ok(())
+    }
+
+    /// Copies `buf` into `[addr, addr+len)` (DMA write side), clearing
+    /// every covered granule's tag and decoded-capability slot — a DMA
+    /// store is a raw-byte overwrite, so any capability it touches (even
+    /// partially) must die — and marking every covered page dirty so
+    /// snapshot/fork never under-copies. No alignment requirement.
+    ///
+    /// # Errors
+    ///
+    /// Bus error if the range leaves the bank.
+    pub fn write_bytes(&mut self, addr: u32, buf: &[u8]) -> Result<(), TrapCause> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        if !self.contains(addr, buf.len() as u32) {
+            return Err(TrapCause::BusError { addr });
+        }
+        let o = self.offset(addr);
+        self.bytes[o..o + buf.len()].copy_from_slice(buf);
+        self.mark_dirty_range(o, buf.len());
+        let g0 = o / GRANULE as usize;
+        let g1 = (o + buf.len() - 1) / GRANULE as usize;
+        self.caps[g0..=g1].fill(None);
+        let (w0, b0) = (g0 >> 6, g0 & 63);
+        let (w1, b1) = (g1 >> 6, g1 & 63);
+        let lo = !0u64 << b0;
+        let hi = !0u64 >> (63 - b1);
+        if w0 == w1 {
+            self.tags[w0] &= !(lo & hi);
+        } else {
+            self.tags[w0] &= !lo;
+            self.tags[w0 + 1..w1].fill(0);
+            self.tags[w1] &= !hi;
+        }
+        Ok(())
+    }
+
     /// Is the tag set for the granule containing `addr`?
     pub fn tag_at(&self, addr: u32) -> bool {
         if !self.contains(addr, 1) {

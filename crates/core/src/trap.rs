@@ -43,6 +43,9 @@ pub enum TrapCause {
     TimerInterrupt,
     /// Background revoker completion interrupt.
     RevokerInterrupt,
+    /// External interrupt: a device line latched pending and unmasked in
+    /// the interrupt controller ([`crate::bus::IrqController`]).
+    ExternalInterrupt,
 }
 
 impl TrapCause {
@@ -51,7 +54,7 @@ impl TrapCause {
     pub fn is_interrupt(self) -> bool {
         matches!(
             self,
-            TrapCause::TimerInterrupt | TrapCause::RevokerInterrupt
+            TrapCause::TimerInterrupt | TrapCause::RevokerInterrupt | TrapCause::ExternalInterrupt
         )
     }
 
@@ -66,6 +69,7 @@ impl TrapCause {
             TrapCause::Cheri { .. } => 0x1c,
             TrapCause::TimerInterrupt => 0x8000_0007,
             TrapCause::RevokerInterrupt => 0x8000_000b,
+            TrapCause::ExternalInterrupt => 0x8000_0010,
         }
     }
 }
@@ -84,6 +88,7 @@ impl fmt::Display for TrapCause {
             TrapCause::Breakpoint => write!(f, "breakpoint"),
             TrapCause::TimerInterrupt => write!(f, "timer interrupt"),
             TrapCause::RevokerInterrupt => write!(f, "revoker interrupt"),
+            TrapCause::ExternalInterrupt => write!(f, "external interrupt"),
         }
     }
 }

@@ -64,6 +64,28 @@ pub enum InjectEffect {
         /// Bit position flipped in the 32-bit encoding.
         bit: u32,
     },
+    /// A bit of a live DMA/network descriptor was XORed in SRAM.
+    DmaDescFlipped {
+        /// Word address within the descriptor that was corrupted.
+        addr: u32,
+        /// Bit position flipped within that 32-bit word.
+        bit: u32,
+    },
+    /// A spurious device interrupt line was latched.
+    SpuriousIrqRaised {
+        /// The line that was asserted.
+        line: u32,
+    },
+    /// Latched device interrupt lines were dropped.
+    DevIrqsDropped {
+        /// The lines that were cleared.
+        lines: u32,
+    },
+    /// A bit of the byte at the head of the UART RX FIFO was XORed.
+    UartByteFlipped {
+        /// Bit position flipped within the byte.
+        bit: u32,
+    },
     /// No viable target was found; the fault was a no-op.
     Skipped,
 }
@@ -203,6 +225,52 @@ impl Injector {
                 InjectEffect::IrqDropped
             }
             FaultKind::CodeFlip { addr, bit } => Self::flip_code_bit(m, addr, bit),
+            FaultKind::DmaDescFlip { bit } => Self::flip_desc_bit(m, bit),
+            FaultKind::DevIrqSpurious { line } => {
+                let line = line & 31;
+                m.raise_device_irq(1 << line);
+                InjectEffect::SpuriousIrqRaised { line }
+            }
+            FaultKind::DevIrqDrop => {
+                let lines = m.bus.intc.pending;
+                if lines == 0 {
+                    return InjectEffect::Skipped;
+                }
+                m.drop_device_irq(lines);
+                InjectEffect::DevIrqsDropped { lines }
+            }
+            FaultKind::UartDataFlip { bit } => {
+                let bit = bit & 7;
+                let Some(uart) = m.bus.device_mut::<cheriot_core::Uart>() else {
+                    return InjectEffect::Skipped;
+                };
+                let Some(head) = uart.rx_fifo_mut().front_mut() else {
+                    return InjectEffect::Skipped;
+                };
+                *head ^= 1 << bit;
+                InjectEffect::UartByteFlipped { bit }
+            }
+        }
+    }
+
+    /// XORs one bit of the active DMA/network descriptor ring (resolved
+    /// from the device bus at apply time), modelling an SRAM upset on
+    /// in-flight device metadata. Skipped when no ring is programmed.
+    fn flip_desc_bit(m: &mut Machine, bit: u32) -> InjectEffect {
+        let Some(base) = m.dma_desc_addr() else {
+            return InjectEffect::Skipped;
+        };
+        let bit = bit & 127;
+        let addr = base.wrapping_add((bit / 32) * 4);
+        let bit = bit & 31;
+        match m.sram.read_scalar(addr, 4) {
+            Ok(word) => {
+                if m.sram.write_scalar(addr, 4, word ^ (1 << bit)).is_err() {
+                    return InjectEffect::Skipped;
+                }
+                InjectEffect::DmaDescFlipped { addr, bit }
+            }
+            Err(_) => InjectEffect::Skipped,
         }
     }
 
@@ -476,6 +544,119 @@ mod tests {
         inj.poll(&mut m);
         assert_eq!(inj.log[0].effect, InjectEffect::Skipped);
         assert_eq!(inj.applied(), 0);
+    }
+
+    #[test]
+    fn dma_desc_flip_corrupts_live_ring_and_skips_without_one() {
+        let mut m = machine();
+        let mut inj = Injector::new(plan_of(vec![FaultEntry {
+            cycle: 0,
+            kind: FaultKind::DmaDescFlip { bit: 34 },
+        }]));
+        inj.poll(&mut m);
+        assert_eq!(
+            inj.log[0].effect,
+            InjectEffect::Skipped,
+            "no descriptor ring programmed: must skip"
+        );
+
+        // Attach a net device and program a TX ring so the bus reports a
+        // live descriptor address, then re-run the same fault.
+        let net_base = 0x8800_0000;
+        m.bus
+            .attach(
+                net_base,
+                Some(3),
+                Box::new(cheriot_soc::NetLoopback::default()),
+            )
+            .unwrap();
+        let ring = SRAM_BASE + 0x6000;
+        m.sram.write_scalar(ring, 4, 1).unwrap(); // OWN
+        m.sram
+            .write_scalar(ring + 4, 4, SRAM_BASE + 0x7000)
+            .unwrap();
+        m.bus_write(net_base, 4, ring).unwrap(); // TX_BASE
+        m.bus_write(net_base + 4, 4, 1).unwrap(); // TX_COUNT
+        assert_eq!(m.dma_desc_addr(), Some(ring));
+        let before = m.sram.read_scalar(ring + 4, 4).unwrap();
+        let mut inj = Injector::new(plan_of(vec![FaultEntry {
+            cycle: 0,
+            kind: FaultKind::DmaDescFlip { bit: 34 },
+        }]));
+        inj.poll(&mut m);
+        assert_eq!(
+            inj.log[0].effect,
+            InjectEffect::DmaDescFlipped {
+                addr: ring + 4,
+                bit: 2
+            }
+        );
+        assert_eq!(m.sram.read_scalar(ring + 4, 4).unwrap(), before ^ 4);
+    }
+
+    #[test]
+    fn spurious_irq_latches_into_intc() {
+        let mut m = machine();
+        let mut inj = Injector::new(plan_of(vec![FaultEntry {
+            cycle: 0,
+            kind: FaultKind::DevIrqSpurious { line: 5 },
+        }]));
+        inj.poll(&mut m);
+        assert_eq!(
+            inj.log[0].effect,
+            InjectEffect::SpuriousIrqRaised { line: 5 }
+        );
+        assert_eq!(m.bus.intc.pending, 1 << 5);
+        // Reset mask is 0, so the glitch is invisible to the core.
+        assert!(!m.bus.irq_asserted());
+    }
+
+    #[test]
+    fn dev_irq_drop_clears_pending_and_skips_when_idle() {
+        let mut m = machine();
+        let mut inj = Injector::new(plan_of(vec![FaultEntry {
+            cycle: 0,
+            kind: FaultKind::DevIrqDrop,
+        }]));
+        inj.poll(&mut m);
+        assert_eq!(inj.log[0].effect, InjectEffect::Skipped);
+
+        m.raise_device_irq(0b101);
+        let mut inj = Injector::new(plan_of(vec![FaultEntry {
+            cycle: 0,
+            kind: FaultKind::DevIrqDrop,
+        }]));
+        inj.poll(&mut m);
+        assert_eq!(
+            inj.log[0].effect,
+            InjectEffect::DevIrqsDropped { lines: 0b101 }
+        );
+        assert_eq!(m.bus.intc.pending, 0);
+    }
+
+    #[test]
+    fn uart_data_flip_targets_rx_head_and_skips_when_empty() {
+        let mut m = machine();
+        let mut inj = Injector::new(plan_of(vec![FaultEntry {
+            cycle: 0,
+            kind: FaultKind::UartDataFlip { bit: 6 },
+        }]));
+        inj.poll(&mut m);
+        assert_eq!(inj.log[0].effect, InjectEffect::Skipped);
+
+        assert!(m.uart_inject_rx(b"ab"));
+        let mut inj = Injector::new(plan_of(vec![FaultEntry {
+            cycle: 0,
+            kind: FaultKind::UartDataFlip { bit: 6 },
+        }]));
+        inj.poll(&mut m);
+        assert_eq!(inj.log[0].effect, InjectEffect::UartByteFlipped { bit: 6 });
+        let uart = m.bus.device_mut::<cheriot_core::Uart>().unwrap();
+        assert_eq!(
+            uart.rx_fifo_mut().iter().copied().collect::<Vec<_>>(),
+            vec![b'a' ^ 0x40, b'b'],
+            "only the FIFO head byte is corrupted"
+        );
     }
 
     #[test]

@@ -41,6 +41,20 @@ pub enum FaultClass {
     /// injector rewrites the decoded instruction through
     /// `Machine::patch_code`, which invalidates covering blocks.
     Code,
+    /// Flip one bit of a live DMA/network descriptor in SRAM (the injector
+    /// asks the device bus where the active descriptor ring is; skipped
+    /// when no device has one programmed).
+    DmaDesc,
+    /// Assert a device interrupt line no device is raising (a glitched
+    /// open-drain IRQ wire). Benign while the guest's interrupt-controller
+    /// mask has the line disabled.
+    DevIrqSpurious,
+    /// Deassert every latched device interrupt line (a lost edge on the
+    /// IRQ wires); skipped when nothing is pending.
+    DevIrqDrop,
+    /// Flip one bit of the byte at the head of the UART RX FIFO (line
+    /// noise on the serial input); skipped when the FIFO is empty.
+    UartData,
 }
 
 impl FaultClass {
@@ -61,6 +75,10 @@ impl FaultClass {
         FaultClass::IrqStorm,
         FaultClass::IrqDrop,
         FaultClass::Code,
+        FaultClass::DmaDesc,
+        FaultClass::DevIrqSpurious,
+        FaultClass::DevIrqDrop,
+        FaultClass::UartData,
     ];
 
     /// Stable lowercase name, used by the CLI and in reports.
@@ -76,6 +94,10 @@ impl FaultClass {
             FaultClass::IrqStorm => "irq-storm",
             FaultClass::IrqDrop => "irq-drop",
             FaultClass::Code => "code",
+            FaultClass::DmaDesc => "dma-desc",
+            FaultClass::DevIrqSpurious => "dev-irq-spurious",
+            FaultClass::DevIrqDrop => "dev-irq-drop",
+            FaultClass::UartData => "uart-data",
         }
     }
 }
@@ -191,6 +213,27 @@ pub enum FaultKind {
         /// Bit position in the 32-bit instruction word.
         bit: u32,
     },
+    /// XOR one bit of the active DMA/network descriptor ring. The target
+    /// address is resolved at apply time from the device bus
+    /// (`Machine::dma_desc_addr`); skipped when no ring is programmed.
+    DmaDescFlip {
+        /// Bit position within the 16-byte descriptor (0–127).
+        bit: u32,
+    },
+    /// Latch a spurious device interrupt line in the interrupt controller.
+    DevIrqSpurious {
+        /// Line number (0–31).
+        line: u32,
+    },
+    /// Clear every latched device interrupt line; skipped when none is
+    /// pending.
+    DevIrqDrop,
+    /// XOR one bit of the byte at the head of the UART RX FIFO; skipped
+    /// when the FIFO is empty.
+    UartDataFlip {
+        /// Bit position within the byte (0–7).
+        bit: u32,
+    },
 }
 
 impl fmt::Display for FaultKind {
@@ -205,6 +248,10 @@ impl fmt::Display for FaultKind {
             FaultKind::IrqStorm { cycles } => write!(f, "irq-storm for {cycles} cycles"),
             FaultKind::IrqDrop => write!(f, "irq-drop"),
             FaultKind::CodeFlip { addr, bit } => write!(f, "code-flip bit {bit} @ {addr:#010x}"),
+            FaultKind::DmaDescFlip { bit } => write!(f, "dma-desc-flip bit {bit}"),
+            FaultKind::DevIrqSpurious { line } => write!(f, "dev-irq-spurious line {line}"),
+            FaultKind::DevIrqDrop => write!(f, "dev-irq-drop"),
+            FaultKind::UartDataFlip { bit } => write!(f, "uart-data-flip bit {bit}"),
         }
     }
 }
@@ -304,6 +351,16 @@ impl FaultPlan {
                         bit: rng.gen_range(0, 32) as u32,
                     }
                 }
+                FaultClass::DmaDesc => FaultKind::DmaDescFlip {
+                    bit: rng.gen_range(0, 128) as u32,
+                },
+                FaultClass::DevIrqSpurious => FaultKind::DevIrqSpurious {
+                    line: rng.gen_range(0, 32) as u32,
+                },
+                FaultClass::DevIrqDrop => FaultKind::DevIrqDrop,
+                FaultClass::UartData => FaultKind::UartDataFlip {
+                    bit: rng.gen_range(0, 8) as u32,
+                },
             };
             entries.push(FaultEntry { cycle, kind });
         }

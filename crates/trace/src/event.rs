@@ -175,6 +175,45 @@ pub enum EventKind {
         /// Resolved target address.
         target: u32,
     },
+    /// A guest MMIO read was dispatched to a device on the device bus.
+    MmioRead {
+        /// Device id on the bus (register names via
+        /// [`crate::MetricsRegistry::set_device_name`]).
+        dev: u32,
+        /// Absolute address of the access.
+        addr: u32,
+        /// Value returned to the guest.
+        value: u32,
+    },
+    /// A guest MMIO write was dispatched to a device on the device bus.
+    MmioWrite {
+        /// Device id on the bus.
+        dev: u32,
+        /// Absolute address of the access.
+        addr: u32,
+        /// Value stored by the guest.
+        value: u32,
+    },
+    /// A DMA-capable device stored a byte range into guest memory
+    /// (capability tags cleared, pages dirtied, covering predecoded
+    /// blocks invalidated).
+    DmaTransfer {
+        /// Device id of the DMA master.
+        dev: u32,
+        /// Destination address of the store.
+        dst: u32,
+        /// Length in bytes.
+        len: u32,
+    },
+    /// A device's interrupt line rose and was latched into the interrupt
+    /// controller's pending register.
+    DeviceIrq {
+        /// Device id owning the line (the interrupt controller's own id
+        /// for lines no device claims, e.g. injected spurious IRQs).
+        dev: u32,
+        /// Interrupt line index (0..32).
+        line: u32,
+    },
 }
 
 impl EventKind {
@@ -202,6 +241,10 @@ impl EventKind {
             EventKind::BlockLinked { .. } => "block_linked",
             EventKind::BlockChained { .. } => "block_chained",
             EventKind::SentryIcHit { .. } => "sentry_ic_hit",
+            EventKind::MmioRead { .. } => "mmio_read",
+            EventKind::MmioWrite { .. } => "mmio_write",
+            EventKind::DmaTransfer { .. } => "dma_transfer",
+            EventKind::DeviceIrq { .. } => "device_irq",
         }
     }
 
@@ -270,6 +313,22 @@ impl EventKind {
             }
             EventKind::SentryIcHit { pc, target } => {
                 vec![("pc", pc as u64), ("target", target as u64)]
+            }
+            EventKind::MmioRead { dev, addr, value }
+            | EventKind::MmioWrite { dev, addr, value } => {
+                vec![
+                    ("dev", dev as u64),
+                    ("addr", addr as u64),
+                    ("value", value as u64),
+                ]
+            }
+            EventKind::DmaTransfer { dev, dst, len } => vec![
+                ("dev", dev as u64),
+                ("dst", dst as u64),
+                ("len", len as u64),
+            ],
+            EventKind::DeviceIrq { dev, line } => {
+                vec![("dev", dev as u64), ("line", line as u64)]
             }
         }
     }

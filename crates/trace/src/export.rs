@@ -17,6 +17,10 @@ pub const TRACK_MACHINE: u32 = 0xffff;
 pub const TRACK_HEAP: u32 = 0xfffe;
 /// Synthetic track for revoker epoch events.
 pub const TRACK_REVOKER: u32 = 0xfffd;
+/// Synthetic track for device-bus events (MMIO dispatches, DMA
+/// transfers, device IRQ latches). Event names carry the device's
+/// registered display name (`uart: mmio_write`).
+pub const TRACK_DEVICE: u32 = 0xfffc;
 
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -81,6 +85,7 @@ pub fn chrome_trace_json(events: &[TraceEvent], metrics: &MetricsRegistry) -> St
         (TRACK_MACHINE, "machine"),
         (TRACK_HEAP, "heap"),
         (TRACK_REVOKER, "revoker"),
+        (TRACK_DEVICE, "devices"),
     ] {
         out.push(format!(
             "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"args\":{{\"name\":\"{name}\"}}}}"
@@ -109,6 +114,13 @@ pub fn chrome_trace_json(events: &[TraceEvent], metrics: &MetricsRegistry) -> St
             }
             EventKind::RevokerStart { .. } | EventKind::RevokerFinish { .. } => {
                 record(&mut out, ev.kind.name(), "i", ts, TRACK_REVOKER, args);
+            }
+            EventKind::MmioRead { dev, .. }
+            | EventKind::MmioWrite { dev, .. }
+            | EventKind::DmaTransfer { dev, .. }
+            | EventKind::DeviceIrq { dev, .. } => {
+                let name = format!("{}: {}", metrics.device_name(dev), ev.kind.name());
+                record(&mut out, &name, "i", ts, TRACK_DEVICE, args);
             }
             _ => {
                 record(&mut out, ev.kind.name(), "i", ts, TRACK_MACHINE, args);

@@ -30,7 +30,7 @@ pub mod metrics;
 pub mod sink;
 
 pub use event::{EventKind, TraceEvent};
-pub use metrics::{Histogram, MetricsRegistry};
+pub use metrics::{DeviceActivity, Histogram, MetricsRegistry};
 pub use sink::{FileSink, NullSink, RingSink, TraceSink, VecSink};
 
 /// Front-end the simulated machine talks to: recording policy + metrics

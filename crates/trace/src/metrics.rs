@@ -105,6 +105,20 @@ struct ThreadState {
     base: u32,
 }
 
+/// Per-device bus-activity totals, accumulated from `MmioRead` /
+/// `MmioWrite` / `DmaTransfer` / `DeviceIrq` events.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeviceActivity {
+    /// MMIO reads dispatched to the device.
+    pub reads: u64,
+    /// MMIO writes dispatched to the device.
+    pub writes: u64,
+    /// Bytes the device stored into guest memory via DMA.
+    pub dma_bytes: u64,
+    /// Interrupt lines the device latched pending.
+    pub irqs: u64,
+}
+
 /// Counters, histograms, and span-derived cycle attribution.
 #[derive(Clone, Debug, Default)]
 pub struct MetricsRegistry {
@@ -117,6 +131,8 @@ pub struct MetricsRegistry {
     thread_cycles: BTreeMap<u32, u64>,
     comp_names: BTreeMap<u32, String>,
     thread_names: BTreeMap<u32, String>,
+    device_names: BTreeMap<u32, String>,
+    devices: BTreeMap<u32, DeviceActivity>,
     threads: BTreeMap<u32, ThreadState>,
     /// Currently running thread, if a scheduling event has been seen.
     current_thread: Option<u32>,
@@ -140,6 +156,24 @@ impl MetricsRegistry {
     /// Register a display name for a thread index.
     pub fn set_thread_name(&mut self, id: u32, name: &str) {
         self.thread_names.insert(id, name.to_string());
+    }
+
+    /// Register a display name for a device-bus id.
+    pub fn set_device_name(&mut self, id: u32, name: &str) {
+        self.device_names.insert(id, name.to_string());
+    }
+
+    /// Display name for a device (falls back to `dev<id>`).
+    pub fn device_name(&self, id: u32) -> String {
+        self.device_names
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| format!("dev{id}"))
+    }
+
+    /// Per-device bus-activity totals, sorted by device id.
+    pub fn device_activity(&self) -> Vec<(u32, DeviceActivity)> {
+        self.devices.iter().map(|(k, v)| (*k, *v)).collect()
     }
 
     /// Display name for a compartment (falls back to `comp<id>`).
@@ -296,6 +330,19 @@ impl MetricsRegistry {
             EventKind::QuarantinePush { size, .. } => {
                 self.add("bytes_quarantined", size as u64);
             }
+            EventKind::MmioRead { dev, .. } => {
+                self.devices.entry(dev).or_default().reads += 1;
+            }
+            EventKind::MmioWrite { dev, .. } => {
+                self.devices.entry(dev).or_default().writes += 1;
+            }
+            EventKind::DmaTransfer { dev, len, .. } => {
+                self.devices.entry(dev).or_default().dma_bytes += len as u64;
+                self.add("dma_bytes", len as u64);
+            }
+            EventKind::DeviceIrq { dev, .. } => {
+                self.devices.entry(dev).or_default().irqs += 1;
+            }
             _ => {}
         }
     }
@@ -345,6 +392,24 @@ impl MetricsRegistry {
             out.push_str("\n-- cycles by thread --\n");
             for (id, cyc) in &threads {
                 out.push_str(&format!("{:<24} {:>12}\n", self.thread_name(*id), cyc));
+            }
+        }
+
+        if !self.devices.is_empty() {
+            out.push_str("\n-- device activity --\n");
+            out.push_str(&format!(
+                "{:<24} {:>8} {:>8} {:>10} {:>6}\n",
+                "device", "reads", "writes", "dma_bytes", "irqs"
+            ));
+            for (id, a) in self.device_activity() {
+                out.push_str(&format!(
+                    "{:<24} {:>8} {:>8} {:>10} {:>6}\n",
+                    self.device_name(id),
+                    a.reads,
+                    a.writes,
+                    a.dma_bytes,
+                    a.irqs
+                ));
             }
         }
 

@@ -10,6 +10,7 @@
 pub mod allocbench;
 pub mod coremark;
 pub mod iot;
+pub mod soc_demo;
 
 pub use allocbench::{
     overhead_pct, run_alloc_bench, AllocBenchParams, AllocBenchResult, AllocConfig,
@@ -20,3 +21,6 @@ pub use coremark::{
     PtrMode,
 };
 pub use iot::{run_iot_app, IotConfig, IotReport};
+pub use soc_demo::{
+    expected_checksum, run_soc_demo, soc_demo_program, SocDemoLayout, SocDemoReport,
+};

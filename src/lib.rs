@@ -11,6 +11,8 @@
 //! * [`rtos`] — compartments, the trusted switcher, threads (§2.6, §5.2),
 //! * [`fault`] — deterministic fault injection, invariant checking, and
 //!   campaign classification (DESIGN.md §10),
+//! * [`soc`] — manifest-driven SoC platform: MMIO devices (UART, timer,
+//!   DMA, network loopback) on the device bus (DESIGN.md §14),
 //! * [`hwmodel`] — the Table 2 area/power composition model,
 //! * [`workloads`] — the evaluation workloads (§7.2),
 //! * [`trace`] — structured tracing, metrics, and profiling for the
@@ -36,5 +38,6 @@ pub use cheriot_core as core;
 pub use cheriot_fault as fault;
 pub use cheriot_hwmodel as hwmodel;
 pub use cheriot_rtos as rtos;
+pub use cheriot_soc as soc;
 pub use cheriot_trace as trace;
 pub use cheriot_workloads as workloads;
