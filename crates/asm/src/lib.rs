@@ -63,6 +63,12 @@ enum Pending {
         rd: Reg,
         target: Label,
     },
+    /// `auipcc rd, (label - here)` — a PCC-derived capability to a label
+    /// (trap vectors, sentry targets), resolved like a branch offset.
+    Auipcc {
+        rd: Reg,
+        target: Label,
+    },
 }
 
 /// The program builder.
@@ -163,6 +169,10 @@ impl Asm {
                         imm: (pos * 4) as i32,
                     }
                 }
+                Pending::Auipcc { rd, target } => Instr::Auipcc {
+                    rd,
+                    imm: resolve(target),
+                },
             };
         }
         self.code
@@ -684,6 +694,16 @@ impl Asm {
     /// `auicgp cd, byte_offset`
     pub fn auicgp(&mut self, rd: Reg, imm: i32) -> &mut Asm {
         self.raw(Instr::Auicgp { rd, imm })
+    }
+
+    /// `auipcc cd, (label - here)` — derives a PCC-bounded capability whose
+    /// address is a bound label (trap-vector installation, sentry-call
+    /// targets); the byte offset is resolved at [`Asm::assemble`] time.
+    pub fn auipcc_to(&mut self, rd: Reg, target: Label) -> &mut Asm {
+        let at = self.code.len();
+        self.code.push(Instr::NOP);
+        self.fixups.push((at, Pending::Auipcc { rd, target }));
+        self
     }
 
     // --- system ---------------------------------------------------------------

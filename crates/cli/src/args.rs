@@ -7,6 +7,7 @@
 
 use crate::runner::RunOptions;
 use cheriot_core::CoreKind;
+use cheriot_diff::{DiffConfig, Profile};
 use cheriot_fault::{CampaignConfig, FaultClass};
 use std::path::PathBuf;
 
@@ -30,6 +31,17 @@ pub struct CampaignArgs {
     pub json_out: Option<PathBuf>,
     /// Write the text report here (it always also goes to stdout).
     pub text_out: Option<PathBuf>,
+}
+
+/// Parsed `cheriot-sim diff-fuzz` invocation.
+#[derive(Clone, Debug)]
+pub struct DiffArgs {
+    /// Differential-campaign configuration.
+    pub cfg: DiffConfig,
+    /// Write the JSON report here.
+    pub json_out: Option<PathBuf>,
+    /// Write one minimal-repro JSON per divergence into this directory.
+    pub repro_dir: PathBuf,
 }
 
 fn value<'a>(flag: &str, it: &mut std::slice::Iter<'a, String>) -> Result<&'a str, String> {
@@ -147,6 +159,54 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignArgs, String> {
     })
 }
 
+/// Parses `diff-fuzz` arguments.
+///
+/// # Errors
+///
+/// A message naming the offending flag or value.
+pub fn parse_diff_args(args: &[String]) -> Result<DiffArgs, String> {
+    let mut cfg = DiffConfig::default();
+    let mut json_out = None;
+    let mut repro_dir = PathBuf::from("results");
+    let mut it = args.iter();
+    while let Some(f) = it.next() {
+        match f.as_str() {
+            "--seed-base" => cfg.seed_base = uint(f, value(f, &mut it)?)?,
+            "--count" => cfg.count = uint(f, value(f, &mut it)?)?,
+            "--threads" => {
+                cfg.threads = uint(f, value(f, &mut it)?)?;
+                if cfg.threads == 0 {
+                    return Err("flag `--threads`: must be at least 1".into());
+                }
+            }
+            "--budget-cycles" => cfg.budget_cycles = uint(f, value(f, &mut it)?)?,
+            "--profile" => {
+                let v = value(f, &mut it)?;
+                cfg.profile = match v {
+                    "full" => Profile::full(),
+                    "binary" => Profile::binary_safe(),
+                    _ => {
+                        return Err(format!(
+                            "flag `--profile`: expected `full` or `binary`, got `{v}`"
+                        ))
+                    }
+                };
+            }
+            "--json" => json_out = Some(PathBuf::from(value(f, &mut it)?)),
+            "--repro-dir" => repro_dir = PathBuf::from(value(f, &mut it)?),
+            other => return Err(format!("unknown flag `{other}` for `diff-fuzz`")),
+        }
+    }
+    if cfg.count == 0 {
+        return Err("flag `--count`: must be at least 1".into());
+    }
+    Ok(DiffArgs {
+        cfg,
+        json_out,
+        repro_dir,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +311,55 @@ mod tests {
     fn no_snapshot_selects_the_reboot_path() {
         let a = parse_campaign_args(&v(&["--count", "2", "--no-snapshot"])).unwrap();
         assert!(!a.cfg.use_snapshot);
+    }
+
+    #[test]
+    fn diff_args_happy_path() {
+        let a = parse_diff_args(&v(&[
+            "--seed-base",
+            "9",
+            "--count",
+            "512",
+            "--threads",
+            "8",
+            "--json",
+            "diff.json",
+        ]))
+        .unwrap();
+        assert_eq!(a.cfg.seed_base, 9);
+        assert_eq!(a.cfg.count, 512);
+        assert_eq!(a.cfg.threads, 8);
+        assert_eq!(a.cfg.profile, Profile::full(), "full profile by default");
+        assert_eq!(a.json_out, Some(PathBuf::from("diff.json")));
+        assert_eq!(a.repro_dir, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn diff_args_profile_and_repro_dir() {
+        let a = parse_diff_args(&v(&[
+            "--profile",
+            "binary",
+            "--repro-dir",
+            "out/repros",
+            "--budget-cycles",
+            "90000",
+        ]))
+        .unwrap();
+        assert_eq!(a.cfg.profile, Profile::binary_safe());
+        assert_eq!(a.repro_dir, PathBuf::from("out/repros"));
+        assert_eq!(a.cfg.budget_cycles, 90_000);
+    }
+
+    #[test]
+    fn diff_errors_name_the_flag_and_value() {
+        let e = parse_diff_args(&v(&["--profile", "exotic"])).unwrap_err();
+        assert!(e.contains("--profile") && e.contains("exotic"), "{e}");
+        let e = parse_diff_args(&v(&["--count", "0"])).unwrap_err();
+        assert!(e.contains("--count"), "{e}");
+        let e = parse_diff_args(&v(&["--threads", "0"])).unwrap_err();
+        assert!(e.contains("--threads"), "{e}");
+        let e = parse_diff_args(&v(&["--frobnicate"])).unwrap_err();
+        assert!(e.contains("--frobnicate") && e.contains("diff-fuzz"), "{e}");
     }
 
     #[test]

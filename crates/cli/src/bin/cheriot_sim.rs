@@ -14,12 +14,17 @@
 //!                            [--kinds tag,bounds,bitmap,...] [--faults N]
 //!                            [--cadence N] [--max-cycles N] [--no-snapshot]
 //!                            [--json out.json] [--out out.txt]
+//! cheriot-sim diff-fuzz [--seed-base N] [--count K] [--threads T]
+//!                       [--profile full|binary] [--budget-cycles N]
+//!                       [--json out.json] [--repro-dir results]
 //! ```
 //!
 //! Malformed flags produce a contextual error naming the flag and value;
 //! the binary never panics on user input.
 
-use cheriot_cli::{parse_campaign_args, parse_program, parse_run_args, run_source};
+use cheriot_cli::{
+    parse_campaign_args, parse_diff_args, parse_program, parse_run_args, run_source,
+};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
@@ -31,7 +36,10 @@ const USAGE: &str = "usage:
   cheriot-sim disasm <prog.bin>
   cheriot-sim fault-campaign [--seed-base N] [--count K] [--threads T] \
 [--kinds <k1,k2,...>] [--faults N] [--cadence N] [--max-cycles N] \
-[--no-snapshot] [--json <out.json>] [--out <out.txt>]";
+[--no-snapshot] [--json <out.json>] [--out <out.txt>]
+  cheriot-sim diff-fuzz [--seed-base N] [--count K] [--threads T] \
+[--profile full|binary] [--budget-cycles N] [--json <out.json>] \
+[--repro-dir <dir>]";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -56,6 +64,7 @@ fn main() -> ExitCode {
         "asm" => cmd_asm(rest),
         "disasm" => cmd_disasm(rest),
         "fault-campaign" => cmd_fault_campaign(rest),
+        "diff-fuzz" => cmd_diff_fuzz(rest),
         other => {
             eprintln!("cheriot-sim: unknown command `{other}`");
             usage()
@@ -134,6 +143,47 @@ fn cmd_fault_campaign(args: &[String]) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+fn cmd_diff_fuzz(args: &[String]) -> ExitCode {
+    let parsed = match parse_diff_args(args) {
+        Ok(p) => p,
+        Err(e) => return bad_args("diff-fuzz", &e),
+    };
+    let report = cheriot_diff::run_fuzz(&parsed.cfg);
+    print!("{}", report.render_text());
+    if let Some(path) = &parsed.json_out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("cheriot-sim: {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote json report: {}", path.display());
+    }
+    // Every divergence gets its own minimal-repro file: the shrunk
+    // listing plus first-divergence triage, enough to replay by hand.
+    if !report.divergences.is_empty() {
+        if let Err(e) = std::fs::create_dir_all(&parsed.repro_dir) {
+            eprintln!("cheriot-sim: {}: {e}", parsed.repro_dir.display());
+            return ExitCode::FAILURE;
+        }
+        for d in &report.divergences {
+            let path = parsed.repro_dir.join(format!(
+                "diff-seed{}-{}-{}.json",
+                d.seed, d.core, d.dispatch
+            ));
+            if let Err(e) = std::fs::write(&path, cheriot_diff::report::divergence_json(d).render())
+            {
+                eprintln!("cheriot-sim: {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote repro: {}", path.display());
+        }
+    }
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

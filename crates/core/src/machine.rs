@@ -763,6 +763,15 @@ impl Machine {
         self.last_trap
     }
 
+    /// The in-flight load-to-use hazard, if any: the destination register
+    /// of the last load and the stall penalty the next consumer would pay.
+    /// Microarchitectural state that external lockstep comparators (the
+    /// differential fuzzer's golden model) must see to prove two engines
+    /// are in *identical* states, not merely architecturally equal ones.
+    pub fn pending_load_use(&self) -> Option<(Reg, u64)> {
+        self.pending_use
+    }
+
     /// Builds the structured [`SimError::Watchdog`] for the current state
     /// (for callers that just observed [`ExitReason::Watchdog`]).
     pub fn watchdog_error(&self) -> SimError {

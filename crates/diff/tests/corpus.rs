@@ -1,0 +1,55 @@
+//! Replays the pinned seed corpus (`corpus/seeds.txt`) on every test run:
+//! each seed's program must stay divergence-free across all dispatch
+//! modes and core models, and the corpus as a whole must keep its
+//! coverage. Seeds that once exposed real divergences get pinned here so
+//! the regression can never quietly return.
+
+use cheriot_diff::{run_seed, Coverage, DiffConfig, Profile, OPCODE_NAMES};
+
+const CORPUS: &str = include_str!("../corpus/seeds.txt");
+
+fn corpus() -> Vec<(Profile, u64)> {
+    CORPUS
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let (profile, seed) = l
+                .split_once(' ')
+                .expect("corpus line is `<profile> <seed>`");
+            let profile = match profile {
+                "full" => Profile::full(),
+                "binary" => Profile::binary_safe(),
+                other => panic!("unknown corpus profile {other:?}"),
+            };
+            (profile, seed.parse().expect("corpus seed is an integer"))
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_replays_divergence_free() {
+    let entries = corpus();
+    assert!(entries.len() >= 24, "corpus shrank unexpectedly");
+    let mut coverage = Coverage::default();
+    for (profile, seed) in entries {
+        let cfg = DiffConfig {
+            profile,
+            ..DiffConfig::default()
+        };
+        let r = run_seed(seed, &cfg, None);
+        assert!(
+            r.divergence.is_none(),
+            "pinned seed {seed} diverged:\n{:#?}",
+            r.divergence
+        );
+        coverage.merge(&r.coverage);
+    }
+    assert!(
+        coverage.opcode_count() * 10 > OPCODE_NAMES.len() as u32 * 9,
+        "corpus coverage regressed: {}/{} ({:?} missed)",
+        coverage.opcode_count(),
+        OPCODE_NAMES.len(),
+        coverage.opcode_names(false),
+    );
+}

@@ -1,0 +1,70 @@
+//! Campaign smoke: a small all-features fuzz run must find zero
+//! divergences across every dispatch mode and core model, while reaching
+//! near-total opcode coverage — the same bar CI's `diff-fuzz-smoke` job
+//! holds the release binary to.
+
+use cheriot_diff::{run_fuzz, DiffConfig, Profile, OPCODE_NAMES};
+
+#[test]
+fn full_profile_campaign_is_divergence_free() {
+    let report = run_fuzz(&DiffConfig {
+        seed_base: 1,
+        count: 48,
+        threads: 4,
+        ..DiffConfig::default()
+    });
+    assert_eq!(report.pairs_run, 48 * 6, "6 engine configs per seed");
+    assert!(
+        report.passed(),
+        "differential divergences:\n{}",
+        report.render_text()
+    );
+    // The acceptance bar: >90% of implemented opcodes exercised.
+    assert!(
+        report.coverage.opcode_count() * 10 > OPCODE_NAMES.len() as u32 * 9,
+        "coverage too low: {}/{} ({:?} missed)",
+        report.coverage.opcode_count(),
+        OPCODE_NAMES.len(),
+        report.coverage.opcode_names(false),
+    );
+    // Interrupt machinery must actually have fired: both postures seen,
+    // at least one asynchronous cause among the traps.
+    assert_eq!(report.coverage.postures, 3, "both interrupt postures");
+    assert!(
+        report
+            .coverage
+            .trap_causes
+            .iter()
+            .any(|c| c & 0x8000_0000 != 0),
+        "no interrupt was ever delivered: {:?}",
+        report.coverage.trap_causes
+    );
+}
+
+#[test]
+fn binary_safe_campaign_is_divergence_free() {
+    let report = run_fuzz(&DiffConfig {
+        seed_base: 1000,
+        count: 24,
+        threads: 4,
+        profile: Profile::binary_safe(),
+        ..DiffConfig::default()
+    });
+    assert!(
+        report.passed(),
+        "differential divergences:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn json_report_shape() {
+    let report = run_fuzz(&DiffConfig {
+        count: 2,
+        ..DiffConfig::default()
+    });
+    let json = report.to_json();
+    assert!(json.contains("\"passed\": true"), "{json}");
+    assert!(json.contains("\"opcodes_total\": 36"), "{json}");
+    assert!(json.contains("\"divergences\": []"), "{json}");
+}

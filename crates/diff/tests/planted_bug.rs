@@ -1,0 +1,57 @@
+//! The fuzzer must catch a real engine bug: we plant one (XOR executed as
+//! AND, on the engine side only) and demand a confirmed divergence with a
+//! minimal shrunk repro and instruction-granular triage.
+
+use cheriot_diff::{plant_xor_bug, run_fuzz_with, DiffConfig, Profile};
+
+#[test]
+fn planted_engine_bug_is_caught_and_shrunk() {
+    let report = run_fuzz_with(
+        &DiffConfig {
+            seed_base: 1,
+            count: 8,
+            threads: 2,
+            profile: Profile::binary_safe(),
+            ..DiffConfig::default()
+        },
+        Some(&plant_xor_bug),
+    );
+    assert!(
+        !report.passed(),
+        "a corrupted engine must diverge from the golden model"
+    );
+    let d = &report.divergences[0];
+    assert!(
+        d.program_len <= 20,
+        "shrunk repro too large: {} instructions\n{}",
+        d.program_len,
+        d.listing.join("\n")
+    );
+    // The repro must still contain the corrupted instruction class.
+    assert!(
+        d.listing.iter().any(|l| l.contains("Xor")),
+        "shrunk repro lost the XOR under test:\n{}",
+        d.listing.join("\n")
+    );
+    let first = d.first.as_ref().expect("triage names the first divergence");
+    assert!(
+        !first.deltas.is_empty(),
+        "first-divergence report carries register deltas"
+    );
+}
+
+#[test]
+fn planted_bug_in_full_profile_is_caught() {
+    // The structured/handler programs fold scratch state through XORs too;
+    // the corruption must surface there as well.
+    let report = run_fuzz_with(
+        &DiffConfig {
+            seed_base: 40,
+            count: 8,
+            threads: 2,
+            ..DiffConfig::default()
+        },
+        Some(&plant_xor_bug),
+    );
+    assert!(!report.passed(), "planted bug escaped the full profile");
+}

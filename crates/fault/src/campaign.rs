@@ -31,6 +31,7 @@
 
 use crate::inject::Injector;
 use crate::invariant::{InvariantChecker, InvariantViolation};
+use crate::json::Json;
 use crate::plan::{FaultClass, FaultPlan, PlanConfig};
 use crate::rng::XorShift64;
 use cheriot_alloc::{HeapAllocator, RevokerKind, TemporalPolicy};
@@ -233,88 +234,54 @@ impl CampaignReport {
         s
     }
 
-    /// JSON report (hand-rolled; the build is offline and dependency-free).
+    /// JSON report, built through the shared typed writer
+    /// ([`crate::json::Json`]) rather than string concatenation.
     pub fn to_json(&self) -> String {
-        let classes: Vec<String> = self
-            .config
-            .classes
-            .iter()
-            .map(|c| format!("\"{}\"", c.name()))
-            .collect();
-        let mut s = String::new();
-        s.push_str("{\n");
-        s.push_str(&format!("  \"seed_base\": {},\n", self.config.seed_base));
-        s.push_str(&format!("  \"count\": {},\n", self.config.count));
-        s.push_str(&format!("  \"threads\": {},\n", self.config.threads));
-        s.push_str(&format!("  \"kinds\": [{}],\n", classes.join(", ")));
-        s.push_str(&format!(
-            "  \"faults_per_run\": {},\n",
-            self.config.faults_per_run
-        ));
-        s.push_str(&format!("  \"cadence\": {},\n", self.config.cadence));
-        s.push_str(&format!(
-            "  \"use_snapshot\": {},\n",
-            self.config.use_snapshot
-        ));
-        s.push_str(&format!(
-            "  \"snapshot_restores\": {},\n",
-            self.snapshot_restores
-        ));
-        s.push_str(&format!(
-            "  \"dirty_pages_copied\": {},\n",
-            self.dirty_pages_copied
-        ));
-        s.push_str("  \"outcomes\": {\n");
-        let tallies: Vec<String> = Outcome::ALL
-            .iter()
-            .map(|&o| format!("    \"{}\": {}", o.name(), self.count(o)))
-            .collect();
-        s.push_str(&tallies.join(",\n"));
-        s.push_str("\n  },\n");
-        s.push_str(&format!(
-            "  \"control_violations\": {},\n",
-            self.control_violations.len()
-        ));
-        s.push_str(&format!(
-            "  \"passed\": {},\n",
-            if self.failed() { "false" } else { "true" }
-        ));
-        s.push_str("  \"campaigns\": [\n");
-        let rows: Vec<String> = self
-            .results
-            .iter()
-            .map(|r| {
-                format!(
-                    "    {{\"seed\": {}, \"outcome\": \"{}\", \"faults\": {}, \
-                     \"cycles\": {}, \"detail\": \"{}\"}}",
-                    r.seed,
-                    r.outcome.name(),
-                    r.faults_applied,
-                    r.cycles,
-                    json_escape(&r.detail)
-                )
-            })
-            .collect();
-        s.push_str(&rows.join(",\n"));
-        s.push_str("\n  ]\n}\n");
-        s
-    }
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+        let mut doc = Json::obj();
+        doc.push("seed_base", self.config.seed_base);
+        doc.push("count", u64::from(self.config.count));
+        doc.push("threads", self.config.threads);
+        doc.push(
+            "kinds",
+            Json::Arr(
+                self.config
+                    .classes
+                    .iter()
+                    .map(|c| Json::Str(c.name().to_string()))
+                    .collect(),
+            ),
+        );
+        doc.push("faults_per_run", u64::from(self.config.faults_per_run));
+        doc.push("cadence", self.config.cadence);
+        doc.push("use_snapshot", self.config.use_snapshot);
+        doc.push("snapshot_restores", self.snapshot_restores);
+        doc.push("dirty_pages_copied", self.dirty_pages_copied);
+        let mut outcomes = Json::obj();
+        for &o in Outcome::ALL {
+            outcomes.push(o.name(), u64::from(self.count(o)));
         }
+        doc.push("outcomes", outcomes);
+        doc.push("control_violations", self.control_violations.len());
+        doc.push("passed", !self.failed());
+        doc.push(
+            "campaigns",
+            Json::Arr(
+                self.results
+                    .iter()
+                    .map(|r| {
+                        let mut row = Json::obj();
+                        row.push("seed", r.seed);
+                        row.push("outcome", r.outcome.name());
+                        row.push("faults", u64::from(r.faults_applied));
+                        row.push("cycles", r.cycles);
+                        row.push("detail", r.detail.as_str());
+                        row
+                    })
+                    .collect(),
+            ),
+        );
+        doc.render()
     }
-    out
 }
 
 /// Behavioural fingerprint of a run: everything the outside world can see.

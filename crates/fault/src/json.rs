@@ -1,0 +1,218 @@
+//! A tiny typed JSON document builder shared by every report the
+//! workspace emits (fault-campaign reports, the differential fuzzer's
+//! divergence reports).
+//!
+//! The build is offline and dependency-free, so this is a hand-rolled
+//! writer rather than serde — but a *typed* one: reports construct a
+//! [`Json`] tree and render it, instead of string-concatenating JSON
+//! fragments (which is how escaping bugs and trailing-comma breakage
+//! creep in). Rendering is deterministic: object keys keep insertion
+//! order, numbers are integers (the only numeric kind any report needs),
+//! and strings are escaped exactly once, at render time.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Numbers are split into unsigned/signed integer variants
+/// because cycle counts are `u64` (which `i64` cannot hold) while deltas
+/// can be negative; no report needs floats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (cycle counts, seeds, tallies).
+    UInt(u64),
+    /// A signed integer (deltas).
+    Int(i64),
+    /// A string (escaped at render time).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys render in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object, to be filled with [`Json::push`].
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends `key: value` to an object. No-op (debug-asserted) on
+    /// non-objects.
+    pub fn push(&mut self, key: &str, value: impl Into<Json>) -> &mut Json {
+        if let Json::Obj(fields) = self {
+            fields.push((key.to_string(), value.into()));
+        } else {
+            debug_assert!(false, "Json::push on a non-object");
+        }
+        self
+    }
+
+    /// Renders the document with two-space indentation and a trailing
+    /// newline (the shape the pre-existing campaign reports committed to).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    indent(out, depth + 1);
+                    let _ = write!(out, "\"{}\": ", escape(k));
+                    v.write(out, depth + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::UInt(u64::from(v))
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_documents_with_stable_layout() {
+        let mut doc = Json::obj();
+        doc.push("count", 3u64);
+        doc.push("passed", true);
+        doc.push(
+            "rows",
+            Json::Arr(vec![Json::UInt(1), Json::Str("a\"b".into())]),
+        );
+        doc.push("empty", Json::Arr(vec![]));
+        let s = doc.render();
+        assert!(s.contains("\"count\": 3"));
+        assert!(s.contains("\"passed\": true"));
+        assert!(s.contains("\\\"b\""));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escape_handles_controls_and_quotes() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn u64_cycle_counts_do_not_truncate() {
+        let j = Json::UInt(u64::MAX);
+        let mut s = String::new();
+        j.write(&mut s, 0);
+        assert_eq!(s, u64::MAX.to_string());
+    }
+}

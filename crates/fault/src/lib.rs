@@ -36,6 +36,7 @@
 pub mod campaign;
 pub mod inject;
 pub mod invariant;
+pub mod json;
 pub mod plan;
 pub mod rng;
 

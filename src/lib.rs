@@ -11,6 +11,9 @@
 //! * [`rtos`] — compartments, the trusted switcher, threads (§2.6, §5.2),
 //! * [`fault`] — deterministic fault injection, invariant checking, and
 //!   campaign classification (DESIGN.md §10),
+//! * [`diff`] — the differential ISA fuzzer: weighted program generator,
+//!   naive golden interpreter, and lockstep comparator with automatic
+//!   shrinking (DESIGN.md §15),
 //! * [`soc`] — manifest-driven SoC platform: MMIO devices (UART, timer,
 //!   DMA, network loopback) on the device bus (DESIGN.md §14),
 //! * [`hwmodel`] — the Table 2 area/power composition model,
@@ -35,6 +38,7 @@ pub use cheriot_alloc as alloc;
 pub use cheriot_asm as asm;
 pub use cheriot_cap as cap;
 pub use cheriot_core as core;
+pub use cheriot_diff as diff;
 pub use cheriot_fault as fault;
 pub use cheriot_hwmodel as hwmodel;
 pub use cheriot_rtos as rtos;
