@@ -1,0 +1,115 @@
+//! The `BENCH_simperf.json` trajectory file: a single-line flat JSON
+//! object mapping metric names to numbers, committed to the repo so
+//! every perf-relevant change has a baseline to beat.
+//!
+//! Several harnesses own disjoint key sets in the same file
+//! (`sim_throughput` the MIPS/campaign keys, `farm_throughput` the
+//! fleet keys), so writers must *upsert*: update their own keys and
+//! preserve everyone else's. The build environment has no JSON
+//! dependency — the format is restricted to `{"key": number, ...}` and
+//! parsed by hand.
+
+use std::path::Path;
+
+/// Pulls `"key": <number>` out of a flat baseline JSON object.
+pub fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = text.find(&needle)? + needle.len();
+    let rest = text[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Splits a flat `{"key": number, ...}` object into ordered pairs of
+/// key and raw value text. Tolerates whitespace and an empty object;
+/// anything else malformed is simply cut short (the committed file is
+/// machine-written, so this only happens to hand-edited files).
+fn parse_pairs(text: &str) -> Vec<(String, String)> {
+    let mut pairs = Vec::new();
+    let mut rest = text.trim().trim_start_matches('{');
+    while let Some(k0) = rest.find('"') {
+        let after_key = &rest[k0 + 1..];
+        let Some(k1) = after_key.find('"') else { break };
+        let key = &after_key[..k1];
+        let after = &after_key[k1 + 1..];
+        let Some(colon) = after.find(':') else { break };
+        let value_text = &after[colon + 1..];
+        let end = value_text.find([',', '}']).unwrap_or(value_text.len());
+        pairs.push((key.to_string(), value_text[..end].trim().to_string()));
+        rest = &value_text[end..];
+    }
+    pairs
+}
+
+/// Renders ordered pairs back to the single-line format.
+fn render_pairs(pairs: &[(String, String)]) -> String {
+    let body: Vec<String> = pairs.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+    format!("{{{}}}\n", body.join(", "))
+}
+
+/// Updates (or appends) `entries` in the baseline file at `path`,
+/// preserving every key some other harness owns. Missing or unreadable
+/// files start from an empty object. Returns the full line written.
+///
+/// # Errors
+///
+/// I/O errors writing the file.
+pub fn upsert_baseline(path: &Path, entries: &[(&str, String)]) -> std::io::Result<String> {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let mut pairs = parse_pairs(&existing);
+    for (key, value) in entries {
+        match pairs.iter_mut().find(|(k, _)| k == key) {
+            Some(pair) => pair.1 = value.clone(),
+            None => pairs.push((key.to_string(), value.clone())),
+        }
+    }
+    let line = render_pairs(&pairs);
+    std::fs::write(path, &line)?;
+    Ok(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_number_reads_flat_keys() {
+        let text = "{\"mips\": 12.5, \"neg\": -3, \"last\": 7}\n";
+        assert_eq!(json_number(text, "mips"), Some(12.5));
+        assert_eq!(json_number(text, "neg"), Some(-3.0));
+        assert_eq!(json_number(text, "last"), Some(7.0));
+        assert_eq!(json_number(text, "absent"), None);
+    }
+
+    #[test]
+    fn parse_render_round_trip() {
+        let text = "{\"a\": 1.00, \"b\": -2.5}\n";
+        assert_eq!(render_pairs(&parse_pairs(text)), text);
+        assert_eq!(render_pairs(&parse_pairs("")), "{}\n");
+        assert_eq!(render_pairs(&parse_pairs("{}")), "{}\n");
+    }
+
+    #[test]
+    fn upsert_updates_own_keys_and_preserves_others() {
+        let dir = std::env::temp_dir().join("cheriot-bench-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("upsert.json");
+        std::fs::write(&path, "{\"theirs\": 5.00, \"ours\": 1.00}\n").unwrap();
+        let line =
+            upsert_baseline(&path, &[("ours", "2.00".into()), ("new", "3.00".into())]).unwrap();
+        assert_eq!(line, "{\"theirs\": 5.00, \"ours\": 2.00, \"new\": 3.00}\n");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), line);
+    }
+
+    #[test]
+    fn upsert_starts_from_empty_when_missing() {
+        let dir = std::env::temp_dir().join("cheriot-bench-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fresh.json");
+        let _ = std::fs::remove_file(&path);
+        let line = upsert_baseline(&path, &[("only", "9.99".into())]).unwrap();
+        assert_eq!(line, "{\"only\": 9.99}\n");
+    }
+}

@@ -48,6 +48,7 @@
 //! reboot path's per-seed `Machine::new` — swings severalfold with that
 //! same pressure. Baselines that predate a key skip its check.
 
+use cheriot_bench::baseline::{json_number, upsert_baseline};
 use cheriot_bench::write_csv;
 use cheriot_core::CoreModel;
 use cheriot_workloads::{run_coremark_for_cycles_dispatch, CoreMarkConfig, DispatchMode};
@@ -123,18 +124,6 @@ fn cpu_now(epoch: Instant) -> f64 {
         .and_then(|s| s.split_whitespace().next()?.parse::<u64>().ok())
         .map(|ns| ns as f64 / 1e9)
         .unwrap_or_else(|| epoch.elapsed().as_secs_f64())
-}
-
-/// Pulls `"key": <number>` out of the baseline JSON (hand-rolled: the
-/// build environment has no JSON dependency and the file is one line).
-fn json_number(text: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let start = text.find(&needle)? + needle.len();
-    let rest = text[start..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }
 
 fn main() {
@@ -392,27 +381,43 @@ fn main() {
     };
     let (speedup_ibex, speedup_chain_ibex) = speedup_of("ibex");
     let (speedup_flute, speedup_chain_flute) = speedup_of("flute");
-    let json = format!(
-        "{{\"mips_ibex\": {:.2}, \"mips_flute\": {:.2}, \
-         \"mips_ibex_nocache\": {:.2}, \"mips_flute_nocache\": {:.2}, \
-         \"mips_ibex_chain\": {:.2}, \"mips_flute_chain\": {:.2}, \
-         \"speedup_ibex\": {speedup_ibex:.2}, \"speedup_flute\": {speedup_flute:.2}, \
-         \"speedup_chain_ibex\": {speedup_chain_ibex:.2}, \
-         \"speedup_chain_flute\": {speedup_chain_flute:.2}, \
-         \"campaign_seeds_per_s\": {:.2}, \"campaign_speedup\": {:.2}, \
-         \"wall_s_all_results\": {:.3}}}\n",
-        by_key("ibex", DispatchMode::Cached),
-        by_key("flute", DispatchMode::Cached),
-        by_key("ibex", DispatchMode::Stepwise),
-        by_key("flute", DispatchMode::Stepwise),
-        by_key("ibex", DispatchMode::Chained),
-        by_key("flute", DispatchMode::Chained),
-        campaign_seeds_per_s,
-        campaign_speedup,
-        wall_all
-    );
-    match std::fs::write("BENCH_simperf.json", &json) {
-        Ok(()) => println!("wrote BENCH_simperf.json: {}", json.trim()),
+    // Upsert rather than rewrite: other harnesses (farm_throughput)
+    // track their own keys in the same trajectory file.
+    let entries = [
+        (
+            "mips_ibex",
+            format!("{:.2}", by_key("ibex", DispatchMode::Cached)),
+        ),
+        (
+            "mips_flute",
+            format!("{:.2}", by_key("flute", DispatchMode::Cached)),
+        ),
+        (
+            "mips_ibex_nocache",
+            format!("{:.2}", by_key("ibex", DispatchMode::Stepwise)),
+        ),
+        (
+            "mips_flute_nocache",
+            format!("{:.2}", by_key("flute", DispatchMode::Stepwise)),
+        ),
+        (
+            "mips_ibex_chain",
+            format!("{:.2}", by_key("ibex", DispatchMode::Chained)),
+        ),
+        (
+            "mips_flute_chain",
+            format!("{:.2}", by_key("flute", DispatchMode::Chained)),
+        ),
+        ("speedup_ibex", format!("{speedup_ibex:.2}")),
+        ("speedup_flute", format!("{speedup_flute:.2}")),
+        ("speedup_chain_ibex", format!("{speedup_chain_ibex:.2}")),
+        ("speedup_chain_flute", format!("{speedup_chain_flute:.2}")),
+        ("campaign_seeds_per_s", format!("{campaign_seeds_per_s:.2}")),
+        ("campaign_speedup", format!("{campaign_speedup:.2}")),
+        ("wall_s_all_results", format!("{wall_all:.3}")),
+    ];
+    match upsert_baseline(std::path::Path::new("BENCH_simperf.json"), &entries) {
+        Ok(line) => println!("wrote BENCH_simperf.json: {}", line.trim()),
         Err(e) => eprintln!("failed to write BENCH_simperf.json: {e}"),
     }
 }

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod figures;
 pub mod harness;
 

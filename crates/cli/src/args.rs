@@ -6,8 +6,9 @@
 //! testable without spawning the binary.
 
 use crate::runner::RunOptions;
-use cheriot_core::CoreKind;
+use cheriot_core::{CoreKind, CoreModel};
 use cheriot_diff::{DiffConfig, Profile};
+use cheriot_farm::FarmConfig;
 use cheriot_fault::{CampaignConfig, FaultClass};
 use std::path::PathBuf;
 
@@ -31,6 +32,17 @@ pub struct CampaignArgs {
     pub json_out: Option<PathBuf>,
     /// Write the text report here (it always also goes to stdout).
     pub text_out: Option<PathBuf>,
+}
+
+/// Parsed `cheriot-sim farm` invocation.
+#[derive(Clone, Debug)]
+pub struct FarmArgs {
+    /// Fleet configuration.
+    pub cfg: FarmConfig,
+    /// Write the JSON report here.
+    pub json_out: Option<PathBuf>,
+    /// Print the fleet-wide metrics summary after the report.
+    pub metrics: bool,
 }
 
 /// Parsed `cheriot-sim diff-fuzz` invocation.
@@ -156,6 +168,71 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignArgs, String> {
         cfg,
         json_out,
         text_out,
+    })
+}
+
+/// Parses `farm` arguments.
+///
+/// # Errors
+///
+/// A message naming the offending flag or value.
+pub fn parse_farm_args(args: &[String]) -> Result<FarmArgs, String> {
+    let mut cfg = FarmConfig::default();
+    let mut json_out = None;
+    let mut metrics = false;
+    let mut it = args.iter();
+    while let Some(f) = it.next() {
+        match f.as_str() {
+            "--devices" => {
+                cfg.devices = uint(f, value(f, &mut it)?)?;
+                if cfg.devices == 0 {
+                    return Err("flag `--devices`: must be at least 1".into());
+                }
+            }
+            "--threads" => {
+                cfg.workers = uint(f, value(f, &mut it)?)?;
+                if cfg.workers == 0 {
+                    return Err("flag `--threads`: must be at least 1".into());
+                }
+            }
+            "--quantum" => {
+                cfg.quantum = uint(f, value(f, &mut it)?)?;
+                if cfg.quantum == 0 {
+                    return Err("flag `--quantum`: must be at least 1".into());
+                }
+            }
+            "--rounds" => cfg.rounds = uint(f, value(f, &mut it)?)?,
+            "--settle-rounds" => cfg.settle_rounds = uint(f, value(f, &mut it)?)?,
+            "--seed" => cfg.seed = uint(f, value(f, &mut it)?)?,
+            "--topics" => cfg.topics = uint(f, value(f, &mut it)?)?,
+            "--host-rate" => cfg.host_rate = uint(f, value(f, &mut it)?)?,
+            "--sram" => cfg.sram_size = uint(f, value(f, &mut it)?)?,
+            "--core" => {
+                let v = value(f, &mut it)?;
+                cfg.core = match v {
+                    "ibex" => CoreModel::ibex(),
+                    "flute" => CoreModel::flute(),
+                    _ => {
+                        return Err(format!(
+                            "flag `--core`: expected `ibex` or `flute`, got `{v}`"
+                        ))
+                    }
+                };
+            }
+            "--no-block-cache" => cfg.dispatch = (false, false),
+            "--no-block-chain" => cfg.dispatch.1 = false,
+            "--json" => json_out = Some(PathBuf::from(value(f, &mut it)?)),
+            "--metrics" => metrics = true,
+            other => return Err(format!("unknown flag `{other}` for `farm`")),
+        }
+    }
+    if cfg.rounds == 0 {
+        return Err("flag `--rounds`: must be at least 1".into());
+    }
+    Ok(FarmArgs {
+        cfg,
+        json_out,
+        metrics,
     })
 }
 
@@ -360,6 +437,64 @@ mod tests {
         assert!(e.contains("--threads"), "{e}");
         let e = parse_diff_args(&v(&["--frobnicate"])).unwrap_err();
         assert!(e.contains("--frobnicate") && e.contains("diff-fuzz"), "{e}");
+    }
+
+    #[test]
+    fn farm_args_happy_path() {
+        let a = parse_farm_args(&v(&[
+            "--devices",
+            "1000",
+            "--threads",
+            "8",
+            "--rounds",
+            "200",
+            "--quantum",
+            "15000",
+            "--seed",
+            "42",
+            "--topics",
+            "16",
+            "--json",
+            "farm.json",
+            "--metrics",
+        ]))
+        .unwrap();
+        assert_eq!(a.cfg.devices, 1000);
+        assert_eq!(a.cfg.workers, 8);
+        assert_eq!(a.cfg.rounds, 200);
+        assert_eq!(a.cfg.quantum, 15_000);
+        assert_eq!(a.cfg.seed, 42);
+        assert_eq!(a.cfg.topics, 16);
+        assert_eq!(a.json_out, Some(PathBuf::from("farm.json")));
+        assert!(a.metrics);
+        assert_eq!(a.cfg.dispatch, (true, true), "chained dispatch by default");
+    }
+
+    #[test]
+    fn farm_dispatch_flags_compose() {
+        let a = parse_farm_args(&v(&["--no-block-chain"])).unwrap();
+        assert_eq!(a.cfg.dispatch, (true, false));
+        let a = parse_farm_args(&v(&["--no-block-cache"])).unwrap();
+        assert_eq!(a.cfg.dispatch, (false, false));
+    }
+
+    #[test]
+    fn farm_errors_name_the_flag_and_value() {
+        let e = parse_farm_args(&v(&["--devices", "0"])).unwrap_err();
+        assert!(e.contains("--devices"), "{e}");
+        let e = parse_farm_args(&v(&["--threads", "0"])).unwrap_err();
+        assert!(e.contains("--threads"), "{e}");
+        let e = parse_farm_args(&v(&["--rounds", "0"])).unwrap_err();
+        assert!(e.contains("--rounds"), "{e}");
+        let e = parse_farm_args(&v(&["--core", "arm"])).unwrap_err();
+        assert!(e.contains("--core") && e.contains("arm"), "{e}");
+        let e = parse_farm_args(&v(&["--quantum"])).unwrap_err();
+        assert!(
+            e.contains("--quantum") && e.contains("expects a value"),
+            "{e}"
+        );
+        let e = parse_farm_args(&v(&["--frobnicate"])).unwrap_err();
+        assert!(e.contains("--frobnicate") && e.contains("farm"), "{e}");
     }
 
     #[test]

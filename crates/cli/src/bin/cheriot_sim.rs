@@ -17,13 +17,19 @@
 //! cheriot-sim diff-fuzz [--seed-base N] [--count K] [--threads T]
 //!                       [--profile full|binary] [--budget-cycles N]
 //!                       [--json out.json] [--repro-dir results]
+//! cheriot-sim farm [--devices N] [--threads T] [--rounds N] [--quantum N]
+//!                  [--settle-rounds N] [--seed N] [--topics N]
+//!                  [--host-rate N] [--sram BYTES] [--core ibex|flute]
+//!                  [--no-block-cache] [--no-block-chain]
+//!                  [--json out.json] [--metrics]
 //! ```
 //!
 //! Malformed flags produce a contextual error naming the flag and value;
 //! the binary never panics on user input.
 
 use cheriot_cli::{
-    parse_campaign_args, parse_diff_args, parse_program, parse_run_args, run_source,
+    parse_campaign_args, parse_diff_args, parse_farm_args, parse_program, parse_run_args,
+    run_source,
 };
 use std::process::ExitCode;
 
@@ -39,7 +45,11 @@ const USAGE: &str = "usage:
 [--no-snapshot] [--json <out.json>] [--out <out.txt>]
   cheriot-sim diff-fuzz [--seed-base N] [--count K] [--threads T] \
 [--profile full|binary] [--budget-cycles N] [--json <out.json>] \
-[--repro-dir <dir>]";
+[--repro-dir <dir>]
+  cheriot-sim farm [--devices N] [--threads T] [--rounds N] [--quantum N] \
+[--settle-rounds N] [--seed N] [--topics N] [--host-rate N] [--sram BYTES] \
+[--core ibex|flute] [--no-block-cache] [--no-block-chain] \
+[--json <out.json>] [--metrics]";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -65,6 +75,7 @@ fn main() -> ExitCode {
         "disasm" => cmd_disasm(rest),
         "fault-campaign" => cmd_fault_campaign(rest),
         "diff-fuzz" => cmd_diff_fuzz(rest),
+        "farm" => cmd_farm(rest),
         other => {
             eprintln!("cheriot-sim: unknown command `{other}`");
             usage()
@@ -179,6 +190,36 @@ fn cmd_diff_fuzz(args: &[String]) -> ExitCode {
             }
             println!("wrote repro: {}", path.display());
         }
+    }
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_farm(args: &[String]) -> ExitCode {
+    let parsed = match parse_farm_args(args) {
+        Ok(p) => p,
+        Err(e) => return bad_args("farm", &e),
+    };
+    let report = match cheriot_farm::run_farm(&parsed.cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cheriot-sim farm: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.to_text());
+    if parsed.metrics {
+        print!("{}", report.metrics.summary());
+    }
+    if let Some(path) = &parsed.json_out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("cheriot-sim: {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote json report: {}", path.display());
     }
     if report.passed() {
         ExitCode::SUCCESS

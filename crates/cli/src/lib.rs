@@ -13,7 +13,8 @@ pub mod parser;
 pub mod runner;
 
 pub use args::{
-    parse_campaign_args, parse_diff_args, parse_run_args, CampaignArgs, DiffArgs, RunArgs,
+    parse_campaign_args, parse_diff_args, parse_farm_args, parse_run_args, CampaignArgs, DiffArgs,
+    FarmArgs, RunArgs,
 };
 pub use parser::{parse_program, ParseError};
 pub use runner::{run_source, run_words, RunError, RunOptions, RunOutcome};

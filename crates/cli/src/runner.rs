@@ -247,6 +247,11 @@ fn run_instructions(
             let ss = m.snapshot_stats();
             tracer.metrics.add("snapshot_restores", ss.restores);
             tracer.metrics.add("dirty_pages_copied", ss.pages_copied);
+            tracer.metrics.add("snapshot_bytes_copied", ss.bytes_copied);
+            if m.bus.device_mut::<cheriot_soc::NetLoopback>().is_some() {
+                let dropped = cheriot_soc::net_rx_dropped(&mut m);
+                tracer.metrics.add("net_rx_dropped", u64::from(dropped));
+            }
             for (id, name) in m.bus.device_names() {
                 tracer.metrics.set_device_name(id, name);
             }

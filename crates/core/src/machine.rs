@@ -229,6 +229,12 @@ pub struct SnapshotStats {
     /// Restores that fell off the lineage fast path and copied the whole
     /// bank.
     pub full_restores: u64,
+    /// Host bytes actually moved by restores: copied SRAM pages plus the
+    /// always-copied console backlog and, when the code region changed,
+    /// the decoded code. This is the observable fork cost in bytes — a
+    /// fleet forking N devices off one warm snapshot should see roughly
+    /// `N * dirty_boot_pages * PAGE_SIZE`, not `N * Snapshot::bytes()`.
+    pub bytes_copied: u64,
 }
 
 /// A point-in-time capture of a machine's full architectural state: CPU,
@@ -317,6 +323,17 @@ impl Snapshot {
     /// Cycle count at capture time.
     pub fn cycles(&self) -> u64 {
         self.cycles
+    }
+
+    /// Approximate resident size of this snapshot in host bytes: the SRAM
+    /// bank (data + tags + dirty bookkeeping are dominated by the data
+    /// bytes, counted here), the console backlog, and the decoded code
+    /// region. The Arc-shared predecoded block table is deliberately
+    /// excluded — forks share it, so it costs nothing per instance.
+    pub fn bytes(&self) -> u64 {
+        u64::from(self.sram.size())
+            + self.console.len() as u64
+            + (self.code.len() * std::mem::size_of::<Instr>()) as u64
     }
 }
 
@@ -675,17 +692,23 @@ impl Machine {
         self.gpio_writes = snap.gpio_writes;
         self.bus = snap.bus.clone();
         self.stats = snap.stats;
-        if self.code_content != snap.code_content {
+        let code_copied = if self.code_content != snap.code_content {
             self.code.clone_from(&snap.code);
             self.blocks = snap.blocks.clone();
             self.code_content = snap.code_content;
-        }
+            (snap.code.len() * std::mem::size_of::<Instr>()) as u64
+        } else {
+            0
+        };
         self.halted = snap.halted;
         self.pending_use = snap.pending_use;
         self.wd_limit = snap.wd_limit;
         self.last_trap = snap.last_trap;
         self.snap_stats.restores += 1;
         self.snap_stats.pages_copied += u64::from(copied);
+        self.snap_stats.bytes_copied += u64::from(copied) * u64::from(crate::mem::PAGE_SIZE)
+            + snap.console.len() as u64
+            + code_copied;
         if copied > pages {
             self.snap_stats.full_restores += 1;
         }

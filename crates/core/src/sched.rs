@@ -124,6 +124,109 @@ mod tests {
     }
 
     #[test]
+    fn one_slow_item_does_not_serialize_the_pool() {
+        // Long-tailed durations: item 0 sleeps while 999 cheap items
+        // remain. With static striding the slow worker would still own a
+        // quarter of the list; with stealing its siblings drain the rest,
+        // so the slow worker finishes only a small handful.
+        let next_id = AtomicUsize::new(0);
+        let counts: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        let out = work_steal_with(
+            1000,
+            4,
+            || next_id.fetch_add(1, Ordering::Relaxed),
+            |worker, i| {
+                counts[*worker].fetch_add(1, Ordering::Relaxed);
+                if i == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+                *worker
+            },
+        );
+        assert_eq!(out.len(), 1000);
+        let slow_worker = out[0];
+        let slow_count = counts[slow_worker].load(Ordering::Relaxed);
+        let total: u64 = counts.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        assert_eq!(total, 1000, "every item claimed exactly once");
+        assert!(
+            slow_count < 250,
+            "slow worker hoarded {slow_count} of 1000 items — pool serialized behind it"
+        );
+    }
+
+    #[test]
+    fn worker_scratch_is_reused_across_a_thousand_items() {
+        // Scratch init must run at most once per worker even across >=1k
+        // items: the farm keeps a frame buffer (and the fault campaign a
+        // whole machine) in scratch, so re-init per item would wreck the
+        // point of the pool.
+        let inits = AtomicU64::new(0);
+        let out = work_steal_with(
+            1500,
+            3,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |seen, _| {
+                *seen += 1;
+                *seen
+            },
+        );
+        assert_eq!(out.len(), 1500);
+        let spawned = inits.load(Ordering::Relaxed);
+        assert!(
+            (1..=3).contains(&spawned),
+            "init ran {spawned} times for 3 workers"
+        );
+        // Each item observes its worker's running item count, so the
+        // values are a union of ranges 1..=k_w (one per worker) summing
+        // to 1500. Ranges are prefix-closed: value v+1 can never appear
+        // more often than v, and value 1 appears once per active worker.
+        let mut freq = std::collections::BTreeMap::new();
+        for &v in &out {
+            assert!((1..=1500).contains(&v));
+            *freq.entry(v).or_insert(0u64) += 1;
+        }
+        let ones = freq[&1];
+        assert!(
+            ones <= spawned,
+            "{ones} workers started counting but only {spawned} scratches were initialised"
+        );
+        for (&v, &n) in &freq {
+            let next = freq.get(&(v + 1)).copied().unwrap_or(0);
+            assert!(
+                next <= n,
+                "count({}) = {next} > count({v}) = {n}: scratch state was not threaded",
+                v + 1
+            );
+        }
+    }
+
+    #[test]
+    fn panic_in_the_straggler_tail_propagates() {
+        // The panic fires late (after a sleep) in the last item, while
+        // sibling workers have already drained and parked: the join loop
+        // must still surface it.
+        let r = std::panic::catch_unwind(|| {
+            work_steal_with(
+                64,
+                4,
+                || 0u64,
+                |state, i| {
+                    *state += 1;
+                    if i == 63 {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        panic!("tail boom");
+                    }
+                    i
+                },
+            )
+        });
+        assert!(r.is_err(), "late straggler panic was swallowed");
+    }
+
+    #[test]
     fn worker_panic_propagates() {
         let r = std::panic::catch_unwind(|| {
             work_steal(8, 2, |i| {

@@ -288,6 +288,139 @@ fn three_way_dispatch_equivalence_across_sliced_budgets() {
     }
 }
 
+/// `timer_machine` whose interrupt handler additionally emits a console
+/// byte per delivery, so the console stream records IRQ boundaries.
+fn console_timer_machine((block_cache, block_chain): (bool, bool)) -> Machine {
+    let mut m = machine();
+    m.cfg.block_cache = block_cache;
+    m.cfg.block_chain = block_chain;
+    let handler = vec![
+        Instr::OpImm {
+            op: AluOp::Add,
+            rd: Reg::A1,
+            rs1: Reg::A1,
+            imm: 1,
+        },
+        Instr::Store {
+            width: MemWidth::B,
+            rs2: Reg::A1,
+            rs1: Reg::A4,
+            offset: 0,
+        },
+        Instr::Load {
+            width: MemWidth::W,
+            signed: false,
+            rd: Reg::A3,
+            rs1: Reg::A2,
+            offset: 8,
+        },
+        Instr::OpImm {
+            op: AluOp::Add,
+            rd: Reg::A3,
+            rs1: Reg::A3,
+            imm: 173,
+        },
+        Instr::Store {
+            width: MemWidth::W,
+            rs2: Reg::A3,
+            rs1: Reg::A2,
+            offset: 8,
+        },
+        Instr::Mret,
+    ];
+    let h = m.load_program(&handler);
+    let spin = vec![
+        Instr::OpImm {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 1,
+        },
+        Instr::Jal {
+            rd: Reg::ZERO,
+            offset: -4,
+        },
+    ];
+    let e = m.load_program(&spin);
+    m.set_entry(e);
+    m.cpu.mtcc = m.boot_pcc(h);
+    m.cpu.write(
+        Reg::A2,
+        Capability::root_mem_rw().with_address(layout::TIMER_BASE),
+    );
+    m.cpu.write(
+        Reg::A4,
+        Capability::root_mem_rw().with_address(layout::CONSOLE_BASE),
+    );
+    m.cpu.interrupts_enabled = true;
+    m.mtimecmp = 97;
+    m
+}
+
+#[test]
+fn quantum_sliced_execution_is_byte_identical_to_unsliced() {
+    // The farm scheduler runs every instance as K slices of a fixed
+    // budget B. That schedule must be invisible: cycles, retirement
+    // stats, trap state, interrupt delivery points (recorded in the
+    // console stream by the handler), registers, and trace events must
+    // be byte-identical to one unsliced run of K*B — in all three
+    // dispatch modes.
+    use cheriot_core::trace::Tracer;
+    const K: u64 = 16;
+    const B: u64 = 1_250;
+    for mode in [(false, false), (true, false), (true, true)] {
+        let mut whole = console_timer_machine(mode);
+        let mut sliced = console_timer_machine(mode);
+        whole.set_tracer(Tracer::timeline());
+        sliced.set_tracer(Tracer::timeline());
+
+        assert_eq!(whole.run(K * B), ExitReason::CycleLimit, "mode {mode:?}");
+        // A slice may overshoot its budget by a partial instruction, so
+        // (as the farm's quantum accounting does) each slice budget is
+        // capped by the distance to the common target.
+        while sliced.cycles < whole.cycles {
+            let budget = (whole.cycles - sliced.cycles).min(B);
+            assert_eq!(sliced.run(budget), ExitReason::CycleLimit, "mode {mode:?}");
+        }
+
+        assert!(
+            whole.stats.interrupts > 10,
+            "mode {mode:?}: test must actually deliver interrupts (got {})",
+            whole.stats.interrupts
+        );
+        assert!(
+            !whole.console.is_empty(),
+            "mode {mode:?}: handler must emit console bytes"
+        );
+        assert_eq!(whole.cycles, sliced.cycles, "mode {mode:?}: cycles");
+        assert_eq!(whole.stats, sliced.stats, "mode {mode:?}: stats");
+        assert_eq!(whole.cpu.pc(), sliced.cpu.pc(), "mode {mode:?}: PC");
+        assert_eq!(
+            whole.last_trap(),
+            sliced.last_trap(),
+            "mode {mode:?}: trap state"
+        );
+        assert_eq!(
+            whole.mtimecmp, sliced.mtimecmp,
+            "mode {mode:?}: timer state"
+        );
+        assert_eq!(whole.console, sliced.console, "mode {mode:?}: console");
+        for i in 0..16u8 {
+            let r = Reg(i);
+            assert_eq!(
+                whole.cpu.read(r),
+                sliced.cpu.read(r),
+                "mode {mode:?}: register c{i}"
+            );
+        }
+        assert_eq!(
+            whole.tracer().unwrap().events(),
+            sliced.tracer().unwrap().events(),
+            "mode {mode:?}: trace event streams"
+        );
+    }
+}
+
 #[test]
 fn batched_run_resumes_across_cycle_limit_slices() {
     // Slicing the budget must not change behavior: many small run() calls

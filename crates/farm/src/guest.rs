@@ -1,0 +1,330 @@
+//! The farm's guest firmware: a bare-metal MQTT-like node driver.
+//!
+//! The program boots once per *image* (not per instance): it builds its
+//! TX/RX descriptor rings, programs the NIC, raises `MB_STATE`, and
+//! parks in a spin loop waiting for the host to assign a device id
+//! through the mailbox — that parked state is the warm snapshot every
+//! instance forks from. After the id lands the node CONNECTs,
+//! SUBSCRIBEs to topic `id % topics`, and enters the service loop:
+//! bump a heartbeat, PUBLISH to topic `(id + 1) % topics` every
+//! [`PUBLISH_PERIOD`] iterations (unless the host raised the quiesce
+//! flag), drain the RX ring, PUBACK every PUBLISH received, and count
+//! PUBACKs coming back for its own messages.
+//!
+//! All host↔guest coordination goes through the SRAM mailbox below —
+//! the host reads/writes it with `Machine::dma_read`/`dma_write`
+//! *between* run slices, so the bus determinism contract holds and a
+//! run is reproducible from the slice schedule alone. The counters the
+//! guest keeps registers-resident are flushed to the mailbox inside the
+//! loop (`sw` to mailbox words), so a quantum boundary can land on any
+//! instruction without losing accounting.
+
+use crate::protocol::{FRAME_LEN, KIND_CONNECT, KIND_PUBACK, KIND_PUBLISH, KIND_SUBSCRIBE};
+use cheriot_asm::Asm;
+use cheriot_core::insn::{Instr, Reg};
+use cheriot_core::machine::layout;
+
+/// Where the farm attaches the instance NIC on the device bus.
+pub const NET_BASE: u32 = 0x8600_0000;
+/// IRQ line the NIC gets (unused by the polled guest, but wired).
+pub const NET_IRQ: u32 = 3;
+
+/// Mailbox base in guest SRAM.
+pub const MB_BASE: u32 = layout::SRAM_BASE + 0x100;
+/// Host → guest: device id + 1 (0 = not yet assigned; the +1 lets the
+/// guest park on "nonzero" while ids stay 0-based).
+pub const MB_ID: u32 = MB_BASE;
+/// Guest → host: service-loop iterations.
+pub const MB_HEARTBEAT: u32 = MB_BASE + 0x4;
+/// Guest → host: PUBLISH frames received.
+pub const MB_RX_PUB: u32 = MB_BASE + 0x8;
+/// Guest → host: PUBLISH frames sent (doubles as the next msg_id).
+pub const MB_TX_PUB: u32 = MB_BASE + 0xc;
+/// Guest → host: PUBACK frames received for this node's messages.
+pub const MB_RX_ACK: u32 = MB_BASE + 0x10;
+/// Guest → host: 1 once rings are programmed (the snapshot gate).
+pub const MB_STATE: u32 = MB_BASE + 0x14;
+/// Host → guest: nonzero = stop publishing (drain mode).
+pub const MB_QUIESCE: u32 = MB_BASE + 0x18;
+/// Mailbox size in bytes (7 words).
+pub const MB_LEN: usize = 0x1c;
+
+/// TX descriptor ring: [`TX_RING`] descriptors.
+pub const TX_DESC: u32 = layout::SRAM_BASE + 0x200;
+/// RX descriptor ring: [`RX_RING`] descriptors.
+pub const RX_DESC: u32 = layout::SRAM_BASE + 0x300;
+/// TX frame buffers, 64 bytes apart.
+pub const TX_BUF: u32 = layout::SRAM_BASE + 0x400;
+/// RX frame buffers, 64 bytes apart.
+pub const RX_BUF: u32 = layout::SRAM_BASE + 0x600;
+/// TX ring depth (power of two).
+pub const TX_RING: u32 = 4;
+/// RX ring depth (power of two).
+pub const RX_RING: u32 = 8;
+
+/// The node publishes every this-many service-loop iterations (power of
+/// two; the guest tests `heartbeat & (PUBLISH_PERIOD - 1)`, and the
+/// mask must fit `andi`'s 12-bit immediate). The service loop retires
+/// an iteration every ~20 cycles, so a 20k-cycle quantum yields about
+/// one publish per device per round — with ~4 subscribers per topic
+/// that keeps per-device RX arrivals (publishes in + acks back) a
+/// comfortable 4× under the ring's per-round drain rate
+/// (`RX_RING × RX_FLUSHES_PER_QUANTUM` = 32 frames).
+pub const PUBLISH_PERIOD: u32 = 1024;
+
+const DESC_SIZE: u32 = 16;
+
+/// Register plan (the program never calls or takes traps, so every
+/// architectural register is ours):
+///
+/// | reg  | role |
+/// |------|------|
+/// | `t0` | boot memory root capability (preserved) |
+/// | `s0` | NIC MMIO window |
+/// | `s1` | mailbox |
+/// | `ra` | TX descriptor ring |
+/// | `sp` | TX buffers |
+/// | `tp` | RX descriptor ring |
+/// | `a5` | RX buffers |
+/// | `t1` | device id |
+/// | `t2` | RX ring index |
+/// | `gp` | TX ring index |
+/// | `a0`–`a4` | scratch |
+const _REGISTER_PLAN: () = ();
+
+/// Emits `csetaddr rd, ct0, #addr` (pointer derivation from the boot
+/// root). Clobbers `a1`.
+fn point(a: &mut Asm, rd: Reg, addr: u32) {
+    a.li(Reg::A1, addr as i32);
+    a.csetaddr(rd, Reg::T0, Reg::A1);
+}
+
+/// Emits one frame transmission: `fill` writes the four frame words
+/// through the TX-buffer capability in `a4` (scratch `a2`/`a3` free),
+/// then the descriptor for the current `gp` slot is built, OWN'd, and
+/// the NIC kicked (TX completes synchronously inside the kick, so the
+/// 4-deep ring never wedges). Clobbers `a1`–`a4`.
+fn emit_tx(a: &mut Asm, fill: impl FnOnce(&mut Asm)) {
+    a.slli(Reg::A1, Reg::GP, 6);
+    a.cincaddr(Reg::A4, Reg::SP, Reg::A1);
+    fill(a);
+    // Descriptor: buf = TX_BUF + gp*64, len = FRAME_LEN, status = 0,
+    // then OWN last and kick.
+    a.slli(Reg::A1, Reg::GP, 4);
+    a.cincaddr(Reg::A3, Reg::RA, Reg::A1);
+    a.slli(Reg::A1, Reg::GP, 6);
+    a.li(Reg::A2, TX_BUF as i32);
+    a.add(Reg::A2, Reg::A2, Reg::A1);
+    a.sw(Reg::A2, 0x4, Reg::A3);
+    a.li(Reg::A2, FRAME_LEN as i32);
+    a.sw(Reg::A2, 0x8, Reg::A3);
+    a.sw(Reg::ZERO, 0xc, Reg::A3);
+    a.li(Reg::A2, 1);
+    a.sw(Reg::A2, 0x0, Reg::A3);
+    a.sw(Reg::A2, 0x10, Reg::S0);
+    a.addi(Reg::GP, Reg::GP, 1);
+    a.andi(Reg::GP, Reg::GP, (TX_RING - 1) as i32);
+}
+
+/// The node firmware for a fleet partitioned into `topics` topics.
+pub fn farm_node_program(topics: u32) -> Vec<Instr> {
+    assert!(topics >= 1, "need at least one topic");
+    let mut a = Asm::new();
+
+    // --- boot: derive capabilities ---------------------------------------
+    point(&mut a, Reg::S0, NET_BASE);
+    point(&mut a, Reg::S1, MB_BASE);
+    point(&mut a, Reg::RA, TX_DESC);
+    point(&mut a, Reg::SP, TX_BUF);
+    point(&mut a, Reg::TP, RX_DESC);
+    point(&mut a, Reg::A5, RX_BUF);
+
+    // RX descriptors: OWN, buf = RX_BUF + i*64, len = status = 0.
+    a.li(Reg::A2, 1);
+    for i in 0..RX_RING {
+        let off = (i * DESC_SIZE) as i32;
+        a.sw(Reg::A2, off, Reg::TP);
+        a.li(Reg::A3, (RX_BUF + i * 64) as i32);
+        a.sw(Reg::A3, off + 4, Reg::TP);
+        a.sw(Reg::ZERO, off + 8, Reg::TP);
+        a.sw(Reg::ZERO, off + 12, Reg::TP);
+    }
+    // TX descriptors start software-owned (flags = 0); emit_tx fills them.
+    for i in 0..TX_RING {
+        let off = (i * DESC_SIZE) as i32;
+        a.sw(Reg::ZERO, off, Reg::RA);
+        a.sw(Reg::ZERO, off + 12, Reg::RA);
+    }
+    // Program the NIC rings.
+    a.li(Reg::A2, TX_DESC as i32);
+    a.sw(Reg::A2, 0x0, Reg::S0);
+    a.li(Reg::A2, TX_RING as i32);
+    a.sw(Reg::A2, 0x4, Reg::S0);
+    a.li(Reg::A2, RX_DESC as i32);
+    a.sw(Reg::A2, 0x8, Reg::S0);
+    a.li(Reg::A2, RX_RING as i32);
+    a.sw(Reg::A2, 0xc, Reg::S0);
+    // Ring indices live in registers from here on.
+    a.li(Reg::T2, 0);
+    a.li(Reg::GP, 0);
+    // Rings ready: gate the warm snapshot.
+    a.li(Reg::A2, 1);
+    a.sw(Reg::A2, (MB_STATE - MB_BASE) as i32, Reg::S1);
+
+    // --- park: wait for the host to assign an id (the snapshot point) ----
+    let wait = a.label();
+    a.bind(wait);
+    a.lw(Reg::A2, (MB_ID - MB_BASE) as i32, Reg::S1);
+    a.beqz(Reg::A2, wait);
+    a.addi(Reg::T1, Reg::A2, -1);
+
+    // --- session setup: CONNECT, then SUBSCRIBE to id % topics -----------
+    emit_tx(&mut a, |a| {
+        a.li(Reg::A2, KIND_CONNECT as i32);
+        a.sw(Reg::A2, 0x0, Reg::A4);
+        a.sw(Reg::ZERO, 0x4, Reg::A4);
+        a.sw(Reg::ZERO, 0x8, Reg::A4);
+        a.sw(Reg::T1, 0xc, Reg::A4);
+    });
+    emit_tx(&mut a, |a| {
+        a.li(Reg::A2, KIND_SUBSCRIBE as i32);
+        a.sw(Reg::A2, 0x0, Reg::A4);
+        a.li(Reg::A2, topics as i32);
+        a.remu(Reg::A3, Reg::T1, Reg::A2);
+        a.sw(Reg::A3, 0x4, Reg::A4);
+        a.sw(Reg::ZERO, 0x8, Reg::A4);
+        a.sw(Reg::T1, 0xc, Reg::A4);
+    });
+
+    // --- service loop -----------------------------------------------------
+    let main_loop = a.label();
+    let no_pub = a.label();
+    let rx_scan = a.label();
+    let rx_done = a.label();
+    let got_pub = a.label();
+    let got_ack = a.label();
+    let recycle = a.label();
+
+    a.bind(main_loop);
+    // Heartbeat (registers-resident in a2 only briefly: flushed at once
+    // so quantum boundaries cannot lose it).
+    a.lw(Reg::A2, (MB_HEARTBEAT - MB_BASE) as i32, Reg::S1);
+    a.addi(Reg::A2, Reg::A2, 1);
+    a.sw(Reg::A2, (MB_HEARTBEAT - MB_BASE) as i32, Reg::S1);
+    // Publish every PUBLISH_PERIOD iterations, unless quiesced.
+    a.lw(Reg::A3, (MB_QUIESCE - MB_BASE) as i32, Reg::S1);
+    a.bnez(Reg::A3, no_pub);
+    a.andi(Reg::A3, Reg::A2, (PUBLISH_PERIOD - 1) as i32);
+    a.bnez(Reg::A3, no_pub);
+    emit_tx(&mut a, |a| {
+        a.li(Reg::A2, KIND_PUBLISH as i32);
+        a.sw(Reg::A2, 0x0, Reg::A4);
+        // topic = (id + 1) % topics: publish to a neighbour partition so
+        // traffic crosses instances.
+        a.li(Reg::A2, topics as i32);
+        a.addi(Reg::A3, Reg::T1, 1);
+        a.remu(Reg::A3, Reg::A3, Reg::A2);
+        a.sw(Reg::A3, 0x4, Reg::A4);
+        // msg_id = tx_pub counter; bump it in the mailbox.
+        a.lw(Reg::A2, (MB_TX_PUB - MB_BASE) as i32, Reg::S1);
+        a.sw(Reg::A2, 0x8, Reg::A4);
+        a.addi(Reg::A2, Reg::A2, 1);
+        a.sw(Reg::A2, (MB_TX_PUB - MB_BASE) as i32, Reg::S1);
+        a.sw(Reg::T1, 0xc, Reg::A4);
+    });
+    a.bind(no_pub);
+
+    // Drain the RX ring: a slot holds a frame iff software owns it
+    // (OWN clear) and the NIC marked it done.
+    a.bind(rx_scan);
+    a.slli(Reg::A1, Reg::T2, 4);
+    a.cincaddr(Reg::A3, Reg::TP, Reg::A1);
+    a.lw(Reg::A2, 0x0, Reg::A3);
+    a.andi(Reg::A2, Reg::A2, 1);
+    a.bnez(Reg::A2, rx_done);
+    a.lw(Reg::A2, 0xc, Reg::A3);
+    a.andi(Reg::A2, Reg::A2, 1);
+    a.beqz(Reg::A2, rx_done);
+    a.slli(Reg::A1, Reg::T2, 6);
+    a.cincaddr(Reg::A0, Reg::A5, Reg::A1);
+    a.lw(Reg::A2, 0x0, Reg::A0);
+    a.li(Reg::A4, KIND_PUBLISH as i32);
+    a.beq(Reg::A2, Reg::A4, got_pub);
+    a.li(Reg::A4, KIND_PUBACK as i32);
+    a.beq(Reg::A2, Reg::A4, got_ack);
+    a.j(recycle); // CONNACK/SUBACK: counted by the broker, not the node.
+
+    a.bind(got_pub);
+    a.lw(Reg::A2, (MB_RX_PUB - MB_BASE) as i32, Reg::S1);
+    a.addi(Reg::A2, Reg::A2, 1);
+    a.sw(Reg::A2, (MB_RX_PUB - MB_BASE) as i32, Reg::S1);
+    // PUBACK: echo topic/msg_id/src so the fabric can route it back to
+    // the original publisher.
+    emit_tx(&mut a, |a| {
+        a.li(Reg::A2, KIND_PUBACK as i32);
+        a.sw(Reg::A2, 0x0, Reg::A4);
+        a.lw(Reg::A2, 0x4, Reg::A0);
+        a.sw(Reg::A2, 0x4, Reg::A4);
+        a.lw(Reg::A2, 0x8, Reg::A0);
+        a.sw(Reg::A2, 0x8, Reg::A4);
+        a.lw(Reg::A2, 0xc, Reg::A0);
+        a.sw(Reg::A2, 0xc, Reg::A4);
+    });
+    a.j(recycle);
+
+    a.bind(got_ack);
+    a.lw(Reg::A2, (MB_RX_ACK - MB_BASE) as i32, Reg::S1);
+    a.addi(Reg::A2, Reg::A2, 1);
+    a.sw(Reg::A2, (MB_RX_ACK - MB_BASE) as i32, Reg::S1);
+
+    // Return the slot to the NIC and advance.
+    a.bind(recycle);
+    a.slli(Reg::A1, Reg::T2, 4);
+    a.cincaddr(Reg::A3, Reg::TP, Reg::A1);
+    a.sw(Reg::ZERO, 0xc, Reg::A3);
+    a.li(Reg::A2, 1);
+    a.sw(Reg::A2, 0x0, Reg::A3);
+    a.addi(Reg::T2, Reg::T2, 1);
+    a.andi(Reg::T2, Reg::T2, (RX_RING - 1) as i32);
+    a.j(rx_scan);
+
+    a.bind(rx_done);
+    a.j(main_loop);
+
+    a.assemble()
+}
+
+/// The guest-visible mailbox, decoded from a host-side `dma_read`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Mailbox {
+    /// Device id + 1 (0 = unassigned).
+    pub id_plus_one: u32,
+    /// Service-loop iterations.
+    pub heartbeat: u32,
+    /// PUBLISH frames received.
+    pub rx_pub: u32,
+    /// PUBLISH frames sent.
+    pub tx_pub: u32,
+    /// PUBACK frames received.
+    pub rx_ack: u32,
+    /// 1 once the rings are programmed.
+    pub state: u32,
+    /// Drain mode flag.
+    pub quiesce: u32,
+}
+
+impl Mailbox {
+    /// Decode from the raw [`MB_LEN`] mailbox bytes.
+    pub fn parse(bytes: &[u8; MB_LEN]) -> Mailbox {
+        let word = |i: usize| u32::from_le_bytes(bytes[i..i + 4].try_into().expect("4 bytes"));
+        Mailbox {
+            id_plus_one: word(0),
+            heartbeat: word(4),
+            rx_pub: word(8),
+            tx_pub: word(12),
+            rx_ack: word(16),
+            state: word(20),
+            quiesce: word(24),
+        }
+    }
+}

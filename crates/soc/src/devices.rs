@@ -292,13 +292,28 @@ impl MmioDevice for DmaEngine {
 /// | `+0x14` | FRAMES     | frames delivered, cumulative (RO) |
 /// | `+0x18` | EV_PENDING | bit0: RX delivery event, W1C |
 /// | `+0x1c` | EV_ENABLE  | bit0: route RX delivery to the IRQ line |
+/// | `+0x20` | RX_DROPPED | frames dropped for lack of an RX descriptor or queue space (RO) |
 ///
 /// Processing walks the TX ring from the last position: each OWN'd
 /// descriptor's frame is copied through [`Machine::dma_read`] /
 /// [`Machine::dma_write`] into the next OWN'd RX descriptor's buffer,
 /// statuses are written back, and OWN is returned to software on both
 /// sides. A frame with no free RX descriptor, an oversized length, or a
-/// faulting buffer gets an error status and is dropped.
+/// faulting buffer gets an error status and is *dropped with a counter*:
+/// the `RX_DROPPED` register (and the `net_rx_dropped` metric derived
+/// from it) make backpressure loss observable instead of silent.
+///
+/// ## Peer mode
+///
+/// With [`NetLoopback::set_peer`] the wire stops being a mirror:
+/// transmitted frames are collected host-side ([`NetLoopback::take_tx`])
+/// and frames from elsewhere are queued with
+/// [`NetLoopback::push_host_rx`], then delivered into the guest RX ring
+/// by [`NetLoopback::flush_host_rx`] between run slices. The host queue
+/// exerts backpressure: delivery stops at the first software-owned RX
+/// descriptor and the remaining frames stay queued (bounded by
+/// [`NET_HOST_QUEUE`]; overflow drops-with-counter). This is the hook the
+/// farm's `NetFabric` hub uses to route frames across device instances.
 #[derive(Clone, Debug, Default)]
 pub struct NetLoopback {
     tx_base: u32,
@@ -310,7 +325,18 @@ pub struct NetLoopback {
     frames: u32,
     ev_pending: bool,
     ev_enable: bool,
+    rx_dropped: u32,
+    /// Peer mode: TX frames go to `peer_out` instead of the local RX ring.
+    peer: bool,
+    /// Host-side mailbox of transmitted frames (peer mode only).
+    peer_out: Vec<Vec<u8>>,
+    /// Host-side queue of inbound frames awaiting RX descriptors.
+    host_in: std::collections::VecDeque<Vec<u8>>,
 }
+
+/// Bound on the host-side inbound frame queue per interface; pushes past
+/// this drop-with-counter (`RX_DROPPED`).
+pub const NET_HOST_QUEUE: usize = 256;
 
 /// One descriptor, decoded from its 16 SRAM bytes.
 struct Desc {
@@ -397,16 +423,93 @@ impl NetLoopback {
                 let _ = NetLoopback::retire_desc(m, addr, &d, d.len, 0b10);
                 continue;
             }
-            let status = match self.deliver(m, &frame) {
-                Ok(true) => {
-                    self.frames = self.frames.wrapping_add(1);
-                    self.ev_pending = true;
-                    0b01
+            let status = if self.peer {
+                // Peer mode: hand the frame to the host fabric. TX always
+                // succeeds — congestion shows up at the receiver's ring.
+                self.peer_out.push(frame);
+                self.frames = self.frames.wrapping_add(1);
+                0b01
+            } else {
+                match self.deliver(m, &frame) {
+                    Ok(true) => {
+                        self.frames = self.frames.wrapping_add(1);
+                        self.ev_pending = true;
+                        0b01
+                    }
+                    Ok(false) => {
+                        // RX ring full: drop with a counter, never silently.
+                        self.rx_dropped = self.rx_dropped.wrapping_add(1);
+                        0b10
+                    }
+                    Err(_) => 0b10,
                 }
-                _ => 0b10,
             };
             let _ = NetLoopback::retire_desc(m, addr, &d, d.len, status);
         }
+    }
+
+    /// Switches between mirror loopback (`false`, the default) and peer
+    /// mode (`true`), where the host routes frames (see type docs).
+    pub fn set_peer(&mut self, on: bool) {
+        self.peer = on;
+    }
+
+    /// Frames dropped for lack of an RX descriptor (loopback mode) or
+    /// host queue space (peer mode). Mirrors the `RX_DROPPED` register.
+    pub fn rx_dropped(&self) -> u32 {
+        self.rx_dropped
+    }
+
+    /// Takes all frames transmitted since the last call (peer mode).
+    pub fn take_tx(&mut self) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.peer_out)
+    }
+
+    /// Queues an inbound frame for delivery into the guest RX ring at the
+    /// next [`NetLoopback::flush_host_rx`]. Returns `false` (and counts
+    /// the drop) when the queue is full or the frame is oversized.
+    pub fn push_host_rx(&mut self, frame: Vec<u8>) -> bool {
+        if frame.len() > NET_MAX_FRAME as usize || self.host_in.len() >= NET_HOST_QUEUE {
+            self.rx_dropped = self.rx_dropped.wrapping_add(1);
+            return false;
+        }
+        self.host_in.push_back(frame);
+        true
+    }
+
+    /// Inbound frames still queued host-side (not yet in the RX ring).
+    pub fn host_rx_pending(&self) -> usize {
+        self.host_in.len()
+    }
+
+    /// Delivers queued inbound frames into the guest RX ring, stopping at
+    /// the first software-owned descriptor (backpressure: the rest stay
+    /// queued). Returns the number delivered. The caller must hold the
+    /// device *outside* the machine's bus (the same detach protocol MMIO
+    /// dispatch uses) — see `cheriot_soc::net_flush_rx` for the safe
+    /// wrapper.
+    pub fn flush_host_rx(&mut self, m: &mut Machine) -> u32 {
+        let mut delivered = 0;
+        while let Some(frame) = self.host_in.pop_front() {
+            match self.deliver(m, &frame) {
+                Ok(true) => {
+                    self.ev_pending = true;
+                    delivered += 1;
+                }
+                Ok(false) => {
+                    // No free descriptor: keep the frame for the next
+                    // flush rather than dropping mid-queue.
+                    self.host_in.push_front(frame);
+                    break;
+                }
+                Err(_) => {
+                    // Misprogrammed ring (descriptor outside SRAM): the
+                    // frame cannot land; count it and keep draining.
+                    self.rx_dropped = self.rx_dropped.wrapping_add(1);
+                }
+            }
+        }
+        delivered
     }
 }
 
@@ -424,6 +527,7 @@ impl MmioDevice for NetLoopback {
             0x14 => self.frames,
             0x18 => u32::from(self.ev_pending),
             0x1c => u32::from(self.ev_enable),
+            0x20 => self.rx_dropped,
             _ => 0,
         })
     }

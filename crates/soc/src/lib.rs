@@ -27,6 +27,12 @@
 
 pub mod devices;
 pub mod manifest;
+pub mod net_host;
 
-pub use devices::{DmaEngine, LiteTimer, NetLoopback, DMA_MAX_LEN, NET_DESC_SIZE, NET_MAX_FRAME};
+pub use devices::{
+    DmaEngine, LiteTimer, NetLoopback, DMA_MAX_LEN, NET_DESC_SIZE, NET_HOST_QUEUE, NET_MAX_FRAME,
+};
 pub use manifest::{DeviceSpec, MachineSpec, ManifestError};
+pub use net_host::{
+    net_flush_rx, net_host_rx_pending, net_push_rx, net_rx_dropped, net_set_peer, net_take_tx,
+};

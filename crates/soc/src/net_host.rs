@@ -1,0 +1,80 @@
+//! Host-side access to a machine's [`NetLoopback`] interface.
+//!
+//! The farm's network fabric lives outside the guest: between run slices
+//! it collects transmitted frames from one instance and queues them at
+//! another. The device sits *inside* `machine.bus`, and delivering into
+//! the RX ring needs `&mut Machine` for DMA — so these helpers use the
+//! same bus-detach protocol the CPU's MMIO dispatch uses
+//! (`std::mem::take` the bus, operate, re-attach, re-sample IRQ levels).
+//! Everything here mutates device state only between run slices, which
+//! keeps the bus determinism contract intact: a sliced run with fabric
+//! activity at slice boundaries is still reproducible from the slice
+//! schedule alone.
+
+use crate::devices::NetLoopback;
+use cheriot_core::machine::Machine;
+
+/// Puts the first network interface on `m`'s bus into peer mode (or back
+/// to mirror loopback). Returns `false` when the machine has no NIC.
+pub fn net_set_peer(m: &mut Machine, on: bool) -> bool {
+    match m.bus.device_mut::<NetLoopback>() {
+        Some(net) => {
+            net.set_peer(on);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Takes all frames the guest transmitted since the last call (peer
+/// mode). Empty when the machine has no NIC or nothing was sent.
+pub fn net_take_tx(m: &mut Machine) -> Vec<Vec<u8>> {
+    m.bus
+        .device_mut::<NetLoopback>()
+        .map(NetLoopback::take_tx)
+        .unwrap_or_default()
+}
+
+/// Queues an inbound frame on the NIC's host-side RX queue. Returns
+/// `false` if it was dropped (no NIC, oversized, or queue full — the
+/// device counts the drop in `RX_DROPPED`).
+pub fn net_push_rx(m: &mut Machine, frame: Vec<u8>) -> bool {
+    m.bus
+        .device_mut::<NetLoopback>()
+        .map(|net| net.push_host_rx(frame))
+        .unwrap_or(false)
+}
+
+/// Delivers queued inbound frames into the guest RX ring (stopping at
+/// the first software-owned descriptor), then re-samples device IRQ
+/// levels so an enabled RX event reaches the interrupt controller before
+/// the next run slice. Returns the number of frames delivered.
+pub fn net_flush_rx(m: &mut Machine) -> u32 {
+    // Detach the bus so the device can DMA through &mut Machine — the
+    // exact protocol `Machine::device_read`/`device_write` use.
+    let mut bus = std::mem::take(&mut m.bus);
+    let delivered = bus
+        .device_mut::<NetLoopback>()
+        .map(|net| net.flush_host_rx(m))
+        .unwrap_or(0);
+    m.bus = bus;
+    m.poll_device_irqs();
+    delivered
+}
+
+/// Frames dropped by the NIC so far (RX ring full, queue overflow, or
+/// undeliverable). Zero when the machine has no NIC.
+pub fn net_rx_dropped(m: &mut Machine) -> u32 {
+    m.bus
+        .device_mut::<NetLoopback>()
+        .map(|net| net.rx_dropped())
+        .unwrap_or(0)
+}
+
+/// Inbound frames still waiting host-side for RX descriptors.
+pub fn net_host_rx_pending(m: &mut Machine) -> usize {
+    m.bus
+        .device_mut::<NetLoopback>()
+        .map(|net| net.host_rx_pending())
+        .unwrap_or(0)
+}

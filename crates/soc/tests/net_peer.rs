@@ -1,0 +1,166 @@
+//! NetLoopback peer-mode and backpressure tests: the host-side frame
+//! hook the farm fabric routes through, and the drop-with-counter
+//! contract (`RX_DROPPED`) replacing silent discard on ring overflow.
+
+use cheriot_core::{layout, CoreModel, Machine, MachineConfig};
+use cheriot_soc::{
+    net_flush_rx, net_host_rx_pending, net_push_rx, net_rx_dropped, net_set_peer, net_take_tx,
+    NetLoopback, NET_HOST_QUEUE, NET_MAX_FRAME,
+};
+
+const NET: u32 = 0x8800_0000;
+const TX_DESC: u32 = layout::SRAM_BASE + 0x1000;
+const TX_BUF: u32 = layout::SRAM_BASE + 0x1100;
+const RX_DESC: u32 = layout::SRAM_BASE + 0x1200;
+const RX_BUF: u32 = layout::SRAM_BASE + 0x1300;
+
+fn machine_with_nic() -> Machine {
+    let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+    m.bus
+        .attach(NET, Some(3), Box::new(NetLoopback::new()))
+        .unwrap();
+    m
+}
+
+fn write_desc(m: &mut Machine, addr: u32, own: bool, buf: u32, len: u32) {
+    let mut raw = [0u8; 16];
+    raw[0..4].copy_from_slice(&u32::from(own).to_le_bytes());
+    raw[4..8].copy_from_slice(&buf.to_le_bytes());
+    raw[8..12].copy_from_slice(&len.to_le_bytes());
+    m.dma_write(addr, &raw).unwrap();
+}
+
+fn desc_status(m: &mut Machine, addr: u32) -> u32 {
+    m.bus_read(addr + 0xc, 4).unwrap()
+}
+
+/// Programs TX ring (2 descriptors) and RX ring (`rx_descs` hardware-owned
+/// descriptors out of 2) through the NIC registers.
+fn program_rings(m: &mut Machine, rx_owned: u32) {
+    m.bus_write(NET, 4, TX_DESC).unwrap();
+    m.bus_write(NET + 0x04, 4, 2).unwrap();
+    m.bus_write(NET + 0x08, 4, RX_DESC).unwrap();
+    m.bus_write(NET + 0x0c, 4, 2).unwrap();
+    for slot in 0..2 {
+        write_desc(
+            m,
+            RX_DESC + slot * 16,
+            slot < rx_owned,
+            RX_BUF + slot * 64,
+            0,
+        );
+    }
+}
+
+fn queue_tx(m: &mut Machine, slot: u32, payload: &[u8]) {
+    let buf = TX_BUF + slot * 64;
+    m.dma_write(buf, payload).unwrap();
+    write_desc(m, TX_DESC + slot * 16, true, buf, payload.len() as u32);
+}
+
+#[test]
+fn loopback_rx_overflow_drops_with_counter() {
+    let mut m = machine_with_nic();
+    program_rings(&mut m, 1); // one free RX descriptor, two TX frames
+    queue_tx(&mut m, 0, b"first");
+    queue_tx(&mut m, 1, b"second");
+    m.bus_write(NET + 0x10, 4, 1).unwrap(); // kick
+
+    // First frame landed; second had no RX descriptor: error status on
+    // its TX descriptor, counted — never silently discarded.
+    assert_eq!(m.bus_read(NET + 0x14, 4).unwrap(), 1, "frames delivered");
+    assert_eq!(desc_status(&mut m, TX_DESC), 0b01);
+    assert_eq!(desc_status(&mut m, TX_DESC + 16), 0b10);
+    assert_eq!(m.bus_read(NET + 0x20, 4).unwrap(), 1, "RX_DROPPED register");
+    assert_eq!(net_rx_dropped(&mut m), 1);
+    let mut got = [0u8; 5];
+    m.dma_read(RX_BUF, &mut got).unwrap();
+    assert_eq!(&got, b"first");
+}
+
+#[test]
+fn peer_mode_routes_tx_to_host_and_host_rx_to_guest() {
+    let mut m = machine_with_nic();
+    assert!(net_set_peer(&mut m, true));
+    program_rings(&mut m, 2);
+    queue_tx(&mut m, 0, b"outbound");
+    m.bus_write(NET + 0x10, 4, 1).unwrap();
+
+    // TX went to the host mailbox, not the local RX ring.
+    let tx = net_take_tx(&mut m);
+    assert_eq!(tx, vec![b"outbound".to_vec()]);
+    assert!(net_take_tx(&mut m).is_empty(), "mailbox is drained");
+    assert_eq!(desc_status(&mut m, TX_DESC), 0b01, "TX always succeeds");
+    assert_eq!(
+        desc_status(&mut m, RX_DESC),
+        0,
+        "peer TX must not touch the RX ring"
+    );
+
+    // Host-side frame flows the other way, raising the RX event.
+    m.bus_write(NET + 0x1c, 4, 1).unwrap(); // EV_ENABLE
+    assert!(net_push_rx(&mut m, b"inbound".to_vec()));
+    assert_eq!(net_flush_rx(&mut m), 1);
+    assert_eq!(desc_status(&mut m, RX_DESC), 0b01);
+    assert_eq!(m.bus_read(NET + 0x18, 4).unwrap(), 1, "EV_PENDING");
+    let mut got = [0u8; 7];
+    m.dma_read(RX_BUF, &mut got).unwrap();
+    assert_eq!(&got, b"inbound");
+    assert_eq!(net_rx_dropped(&mut m), 0);
+}
+
+#[test]
+fn host_rx_backpressure_keeps_frames_queued_until_descriptors_return() {
+    let mut m = machine_with_nic();
+    assert!(net_set_peer(&mut m, true));
+    program_rings(&mut m, 1); // a single hardware-owned RX descriptor
+    for i in 0..3u8 {
+        assert!(net_push_rx(&mut m, vec![i; 8]));
+    }
+
+    // Only one descriptor: one frame lands, two wait host-side. Nothing
+    // is dropped — backpressure, not loss.
+    assert_eq!(net_flush_rx(&mut m), 1);
+    assert_eq!(net_host_rx_pending(&mut m), 2);
+    assert_eq!(net_rx_dropped(&mut m), 0);
+
+    // The guest returns both descriptors; the queue drains in order.
+    write_desc(&mut m, RX_DESC, true, RX_BUF, 0);
+    write_desc(&mut m, RX_DESC + 16, true, RX_BUF + 64, 0);
+    assert_eq!(net_flush_rx(&mut m), 2);
+    assert_eq!(net_host_rx_pending(&mut m), 0);
+    let mut got = [0u8; 8];
+    m.dma_read(RX_BUF + 64, &mut got).unwrap();
+    assert_eq!(got, [1u8; 8], "frames stay in arrival order");
+}
+
+#[test]
+fn host_queue_overflow_and_oversized_frames_drop_with_counter() {
+    let mut m = machine_with_nic();
+    assert!(net_set_peer(&mut m, true));
+    program_rings(&mut m, 0); // no descriptors: everything queues
+
+    for _ in 0..NET_HOST_QUEUE {
+        assert!(net_push_rx(&mut m, vec![0u8; 4]));
+    }
+    assert!(!net_push_rx(&mut m, vec![0u8; 4]), "queue is bounded");
+    assert_eq!(net_rx_dropped(&mut m), 1);
+    assert!(
+        !net_push_rx(&mut m, vec![0u8; NET_MAX_FRAME as usize + 1]),
+        "oversized frames never queue"
+    );
+    assert_eq!(net_rx_dropped(&mut m), 2);
+    assert_eq!(net_host_rx_pending(&mut m), NET_HOST_QUEUE);
+    assert_eq!(m.bus_read(NET + 0x20, 4).unwrap(), 2);
+}
+
+#[test]
+fn helpers_are_noops_without_a_nic() {
+    let mut m = Machine::new(MachineConfig::new(CoreModel::ibex()));
+    assert!(!net_set_peer(&mut m, true));
+    assert!(net_take_tx(&mut m).is_empty());
+    assert!(!net_push_rx(&mut m, b"x".to_vec()));
+    assert_eq!(net_flush_rx(&mut m), 0);
+    assert_eq!(net_rx_dropped(&mut m), 0);
+    assert_eq!(net_host_rx_pending(&mut m), 0);
+}

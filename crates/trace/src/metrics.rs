@@ -78,6 +78,18 @@ impl Histogram {
         }
     }
 
+    /// Folds another histogram into this one: bucket-wise counts add,
+    /// sums saturate, the max is the max of both. Used when aggregating
+    /// per-worker registries across a fleet.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
     /// Non-empty buckets as `(lower_bound, count)` pairs, ascending.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.buckets
@@ -278,6 +290,61 @@ impl MetricsRegistry {
     /// up to `now` (the machine's final cycle counter).
     pub fn settle(&mut self, now: u64) {
         self.charge(now);
+    }
+
+    /// Charge `cycles` directly to a compartment, bypassing the span
+    /// state machine. Host-side schedulers (the device farm) use this to
+    /// attribute whole run quanta they classified themselves — per-event
+    /// tracing on thousands of instances would cost more than the
+    /// simulation — while still aggregating into the same per-compartment
+    /// table the span-derived attribution feeds.
+    pub fn charge_compartment(&mut self, comp: u32, cycles: u64) {
+        *self.comp_cycles.entry(comp).or_insert(0) += cycles;
+    }
+
+    /// Charge `cycles` directly to a thread (see
+    /// [`MetricsRegistry::charge_compartment`]).
+    pub fn charge_thread(&mut self, thread: u32, cycles: u64) {
+        *self.thread_cycles.entry(thread).or_insert(0) += cycles;
+    }
+
+    /// Folds a settled registry into this one: counters, histograms,
+    /// instruction counts, device activity, and attributed cycle tables
+    /// add; display names fill gaps (existing names win). The in-flight
+    /// span state machine (`threads`, `current_thread`, `last_ts`) is
+    /// deliberately *not* merged — call [`MetricsRegistry::settle`] on
+    /// `other` first so everything observable has landed in the tables.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name).or_default().merge(h);
+        }
+        self.instr_retired += other.instr_retired;
+        for (id, cyc) in &other.comp_cycles {
+            *self.comp_cycles.entry(*id).or_insert(0) += cyc;
+        }
+        for (id, cyc) in &other.thread_cycles {
+            *self.thread_cycles.entry(*id).or_insert(0) += cyc;
+        }
+        for (id, a) in &other.devices {
+            let d = self.devices.entry(*id).or_default();
+            d.reads += a.reads;
+            d.writes += a.writes;
+            d.dma_bytes += a.dma_bytes;
+            d.irqs += a.irqs;
+        }
+        for (id, name) in &other.comp_names {
+            self.comp_names.entry(*id).or_insert_with(|| name.clone());
+        }
+        for (id, name) in &other.thread_names {
+            self.thread_names.entry(*id).or_insert_with(|| name.clone());
+        }
+        for (id, name) in &other.device_names {
+            self.device_names.entry(*id).or_insert_with(|| name.clone());
+        }
+        self.unattributed += other.unattributed;
     }
 
     /// Observe one emitted event: bump counters, feed histograms, and
@@ -490,6 +557,53 @@ mod tests {
         assert_eq!(m.unattributed_cycles(), 10); // 0..10 pre-schedule
         assert_eq!(m.thread_cycles(), vec![(0, 190)]);
         assert_eq!(m.attributed_cycles() + m.unattributed_cycles(), 200);
+    }
+
+    #[test]
+    fn direct_charge_and_merge_aggregate_across_registries() {
+        let mut fleet = MetricsRegistry::new();
+        fleet.set_comp_name(1, "net");
+        fleet.charge_compartment(1, 100);
+        fleet.charge_thread(0, 100);
+
+        let mut worker = MetricsRegistry::new();
+        worker.set_comp_name(1, "netstack"); // loses: fleet named it first
+        worker.set_comp_name(2, "mqtt");
+        worker.charge_compartment(1, 50);
+        worker.charge_compartment(2, 25);
+        worker.add("frames_routed", 7);
+        worker.observe("quantum_cycles", 4096);
+        worker.observe_event(&ev(1, EventKind::Malloc { base: 0, size: 32 }));
+
+        fleet.merge(&worker);
+        let comp: BTreeMap<u32, u64> = fleet.compartment_cycles().into_iter().collect();
+        assert_eq!(comp[&1], 150);
+        assert_eq!(comp[&2], 25);
+        assert_eq!(fleet.comp_name(1), "net");
+        assert_eq!(fleet.comp_name(2), "mqtt");
+        assert_eq!(fleet.counter("frames_routed"), 7);
+        assert_eq!(fleet.counter("malloc"), 1);
+        assert_eq!(fleet.histogram("quantum_cycles").unwrap().count(), 1);
+        assert_eq!(fleet.attributed_cycles(), 175);
+
+        // Merging twice doubles — merge is additive, not idempotent.
+        fleet.merge(&worker);
+        assert_eq!(fleet.counter("frames_routed"), 14);
+    }
+
+    #[test]
+    fn histogram_merge_is_bucketwise() {
+        let mut a = Histogram::default();
+        a.record(1);
+        a.record(1024);
+        let mut b = Histogram::default();
+        b.record(1);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.max(), 1024);
+        assert_eq!(a.sum(), 1 + 1024 + 1 + 3);
+        assert_eq!(a.nonzero_buckets(), vec![(1, 2), (2, 1), (1024, 1)]);
     }
 
     #[test]

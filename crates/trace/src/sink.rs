@@ -10,7 +10,11 @@ use std::collections::VecDeque;
 use std::io::Write;
 
 /// Destination for recorded trace events.
-pub trait TraceSink: std::fmt::Debug {
+///
+/// Sinks must be `Send`: a `Machine` (which owns its tracer) migrates
+/// between pool workers when a fleet is scheduled in quanta, so every
+/// sink travels with it.
+pub trait TraceSink: std::fmt::Debug + Send {
     /// Record one event.
     fn record(&mut self, ev: TraceEvent);
 
@@ -131,7 +135,7 @@ impl TraceSink for VecSink {
 /// — typically a [`std::fs::File`] via [`FileSink::create`]. Nothing is
 /// buffered for export; use this for runs too long to hold in memory.
 pub struct FileSink {
-    writer: Box<dyn Write>,
+    writer: Box<dyn Write + Send>,
     recorded: u64,
 }
 
@@ -152,7 +156,7 @@ impl FileSink {
     }
 
     /// Stream CSV rows to an arbitrary writer.
-    pub fn from_writer(mut writer: Box<dyn Write>) -> std::io::Result<FileSink> {
+    pub fn from_writer(mut writer: Box<dyn Write + Send>) -> std::io::Result<FileSink> {
         writeln!(writer, "cycles,event,args")?;
         Ok(FileSink {
             writer,

@@ -16,6 +16,9 @@
 //!   shrinking (DESIGN.md §15),
 //! * [`soc`] — manifest-driven SoC platform: MMIO devices (UART, timer,
 //!   DMA, network loopback) on the device bus (DESIGN.md §14),
+//! * [`farm`] — the fleet-scale device farm: thousands of instances
+//!   forked from one warm snapshot, quantum-scheduled under live
+//!   cross-instance pub/sub traffic (DESIGN.md §16),
 //! * [`hwmodel`] — the Table 2 area/power composition model,
 //! * [`workloads`] — the evaluation workloads (§7.2),
 //! * [`trace`] — structured tracing, metrics, and profiling for the
@@ -39,6 +42,7 @@ pub use cheriot_asm as asm;
 pub use cheriot_cap as cap;
 pub use cheriot_core as core;
 pub use cheriot_diff as diff;
+pub use cheriot_farm as farm;
 pub use cheriot_fault as fault;
 pub use cheriot_hwmodel as hwmodel;
 pub use cheriot_rtos as rtos;
