@@ -11,6 +11,13 @@
 //!   routing.
 //! * `farm_messages_per_s` — end-to-end acknowledged pub/sub messages
 //!   per host CPU second.
+//! * `farm_fork_bytes_per_device` — host bytes copied to fork one more
+//!   device off the shared boot image (CoW page-handle adoptions, not
+//!   deep copies). Lower is better; guarded with a *ceiling* so a CoW
+//!   regression back towards deep-copy forks fails the check.
+//! * `farm_fork_reduction_x` — the same fleet's deep-copy (`--no-cow`)
+//!   fork cost divided by the CoW cost; the fleet-density headroom the
+//!   page store buys. Floor-guarded.
 //!
 //! Both are committed to the repo-root `BENCH_simperf.json` trajectory
 //! file (upserted — the MIPS keys belong to `sim_throughput`) and a
@@ -35,6 +42,12 @@ use std::time::Instant;
 /// its throughput tracks host memory pressure as well as frequency
 /// scaling.
 const FARM_NOISE_BAND: f64 = 0.40;
+
+/// Band for the fork-cost keys. Tight: both sides of the ratio are
+/// deterministic byte counts from the snapshot engine's own accounting
+/// (same config ⇒ same value), not timings — any drift is a real change
+/// to what a fork copies.
+const FORK_COST_BAND: f64 = 0.10;
 
 /// On-CPU seconds consumed by this process (see `sim_throughput` for
 /// why: wall clock folds other tenants of a shared host into the
@@ -86,6 +99,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut best_dps = 0.0f64;
     let mut best_mps = 0.0f64;
+    let mut last_report = None;
     for trial in 0..trials {
         let t0 = cpu_now(epoch);
         let report = run_farm(&cfg).expect("farm run");
@@ -119,8 +133,44 @@ fn main() {
         ]);
         best_dps = best_dps.max(dps);
         best_mps = best_mps.max(mps);
+        last_report = Some(report);
     }
     println!("\nbest: {best_dps:.2} devices/core ({best_mps:.1} msgs/s) over {trials} trials");
+
+    // Fork-cost model: re-run the identical fleet with the CoW page
+    // store disabled, so every fork deep-copies the boot image. The two
+    // byte counts come from the snapshot engine's own accounting and are
+    // deterministic — no timing involved.
+    let cow_report = last_report.expect("at least one trial ran");
+    let nocow_cfg = FarmConfig { cow: false, ..cfg };
+    let nocow_report = run_farm(&nocow_cfg).expect("no-cow farm run");
+    assert!(
+        nocow_report.passed(),
+        "no-cow fleet failed its acceptance check"
+    );
+    let fork_cow = cow_report.fork_bytes_per_device();
+    let fork_nocow = nocow_report.fork_bytes_per_device();
+    let fork_reduction = fork_nocow / fork_cow.max(1.0);
+    println!(
+        "fork cost: {fork_cow:.1} bytes/device (CoW) vs {fork_nocow:.1} (deep copy) \
+         -> {fork_reduction:.1}x reduction"
+    );
+    println!(
+        "fleet memory: {} unique bytes resident (CoW) vs {} (deep copy), \
+         {} pages still shared, {} CoW breaks, host RSS {} MiB",
+        cow_report.fleet_unique_bytes,
+        nocow_report.fleet_unique_bytes,
+        cow_report.cow_shared_pages,
+        cow_report.cow_breaks,
+        cow_report.host_rss_bytes / (1 << 20),
+    );
+    if fork_reduction < 10.0 {
+        eprintln!(
+            "farm_throughput: CoW fork cost must be >=10x below deep copy \
+             (measured {fork_reduction:.1}x)"
+        );
+        std::process::exit(1);
+    }
 
     let headers = [
         "trial",
@@ -159,6 +209,49 @@ fn main() {
         };
         check("farm_devices_per_core", best_dps);
         check("farm_messages_per_s", best_mps);
+        // Fork-cost keys: bytes-per-fork is guarded with a *ceiling*
+        // (lower is better), the reduction ratio with a floor; both use
+        // the tight deterministic band.
+        match json_number(&text, "farm_fork_bytes_per_device") {
+            None => println!(
+                "baseline check {:<22} no baseline key, skipped",
+                "farm_fork_bytes_per_device"
+            ),
+            Some(base) => {
+                let ceiling = base * (1.0 + FORK_COST_BAND);
+                let verdict = if fork_cow > ceiling {
+                    failed = true;
+                    "REGRESSION"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "baseline check {:<22} measured {fork_cow:>9.2}  baseline {base:>9.2}  \
+                     ceiling {ceiling:>9.2}  {verdict}",
+                    "farm_fork_bytes_per_device"
+                );
+            }
+        }
+        match json_number(&text, "farm_fork_reduction_x") {
+            None => println!(
+                "baseline check {:<22} no baseline key, skipped",
+                "farm_fork_reduction_x"
+            ),
+            Some(base) => {
+                let floor = base * (1.0 - FORK_COST_BAND);
+                let verdict = if base > 0.0 && fork_reduction < floor {
+                    failed = true;
+                    "REGRESSION"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "baseline check {:<22} measured {fork_reduction:>9.2}  baseline {base:>9.2}  \
+                     floor {floor:>9.2}  {verdict}",
+                    "farm_fork_reduction_x"
+                );
+            }
+        }
         if failed {
             eprintln!(
                 "farm_throughput: regressed vs BENCH_simperf.json (band {:.0}%)",
@@ -172,6 +265,8 @@ fn main() {
     let entries = [
         ("farm_devices_per_core", format!("{best_dps:.2}")),
         ("farm_messages_per_s", format!("{best_mps:.1}")),
+        ("farm_fork_bytes_per_device", format!("{fork_cow:.1}")),
+        ("farm_fork_reduction_x", format!("{fork_reduction:.1}")),
     ];
     match upsert_baseline(std::path::Path::new("BENCH_simperf.json"), &entries) {
         Ok(line) => println!("wrote BENCH_simperf.json: {}", line.trim()),

@@ -15,8 +15,8 @@
 //! "mips_ibex_chain": .., "mips_flute_chain": .., "speedup_ibex": ..,
 //! "speedup_flute": .., "speedup_chain_ibex": .., "speedup_chain_flute":
 //! .., "campaign_seeds_per_s": .., "campaign_speedup": ..,
-//! "wall_s_all_results": ..}`) so future changes have a perf baseline to
-//! beat. Key semantics are stable across the chaining change: `mips_*`
+//! "campaign_restore_bytes_per_seed": .., "wall_s_all_results": ..}`) so
+//! future changes have a perf baseline to beat. Key semantics are stable across the chaining change: `mips_*`
 //! still means cache-on-chain-off, `mips_*_nocache` stepwise, and the
 //! new `mips_*_chain` keys are the chained path (the default execution
 //! path). `speedup_*` is cached-over-stepwise; `speedup_chain_*` is
@@ -112,6 +112,13 @@ const CAMPAIGN_SEEDS_NOISE_BAND: f64 = 0.50;
 /// engine itself is `campaign_seeds_per_s`; this bar only catches the
 /// snapshot path losing its advantage outright.
 const CAMPAIGN_SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Band for `campaign_restore_bytes_per_seed`, guarded with a *ceiling*
+/// (lower is better). Tight: the value is the snapshot engine's own
+/// deterministic byte accounting for a fixed seed range — CoW page
+/// adoptions plus dirty-page copies — so any drift is a real change to
+/// what a per-seed restore moves, not noise.
+const RESTORE_BYTES_BAND: f64 = 0.10;
 
 /// On-CPU seconds this process has consumed, from the first field of
 /// Linux's `/proc/self/schedstat` (nanosecond resolution, excludes time
@@ -252,9 +259,10 @@ fn main() {
     cheriot_fault::run_campaigns(&camp_cfg(true)); // warm-up
     let mut snap_best = f64::INFINITY;
     let mut camp_ratios = Vec::with_capacity(camp_trials);
+    let mut restore_bytes = 0u64;
     for _ in 0..camp_trials {
         let t0 = cpu_now(epoch);
-        cheriot_fault::run_campaigns(&camp_cfg(true));
+        restore_bytes = cheriot_fault::run_campaigns(&camp_cfg(true)).snapshot_bytes_copied;
         let w_snap = cpu_now(epoch) - t0;
         let t0 = cpu_now(epoch);
         cheriot_fault::run_campaigns(&camp_cfg(false));
@@ -268,10 +276,12 @@ fn main() {
     camp_ratios.sort_by(|a, b| a.total_cmp(b));
     let campaign_speedup = camp_ratios[camp_trials / 2];
     let campaign_seeds_per_s = f64::from(camp_count) / snap_best;
+    let restore_bytes_per_seed = restore_bytes as f64 / f64::from(camp_count);
     println!(
         "fault-campaign: {campaign_seeds_per_s:.1} seeds/cpu-s (snapshot engine, \
          {camp_count} seeds, best of {camp_trials}); {campaign_speedup:.2}x over \
-         per-seed reboot (median of back-to-back trials)\n"
+         per-seed reboot (median of back-to-back trials); \
+         {restore_bytes_per_seed:.0} restore bytes/seed\n"
     );
 
     let wall_all = if quick {
@@ -340,6 +350,29 @@ fn main() {
             campaign_seeds_per_s,
             CAMPAIGN_SEEDS_NOISE_BAND,
         );
+        // Restore-bytes is a deterministic byte count with a *ceiling*:
+        // more bytes moved per seed means the O(dirty) restore (or the
+        // CoW adoption path) got worse.
+        match json_number(&text, "campaign_restore_bytes_per_seed") {
+            None => println!(
+                "baseline check {:<20} no baseline key, skipped",
+                "campaign_restore_bytes_per_seed"
+            ),
+            Some(base) => {
+                let ceiling = base * (1.0 + RESTORE_BYTES_BAND);
+                let verdict = if restore_bytes_per_seed > ceiling {
+                    failed = true;
+                    "REGRESSION"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "baseline check {:<20} measured {restore_bytes_per_seed:>8.2}  \
+                     baseline {base:>8.2}  ceiling {ceiling:>8.2}  {verdict}",
+                    "campaign_restore_bytes_per_seed"
+                );
+            }
+        }
         {
             let verdict = if campaign_speedup < CAMPAIGN_SPEEDUP_FLOOR {
                 failed = true;
@@ -414,6 +447,10 @@ fn main() {
         ("speedup_chain_flute", format!("{speedup_chain_flute:.2}")),
         ("campaign_seeds_per_s", format!("{campaign_seeds_per_s:.2}")),
         ("campaign_speedup", format!("{campaign_speedup:.2}")),
+        (
+            "campaign_restore_bytes_per_seed",
+            format!("{restore_bytes_per_seed:.1}"),
+        ),
         ("wall_s_all_results", format!("{wall_all:.3}")),
     ];
     match upsert_baseline(std::path::Path::new("BENCH_simperf.json"), &entries) {

@@ -96,6 +96,7 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--no-load-filter" => opts.load_filter = false,
             "--no-block-cache" => opts.block_cache = false,
             "--no-block-chain" => opts.block_chain = false,
+            "--no-cow" => opts.cow = false,
             "--trace" => opts.trace_depth = uint(f, value(f, &mut it)?)?,
             "--max-cycles" => opts.max_cycles = uint(f, value(f, &mut it)?)?,
             "--watchdog" => opts.watchdog = Some(uint(f, value(f, &mut it)?)?),
@@ -156,6 +157,7 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignArgs, String> {
                 cfg.classes = classes;
             }
             "--no-snapshot" => cfg.use_snapshot = false,
+            "--no-cow" => cfg.cow = false,
             "--json" => json_out = Some(PathBuf::from(value(f, &mut it)?)),
             "--out" => text_out = Some(PathBuf::from(value(f, &mut it)?)),
             other => return Err(format!("unknown flag `{other}` for `fault-campaign`")),
@@ -221,6 +223,7 @@ pub fn parse_farm_args(args: &[String]) -> Result<FarmArgs, String> {
             }
             "--no-block-cache" => cfg.dispatch = (false, false),
             "--no-block-chain" => cfg.dispatch.1 = false,
+            "--no-cow" => cfg.cow = false,
             "--json" => json_out = Some(PathBuf::from(value(f, &mut it)?)),
             "--metrics" => metrics = true,
             other => return Err(format!("unknown flag `{other}` for `farm`")),
@@ -388,6 +391,23 @@ mod tests {
     fn no_snapshot_selects_the_reboot_path() {
         let a = parse_campaign_args(&v(&["--count", "2", "--no-snapshot"])).unwrap();
         assert!(!a.cfg.use_snapshot);
+    }
+
+    #[test]
+    fn cow_on_by_default_and_disableable_everywhere() {
+        let a = parse_run_args(&v(&["p.s"])).unwrap();
+        assert!(a.opts.cow, "run: CoW page store is the default");
+        let a = parse_run_args(&v(&["p.s", "--no-cow"])).unwrap();
+        assert!(!a.opts.cow);
+        let a = parse_campaign_args(&v(&["--count", "2"])).unwrap();
+        assert!(a.cfg.cow, "fault-campaign: CoW is the default");
+        let a = parse_campaign_args(&v(&["--count", "2", "--no-cow"])).unwrap();
+        assert!(!a.cfg.cow);
+        assert!(a.cfg.use_snapshot, "--no-cow keeps the snapshot engine");
+        let a = parse_farm_args(&v(&["--devices", "4"])).unwrap();
+        assert!(a.cfg.cow, "farm: CoW is the default");
+        let a = parse_farm_args(&v(&["--devices", "4", "--no-cow"])).unwrap();
+        assert!(!a.cfg.cow);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! ```text
 //! cheriot-sim run  prog.s [--core ibex|flute] [--machine soc.toml]
 //!                          [--no-load-filter]
-//!                          [--no-block-cache] [--no-block-chain]
+//!                          [--no-block-cache] [--no-block-chain] [--no-cow]
 //!                          [--trace N] [--max-cycles N]
 //!                          [--watchdog N] [--dump-regs] [--heap]
 //!                          [--trace-out out.json] [--metrics] [--binary]
@@ -13,14 +13,14 @@
 //! cheriot-sim fault-campaign [--seed-base N] [--count K] [--threads T]
 //!                            [--kinds tag,bounds,bitmap,...] [--faults N]
 //!                            [--cadence N] [--max-cycles N] [--no-snapshot]
-//!                            [--json out.json] [--out out.txt]
+//!                            [--no-cow] [--json out.json] [--out out.txt]
 //! cheriot-sim diff-fuzz [--seed-base N] [--count K] [--threads T]
 //!                       [--profile full|binary] [--budget-cycles N]
 //!                       [--json out.json] [--repro-dir results]
 //! cheriot-sim farm [--devices N] [--threads T] [--rounds N] [--quantum N]
 //!                  [--settle-rounds N] [--seed N] [--topics N]
 //!                  [--host-rate N] [--sram BYTES] [--core ibex|flute]
-//!                  [--no-block-cache] [--no-block-chain]
+//!                  [--no-block-cache] [--no-block-chain] [--no-cow]
 //!                  [--json out.json] [--metrics]
 //! ```
 //!
@@ -35,20 +35,20 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   cheriot-sim run <prog.s> [--core ibex|flute] [--machine <soc.toml>] \
-[--no-load-filter] [--no-block-cache] [--no-block-chain] [--trace N] \
+[--no-load-filter] [--no-block-cache] [--no-block-chain] [--no-cow] [--trace N] \
 [--max-cycles N] [--watchdog N] [--dump-regs] [--heap] \
 [--trace-out <out.json>] [--metrics] [--binary]
   cheriot-sim asm <prog.s> -o <out.bin>
   cheriot-sim disasm <prog.bin>
   cheriot-sim fault-campaign [--seed-base N] [--count K] [--threads T] \
 [--kinds <k1,k2,...>] [--faults N] [--cadence N] [--max-cycles N] \
-[--no-snapshot] [--json <out.json>] [--out <out.txt>]
+[--no-snapshot] [--no-cow] [--json <out.json>] [--out <out.txt>]
   cheriot-sim diff-fuzz [--seed-base N] [--count K] [--threads T] \
 [--profile full|binary] [--budget-cycles N] [--json <out.json>] \
 [--repro-dir <dir>]
   cheriot-sim farm [--devices N] [--threads T] [--rounds N] [--quantum N] \
 [--settle-rounds N] [--seed N] [--topics N] [--host-rate N] [--sram BYTES] \
-[--core ibex|flute] [--no-block-cache] [--no-block-chain] \
+[--core ibex|flute] [--no-block-cache] [--no-block-chain] [--no-cow] \
 [--json <out.json>] [--metrics]";
 
 fn usage() -> ExitCode {

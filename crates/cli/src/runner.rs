@@ -83,6 +83,10 @@ pub struct RunOptions {
     pub trace_out: Option<std::path::PathBuf>,
     /// Append the metrics summary table to the report.
     pub metrics: bool,
+    /// Copy-on-write page store for SRAM (architecturally invisible;
+    /// `--no-cow` keeps pages uniquely owned and deep-copies on
+    /// snapshot/fork — the pre-CoW cost model).
+    pub cow: bool,
     /// Abort with [`ExitReason::Watchdog`] if any single `run` slice
     /// retires this many instructions without exiting.
     pub watchdog: Option<u64>,
@@ -106,6 +110,7 @@ impl Default for RunOptions {
             heap: false,
             trace_out: None,
             metrics: false,
+            cow: true,
             watchdog: None,
             machine: None,
         }
@@ -174,6 +179,11 @@ fn run_instructions(
     m.cfg.load_filter = opts.load_filter;
     m.cfg.block_cache = opts.block_cache;
     m.cfg.block_chain = opts.block_chain;
+    if !opts.cow {
+        // The machine (default or manifest-built) exists by now, so the
+        // mode switch goes through set_cow, which also updates cfg.cow.
+        m.set_cow(false);
+    }
     if opts.trace_out.is_some() || opts.metrics {
         // One tracer serves all three outputs; buffer instruction retires
         // only when the post-run instruction trace also needs them.
@@ -248,6 +258,12 @@ fn run_instructions(
             tracer.metrics.add("snapshot_restores", ss.restores);
             tracer.metrics.add("dirty_pages_copied", ss.pages_copied);
             tracer.metrics.add("snapshot_bytes_copied", ss.bytes_copied);
+            let cs = m.sram.cow_stats();
+            tracer.metrics.add("cow_breaks", cs.breaks);
+            tracer.metrics.add("cow_bytes_copied", cs.bytes_copied);
+            tracer
+                .metrics
+                .add("cow_shared_pages", u64::from(m.sram.shared_pages()));
             if m.bus.device_mut::<cheriot_soc::NetLoopback>().is_some() {
                 let dropped = cheriot_soc::net_rx_dropped(&mut m);
                 tracer.metrics.add("net_rx_dropped", u64::from(dropped));

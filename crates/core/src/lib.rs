@@ -63,6 +63,7 @@ pub use error::{state_dump, SimError};
 pub use machine::{
     layout, ExitReason, Machine, MachineConfig, Snapshot, SnapshotStats, Stats, TraceEntry,
 };
+pub use mem::CowStats;
 pub use meter::Meter;
 pub use pipeline::{CoreKind, CoreModel};
 pub use trap::TrapCause;

@@ -82,6 +82,12 @@ pub struct MachineConfig {
     /// PR-4 one-block-per-dispatch loop (CLI `--no-block-chain`). Only
     /// meaningful when `block_cache` is on.
     pub block_chain: bool,
+    /// Copy-on-write page store enabled ([`crate::mem::Sram`])? When
+    /// false (CLI `--no-cow`) SRAM pages are kept uniquely owned and
+    /// every snapshot capture/restore/fork deep-copies bytes — the
+    /// pre-CoW cost model, kept as an escape hatch and comparison
+    /// baseline. Architecturally invisible either way.
+    pub cow: bool,
 }
 
 impl MachineConfig {
@@ -102,6 +108,7 @@ impl MachineConfig {
             cheri_enabled: true,
             block_cache: true,
             block_chain: true,
+            cow: true,
         }
     }
 
@@ -186,7 +193,11 @@ pub struct Machine {
     pub bus: DeviceBus,
     /// Execution statistics.
     pub stats: Stats,
-    code: Vec<Instr>,
+    /// The decoded code region, `Arc`-shared with snapshots and forks
+    /// (immutable while shared — [`Machine::try_load_program`] and
+    /// [`Machine::patch_code`] unshare via `Arc::make_mut`, the code
+    /// region's CoW break).
+    code: Arc<Vec<Instr>>,
     /// Content-identity stamp of `code`: refreshed on every mutation
     /// (append, patch), zero only while the code region is empty. Two
     /// machines/snapshots with equal stamps hold identical code, letting
@@ -229,11 +240,15 @@ pub struct SnapshotStats {
     /// Restores that fell off the lineage fast path and copied the whole
     /// bank.
     pub full_restores: u64,
-    /// Host bytes actually moved by restores: copied SRAM pages plus the
-    /// always-copied console backlog and, when the code region changed,
-    /// the decoded code. This is the observable fork cost in bytes — a
-    /// fleet forking N devices off one warm snapshot should see roughly
-    /// `N * dirty_boot_pages * PAGE_SIZE`, not `N * Snapshot::bytes()`.
+    /// Host bytes actually moved by restores: SRAM page transfers
+    /// (honestly costed — a deep page copy charges data *and* tag-bitmap
+    /// bytes, [`crate::mem::PAGE_COPY_BYTES`]; under CoW an adopted page
+    /// is a handle clone charged at [`crate::mem::PAGE_HANDLE_BYTES`])
+    /// plus the always-copied console backlog and, when the code region
+    /// changed, the adopted code handle. This is the observable fork
+    /// cost in bytes — a fleet forking N devices off one warm snapshot
+    /// should see O(N · pages) pointer-sized adoptions under CoW, not
+    /// `N * Snapshot::bytes()`.
     pub bytes_copied: u64,
 }
 
@@ -262,7 +277,7 @@ pub struct Snapshot {
     gpio_writes: u64,
     bus: DeviceBus,
     stats: Stats,
-    code: Vec<Instr>,
+    code: Arc<Vec<Instr>>,
     code_content: u64,
     blocks: BlockCache,
     halted: Option<ExitReason>,
@@ -301,7 +316,7 @@ impl Snapshot {
             gpio_writes: 0,
             bus: DeviceBus::default(),
             stats: Stats::default(),
-            code: Vec::new(),
+            code: Arc::default(),
             code_content: 0,
             blocks: BlockCache::default(),
             halted: None,
@@ -389,10 +404,14 @@ impl Machine {
         let heap_base = cfg.heap_base();
         let heap_end = cfg.heap_end();
         assert!(heap_end <= layout::SRAM_BASE + cfg.sram_size);
+        let mut sram = Sram::new(layout::SRAM_BASE, cfg.sram_size);
+        if !cfg.cow {
+            sram.set_cow(false);
+        }
         Machine {
             cfg,
             cpu: Cpu::at_reset(),
-            sram: Sram::new(layout::SRAM_BASE, cfg.sram_size),
+            sram,
             bitmap: RevocationBitmap::new(heap_base, heap_end),
             revoker: BackgroundRevoker::new(cfg.revoker),
             cycles: 0,
@@ -402,7 +421,7 @@ impl Machine {
             gpio_writes: 0,
             bus: DeviceBus::with_defaults(),
             stats: Stats::default(),
-            code: Vec::new(),
+            code: Arc::default(),
             code_content: 0,
             blocks: BlockCache::default(),
             block_trace: false,
@@ -512,7 +531,9 @@ impl Machine {
             });
         }
         let start = layout::CODE_BASE + 4 * self.code.len() as u32;
-        self.code.extend_from_slice(instrs);
+        // The load is the code region's CoW break: unshare from any
+        // snapshot/fork still holding the old handle, then append.
+        Arc::make_mut(&mut self.code).extend_from_slice(instrs);
         if !instrs.is_empty() {
             self.code_content = crate::mem::fresh_content_id();
             // Blocks truncated at the old end of code must re-extend over
@@ -570,7 +591,9 @@ impl Machine {
                 addr,
                 code_end: self.code_end(),
             })?;
-        let old = core::mem::replace(&mut self.code[idx], instr);
+        // The patch is a CoW break for the shared code region: siblings
+        // forked from the same snapshot keep the unpatched instructions.
+        let old = core::mem::replace(&mut Arc::make_mut(&mut self.code)[idx], instr);
         self.code_content = crate::mem::fresh_content_id();
         let dropped = self.blocks.invalidate_covering(addr) as u32;
         if self.block_trace {
@@ -631,9 +654,11 @@ impl Machine {
     ///
     /// SRAM moves through the dirty-page engine: when `snap` already holds
     /// this machine's last-stamped SRAM content, only pages written since
-    /// that stamp are copied — O(dirty). The code region and (Arc-shared)
-    /// predecoded block table are only cloned when the code actually
-    /// changed since `snap` was last captured.
+    /// that stamp move — O(dirty) — and under CoW each moved page is a
+    /// handle adoption (the snapshot shares the machine's page; the
+    /// machine's next write to it CoW-breaks). The code region and
+    /// (Arc-shared) predecoded block table are only re-adopted when the
+    /// code actually changed since `snap` was last captured.
     pub fn snapshot_into(&mut self, snap: &mut Snapshot) {
         snap.cfg = self.cfg;
         snap.cpu = self.cpu.clone();
@@ -649,7 +674,9 @@ impl Machine {
         snap.bus = self.bus.clone();
         snap.stats = self.stats;
         if snap.code_content != self.code_content {
-            snap.code.clone_from(&self.code);
+            // O(1): the snapshot adopts the code handle; the machine's
+            // next load/patch unshares it (`Arc::make_mut`).
+            snap.code = Arc::clone(&self.code);
             snap.blocks = self.blocks.clone();
             snap.code_content = self.code_content;
         }
@@ -663,8 +690,10 @@ impl Machine {
     ///
     /// O(dirty): SRAM pages not written since this machine's last
     /// snapshot/restore stamp of the same content are guaranteed unchanged
-    /// and skipped; without a lineage match the whole bank is copied (and
-    /// counted in [`SnapshotStats::full_restores`]). When the code region
+    /// and skipped; without a lineage match the whole bank moves (and is
+    /// counted in [`SnapshotStats::full_restores`]) — under CoW "moves"
+    /// means O(pages) handle adoptions, which is what makes a fleet fork
+    /// metadata-cost. When the code region
     /// already matches (`code_content` stamps equal), resident predecoded
     /// blocks are left in place, so a run forked after a reference run
     /// inherits its decoded blocks; otherwise the snapshot's Arc-shared
@@ -681,7 +710,7 @@ impl Machine {
         self.cfg = snap.cfg;
         self.cpu = snap.cpu.clone();
         let pages = self.sram.dirty_pages();
-        let copied = self.sram.restore_page_wise(&snap.sram);
+        let cost = self.sram.restore_page_wise(&snap.sram);
         self.bitmap.copy_from(&snap.bitmap);
         self.revoker = snap.revoker.clone();
         self.cycles = snap.cycles;
@@ -693,10 +722,12 @@ impl Machine {
         self.bus = snap.bus.clone();
         self.stats = snap.stats;
         let code_copied = if self.code_content != snap.code_content {
-            self.code.clone_from(&snap.code);
+            // Adopting the snapshot's code handle is O(1); the machine's
+            // next load/patch unshares it.
+            self.code = Arc::clone(&snap.code);
             self.blocks = snap.blocks.clone();
             self.code_content = snap.code_content;
-            (snap.code.len() * std::mem::size_of::<Instr>()) as u64
+            std::mem::size_of::<Arc<Vec<Instr>>>() as u64
         } else {
             0
         };
@@ -705,11 +736,9 @@ impl Machine {
         self.wd_limit = snap.wd_limit;
         self.last_trap = snap.last_trap;
         self.snap_stats.restores += 1;
-        self.snap_stats.pages_copied += u64::from(copied);
-        self.snap_stats.bytes_copied += u64::from(copied) * u64::from(crate::mem::PAGE_SIZE)
-            + snap.console.len() as u64
-            + code_copied;
-        if copied > pages {
+        self.snap_stats.pages_copied += u64::from(cost.pages);
+        self.snap_stats.bytes_copied += cost.bytes + snap.console.len() as u64 + code_copied;
+        if cost.pages > pages {
             self.snap_stats.full_restores += 1;
         }
     }
@@ -717,6 +746,16 @@ impl Machine {
     /// Host-side snapshot/restore counters (see [`SnapshotStats`]).
     pub fn snapshot_stats(&self) -> SnapshotStats {
         self.snap_stats
+    }
+
+    /// Enables/disables the copy-on-write page store at runtime (the CLI
+    /// `--no-cow` escape hatch applies this after construction). Keeps
+    /// `cfg.cow` in sync so snapshots and forks inherit the mode.
+    /// Disabling materializes currently-shared pages into private copies;
+    /// architecturally invisible either way (see [`Sram::set_cow`]).
+    pub fn set_cow(&mut self, on: bool) {
+        self.cfg.cow = on;
+        self.sram.set_cow(on);
     }
 
     /// An executable capability covering all loaded code, for use as a boot

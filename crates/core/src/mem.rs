@@ -1,12 +1,39 @@
-//! Tagged SRAM.
+//! Tagged SRAM over a copy-on-write page store.
 //!
 //! Embedded CHERIoT memory is tightly-coupled SRAM with one out-of-band tag
 //! bit per 8-byte (capability-sized) granule. Scalar stores clear the tag of
 //! the granule they touch; capability loads/stores move the tag with the
 //! data. Capability accesses must be 8-byte aligned.
 //!
+//! ## The page store
+//!
+//! Architectural content lives in 4 KiB [`Page`]s — the data bytes plus the
+//! covering slice of the packed tag bitmap (512 granules = 8 tag words, so
+//! pages own whole tag words) — held through `Arc` handles. Pages are
+//! immutable while shared: every mutating path funnels through the write
+//! barrier ([`Sram::page_mut`]), which marks the page dirty *and* unshares
+//! it (`Arc::make_mut`) before handing out a mutable reference. That makes
+//! the dirty-tracking barrier the CoW break point: the first write to a
+//! page shared with a snapshot or a forked sibling clones just that page.
+//!
+//! Structural sharing is what the snapshot/fork engine rides on:
+//!
+//! * a **capture** hands the snapshot handle clones of the machine's pages
+//!   — O(pages) refcount bumps, zero byte copies;
+//! * a **restore/fork** adopts the snapshot's handles the same way, so a
+//!   1000-device fleet forked from one warm image holds one copy of every
+//!   boot page and each instance pays only for the pages it dirties;
+//! * a fresh bank shares a single zero page across all slots, so an
+//!   untouched machine is resident-cheap too.
+//!
+//! The `--no-cow` escape hatch ([`Sram::set_cow`]) disables structural
+//! sharing: pages are kept uniquely owned and captures/restores copy bytes,
+//! reproducing the pre-CoW cost model. CoW on/off is architecturally
+//! invisible — runs are byte-identical either way (property-tested).
+//!
 //! Two simulator-only acceleration structures ride alongside the
-//! architectural state (neither is architecturally visible):
+//! architectural state (neither is architecturally visible, and neither is
+//! ever shared between banks):
 //!
 //! * the tag bits are packed 64 per `u64` word, so sweeps and range
 //!   operations use mask arithmetic and popcounts instead of per-granule
@@ -15,22 +42,42 @@
 //!   capability last written to each granule, so a `CLC` that follows a
 //!   `CSC` is a copy instead of a bounds re-derivation. Scalar writes, raw
 //!   word writes and tag clears invalidate the slot; the raw 64-bit word
-//!   plus tag bit remain the source of truth.
+//!   plus tag bit remain the source of truth. The cache is allocated lazily
+//!   on first capability traffic, so banks that never move capabilities
+//!   (fleet guest nodes) never pay its footprint.
 
 use crate::trap::TrapCause;
 use cheriot_cap::Capability;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Capability-granule size: 8 bytes (a 64-bit capability).
 pub const GRANULE: u32 = 8;
 
-/// Dirty-tracking page size: 4 KiB. A page is 512 granules, which is an
-/// exact multiple of the 64-granule tag words, so page-wise copies move
-/// whole tag words and whole side-cache runs.
+/// Page size of the copy-on-write store (also the dirty-tracking unit):
+/// 4 KiB. A page is 512 granules, an exact multiple of the 64-granule tag
+/// words, so each page owns whole tag words and CoW moves data and tags
+/// together.
 pub const PAGE_SIZE: u32 = 4096;
 
-/// Granules per dirty-tracking page.
+const PAGE_SHIFT: usize = 12;
+const PAGE_MASK: usize = PAGE_SIZE as usize - 1;
+
+/// Granules per page.
 const PAGE_GRANULES: usize = (PAGE_SIZE / GRANULE) as usize;
+
+/// Tag words per page (64 granules per word).
+const PAGE_TAG_WORDS: usize = PAGE_GRANULES / 64;
+
+/// Host bytes actually moved when a page's *content* is copied: the data
+/// bytes plus the covering tag-bitmap words. This is the unit the honest
+/// fork-cost accounting charges per deep page copy (the old accounting
+/// forgot the tag bytes).
+pub const PAGE_COPY_BYTES: u64 = PAGE_SIZE as u64 + (PAGE_TAG_WORDS * 8) as u64;
+
+/// Host bytes moved adopting a page by handle (an `Arc` clone): the
+/// pointer write. This is the entire per-page fork cost under CoW.
+pub const PAGE_HANDLE_BYTES: u64 = std::mem::size_of::<Arc<Page>>() as u64;
 
 /// Globally unique content-identity stamps for snapshot lineage. Never
 /// zero (zero means "unstamped").
@@ -40,15 +87,89 @@ pub(crate) fn fresh_content_id() -> u64 {
     CONTENT_IDS.fetch_add(1, Ordering::Relaxed)
 }
 
-/// A bank of byte-addressable tagged SRAM.
+/// One CoW unit: 4 KiB of data plus its covering tag-bitmap slice.
+/// Immutable while shared; the write barrier unshares before mutating.
 #[derive(Clone)]
+pub struct Page {
+    bytes: [u8; PAGE_SIZE as usize],
+    /// Tag words for this page's granules: bit `g % 64` of word
+    /// `(g / 64) % PAGE_TAG_WORDS` for global granule `g`.
+    tags: [u64; PAGE_TAG_WORDS],
+}
+
+impl Page {
+    const ZERO: Page = Page {
+        bytes: [0; PAGE_SIZE as usize],
+        tags: [0; PAGE_TAG_WORDS],
+    };
+
+    /// Sets/clears the tag of global granule `g` (which must live in this
+    /// page — page-alignment makes `(g / 64) % PAGE_TAG_WORDS` its word).
+    #[inline]
+    fn tag_set(&mut self, g: usize, v: bool) {
+        let w = (g >> 6) & (PAGE_TAG_WORDS - 1);
+        let mask = 1u64 << (g & 63);
+        if v {
+            self.tags[w] |= mask;
+        } else {
+            self.tags[w] &= !mask;
+        }
+    }
+
+    /// Clears every tag in the (page-local) global granule range
+    /// `[g0, g1]`, both ends inclusive and inside this page.
+    fn detag_range(&mut self, g0: usize, g1: usize) {
+        let (w0, b0) = ((g0 >> 6) & (PAGE_TAG_WORDS - 1), g0 & 63);
+        let (w1, b1) = ((g1 >> 6) & (PAGE_TAG_WORDS - 1), g1 & 63);
+        let lo = !0u64 << b0;
+        let hi = !0u64 >> (63 - b1);
+        if w0 == w1 {
+            self.tags[w0] &= !(lo & hi);
+        } else {
+            self.tags[w0] &= !lo;
+            for w in &mut self.tags[w0 + 1..w1] {
+                *w = 0;
+            }
+            self.tags[w1] &= !hi;
+        }
+    }
+}
+
+/// Host-side counters for the CoW page store, exposed via
+/// [`Sram::cow_stats`]. Not architectural state; never captured or
+/// restored by snapshots.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CowStats {
+    /// Pages unshared by the write barrier: first writes to a page shared
+    /// with a snapshot, a forked sibling, or the bank's initial zero page.
+    pub breaks: u64,
+    /// Host bytes those breaks copied (`breaks * PAGE_COPY_BYTES`): the
+    /// deferred fork cost actually paid so far.
+    pub bytes_copied: u64,
+}
+
+/// Host bytes and pages actually moved by a capture or restore. `bytes`
+/// is honest: handle adoptions under CoW cost [`PAGE_HANDLE_BYTES`] per
+/// page, deep copies cost [`PAGE_COPY_BYTES`] (data *and* tag words).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct XferCost {
+    /// Pages whose content was transferred (by handle or by copy).
+    pub pages: u32,
+    /// Host bytes moved doing it.
+    pub bytes: u64,
+}
+
+/// A bank of byte-addressable tagged SRAM over the CoW page store.
 pub struct Sram {
     base: u32,
-    bytes: Vec<u8>,
-    /// One tag bit per granule: bit `g % 64` of word `g / 64`. Bits past
-    /// the last granule are always clear.
-    tags: Vec<u64>,
-    /// Decoded-capability side cache, one slot per granule. `Some(c)` only
+    /// Logical size in bytes (the last page may be partial; its tail
+    /// bytes and tag bits are unreachable and stay zero).
+    len: usize,
+    /// The page store. Shared (`Arc` refcount > 1) pages are immutable;
+    /// the write barrier unshares before mutating.
+    pages: Vec<Arc<Page>>,
+    /// Decoded-capability side cache, one slot per granule, allocated
+    /// lazily on first capability traffic (empty = cold). `Some(c)` only
     /// when the granule's tag is set and `c` equals
     /// `Capability::from_word(word, true)` for the granule's current word.
     caps: Vec<Option<Capability>>,
@@ -58,24 +179,62 @@ pub struct Sram {
     /// reads — side-cache fills are derived state), so a clear bit
     /// *guarantees* the page still holds the stamped content.
     dirty: Vec<u64>,
+    /// Running population count of `dirty`, so `dirty_pages()` and the
+    /// any-dirty checks are O(1) instead of a bitmap scan.
+    dirty_count: u32,
     /// Content-identity stamp the dirty bitmap is relative to: the bank
     /// held exactly the content identified by this id when the bitmap was
     /// last cleared. Zero means unstamped (no lineage; restores fall back
     /// to full copies).
     content: u64,
+    /// Structural sharing enabled? When false (`--no-cow`), pages are
+    /// kept uniquely owned and captures/restores copy bytes — the pre-CoW
+    /// cost model, kept as an escape hatch and comparison baseline.
+    cow: bool,
+    /// Write-barrier unshare counters (host-side, never snapshotted).
+    cow_stats: CowStats,
 }
 
 impl std::fmt::Debug for Sram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sram")
             .field("base", &format_args!("{:#010x}", self.base))
-            .field("size", &self.bytes.len())
+            .field("size", &self.len)
+            .field("cow", &self.cow)
             .finish()
     }
 }
 
+impl Clone for Sram {
+    /// Clones the bank. Under CoW this is O(pages) handle clones — the
+    /// clone shares every page with the original and either side's next
+    /// write unshares just that page. With CoW disabled the pages are
+    /// deep-copied. The decoded side cache is derived state and starts
+    /// cold in the clone; CoW counters start at zero.
+    fn clone(&self) -> Sram {
+        let pages = if self.cow {
+            self.pages.clone()
+        } else {
+            self.pages.iter().map(|p| Arc::new((**p).clone())).collect()
+        };
+        Sram {
+            base: self.base,
+            len: self.len,
+            pages,
+            caps: Vec::new(),
+            dirty: self.dirty.clone(),
+            dirty_count: self.dirty_count,
+            content: self.content,
+            cow: self.cow,
+            cow_stats: CowStats::default(),
+        }
+    }
+}
+
 impl Sram {
-    /// Creates a zeroed SRAM bank of `size` bytes at `base`.
+    /// Creates a zeroed SRAM bank of `size` bytes at `base`. Every page
+    /// slot shares one zero page, so a fresh bank is resident-cheap; the
+    /// first write to each page unshares it.
     ///
     /// # Panics
     ///
@@ -83,16 +242,62 @@ impl Sram {
     pub fn new(base: u32, size: u32) -> Sram {
         assert_eq!(base % GRANULE, 0, "SRAM base must be granule-aligned");
         assert_eq!(size % GRANULE, 0, "SRAM size must be granule-aligned");
-        let granules = (size / GRANULE) as usize;
         let pages = (size as usize).div_ceil(PAGE_SIZE as usize);
+        let zero = Arc::new(Page::ZERO);
         Sram {
             base,
-            bytes: vec![0; size as usize],
-            tags: vec![0; granules.div_ceil(64)],
-            caps: vec![None; granules],
+            len: size as usize,
+            pages: vec![zero; pages],
+            caps: Vec::new(),
             dirty: vec![0; pages.div_ceil(64)],
+            dirty_count: 0,
             content: 0,
+            cow: true,
+            cow_stats: CowStats::default(),
         }
+    }
+
+    /// Enables/disables structural sharing. Disabling materializes every
+    /// currently-shared page into a private copy (not counted as a CoW
+    /// break — this is a mode switch, not a write).
+    pub fn set_cow(&mut self, on: bool) {
+        self.cow = on;
+        if !on {
+            for p in &mut self.pages {
+                if Arc::strong_count(p) > 1 {
+                    *p = Arc::new((**p).clone());
+                }
+            }
+        }
+    }
+
+    /// Is structural sharing enabled?
+    pub fn cow_enabled(&self) -> bool {
+        self.cow
+    }
+
+    /// Write-barrier unshare counters.
+    pub fn cow_stats(&self) -> CowStats {
+        self.cow_stats
+    }
+
+    /// Pages currently shared with another bank (or the zero page):
+    /// `Arc` refcount > 1. These are the pages a fork has not yet paid
+    /// for.
+    pub fn shared_pages(&self) -> u32 {
+        self.pages
+            .iter()
+            .filter(|p| Arc::strong_count(p) > 1)
+            .count() as u32
+    }
+
+    /// Host bytes of page content this bank uniquely owns (its private
+    /// pages, charged at [`PAGE_COPY_BYTES`] each). The structural-sharing
+    /// complement of [`Sram::shared_pages`]: a freshly forked bank is
+    /// near zero, and each CoW break moves one page from shared to
+    /// unique.
+    pub fn unique_resident_bytes(&self) -> u64 {
+        u64::from(self.num_pages() - self.shared_pages()) * PAGE_COPY_BYTES
     }
 
     /// Base address.
@@ -102,14 +307,14 @@ impl Sram {
 
     /// Size in bytes.
     pub fn size(&self) -> u32 {
-        self.bytes.len() as u32
+        self.len as u32
     }
 
     /// End address (exclusive). `u64` because a bank ending at the top of
     /// the address space has end `0x1_0000_0000`, which a `u32` cannot
     /// hold (the old `u32` return overflowed for such banks).
     pub fn end(&self) -> u64 {
-        u64::from(self.base) + self.bytes.len() as u64
+        u64::from(self.base) + self.len as u64
     }
 
     /// Does this bank contain `[addr, addr+size)`?
@@ -126,34 +331,51 @@ impl Sram {
         self.offset(addr) / GRANULE as usize
     }
 
-    fn tag_get(&self, g: usize) -> bool {
-        self.tags[g >> 6] & (1u64 << (g & 63)) != 0
+    fn granules(&self) -> usize {
+        self.len / GRANULE as usize
     }
 
-    fn tag_set(&mut self, g: usize, v: bool) {
-        let mask = 1u64 << (g & 63);
-        if v {
-            self.tags[g >> 6] |= mask;
-        } else {
-            self.tags[g >> 6] &= !mask;
-        }
-    }
-
-    /// Marks the page containing byte offset `o` dirty. All aligned
-    /// scalar/capability stores stay within one page, so the single-page
-    /// form covers every store path except [`Sram::zero_range`].
+    /// The packed tag word `w` (64 granules per word; 8 words per page).
     #[inline]
-    fn mark_dirty(&mut self, o: usize) {
-        let p = o / PAGE_SIZE as usize;
-        self.dirty[p >> 6] |= 1u64 << (p & 63);
+    fn tag_word(&self, w: usize) -> u64 {
+        self.pages[w / PAGE_TAG_WORDS].tags[w % PAGE_TAG_WORDS]
     }
 
-    /// Marks every page overlapping `[o, o+len)` dirty (`len > 0`).
-    fn mark_dirty_range(&mut self, o: usize, len: usize) {
-        let p0 = o / PAGE_SIZE as usize;
-        let p1 = (o + len - 1) / PAGE_SIZE as usize;
-        for p in p0..=p1 {
-            self.dirty[p >> 6] |= 1u64 << (p & 63);
+    fn tag_get(&self, g: usize) -> bool {
+        self.tag_word(g >> 6) & (1u64 << (g & 63)) != 0
+    }
+
+    /// The write barrier and CoW break point: marks page `p` dirty
+    /// (maintaining the running dirty count) and returns a uniquely-owned
+    /// mutable reference to it, cloning the page first if it is shared
+    /// with a snapshot, a forked sibling, or the initial zero page.
+    #[inline]
+    fn page_mut(&mut self, p: usize) -> &mut Page {
+        let (w, bit) = (p >> 6, 1u64 << (p & 63));
+        if self.dirty[w] & bit == 0 {
+            self.dirty[w] |= bit;
+            self.dirty_count += 1;
+        }
+        if Arc::strong_count(&self.pages[p]) > 1 {
+            self.cow_stats.breaks += 1;
+            self.cow_stats.bytes_copied += PAGE_COPY_BYTES;
+        }
+        Arc::make_mut(&mut self.pages[p])
+    }
+
+    /// The decoded side cache, allocated on first use.
+    fn caps_mut(&mut self) -> &mut [Option<Capability>] {
+        if self.caps.is_empty() {
+            self.caps = vec![None; self.granules()];
+        }
+        &mut self.caps
+    }
+
+    /// Drops the side-cache entry for granule `g` if the cache is live.
+    #[inline]
+    fn caps_clear(&mut self, g: usize) {
+        if let Some(slot) = self.caps.get_mut(g) {
+            *slot = None;
         }
     }
 
@@ -177,10 +399,13 @@ impl Sram {
         self.check(addr, size)?;
         debug_assert!(matches!(size, 1 | 2 | 4));
         let o = self.offset(addr);
+        // Aligned 1/2/4-byte accesses never cross a page boundary.
+        let pg = &self.pages[o >> PAGE_SHIFT];
+        let po = o & PAGE_MASK;
         Ok(match size {
-            1 => u32::from(self.bytes[o]),
-            2 => u32::from(u16::from_le_bytes([self.bytes[o], self.bytes[o + 1]])),
-            _ => u32::from_le_bytes(self.bytes[o..o + 4].try_into().unwrap()),
+            1 => u32::from(pg.bytes[po]),
+            2 => u32::from(u16::from_le_bytes([pg.bytes[po], pg.bytes[po + 1]])),
+            _ => u32::from_le_bytes(pg.bytes[po..po + 4].try_into().unwrap()),
         })
     }
 
@@ -194,15 +419,16 @@ impl Sram {
         self.check(addr, size)?;
         debug_assert!(matches!(size, 1 | 2 | 4));
         let o = self.offset(addr);
+        let g = o / GRANULE as usize;
+        self.caps_clear(g);
+        let pg = self.page_mut(o >> PAGE_SHIFT);
+        let po = o & PAGE_MASK;
         match size {
-            1 => self.bytes[o] = value as u8,
-            2 => self.bytes[o..o + 2].copy_from_slice(&(value as u16).to_le_bytes()),
-            _ => self.bytes[o..o + 4].copy_from_slice(&value.to_le_bytes()),
+            1 => pg.bytes[po] = value as u8,
+            2 => pg.bytes[po..po + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            _ => pg.bytes[po..po + 4].copy_from_slice(&value.to_le_bytes()),
         }
-        let g = self.granule(addr);
-        self.tag_set(g, false);
-        self.caps[g] = None;
-        self.mark_dirty(o);
+        pg.tag_set(g, false);
         Ok(())
     }
 
@@ -215,7 +441,9 @@ impl Sram {
     pub fn read_cap_word(&self, addr: u32) -> Result<(u64, bool), TrapCause> {
         self.check(addr, GRANULE)?;
         let o = self.offset(addr);
-        let word = u64::from_le_bytes(self.bytes[o..o + GRANULE as usize].try_into().unwrap());
+        let pg = &self.pages[o >> PAGE_SHIFT];
+        let po = o & PAGE_MASK;
+        let word = u64::from_le_bytes(pg.bytes[po..po + GRANULE as usize].try_into().unwrap());
         Ok((word, self.tag_get(self.granule(addr))))
     }
 
@@ -229,11 +457,12 @@ impl Sram {
     pub fn write_cap_word(&mut self, addr: u32, word: u64, tag: bool) -> Result<(), TrapCause> {
         self.check(addr, GRANULE)?;
         let o = self.offset(addr);
-        self.bytes[o..o + GRANULE as usize].copy_from_slice(&word.to_le_bytes());
-        let g = self.granule(addr);
-        self.tag_set(g, tag);
-        self.caps[g] = None;
-        self.mark_dirty(o);
+        let g = o / GRANULE as usize;
+        self.caps_clear(g);
+        let pg = self.page_mut(o >> PAGE_SHIFT);
+        let po = o & PAGE_MASK;
+        pg.bytes[po..po + GRANULE as usize].copy_from_slice(&word.to_le_bytes());
+        pg.tag_set(g, tag);
         Ok(())
     }
 
@@ -247,11 +476,16 @@ impl Sram {
     pub fn write_cap(&mut self, addr: u32, c: Capability) -> Result<(), TrapCause> {
         self.check(addr, GRANULE)?;
         let o = self.offset(addr);
-        self.bytes[o..o + GRANULE as usize].copy_from_slice(&c.to_word().to_le_bytes());
-        let g = self.granule(addr);
-        self.tag_set(g, c.tag());
-        self.caps[g] = if c.tag() { Some(c) } else { None };
-        self.mark_dirty(o);
+        let g = o / GRANULE as usize;
+        if c.tag() {
+            self.caps_mut()[g] = Some(c);
+        } else {
+            self.caps_clear(g);
+        }
+        let pg = self.page_mut(o >> PAGE_SHIFT);
+        let po = o & PAGE_MASK;
+        pg.bytes[po..po + GRANULE as usize].copy_from_slice(&c.to_word().to_le_bytes());
+        pg.tag_set(g, c.tag());
         Ok(())
     }
 
@@ -268,13 +502,13 @@ impl Sram {
             return Ok(Capability::from_word(word, false));
         }
         let g = self.granule(addr);
-        if let Some(c) = self.caps[g] {
+        if let Some(&Some(c)) = self.caps.get(g) {
             debug_assert_eq!(c, Capability::from_word(word, tag));
             debug_assert_eq!(c.bounds(), Capability::from_word(word, tag).bounds());
             return Ok(c);
         }
         let c = Capability::from_word(word, true);
-        self.caps[g] = Some(c);
+        self.caps_mut()[g] = Some(c);
         Ok(c)
     }
 
@@ -292,21 +526,20 @@ impl Sram {
             return Err(TrapCause::BusError { addr });
         }
         let o = self.offset(addr);
-        self.bytes[o..o + len as usize].fill(0);
-        self.mark_dirty_range(o, len as usize);
-        let g0 = o / GRANULE as usize;
-        let g1 = (o + len as usize - 1) / GRANULE as usize;
-        self.caps[g0..=g1].fill(None);
-        let (w0, b0) = (g0 >> 6, g0 & 63);
-        let (w1, b1) = (g1 >> 6, g1 & 63);
-        let lo = !0u64 << b0;
-        let hi = !0u64 >> (63 - b1);
-        if w0 == w1 {
-            self.tags[w0] &= !(lo & hi);
-        } else {
-            self.tags[w0] &= !lo;
-            self.tags[w0 + 1..w1].fill(0);
-            self.tags[w1] &= !hi;
+        let end = o + len as usize;
+        if !self.caps.is_empty() {
+            let g0 = o / GRANULE as usize;
+            let g1 = (end - 1) / GRANULE as usize;
+            self.caps[g0..=g1].fill(None);
+        }
+        let mut cur = o;
+        while cur < end {
+            let p = cur >> PAGE_SHIFT;
+            let stop = ((p + 1) << PAGE_SHIFT).min(end);
+            let pg = self.page_mut(p);
+            pg.bytes[cur & PAGE_MASK..((stop - 1) & PAGE_MASK) + 1].fill(0);
+            pg.detag_range(cur / GRANULE as usize, (stop - 1) / GRANULE as usize);
+            cur = stop;
         }
         Ok(())
     }
@@ -326,15 +559,24 @@ impl Sram {
             return Err(TrapCause::BusError { addr });
         }
         let o = self.offset(addr);
-        buf.copy_from_slice(&self.bytes[o..o + buf.len()]);
+        let end = o + buf.len();
+        let mut cur = o;
+        while cur < end {
+            let p = cur >> PAGE_SHIFT;
+            let stop = ((p + 1) << PAGE_SHIFT).min(end);
+            let po = cur & PAGE_MASK;
+            buf[cur - o..stop - o].copy_from_slice(&self.pages[p].bytes[po..po + (stop - cur)]);
+            cur = stop;
+        }
         Ok(())
     }
 
     /// Copies `buf` into `[addr, addr+len)` (DMA write side), clearing
     /// every covered granule's tag and decoded-capability slot — a DMA
     /// store is a raw-byte overwrite, so any capability it touches (even
-    /// partially) must die — and marking every covered page dirty so
-    /// snapshot/fork never under-copies. No alignment requirement.
+    /// partially) must die — and passing every covered page through the
+    /// write barrier, so shared pages CoW-break and snapshot/fork never
+    /// under-copies. No alignment requirement.
     ///
     /// # Errors
     ///
@@ -347,21 +589,21 @@ impl Sram {
             return Err(TrapCause::BusError { addr });
         }
         let o = self.offset(addr);
-        self.bytes[o..o + buf.len()].copy_from_slice(buf);
-        self.mark_dirty_range(o, buf.len());
-        let g0 = o / GRANULE as usize;
-        let g1 = (o + buf.len() - 1) / GRANULE as usize;
-        self.caps[g0..=g1].fill(None);
-        let (w0, b0) = (g0 >> 6, g0 & 63);
-        let (w1, b1) = (g1 >> 6, g1 & 63);
-        let lo = !0u64 << b0;
-        let hi = !0u64 >> (63 - b1);
-        if w0 == w1 {
-            self.tags[w0] &= !(lo & hi);
-        } else {
-            self.tags[w0] &= !lo;
-            self.tags[w0 + 1..w1].fill(0);
-            self.tags[w1] &= !hi;
+        let end = o + buf.len();
+        if !self.caps.is_empty() {
+            let g0 = o / GRANULE as usize;
+            let g1 = (end - 1) / GRANULE as usize;
+            self.caps[g0..=g1].fill(None);
+        }
+        let mut cur = o;
+        while cur < end {
+            let p = cur >> PAGE_SHIFT;
+            let stop = ((p + 1) << PAGE_SHIFT).min(end);
+            let pg = self.page_mut(p);
+            let po = cur & PAGE_MASK;
+            pg.bytes[po..po + (stop - cur)].copy_from_slice(&buf[cur - o..stop - o]);
+            pg.detag_range(cur / GRANULE as usize, (stop - 1) / GRANULE as usize);
+            cur = stop;
         }
         Ok(())
     }
@@ -387,13 +629,13 @@ impl Sram {
         let lo = !0u64 << b0;
         let hi = !0u64 >> (63 - b1);
         if w0 == w1 {
-            (self.tags[w0] & lo & hi).count_ones() as usize
+            (self.tag_word(w0) & lo & hi).count_ones() as usize
         } else {
-            let mut n = (self.tags[w0] & lo).count_ones();
-            for w in &self.tags[w0 + 1..w1] {
-                n += w.count_ones();
+            let mut n = (self.tag_word(w0) & lo).count_ones();
+            for w in w0 + 1..w1 {
+                n += self.tag_word(w).count_ones();
             }
-            n += (self.tags[w1] & hi).count_ones();
+            n += (self.tag_word(w1) & hi).count_ones();
             n as usize
         }
     }
@@ -408,11 +650,11 @@ impl Sram {
             return 0;
         }
         let g0 = self.granule(addr);
-        let total = self.bytes.len() / GRANULE as usize;
+        let total = self.granules();
         let limit = (g0 + max_granules as usize).min(total);
         let mut g = g0;
         while g < limit {
-            let masked = self.tags[g >> 6] & (!0u64 << (g & 63));
+            let masked = self.tag_word(g >> 6) & (!0u64 << (g & 63));
             if masked != 0 {
                 let next_tagged = (g & !63) + masked.trailing_zeros() as usize;
                 return (next_tagged.min(limit) - g0) as u32;
@@ -422,15 +664,16 @@ impl Sram {
         (limit - g0) as u32
     }
 
-    /// Number of dirty-tracking pages in the bank.
+    /// Number of pages in the bank.
     pub fn num_pages(&self) -> u32 {
-        self.bytes.len().div_ceil(PAGE_SIZE as usize) as u32
+        self.pages.len() as u32
     }
 
     /// Number of pages currently marked dirty (written since the last
-    /// snapshot/restore stamp).
+    /// snapshot/restore stamp). O(1) — a running count, not a bitmap
+    /// scan.
     pub fn dirty_pages(&self) -> u32 {
-        self.dirty.iter().map(|w| w.count_ones()).sum()
+        self.dirty_count
     }
 
     /// Is the page containing `addr` marked dirty? False outside the bank.
@@ -442,75 +685,81 @@ impl Sram {
         self.dirty[p >> 6] & (1u64 << (p & 63)) != 0
     }
 
-    /// Architectural-content equality: same base and identical bytes and
-    /// tags. The decoded side cache and dirty bookkeeping are derived
-    /// state and deliberately excluded.
+    /// Architectural-content equality: same base/size and identical bytes
+    /// and tags. Pages sharing a handle compare in O(1); the decoded side
+    /// cache and dirty/CoW bookkeeping are derived state and deliberately
+    /// excluded.
     pub fn content_eq(&self, other: &Sram) -> bool {
-        self.base == other.base && self.bytes == other.bytes && self.tags == other.tags
+        self.base == other.base
+            && self.len == other.len
+            && self
+                .pages
+                .iter()
+                .zip(&other.pages)
+                .all(|(a, b)| Arc::ptr_eq(a, b) || (a.bytes == b.bytes && a.tags == b.tags))
     }
 
     fn clear_dirty(&mut self) {
         self.dirty.fill(0);
+        self.dirty_count = 0;
     }
 
     fn same_shape(&self, other: &Sram) -> bool {
-        self.base == other.base && self.bytes.len() == other.bytes.len()
+        self.base == other.base && self.len == other.len
     }
 
-    /// Copies page `p` of `src` (bytes and tags) into `self`. Pages start
-    /// word-aligned in the tag array (512 granules = 8 tag words), so
-    /// whole words move; a partial final page owns the trailing bits of
-    /// its last word.
-    ///
-    /// The decoded-cap side cache is *derived* state: snapshot banks
-    /// don't carry one at all, and a restored page just drops its entries
-    /// — they re-derive on the next tagged load. Copying them would more
-    /// than triple restore traffic for state a single decode rebuilds.
-    fn copy_page_from(&mut self, src: &Sram, p: usize) {
-        let b0 = p * PAGE_SIZE as usize;
-        let b1 = (b0 + PAGE_SIZE as usize).min(self.bytes.len());
-        self.bytes[b0..b1].copy_from_slice(&src.bytes[b0..b1]);
-        let g0 = p * PAGE_GRANULES;
-        let g1 = b1 / GRANULE as usize;
-        if !self.caps.is_empty() {
-            self.caps[g0..g1].fill(None);
+    /// Replaces page `p` with `src`'s content: a handle adoption
+    /// (refcount bump) under CoW, a deep copy otherwise. Returns the host
+    /// bytes moved. The caller owns side-cache and dirty bookkeeping.
+    fn adopt_page(&mut self, src: &Arc<Page>, p: usize) -> u64 {
+        if self.cow {
+            self.pages[p] = Arc::clone(src);
+            PAGE_HANDLE_BYTES
+        } else {
+            *Arc::make_mut(&mut self.pages[p]) = (**src).clone();
+            PAGE_COPY_BYTES
         }
-        let w0 = g0 >> 6;
-        let w1 = g1.div_ceil(64);
-        self.tags[w0..w1].copy_from_slice(&src.tags[w0..w1]);
     }
 
     /// Captures the bank's current content into `dst`, stamping both with
     /// the content id of the captured state.
     ///
     /// When `dst` already holds this bank's last-stamped content (their
-    /// content ids match), only pages dirtied since that stamp are copied
-    /// — O(dirty). Otherwise `dst` is overwritten wholesale. Both dirty
-    /// bitmaps are cleared; returns the number of pages copied.
-    pub(crate) fn capture_into(&mut self, dst: &mut Sram) -> u32 {
-        let copied;
-        let any_dirty = self.dirty.iter().any(|&w| w != 0);
+    /// content ids match), only pages dirtied since that stamp move —
+    /// O(dirty). Otherwise the whole bank moves. Under CoW "moves" means
+    /// handle adoption: the snapshot shares the machine's pages and the
+    /// machine's next write to any of them CoW-breaks. Both dirty bitmaps
+    /// are cleared; returns the pages/bytes actually transferred.
+    pub(crate) fn capture_into(&mut self, dst: &mut Sram) -> XferCost {
+        let any_dirty = self.dirty_count != 0;
+        let mut cost = XferCost::default();
         if self.content != 0 && dst.content == self.content && self.same_shape(dst) {
-            let mut n = 0;
             for wi in 0..self.dirty.len() {
                 let mut w = self.dirty[wi];
                 while w != 0 {
                     let p = (wi << 6) + w.trailing_zeros() as usize;
-                    dst.copy_page_from(self, p);
+                    cost.bytes += dst.adopt_page(&self.pages[p], p);
                     w &= w - 1;
-                    n += 1;
+                    cost.pages += 1;
                 }
             }
-            copied = n;
         } else {
             dst.base = self.base;
-            dst.bytes.clone_from(&self.bytes);
-            dst.tags.clone_from(&self.tags);
-            // Snapshot banks never carry the derived side cache (see
-            // `copy_page_from`); drop the allocation, not just the entries.
+            dst.len = self.len;
+            dst.cow = self.cow;
+            if self.cow {
+                dst.pages.clone_from(&self.pages);
+                cost.bytes = self.pages.len() as u64 * PAGE_HANDLE_BYTES;
+            } else {
+                dst.pages = self.pages.iter().map(|p| Arc::new((**p).clone())).collect();
+                cost.bytes = self.pages.len() as u64 * PAGE_COPY_BYTES;
+            }
+            // Snapshot banks never carry the derived side cache; drop the
+            // allocation, not just the entries.
             dst.caps = Vec::new();
+            dst.dirty.clear();
             dst.dirty.resize(self.dirty.len(), 0);
-            copied = self.num_pages();
+            cost.pages = self.num_pages();
         }
         if self.content == 0 || any_dirty {
             self.content = fresh_content_id();
@@ -518,46 +767,59 @@ impl Sram {
         dst.content = self.content;
         self.clear_dirty();
         dst.clear_dirty();
-        copied
+        cost
     }
 
     /// Restores the bank to the content of `src` (a snapshot's bank).
     ///
     /// When this bank's last stamp matches `src`'s content id, every page
     /// not marked dirty is *guaranteed* unchanged since that stamp, so
-    /// only dirty pages are copied back — O(dirty). Without a lineage
-    /// match the whole bank is copied. Clears the dirty bitmap and adopts
-    /// `src`'s content id; returns the number of pages copied.
+    /// only dirty pages move — O(dirty). Without a lineage match the
+    /// whole bank moves. Under CoW moving a page is a handle adoption
+    /// (the fork cost of a fleet instance is O(pages) pointer writes, not
+    /// O(bytes)); with CoW disabled it is a deep copy of data + tag
+    /// words. Clears the dirty bitmap, drops side-cache entries covering
+    /// adopted pages, and adopts `src`'s content id; returns the
+    /// pages/bytes actually transferred.
     ///
     /// # Panics
     ///
     /// Panics if the banks have different bases or sizes.
-    pub(crate) fn restore_page_wise(&mut self, src: &Sram) -> u32 {
+    pub(crate) fn restore_page_wise(&mut self, src: &Sram) -> XferCost {
         assert!(
             self.same_shape(src),
             "snapshot restore across differently-shaped SRAM banks"
         );
-        let copied = if src.content != 0 && self.content == src.content {
-            let mut n = 0;
+        let mut cost = XferCost::default();
+        if src.content != 0 && self.content == src.content {
             for wi in 0..self.dirty.len() {
                 let mut w = self.dirty[wi];
                 while w != 0 {
                     let p = (wi << 6) + w.trailing_zeros() as usize;
-                    self.copy_page_from(src, p);
+                    cost.bytes += self.adopt_page(&src.pages[p], p);
+                    if !self.caps.is_empty() {
+                        let g0 = p * PAGE_GRANULES;
+                        let g1 = ((p + 1) * PAGE_GRANULES).min(self.granules());
+                        self.caps[g0..g1].fill(None);
+                    }
                     w &= w - 1;
-                    n += 1;
+                    cost.pages += 1;
                 }
             }
-            n
         } else {
-            self.bytes.copy_from_slice(&src.bytes);
-            self.tags.copy_from_slice(&src.tags);
-            self.caps.fill(None);
-            self.num_pages()
-        };
+            if self.cow {
+                self.pages.clone_from(&src.pages);
+                cost.bytes = self.pages.len() as u64 * PAGE_HANDLE_BYTES;
+            } else {
+                self.pages = src.pages.iter().map(|p| Arc::new((**p).clone())).collect();
+                cost.bytes = self.pages.len() as u64 * PAGE_COPY_BYTES;
+            }
+            self.caps = Vec::new();
+            cost.pages = self.num_pages();
+        }
         self.content = src.content;
         self.clear_dirty();
-        copied
+        cost
     }
 }
 
@@ -743,6 +1005,10 @@ mod tests {
             Box::new(|s| s.write_cap_word(0x2000_2ff8, 0x0123, true).unwrap()),
             Box::new(move |s| s.write_cap(0x2000_3008, c).unwrap()),
             Box::new(|s| s.zero_range(0x2000_0ff0, 0x20).unwrap()),
+            Box::new(|s| {
+                s.write_bytes(0x2000_0ffc, &[1, 2, 3, 4, 5, 6, 7, 8])
+                    .unwrap()
+            }),
         ];
         for store in &stores {
             let mut m = Sram::new(0x2000_0000, 0x4000);
@@ -755,7 +1021,7 @@ mod tests {
             store(&mut m);
             let dirty = m.dirty_pages();
             assert!(dirty > 0, "store path failed to mark any page");
-            assert_eq!(m.restore_page_wise(&snap), dirty);
+            assert_eq!(m.restore_page_wise(&snap).pages, dirty);
             assert!(m.content_eq(&snap), "restore missed a dirtied page");
         }
     }
@@ -766,17 +1032,20 @@ mod tests {
         m.write_cap_word(0x2000_4000, 7, true).unwrap();
         let mut snap = Sram::new(0x2000_0000, 0x8000);
         let first = m.capture_into(&mut snap);
-        assert_eq!(first, 8, "first capture into a fresh bank is a full copy");
+        assert_eq!(
+            first.pages, 8,
+            "first capture into a fresh bank is a full transfer"
+        );
         m.write_scalar(0x2000_0000, 4, 1).unwrap();
         m.write_scalar(0x2000_7ffc, 4, 2).unwrap();
-        assert_eq!(m.restore_page_wise(&snap), 2);
+        assert_eq!(m.restore_page_wise(&snap).pages, 2);
         assert!(m.content_eq(&snap));
         assert!(m.tag_at(0x2000_4000));
-        // Re-capture with no divergence copies nothing and keeps lineage.
-        assert_eq!(m.capture_into(&mut snap), 0);
-        // A foreign bank has no lineage: full copy.
+        // Re-capture with no divergence transfers nothing, keeps lineage.
+        assert_eq!(m.capture_into(&mut snap).pages, 0);
+        // A foreign bank has no lineage: full transfer.
         let mut other = Sram::new(0x2000_0000, 0x8000);
-        assert_eq!(other.restore_page_wise(&snap), 8);
+        assert_eq!(other.restore_page_wise(&snap).pages, 8);
         assert!(other.content_eq(&snap));
     }
 
@@ -820,5 +1089,147 @@ mod tests {
         let again = m.read_cap(0x2000_0040).unwrap();
         assert_eq!(again, c);
         assert_eq!(again.bounds(), c.bounds());
+    }
+
+    // --- CoW page-store behaviour -----------------------------------------
+
+    #[test]
+    fn fresh_bank_shares_one_zero_page_until_written() {
+        let mut m = Sram::new(0x2000_0000, 0x4000); // 4 pages
+        assert_eq!(m.shared_pages(), 4, "all slots share the zero page");
+        m.write_scalar(0x2000_1004, 4, 7).unwrap();
+        assert_eq!(m.shared_pages(), 3, "first write unshared its page");
+        assert_eq!(m.cow_stats().breaks, 1);
+        assert_eq!(m.cow_stats().bytes_copied, PAGE_COPY_BYTES);
+        // Writing the same page again is barrier-cheap: no further break.
+        m.write_scalar(0x2000_1008, 4, 8).unwrap();
+        assert_eq!(m.cow_stats().breaks, 1);
+    }
+
+    #[test]
+    fn capture_shares_pages_and_write_breaks_them() {
+        let mut m = Sram::new(0x2000_0000, 0x4000);
+        m.write_cap_word(0x2000_2000, 99, true).unwrap();
+        let mut snap = Sram::new(0x2000_0000, 0x4000);
+        let cost = m.capture_into(&mut snap);
+        assert_eq!(cost.pages, 4);
+        assert_eq!(cost.bytes, 4 * PAGE_HANDLE_BYTES, "capture is handle-cost");
+        // Machine and snapshot now share every page.
+        assert_eq!(m.shared_pages(), 4);
+        let breaks_before = m.cow_stats().breaks;
+        m.write_scalar(0x2000_2004, 4, 1).unwrap();
+        assert_eq!(m.cow_stats().breaks, breaks_before + 1);
+        // The snapshot still sees the captured content.
+        assert_eq!(snap.read_cap_word(0x2000_2000).unwrap(), (99, true));
+        assert_eq!(snap.read_scalar(0x2000_2004, 4).unwrap(), 0);
+    }
+
+    #[test]
+    fn forked_siblings_are_isolated() {
+        let mut image = Sram::new(0x2000_0000, 0x4000);
+        for a in (0x2000_0000u32..0x2000_4000).step_by(256) {
+            image.write_cap_word(a, u64::from(a), true).unwrap();
+        }
+        let mut snap = Sram::new(0x2000_0000, 0x4000);
+        image.capture_into(&mut snap);
+        let mut a = Sram::new(0x2000_0000, 0x4000);
+        let mut b = Sram::new(0x2000_0000, 0x4000);
+        assert_eq!(a.restore_page_wise(&snap).bytes, 4 * PAGE_HANDLE_BYTES);
+        b.restore_page_wise(&snap);
+        assert!(a.content_eq(&b));
+        // A's writes must not leak into B or the snapshot.
+        a.write_scalar(0x2000_0100, 4, 0xdead_beef).unwrap();
+        a.zero_range(0x2000_1000, 64).unwrap();
+        assert!(b.content_eq(&snap));
+        assert_eq!(b.read_scalar(0x2000_0100, 4).unwrap(), 0x2000_0100);
+        assert!(b.tag_at(0x2000_1000));
+        assert_eq!(a.read_scalar(0x2000_0100, 4).unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn no_cow_mode_keeps_pages_unique_and_copies_bytes() {
+        let mut m = Sram::new(0x2000_0000, 0x4000);
+        m.set_cow(false);
+        assert_eq!(m.shared_pages(), 0, "set_cow(false) materializes pages");
+        m.write_cap_word(0x2000_0000, 5, true).unwrap();
+        assert_eq!(m.cow_stats().breaks, 0, "unique pages never break");
+        let mut snap = Sram::new(0x2000_0000, 0x4000);
+        let cost = m.capture_into(&mut snap);
+        assert_eq!(
+            cost.bytes,
+            4 * PAGE_COPY_BYTES,
+            "no-cow capture deep-copies"
+        );
+        assert_eq!(m.shared_pages(), 0);
+        assert!(!snap.cow_enabled(), "snapshot adopts the bank's mode");
+        m.write_scalar(0x2000_0008, 4, 1).unwrap();
+        let cost = m.restore_page_wise(&snap);
+        assert_eq!(cost.pages, 1);
+        assert_eq!(cost.bytes, PAGE_COPY_BYTES, "tag bytes are accounted");
+        assert!(m.content_eq(&snap));
+    }
+
+    #[test]
+    fn cow_and_no_cow_banks_stay_content_identical() {
+        let ops: &[fn(&mut Sram)] = &[
+            |s| s.write_scalar(0x2000_0abc, 4, 0xdead_beef).unwrap(),
+            |s| s.write_cap_word(0x2000_1ff8, 0x0123, true).unwrap(),
+            |s| s.zero_range(0x2000_0ff0, 0x20).unwrap(),
+            |s| s.write_bytes(0x2000_2ffa, &[9; 12]).unwrap(),
+        ];
+        let mut a = Sram::new(0x2000_0000, 0x4000);
+        let mut b = Sram::new(0x2000_0000, 0x4000);
+        b.set_cow(false);
+        let (mut sa, mut sb) = (
+            Sram::new(0x2000_0000, 0x4000),
+            Sram::new(0x2000_0000, 0x4000),
+        );
+        a.capture_into(&mut sa);
+        b.capture_into(&mut sb);
+        for op in ops {
+            op(&mut a);
+            op(&mut b);
+            assert!(a.content_eq(&b));
+        }
+        a.restore_page_wise(&sa);
+        b.restore_page_wise(&sb);
+        assert!(a.content_eq(&b), "restores agree across modes");
+    }
+
+    #[test]
+    fn running_dirty_count_matches_bitmap() {
+        let mut m = Sram::new(0x2000_0000, 0x8000);
+        let mut snap = Sram::new(0x2000_0000, 0x8000);
+        m.capture_into(&mut snap);
+        for (i, a) in (0x2000_0000u32..0x2000_8000).step_by(4096).enumerate() {
+            m.write_scalar(a, 4, 1).unwrap();
+            m.write_scalar(a + 8, 4, 2).unwrap(); // same page: no recount
+            let popcount: u32 = m.dirty.iter().map(|w| w.count_ones()).sum();
+            assert_eq!(m.dirty_pages(), popcount);
+            assert_eq!(m.dirty_pages(), i as u32 + 1);
+        }
+        m.restore_page_wise(&snap);
+        assert_eq!(m.dirty_pages(), 0);
+    }
+
+    #[test]
+    fn unique_resident_bytes_tracks_breaks() {
+        let mut m = Sram::new(0x2000_0000, 0x4000);
+        let mut snap = Sram::new(0x2000_0000, 0x4000);
+        m.capture_into(&mut snap);
+        assert_eq!(m.unique_resident_bytes(), 0, "fully shared after capture");
+        m.write_scalar(0x2000_0000, 4, 1).unwrap();
+        assert_eq!(m.unique_resident_bytes(), PAGE_COPY_BYTES);
+    }
+
+    #[test]
+    fn clone_shares_under_cow_and_isolates_writes() {
+        let mut m = Sram::new(0x2000_0000, 0x2000);
+        m.write_cap_word(0x2000_0000, 7, true).unwrap();
+        let clone = m.clone();
+        assert!(m.content_eq(&clone));
+        m.write_scalar(0x2000_0004, 4, 0xff).unwrap();
+        assert_eq!(clone.read_scalar(0x2000_0004, 4).unwrap(), 0);
+        assert!(clone.tag_at(0x2000_0000));
     }
 }

@@ -87,6 +87,10 @@ pub struct FarmConfig {
     /// Per-node SRAM size (the node firmware uses < 4 KiB; small banks
     /// keep a 1000-instance fleet in a few hundred MB of host memory).
     pub sram_size: u32,
+    /// Copy-on-write page store for the fleet (default). `false` is the
+    /// `--no-cow` escape hatch: every fork deep-copies the image —
+    /// byte-identical behaviour, pre-CoW fork cost and memory footprint.
+    pub cow: bool,
 }
 
 impl Default for FarmConfig {
@@ -103,6 +107,7 @@ impl Default for FarmConfig {
             core: CoreModel::ibex(),
             dispatch: (true, true),
             sram_size: 64 * 1024,
+            cow: true,
         }
     }
 }
@@ -157,8 +162,25 @@ pub struct FarmReport {
     pub net_rx_dropped: u64,
     /// Resident size of the warm snapshot image.
     pub snapshot_bytes: u64,
-    /// Host bytes copied forking the fleet (the real fork cost).
+    /// Host bytes copied forking the fleet (the real fork cost): under
+    /// CoW this is O(devices · pages) handle adoptions, without it a
+    /// full image copy per device.
     pub snapshot_bytes_copied: u64,
+    /// Copy-on-write breaks across the fleet over the whole run: pages
+    /// privatized by first writes after the fork.
+    pub cow_breaks: u64,
+    /// Pages still structurally shared across the fleet at the end of
+    /// the run — memory the fleet never had to materialize.
+    pub cow_shared_pages: u64,
+    /// Host bytes of page content the fleet uniquely owns at the end of
+    /// the run (sum of each instance's private pages). With CoW this is
+    /// the fleet's true page footprint beyond the shared image; without
+    /// it, roughly `devices * sram_size`.
+    pub fleet_unique_bytes: u64,
+    /// Host process resident set (VmRSS) sampled after the run, in
+    /// bytes. Zero where `/proc/self/status` is unavailable.
+    /// Informational — host-dependent, not part of `passed()`.
+    pub host_rss_bytes: u64,
     /// Instances that stopped executing (must be 0).
     pub dead_devices: usize,
     /// Fleet-wide metrics: counters, quantum histograms, and
@@ -180,6 +202,14 @@ impl FarmReport {
     /// Messages fully delivered and acknowledged end to end.
     pub fn messages_done(&self) -> u64 {
         self.fabric.acks
+    }
+
+    /// Host bytes moved per device fork — *the* fork-cost metric
+    /// (`BENCH_simperf.json` key `fork_bytes_per_device`). Under CoW
+    /// this is pointer-sized handle adoptions per page; without it, the
+    /// full image.
+    pub fn fork_bytes_per_device(&self) -> f64 {
+        self.snapshot_bytes_copied as f64 / self.devices.max(1) as f64
     }
 
     /// Human-readable summary.
@@ -218,8 +248,14 @@ impl FarmReport {
             self.guest_rx_pub, self.guest_tx_pub, self.guest_rx_ack, self.guest_heartbeats
         ));
         out.push_str(&format!(
-            "snapshot           {} bytes resident, {} bytes copied forking\n",
-            self.snapshot_bytes, self.snapshot_bytes_copied
+            "snapshot           {} bytes resident, {} bytes copied forking ({:.1}/device)\n",
+            self.snapshot_bytes,
+            self.snapshot_bytes_copied,
+            self.fork_bytes_per_device()
+        ));
+        out.push_str(&format!(
+            "cow                {} breaks, {} pages still shared, {} unique bytes, rss {}\n",
+            self.cow_breaks, self.cow_shared_pages, self.fleet_unique_bytes, self.host_rss_bytes
         ));
         if self.dead_devices > 0 {
             out.push_str(&format!("DEAD DEVICES       {:>12}\n", self.dead_devices));
@@ -242,7 +278,10 @@ impl FarmReport {
                 "\"published_host\": {}, \"deliveries\": {}, \"acks\": {}, ",
                 "\"cross_instance_frames\": {}, \"messages_lost\": {}, ",
                 "\"net_rx_dropped\": {}, \"snapshot_bytes\": {}, ",
-                "\"snapshot_bytes_copied\": {}, \"dead_devices\": {}, ",
+                "\"snapshot_bytes_copied\": {}, \"fork_bytes_per_device\": {:.1}, ",
+                "\"cow_breaks\": {}, \"cow_shared_pages\": {}, ",
+                "\"fleet_unique_bytes\": {}, \"host_rss_bytes\": {}, ",
+                "\"dead_devices\": {}, ",
                 "\"passed\": {}}}\n"
             ),
             self.devices,
@@ -260,6 +299,11 @@ impl FarmReport {
             self.net_rx_dropped,
             self.snapshot_bytes,
             self.snapshot_bytes_copied,
+            self.fork_bytes_per_device(),
+            self.cow_breaks,
+            self.cow_shared_pages,
+            self.fleet_unique_bytes,
+            self.host_rss_bytes,
             self.dead_devices,
             self.passed()
         )
@@ -282,7 +326,7 @@ pub fn run_farm(cfg: &FarmConfig) -> Result<FarmReport, String> {
     let mut registry = SnapshotRegistry::new();
     registry.insert(
         "mqtt-node",
-        boot_node_image(cfg.core, topics, cfg.dispatch, cfg.sram_size)?,
+        boot_node_image(cfg.core, topics, cfg.dispatch, cfg.sram_size, cfg.cow)?,
     );
     let snap = registry.get("mqtt-node").expect("just inserted");
     let snapshot_bytes = snap.bytes();
@@ -449,6 +493,9 @@ pub fn run_farm(cfg: &FarmConfig) -> Result<FarmReport, String> {
     let mut net_dropped = 0u64;
     let mut total_cycles = 0u64;
     let mut dead_devices = 0usize;
+    let mut cow_breaks = 0u64;
+    let mut cow_shared_pages = 0u64;
+    let mut fleet_unique_bytes = 0u64;
     for inst in instances.iter() {
         let inst = &mut *inst.lock().expect("instance lock");
         guest_rx_pub += u64::from(inst.mb.rx_pub);
@@ -457,6 +504,9 @@ pub fn run_farm(cfg: &FarmConfig) -> Result<FarmReport, String> {
         guest_heartbeats += u64::from(inst.mb.heartbeat);
         net_dropped += u64::from(net_rx_dropped(&mut inst.m));
         total_cycles += inst.m.cycles;
+        cow_breaks += inst.m.sram.cow_stats().breaks;
+        cow_shared_pages += u64::from(inst.m.sram.shared_pages());
+        fleet_unique_bytes += inst.m.sram.unique_resident_bytes();
         if inst.dead.is_some() {
             dead_devices += 1;
         }
@@ -466,6 +516,8 @@ pub fn run_farm(cfg: &FarmConfig) -> Result<FarmReport, String> {
     fleet.add("farm_messages_acked", fabric.stats().acks);
     fleet.add("net_rx_dropped", net_dropped);
     fleet.add("snapshot_bytes_copied", snapshot_bytes_copied);
+    fleet.add("cow_breaks", cow_breaks);
+    fleet.add("cow_shared_pages", cow_shared_pages);
     fleet.merge(&fabric.metrics);
 
     let stats = fabric.stats();
@@ -485,7 +537,25 @@ pub fn run_farm(cfg: &FarmConfig) -> Result<FarmReport, String> {
         net_rx_dropped: net_dropped,
         snapshot_bytes,
         snapshot_bytes_copied,
+        cow_breaks,
+        cow_shared_pages,
+        fleet_unique_bytes,
+        host_rss_bytes: host_rss_bytes(),
         dead_devices,
         metrics: fleet,
     })
+}
+
+/// The host process resident set (VmRSS) in bytes, from
+/// `/proc/self/status`. Zero where unavailable (non-Linux hosts) —
+/// callers treat the metric as informational.
+fn host_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            let line = s.lines().find(|l| l.starts_with("VmRSS:"))?;
+            let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+            Some(kb * 1024)
+        })
+        .unwrap_or(0)
 }

@@ -57,16 +57,23 @@ impl SnapshotRegistry {
 /// programmed, `MB_STATE` raised. `dispatch` selects the engine mode
 /// `(block_cache, block_chain)` every fork inherits; `sram_size`
 /// shrinks the per-node bank (the firmware uses < 4 KiB, and a small
-/// bank is what lets a 1000-instance fleet fit in host memory).
+/// bank is what lets a 1000-instance fleet fit in host memory);
+/// `cow` selects the copy-on-write page store (default) or the
+/// deep-copy escape hatch — with CoW the whole fleet structurally
+/// shares the image's boot pages and each fork pays O(pages) handle
+/// adoptions, so fleet density is a function of *dirtied* pages rather
+/// than image size.
 pub fn boot_node_image(
     core: CoreModel,
     topics: u32,
     dispatch: (bool, bool),
     sram_size: u32,
+    cow: bool,
 ) -> Result<Snapshot, String> {
     let mut cfg = MachineConfig::new(core);
     cfg.block_cache = dispatch.0;
     cfg.block_chain = dispatch.1;
+    cfg.cow = cow;
     let sram = sram_size.max(16 * 1024).next_multiple_of(4096);
     cfg.sram_size = sram;
     cfg.heap_offset = sram / 2;

@@ -104,6 +104,29 @@ fn fork_accounting_scales_with_fleet_size() {
 }
 
 #[test]
+fn cow_mode_is_invisible_and_cheap() {
+    let cow = run_farm(&small_cfg()).expect("cow run");
+    let mut cfg = small_cfg();
+    cfg.cow = false;
+    let plain = run_farm(&cfg).expect("no-cow run");
+    // Same fleet, byte for byte: CoW is purely a host-side cost model.
+    assert_eq!(fingerprint(&cow), fingerprint(&plain));
+    // But the fork cost differs by orders of magnitude: handle adoptions
+    // versus full image copies.
+    assert!(
+        cow.fork_bytes_per_device() * 10.0 <= plain.fork_bytes_per_device(),
+        "cow fork cost {} not ≥10x below deep-copy cost {}",
+        cow.fork_bytes_per_device(),
+        plain.fork_bytes_per_device()
+    );
+    assert_eq!(plain.cow_breaks, 0, "unique pages never CoW-break");
+    assert_eq!(plain.cow_shared_pages, 0);
+    // The CoW fleet ends the run still sharing the pages it never wrote.
+    assert!(cow.cow_shared_pages > 0, "fleet should retain shared pages");
+    assert!(cow.fleet_unique_bytes < plain.fleet_unique_bytes);
+}
+
+#[test]
 fn single_device_farm_runs_quietly() {
     let mut cfg = small_cfg();
     cfg.devices = 1;
@@ -116,7 +139,7 @@ fn single_device_farm_runs_quietly() {
 
 #[test]
 fn boot_image_is_warm_and_reusable() {
-    let snap = boot_node_image(CoreModel::ibex(), 2, (true, true), 64 * 1024).expect("boot");
+    let snap = boot_node_image(CoreModel::ibex(), 2, (true, true), 64 * 1024, true).expect("boot");
     assert!(snap.cycles() > 0, "image must be post-boot");
     assert!(snap.bytes() > 0);
     // Two forks from the same image are independent machines.

@@ -122,6 +122,11 @@ pub struct CampaignConfig {
     /// per-seed-reboot path (`fault-campaign --no-snapshot`), kept as a
     /// cross-check — both paths produce byte-identical results.
     pub use_snapshot: bool,
+    /// Copy-on-write page store for every campaign machine (the
+    /// default). `false` is the `--no-cow` escape hatch: snapshot
+    /// captures/restores deep-copy pages — byte-identical outcomes,
+    /// pre-CoW restore cost.
+    pub cow: bool,
 }
 
 impl Default for CampaignConfig {
@@ -135,6 +140,7 @@ impl Default for CampaignConfig {
             cadence: 2_000,
             max_cycles: 30_000_000,
             use_snapshot: true,
+            cow: true,
         }
     }
 }
@@ -171,6 +177,10 @@ pub struct CampaignReport {
     /// SRAM pages copied across those restores. A rising pages-per-restore
     /// ratio flags a regression in dirty-tracking precision.
     pub dirty_pages_copied: u64,
+    /// Host bytes those restores actually moved (honest accounting:
+    /// handle adoptions under CoW, data + tag bytes on deep copies, plus
+    /// the console backlog and code-handle adoptions).
+    pub snapshot_bytes_copied: u64,
 }
 
 impl CampaignReport {
@@ -211,8 +221,8 @@ impl CampaignReport {
         ));
         if self.config.use_snapshot {
             s.push_str(&format!(
-                "  snapshot engine: {} restores, {} dirty pages copied\n",
-                self.snapshot_restores, self.dirty_pages_copied
+                "  snapshot engine: {} restores, {} dirty pages copied, {} bytes moved\n",
+                self.snapshot_restores, self.dirty_pages_copied, self.snapshot_bytes_copied
             ));
         }
         for r in &self.results {
@@ -256,6 +266,7 @@ impl CampaignReport {
         doc.push("use_snapshot", self.config.use_snapshot);
         doc.push("snapshot_restores", self.snapshot_restores);
         doc.push("dirty_pages_copied", self.dirty_pages_copied);
+        doc.push("snapshot_bytes_copied", self.snapshot_bytes_copied);
         let mut outcomes = Json::obj();
         for &o in Outcome::ALL {
             outcomes.push(o.name(), u64::from(self.count(o)));
@@ -328,9 +339,11 @@ const CHAINED: (bool, bool) = (true, true);
 fn fresh_run(
     seed: u64,
     dispatch: (bool, bool),
+    cow: bool,
 ) -> Result<(Machine, HeapAllocator, u32, u32), String> {
     let mut mc = MachineConfig::new(CoreModel::ibex());
     (mc.block_cache, mc.block_chain) = dispatch;
+    mc.cow = cow;
     let mut m = Machine::new(mc);
     let heap = HeapAllocator::new(&mut m, TemporalPolicy::Quarantine(RevokerKind::Hardware));
     let program = build_workload(seed);
@@ -448,7 +461,7 @@ pub fn run_one(seed: u64, cfg: &CampaignConfig) -> CampaignResult {
     // Reference (fault-free) run, executed cache-off: its fingerprint and
     // cycle count anchor both the fault classification and the block
     // cache's exactness (the faulted run below executes cache-on).
-    let (mut m, mut heap, dir_lo, dir_len) = match fresh_run(seed, STEPWISE) {
+    let (mut m, mut heap, dir_lo, dir_len) = match fresh_run(seed, STEPWISE, cfg.cow) {
         Ok(v) => v,
         Err(e) => return fail(format!("reference setup: {e}")),
     };
@@ -461,7 +474,7 @@ pub fn run_one(seed: u64, cfg: &CampaignConfig) -> CampaignResult {
     let ref_instructions = m.stats.instructions;
 
     // Faulted run (cache-on).
-    let (mut m, mut heap, _, _) = match fresh_run(seed, CHAINED) {
+    let (mut m, mut heap, _, _) = match fresh_run(seed, CHAINED, cfg.cow) {
         Ok(v) => v,
         Err(e) => return fail(format!("faulted setup: {e}")),
     };
@@ -626,8 +639,9 @@ struct SeedWorker {
 }
 
 impl SeedWorker {
-    fn new() -> Result<SeedWorker, String> {
-        let mc = MachineConfig::new(CoreModel::ibex());
+    fn new(cow: bool) -> Result<SeedWorker, String> {
+        let mut mc = MachineConfig::new(CoreModel::ibex());
+        mc.cow = cow;
         let mut m = Machine::new(mc);
         let boot_heap =
             HeapAllocator::new(&mut m, TemporalPolicy::Quarantine(RevokerKind::Hardware));
@@ -702,11 +716,12 @@ impl SeedWorker {
     }
 
     /// Snapshot-counter deltas since the last harvest.
-    fn harvest(&mut self) -> (u64, u64) {
+    fn harvest(&mut self) -> (u64, u64, u64) {
         let s = self.m.snapshot_stats();
         let d = (
             s.restores - self.harvested.restores,
             s.pages_copied - self.harvested.pages_copied,
+            s.bytes_copied - self.harvested.bytes_copied,
         );
         self.harvested = s;
         d
@@ -718,7 +733,7 @@ impl SeedWorker {
 /// anything here is a checker false positive or a simulator bug, and fails
 /// the suite.
 fn run_control(seed: u64, cfg: &CampaignConfig) -> Vec<InvariantViolation> {
-    let Ok((mut m, mut heap, dir_lo, dir_len)) = fresh_run(seed, CHAINED) else {
+    let Ok((mut m, mut heap, dir_lo, dir_len)) = fresh_run(seed, CHAINED, cfg.cow) else {
         return vec![InvariantViolation {
             kind: crate::invariant::InvariantKind::TagProvenance,
             cycle: 0,
@@ -757,23 +772,25 @@ pub fn run_campaigns(cfg: &CampaignConfig) -> CampaignReport {
     let count = cfg.count as usize;
     let restores = AtomicU64::new(0);
     let pages_copied = AtomicU64::new(0);
+    let bytes_copied = AtomicU64::new(0);
     let results = work_steal_with(
         count,
         threads,
         // `None` state = legacy per-seed-reboot path.
-        || cfg.use_snapshot.then(SeedWorker::new),
+        || cfg.use_snapshot.then(|| SeedWorker::new(cfg.cow)),
         |state, i| {
             let seed = cfg.seed_base + i as u64;
             let r = match state {
                 Some(Ok(worker)) => {
                     let r = catch_unwind(AssertUnwindSafe(|| worker.run_seed(seed, cfg)));
-                    let (dr, dp) = worker.harvest();
+                    let (dr, dp, db) = worker.harvest();
                     restores.fetch_add(dr, Ordering::Relaxed);
                     pages_copied.fetch_add(dp, Ordering::Relaxed);
+                    bytes_copied.fetch_add(db, Ordering::Relaxed);
                     if r.is_err() {
                         // The worker machine may be wedged mid-run; rebuild
                         // it so subsequent seeds start from a clean boot.
-                        *state = Some(SeedWorker::new());
+                        *state = Some(SeedWorker::new(cfg.cow));
                     }
                     r
                 }
@@ -801,6 +818,7 @@ pub fn run_campaigns(cfg: &CampaignConfig) -> CampaignReport {
         control_violations,
         snapshot_restores: restores.into_inner(),
         dirty_pages_copied: pages_copied.into_inner(),
+        snapshot_bytes_copied: bytes_copied.into_inner(),
     }
 }
 
@@ -823,13 +841,13 @@ mod tests {
         // The second run executes cache-on: determinism across the two
         // execution paths, not just across repetitions, is the contract.
         for seed in [1u64, 2, 3, 99] {
-            let (mut m, mut heap, _, _) = fresh_run(seed, STEPWISE).unwrap();
+            let (mut m, mut heap, _, _) = fresh_run(seed, STEPWISE, true).unwrap();
             let r1 = run_with_heap_service(&mut m, &mut heap, 30_000_000);
             let ExitReason::Halted(c1) = r1 else {
                 panic!("seed {seed}: reference must halt, got {r1:?}");
             };
             heap.check_consistency(&m).unwrap();
-            let (mut m2, mut heap2, _, _) = fresh_run(seed, CHAINED).unwrap();
+            let (mut m2, mut heap2, _, _) = fresh_run(seed, CHAINED, true).unwrap();
             let r2 = run_with_heap_service(&mut m2, &mut heap2, 30_000_000);
             assert_eq!(
                 r2,
@@ -885,13 +903,13 @@ mod tests {
         dispatch: (bool, bool),
     ) -> (Fingerprint, u64, u64) {
         let deadline = 30_000_000u64;
-        let (mut m, mut heap, dir_lo, _) = fresh_run(seed, STEPWISE).unwrap();
+        let (mut m, mut heap, dir_lo, _) = fresh_run(seed, STEPWISE, true).unwrap();
         let r = run_with_heap_service(&mut m, &mut heap, deadline);
         assert!(matches!(r, ExitReason::Halted(_)), "seed {seed}: {r:?}");
         let ref_cycles = m.cycles.max(1);
         let wd = m.stats.instructions.saturating_mul(4) + 100_000;
 
-        let (mut m, mut heap, _, _) = fresh_run(seed, dispatch).unwrap();
+        let (mut m, mut heap, _, _) = fresh_run(seed, dispatch, true).unwrap();
         m.set_watchdog(Some(wd));
         let (hb, he) = heap.heap_range();
         let used_he = he.min(hb + 32 * 1024);

@@ -293,6 +293,37 @@ proptest! {
 }
 
 #[test]
+fn dma_into_forked_soc_machine_leaves_sibling_untouched() {
+    // Every SoC device stores through `Machine::dma_write`, so this is
+    // the one CoW break point device traffic can take: a DMA store into
+    // one fork of a shared boot image must not perturb its sibling.
+    let spec = MachineSpec::parse(include_str!("../manifests/iot.toml")).unwrap();
+    let mut m = spec.build().unwrap();
+    let snap = m.snapshot();
+    let mut a = snap.to_machine();
+    let mut b = snap.to_machine();
+    assert!(a.sram.shared_pages() > 0, "forks must share the boot image");
+    let dst = layout::SRAM_BASE + 0x8000;
+    let buf: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(13)).collect();
+    a.dma_write(dst, &buf).unwrap();
+    assert!(a.sram.cow_stats().breaks >= 1, "DMA must break CoW");
+    assert!(
+        a.sram.shared_pages() < b.sram.shared_pages(),
+        "only the written fork loses sharing"
+    );
+    let mut got = vec![0u8; buf.len()];
+    a.dma_read(dst, &mut got).unwrap();
+    assert_eq!(got, buf);
+    // The sibling is still byte-identical to the capture point...
+    let fresh = snap.to_machine();
+    assert!(b.sram.content_eq(&fresh.sram), "sibling diverged");
+    assert_eq!(b.sram.cow_stats().breaks, 0);
+    // ...and still boots through the full guest demo with live devices.
+    let report = run_soc_demo(&mut b, &layout_of(&spec));
+    assert!(report.passed(), "{report:?}");
+}
+
+#[test]
 fn dma_store_into_executed_code_invalidates_covering_blocks() {
     // A spin loop runs hot (cached/chained blocks built), then DMA
     // rewrites its increment instruction mid-run. Every dispatch mode
